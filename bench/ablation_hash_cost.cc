@@ -1,0 +1,69 @@
+/**
+ * @file
+ * EXP-AB1: ablation of the hash-computation cost (Section III-C).
+ *
+ * Compares the multiplications per hash of the dense d^2 projection,
+ * the two-way Kronecker 2 d^(3/2) structure, and the three-way
+ * 3 d^(4/3) structure, across d, and reports the resulting
+ * preprocessing cycles on the accelerator and the share of total
+ * cost when n is small (the regime the paper motivates the Kronecker
+ * trick with: 2ndk is NOT negligible vs 2 n^2 d when n ~ k).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "lsh/srp.h"
+#include "sim/pipeline_model.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Ablation: hash computation cost (dense vs Kronecker)",
+        "Multiplications per hash and preprocessing share of the "
+        "exact-attention cost.");
+
+    Rng rng(42);
+    std::printf("\n%-6s %12s %12s %12s %10s\n", "d", "dense d^2",
+                "2-way", "3-way", "saving");
+    for (const std::size_t d : {64u}) {
+        const auto dense = DenseSrpHasher::makeRandom(d, d, rng);
+        const auto two = KroneckerSrpHasher::makeRandom(d, 2, rng);
+        const auto three = KroneckerSrpHasher::makeRandom(d, 3, rng);
+        std::printf("%-6zu %12zu %12zu %12zu %9.1fx\n", d,
+                    dense.multiplicationsPerHash(),
+                    two.multiplicationsPerHash(),
+                    three.multiplicationsPerHash(),
+                    static_cast<double>(dense.multiplicationsPerHash())
+                        / three.multiplicationsPerHash());
+    }
+    std::printf("(paper: 4096 -> 1024 -> 768 for d = 64)\n");
+
+    // Hash cost share of the total attention cost, per n: the
+    // motivation for the fast hash at small n (Section III-C).
+    std::printf("\n%-6s %16s %16s %16s\n", "n",
+                "2ndk/dense", "2ndk/3-way", "exact 2n^2d");
+    for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+        const double exact = 2.0 * n * n * 64.0;
+        const double dense_hash = 2.0 * n * 64.0 * 64.0;
+        const double kron_hash = 2.0 * n * 768.0 / 2.0; // 3d^{4/3}
+        std::printf("%-6zu %15.1f%% %15.1f%% %16.0f\n", n,
+                    100.0 * dense_hash / exact,
+                    100.0 * kron_hash / exact, exact);
+    }
+
+    // Accelerator preprocessing cycles by hash structure.
+    std::printf("\nPreprocessing cycles at n = 512, m_h = 256:\n");
+    for (const std::size_t factors : {1u, 2u, 3u}) {
+        SimConfig config = SimConfig::paperConfig();
+        config.num_hash_factors = factors;
+        std::printf("  %zu-factor projection: %zu cycles\n", factors,
+                    preprocessingCycles(config, 512));
+    }
+    std::printf("(paper: 3 d^(4/3) (n+1) / m_h = 1539 cycles for the "
+                "3-way structure)\n");
+    return 0;
+}

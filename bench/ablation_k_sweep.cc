@@ -1,0 +1,91 @@
+/**
+ * @file
+ * EXP-AB4: ablation of the hash width k on the end task
+ * (Section IV-E, "Choice of Hash Length k").
+ *
+ * The paper argues k = d works well as long as k is not too small
+ * (e.g. < 16): higher k estimates angles better (fewer false
+ * positives/negatives in candidate selection) but costs more hash
+ * computation, key-hash storage, and candidate-selection area. This
+ * bench runs the full approximate attention on a BERT-like workload
+ * across k and reports candidate fraction, attention-mass recall,
+ * hash cost, and key-hash SRAM bytes.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "attention/metrics.h"
+#include "attention/threshold.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "energy/area_power.h"
+#include "lsh/batched.h"
+#include "lsh/calibration.h"
+#include "workload/generator.h"
+#include "workload/model.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Ablation: hash width k (end-to-end candidate selection)",
+        "BERT-like sublayer, n = 384; k < 64 uses a dense "
+        "orthogonal projection, k >= 64 batched Kronecker.");
+
+    const std::size_t n = 384;
+    const std::size_t d = 64;
+    QkvGenerator gen(bertLarge(), 31);
+    const AttentionInput train = gen.generate(11, 3, n, 100);
+    const AttentionInput input = gen.generate(11, 3, n, 0);
+
+    ThresholdLearner learner(1.0);
+    learner.observe(train.query, train.key);
+    const double threshold = learner.threshold();
+
+    std::printf("\np = 1, learned threshold t = %.3f\n", threshold);
+    std::printf("\n%-6s %10s %12s %12s %12s %12s\n", "k",
+                "theta_bias", "candidates", "mass recall",
+                "mults/hash", "hash SRAM");
+
+    Rng rng(17);
+    for (const std::size_t k : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        std::shared_ptr<const SrpHasher> hasher;
+        if (k < d) {
+            hasher = std::make_shared<DenseSrpHasher>(
+                DenseSrpHasher::makeRandom(k, d, rng));
+        } else {
+            hasher = std::make_shared<BatchedKroneckerHasher>(
+                BatchedKroneckerHasher::makeRandom(k, d, 3, rng,
+                                                   true));
+        }
+        BiasCalibrationOptions options;
+        options.num_pairs = 4000;
+        options.num_hashers = 2;
+        const double bias = calibrateThetaBias(d, k, rng, options);
+        ApproxSelfAttention engine(hasher, bias);
+
+        const auto candidates =
+            engine.candidatesForAll(input, threshold);
+        std::size_t total = 0;
+        for (const auto& c : candidates) {
+            total += c.size();
+        }
+        const double recall = attentionMassRecall(input, candidates);
+        std::printf("%-6zu %10.3f %11.1f%% %12.4f %12zu %9zu B\n", k,
+                    bias,
+                    100.0 * static_cast<double>(total) / (n * n),
+                    recall, hasher->multiplicationsPerHash(),
+                    keyHashMemoryBytes(n, k));
+        std::fflush(stdout);
+    }
+
+    std::printf("\nReading the table: small k inflates the "
+                "estimator noise -- the bias correction must\ngrow, "
+                "which over-selects candidates without improving "
+                "recall. Past k = d = 64 the\nrecall gain is modest "
+                "while hash cost and SRAM grow linearly: the paper's "
+                "k = d\nchoice sits at the knee.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * EXP-AB2: ablation of the SRP estimator quality (Section III-B).
+ *
+ * Measures, on standard normal vectors:
+ *  - the angle-estimation error of i.i.d. vs orthogonalized vs
+ *    Kronecker-structured (and S0.5-quantized) projections;
+ *  - the error across hash widths k (the design-choice discussion of
+ *    Section IV-E: k = d works well as long as k is not too small);
+ *  - theta_bias calibration across k, including the paper's 0.127
+ *    value at d = k = 64;
+ *  - the effect of the bias correction on the share of
+ *    overestimated angles (the design target: underestimate in 80%
+ *    of cases).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "lsh/angle.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace elsa;
+
+/** RMS angle-estimation error of a hasher on normal vectors. */
+double
+rmsError(const SrpHasher& hasher, Rng& rng, int pairs,
+         double* underestimate_share = nullptr, double bias = 0.0)
+{
+    const std::size_t d = hasher.dim();
+    std::vector<float> x(d);
+    std::vector<float> y(d);
+    RunningStat sq;
+    int under = 0;
+    for (int i = 0; i < pairs; ++i) {
+        for (std::size_t c = 0; c < d; ++c) {
+            x[c] = static_cast<float>(rng.gaussian());
+            y[c] = static_cast<float>(rng.gaussian());
+        }
+        const double cosine = dot(x.data(), y.data(), d)
+                              / (l2Norm(x.data(), d)
+                                 * l2Norm(y.data(), d));
+        const double truth = std::acos(std::clamp(cosine, -1.0, 1.0));
+        const int ham =
+            hammingDistance(hasher.hash(x.data()), hasher.hash(y.data()));
+        const double est =
+            estimateAngle(ham, hasher.bits()) - bias;
+        sq.add((est - truth) * (est - truth));
+        if (est < truth) {
+            ++under;
+        }
+    }
+    if (underestimate_share != nullptr) {
+        *underestimate_share = static_cast<double>(under) / pairs;
+    }
+    return std::sqrt(sq.mean());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Ablation: SRP estimator quality and theta_bias",
+        "Angle-estimation error by projection structure, hash width "
+        "k, and bias correction.");
+
+    Rng rng(7);
+    const int pairs = 4000;
+
+    std::printf("\nProjection structure (d = k = 64, RMS angle error "
+                "in radians):\n");
+    {
+        Matrix iid(64, 64);
+        iid.fillGaussian(rng);
+        const DenseSrpHasher iid_hasher(std::move(iid));
+        const auto ortho = DenseSrpHasher::makeRandom(64, 64, rng);
+        const auto kron = KroneckerSrpHasher::makeRandom(64, 3, rng);
+        const auto kron_q =
+            KroneckerSrpHasher::makeRandom(64, 3, rng, true);
+        std::printf("  i.i.d. Gaussian rows        : %.4f\n",
+                    rmsError(iid_hasher, rng, pairs));
+        std::printf("  orthogonalized (paper)      : %.4f\n",
+                    rmsError(ortho, rng, pairs));
+        std::printf("  Kronecker 3-way             : %.4f\n",
+                    rmsError(kron, rng, pairs));
+        std::printf("  Kronecker 3-way + S0.5 quant: %.4f\n",
+                    rmsError(kron_q, rng, pairs));
+    }
+
+    std::printf("\nHash width k (orthogonalized dense, d = 64):\n");
+    std::printf("  %-6s %12s %12s\n", "k", "RMS error", "theta_bias");
+    for (const std::size_t k : {16u, 32u, 64u, 128u, 256u}) {
+        const auto hasher = DenseSrpHasher::makeRandom(k, 64, rng);
+        BiasCalibrationOptions options;
+        options.num_pairs = 4000;
+        options.num_hashers = 2;
+        const double bias = calibrateThetaBias(64, k, rng, options);
+        std::printf("  %-6zu %12.4f %12.4f%s\n", k,
+                    rmsError(hasher, rng, pairs), bias,
+                    k == 64 ? "   (paper: 0.127)" : "");
+    }
+
+    std::printf("\nBias correction target (underestimate the angle "
+                "in ~80%% of cases):\n");
+    {
+        const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+        double share_raw = 0.0;
+        double share_bias = 0.0;
+        rmsError(hasher, rng, pairs, &share_raw, 0.0);
+        rmsError(hasher, rng, pairs, &share_bias, kThetaBias64);
+        std::printf("  without correction: %4.1f%% underestimated\n",
+                    100.0 * share_raw);
+        std::printf("  with theta_bias   : %4.1f%% underestimated "
+                    "(target ~80%%)\n",
+                    100.0 * share_bias);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef ELSA_BENCH_BENCH_COMMON_H_
+#define ELSA_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Every bench prints a self-describing table: the paper artifact it
+ * regenerates, the workloads/parameters, and the measured series.
+ * EXPERIMENTS.md records the paper-vs-measured comparison.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "elsa/system.h"
+#include "workload/model.h"
+
+namespace elsa::bench {
+
+/** Print the standard bench header. */
+inline void
+printHeader(const char* artifact, const char* description)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("ELSA reproduction | %s\n", artifact);
+    std::printf("%s\n", description);
+    std::printf("================================================="
+                "=============================\n");
+}
+
+/** The evaluation settings shared by the Fig. 11 / Fig. 13 benches. */
+inline SystemConfig
+standardSystemConfig()
+{
+    SystemConfig config;
+    config.eval.max_sublayers = 6;
+    config.eval.num_eval_inputs = 3;
+    config.eval.num_train_inputs = 3;
+    config.sim_sublayers = 6;
+    config.sim_inputs = 6;
+    return config;
+}
+
+/** Collects per-workload values and reports the geometric mean. */
+class GeomeanTracker
+{
+  public:
+    void
+    add(double value)
+    {
+        values_.push_back(value);
+    }
+
+    double
+    geomean() const
+    {
+        return values_.empty() ? 0.0 : elsa::geomean(values_);
+    }
+
+  private:
+    std::vector<double> values_;
+};
+
+} // namespace elsa::bench
+
+#endif // ELSA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * EXP-VE-A3: reproduces the Section V-E comparison against the A3
+ * accelerator (HPCA 2020) on BERT + SQuADv1.1.
+ *
+ * Paper reference points:
+ *  - A3 achieves 1.85x over its own no-approximation baseline
+ *    (selection-stage bound);
+ *  - ELSA-conservative / moderate achieve 2.76x / 3.72x over
+ *    ELSA-base;
+ *  - accounting for the baseline difference, ELSA's approximate
+ *    configurations are 5.96x / 8.04x better in raw speed than the
+ *    A3 approximate configuration;
+ *  - A3's sort-based preprocessing does not shrink when accelerators
+ *    are replicated, and its tables need 2x the key matrix storage.
+ */
+
+#include <cstdio>
+
+#include "baselines/a3.h"
+#include "bench_common.h"
+#include "elsa/system.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Section V-E: comparison with the A3 accelerator",
+        "BERT + SQuADv1.1; A3 modeled with sort preprocessing and a "
+        "<=2 keys/cycle selection stage.");
+
+    const WorkloadSpec spec{bertLarge(), squadV11()};
+    ElsaSystem system(spec, bench::standardSystemConfig());
+    const auto reports = system.evaluateAllModes();
+    const ModeReport& base = reports[0];
+    const ModeReport& cons = reports[1];
+    const ModeReport& mod = reports[2];
+
+    const double cons_over_base =
+        cons.elsa_ops_per_second / base.elsa_ops_per_second;
+    const double mod_over_base =
+        mod.elsa_ops_per_second / base.elsa_ops_per_second;
+
+    std::printf("\nELSA speedup over ELSA-base (no approximation):\n");
+    std::printf("  conservative: %.2fx (paper: 2.76x)\n",
+                cons_over_base);
+    std::printf("  moderate    : %.2fx (paper: 3.72x)\n",
+                mod_over_base);
+
+    // A3 on the same workload: its approximation reaches the
+    // selection-bound ~1.85x over its own baseline.
+    const A3Model a3;
+    const std::size_t n = spec.dataset.padded_length;
+    const std::size_t d = spec.model.head_dim;
+    const double a3_base_s = a3.baseSecondsPerOp(n, d);
+    const double a3_approx_s =
+        a3.approxSecondsPerOp(n, d, cons.candidate_fraction);
+    std::printf("\nA3 speedup over its own baseline: %.2fx "
+                "(paper: 1.85x)\n",
+                a3_base_s / a3_approx_s);
+
+    // Raw comparison: ELSA approximate throughput per accelerator vs
+    // the A3 approximate configuration. A3's sort-based
+    // preprocessing consumes the whole padded key matrix, so the
+    // padded-n cost is its natural operating point; a real-token A3
+    // (generously assuming it also skips padding) is shown as the
+    // other end of the band.
+    const double elsa_cons_s =
+        12.0 / cons.elsa_ops_per_second; // One accelerator's op time.
+    const double elsa_mod_s = 12.0 / mod.elsa_ops_per_second;
+    const auto n_real = static_cast<std::size_t>(
+        system.fidelityAt(cons.p).mean_real_tokens);
+    const double a3_real_s =
+        a3.approxSecondsPerOp(n_real, d, cons.candidate_fraction);
+    std::printf("\nRaw per-accelerator speedup over the A3 "
+                "approximate configuration:\n");
+    std::printf("  ELSA-conservative: %.2fx (padded A3) / %.2fx "
+                "(real-token A3)   (paper: 5.96x)\n",
+                a3_approx_s / elsa_cons_s, a3_real_s / elsa_cons_s);
+    std::printf("  ELSA-moderate    : %.2fx (padded A3) / %.2fx "
+                "(real-token A3)   (paper: 8.04x)\n",
+                a3_approx_s / elsa_mod_s, a3_real_s / elsa_mod_s);
+
+    // Preprocessing scaling: replication shrinks execution but not
+    // A3's host-side sort.
+    std::printf("\nA3 preprocessing share when replicating "
+                "accelerators (n = %zu):\n", n);
+    for (const int replicas : {1, 4, 12}) {
+        const double exec =
+            a3.approxExecuteCycles(n, cons.candidate_fraction) / 1e9
+            / replicas;
+        const double pre = a3.preprocessSeconds(n, d);
+        std::printf("  %2dx accelerators: preprocessing = %4.1f%% of "
+                    "total\n",
+                    replicas, 100.0 * pre / (pre + exec));
+    }
+    std::printf("\nA3 preprocessing storage: %zu B (2x the key "
+                "matrix); ELSA needs %zu B of hash + norm SRAM.\n",
+                A3Model::preprocessStorageBytes(n, d),
+                keyHashMemoryBytes(n, 64) + keyNormMemoryBytes(n));
+    return 0;
+}

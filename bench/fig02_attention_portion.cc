@@ -1,0 +1,70 @@
+/**
+ * @file
+ * EXP-F2: reproduces Fig. 2 of the paper -- the portion of model
+ * runtime spent in the self-attention mechanism on the GPU, for the
+ * five evaluated models, at the default and 4x sequence lengths, and
+ * with the default and 1/4-width FFN.
+ *
+ * Paper reference points: ~38% average at the default configuration,
+ * ~64% at 4x sequence length, ~73% at 4x length with FFN/4.
+ */
+
+#include <cstdio>
+
+#include "baselines/gpu_model.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "workload/model.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Fig. 2: runtime portion of the self-attention mechanism",
+        "Analytic V100 model; per-layer attention vs projection+FFN "
+        "time.");
+
+    const GpuModel gpu;
+    const std::pair<ModelConfig, std::size_t> cases[] = {
+        {bertLarge(), 384},   {robertaLarge(), 384},
+        {albertLarge(), 384}, {sasRec(), 200},
+        {bert4Rec(), 200},
+    };
+
+    struct Variant
+    {
+        const char* name;
+        double seq_scale;
+        double ffn_scale;
+    };
+    const Variant variants[] = {
+        {"default n, full FFN", 1.0, 1.0},
+        {"4x n,      full FFN", 4.0, 1.0},
+        {"default n, FFN/4   ", 1.0, 0.25},
+        {"4x n,      FFN/4   ", 4.0, 0.25},
+    };
+
+    for (const auto& variant : variants) {
+        std::printf("\n-- %s --\n", variant.name);
+        std::printf("%-10s %12s %12s %12s %12s\n", "model",
+                    "attention", "projection", "FFN",
+                    "att. portion");
+        RunningStat portions;
+        for (const auto& [model, n] : cases) {
+            const LayerRuntime rt = gpu.layerRuntime(
+                model, n, variant.seq_scale, variant.ffn_scale);
+            std::printf("%-10s %10.2fus %10.2fus %10.2fus %11.1f%%\n",
+                        model.name.c_str(), rt.attention_s * 1e6,
+                        rt.projection_s * 1e6, rt.ffn_s * 1e6,
+                        100.0 * rt.attentionPortion());
+            portions.add(rt.attentionPortion());
+        }
+        std::printf("%-10s %38s %11.1f%%\n", "average", "",
+                    100.0 * portions.mean());
+    }
+
+    std::printf("\nPaper reference: ~38%% average (default), ~64%% "
+                "(4x n), ~73%% (4x n + FFN/4).\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * EXP-F11a: reproduces Fig. 11(a) of the paper -- normalized
+ * self-attention throughput of the twelve-accelerator ELSA array
+ * (base / conservative / moderate / aggressive) relative to the V100
+ * GPU, for every model-dataset combination, plus the ideal
+ * accelerator reference.
+ *
+ * Paper reference points: ELSA-base 7.99x-43.93x over GPU; geomean
+ * speedups 57x (conservative), 73x (moderate), 81x (aggressive).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/ideal.h"
+#include "bench_common.h"
+#include "common/args.h"
+#include "common/csv.h"
+#include "elsa/system.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace elsa;
+    const ArgParser args(argc, argv, {"csv"});
+    std::unique_ptr<CsvWriter> csv;
+    if (args.has("csv")) {
+        csv = std::make_unique<CsvWriter>(args.get("csv"));
+        csv->writeHeader({"workload", "mode", "p",
+                          "throughput_vs_gpu", "candidate_fraction"});
+    }
+    bench::printHeader(
+        "Fig. 11(a): normalized self-attention throughput (GPU = 1)",
+        "12 ELSA accelerators vs V100; ideal = 528 multipliers at "
+        "100% utilization x12.");
+
+    std::printf("\n%-18s %8s %8s %8s %8s %8s\n", "workload", "base",
+                "conserv", "moderate", "aggress", "ideal");
+
+    bench::GeomeanTracker base_g;
+    bench::GeomeanTracker cons_g;
+    bench::GeomeanTracker mod_g;
+    bench::GeomeanTracker agg_g;
+    const IdealAccelerator ideal;
+
+    for (const auto& spec : evaluationWorkloads()) {
+        ElsaSystem system(spec, bench::standardSystemConfig());
+        const auto reports = system.evaluateAllModes();
+
+        // Ideal-accelerator throughput normalized to the GPU: twelve
+        // replicas, real tokens only (like ELSA).
+        RunningStat ideal_seconds;
+        for (const auto& inv : system.runner().simInvocations(
+                 0.0, system.config().sim_inputs,
+                 system.config().sim_sublayers)) {
+            ideal_seconds.add(
+                ideal.secondsPerOp(inv.n_real, spec.model.head_dim));
+        }
+        const double ideal_tput = 12.0 / ideal_seconds.mean();
+        const double ideal_norm =
+            ideal_tput / reports[0].gpu_ops_per_second;
+
+        std::printf("%-18s %7.1fx %7.1fx %7.1fx %7.1fx %7.1fx\n",
+                    spec.label().c_str(),
+                    reports[0].throughput_vs_gpu,
+                    reports[1].throughput_vs_gpu,
+                    reports[2].throughput_vs_gpu,
+                    reports[3].throughput_vs_gpu, ideal_norm);
+        if (csv != nullptr) {
+            for (const auto& report : reports) {
+                csv->writeRow({spec.label(),
+                               approxModeName(report.mode),
+                               csvNumber(report.p, 2),
+                               csvNumber(report.throughput_vs_gpu, 3),
+                               csvNumber(report.candidate_fraction)});
+            }
+        }
+        std::fflush(stdout);
+        base_g.add(reports[0].throughput_vs_gpu);
+        cons_g.add(reports[1].throughput_vs_gpu);
+        mod_g.add(reports[2].throughput_vs_gpu);
+        agg_g.add(reports[3].throughput_vs_gpu);
+    }
+
+    std::printf("\n%-18s %7.1fx %7.1fx %7.1fx %7.1fx\n", "geomean",
+                base_g.geomean(), cons_g.geomean(), mod_g.geomean(),
+                agg_g.geomean());
+    std::printf("Paper reference: base 7.99-43.93x; geomeans 57x / "
+                "73x / 81x (cons/mod/agg).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * EXP-F11b: reproduces Fig. 11(b) of the paper -- the average latency
+ * of one self-attention operation on the ELSA configurations,
+ * normalized to the ideal accelerator, with the preprocessing share
+ * (the hatched area of the paper's figure).
+ *
+ * Paper reference points: ELSA-base ~1.03x the ideal accelerator;
+ * conservative / moderate / aggressive at 0.38x / 0.29x / 0.26x; a
+ * small preprocessing share everywhere.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "elsa/system.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Fig. 11(b): normalized self-attention latency (ideal = 1)",
+        "Per-op latency / ideal-accelerator latency; 'pre' = share "
+        "of time in preprocessing.");
+
+    std::printf("\n%-18s %14s %14s %14s %14s\n", "workload",
+                "base(pre)", "conserv(pre)", "moderate(pre)",
+                "aggress(pre)");
+
+    bench::GeomeanTracker base_g;
+    bench::GeomeanTracker cons_g;
+    bench::GeomeanTracker mod_g;
+    bench::GeomeanTracker agg_g;
+
+    for (const auto& spec : evaluationWorkloads()) {
+        ElsaSystem system(spec, bench::standardSystemConfig());
+        const auto reports = system.evaluateAllModes();
+        std::printf("%-18s", spec.label().c_str());
+        for (const auto& report : reports) {
+            std::printf("   %5.2fx(%3.0f%%)", report.latency_vs_ideal,
+                        100.0 * report.preprocess_fraction);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+        base_g.add(reports[0].latency_vs_ideal);
+        cons_g.add(reports[1].latency_vs_ideal);
+        mod_g.add(reports[2].latency_vs_ideal);
+        agg_g.add(reports[3].latency_vs_ideal);
+    }
+
+    std::printf("\n%-18s %8.2fx %13.2fx %13.2fx %13.2fx\n", "geomean",
+                base_g.geomean(), cons_g.geomean(), mod_g.geomean(),
+                agg_g.geomean());
+    std::printf("Paper reference: base 1.03x; cons/mod/agg 0.38x / "
+                "0.29x / 0.26x of the ideal accelerator.\n");
+    return 0;
+}

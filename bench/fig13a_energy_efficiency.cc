@@ -1,0 +1,55 @@
+/**
+ * @file
+ * EXP-F13a: reproduces Fig. 13(a) of the paper -- energy efficiency
+ * (performance per watt) of the ELSA configurations normalized to
+ * the V100 GPU.
+ *
+ * Paper reference points: geomean improvements of 442x (base),
+ * 1265x (conservative), 1726x (moderate), 2093x (aggressive).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "elsa/system.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Fig. 13(a): normalized energy efficiency (perf/W, GPU = 1)",
+        "Per-op ELSA energy from Table I powers x simulator "
+        "activity; GPU at 240 W measured.");
+
+    std::printf("\n%-18s %10s %10s %10s %10s\n", "workload", "base",
+                "conserv", "moderate", "aggress");
+
+    bench::GeomeanTracker base_g;
+    bench::GeomeanTracker cons_g;
+    bench::GeomeanTracker mod_g;
+    bench::GeomeanTracker agg_g;
+
+    for (const auto& spec : evaluationWorkloads()) {
+        ElsaSystem system(spec, bench::standardSystemConfig());
+        const auto reports = system.evaluateAllModes();
+        std::printf("%-18s %9.0fx %9.0fx %9.0fx %9.0fx\n",
+                    spec.label().c_str(),
+                    reports[0].energy_eff_vs_gpu,
+                    reports[1].energy_eff_vs_gpu,
+                    reports[2].energy_eff_vs_gpu,
+                    reports[3].energy_eff_vs_gpu);
+        std::fflush(stdout);
+        base_g.add(reports[0].energy_eff_vs_gpu);
+        cons_g.add(reports[1].energy_eff_vs_gpu);
+        mod_g.add(reports[2].energy_eff_vs_gpu);
+        agg_g.add(reports[3].energy_eff_vs_gpu);
+    }
+
+    std::printf("\n%-18s %9.0fx %9.0fx %9.0fx %9.0fx\n", "geomean",
+                base_g.geomean(), cons_g.geomean(), mod_g.geomean(),
+                agg_g.geomean());
+    std::printf("Paper reference: geomeans 442x / 1265x / 1726x / "
+                "2093x (base/cons/mod/agg).\n");
+    return 0;
+}

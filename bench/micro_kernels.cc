@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot software kernels:
+ * hashing (dense vs Kronecker), Hamming distance, candidate
+ * selection, exact vs approximate attention, and the LUT functional
+ * units. These quantify the software-side cost the paper discusses
+ * in Section IV-A (a GPU/CPU cannot profit from the approximation;
+ * the specialized datapath can).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "attention/approx.h"
+#include "attention/exact.h"
+#include "attention/threshold.h"
+#include "common/rng.h"
+#include "fixed/units.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "workload/generator.h"
+#include "workload/model.h"
+
+namespace {
+
+using namespace elsa;
+
+AttentionInput
+benchInput(std::size_t n)
+{
+    QkvGenerator gen(bertLarge(), 99);
+    return gen.generate(11, 3, n, 0);
+}
+
+void
+BM_DenseHash(benchmark::State& state)
+{
+    Rng rng(1);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    const AttentionInput input = benchInput(64);
+    for (auto _ : state) {
+        for (std::size_t r = 0; r < 64; ++r) {
+            benchmark::DoNotOptimize(hasher.hash(input.key.row(r)));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DenseHash);
+
+void
+BM_KroneckerHash(benchmark::State& state)
+{
+    Rng rng(1);
+    const auto hasher = KroneckerSrpHasher::makeRandom(64, 3, rng);
+    const AttentionInput input = benchInput(64);
+    for (auto _ : state) {
+        for (std::size_t r = 0; r < 64; ++r) {
+            benchmark::DoNotOptimize(hasher.hash(input.key.row(r)));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_KroneckerHash);
+
+void
+BM_HammingDistance(benchmark::State& state)
+{
+    Rng rng(2);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    const AttentionInput input = benchInput(128);
+    const auto hashes = hasher.hashRows(input.key);
+    const HashValue q = hasher.hash(input.query.row(0));
+    for (auto _ : state) {
+        int total = 0;
+        for (const auto& h : hashes) {
+            total += hammingDistance(q, h);
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() * hashes.size());
+}
+BENCHMARK(BM_HammingDistance);
+
+void
+BM_CandidateSelection(benchmark::State& state)
+{
+    Rng rng(3);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+    ApproxSelfAttention engine(hasher, kThetaBias64);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const AttentionInput input = benchInput(n);
+    const KeyPreprocessing prep = engine.preprocessKeys(input.key);
+    const HashValue q = hasher->hash(input.query.row(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.selectCandidates(q, prep, 0.3));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CandidateSelection)->Arg(128)->Arg(512);
+
+void
+BM_ExactAttention(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const AttentionInput input = benchInput(n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(exactAttention(input));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * 64);
+}
+BENCHMARK(BM_ExactAttention)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_ApproxAttention(benchmark::State& state)
+{
+    Rng rng(4);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+    ApproxSelfAttention engine(hasher, kThetaBias64);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const AttentionInput input = benchInput(n);
+    ThresholdLearner learner(1.0);
+    learner.observe(input.query, input.key);
+    const double t = learner.threshold();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(input, t));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * 64);
+}
+BENCHMARK(BM_ApproxAttention)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_ExpUnit(benchmark::State& state)
+{
+    const ExpUnit unit;
+    double x = -10.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.compute(x));
+        x += 0.001;
+        if (x > 10.0) {
+            x = -10.0;
+        }
+    }
+}
+BENCHMARK(BM_ExpUnit);
+
+void
+BM_SqrtUnit(benchmark::State& state)
+{
+    const SqrtUnit unit;
+    double x = 0.1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.compute(x));
+        x += 0.1;
+        if (x > 1000.0) {
+            x = 0.1;
+        }
+    }
+}
+BENCHMARK(BM_SqrtUnit);
+
+} // namespace
+
+BENCHMARK_MAIN();

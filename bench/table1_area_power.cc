@@ -1,0 +1,66 @@
+/**
+ * @file
+ * EXP-T1: reproduces Table I of the paper -- area and peak power
+ * characteristics of the ELSA accelerator (TSMC 40 nm synthesis
+ * results, transcribed as the energy model's database) plus the
+ * derived totals and SRAM sizings the paper quotes in the text.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "energy/area_power.h"
+
+int
+main()
+{
+    using namespace elsa;
+    bench::printHeader(
+        "Table I: area and (peak) power characteristics of ELSA",
+        "n = 512, d = 64, P_a = 4, P_c = 8, m_h = 256, m_o = 16, "
+        "1 GHz, TSMC 40nm.");
+
+    std::printf("\n%-34s %10s %12s %12s\n", "Module",
+                "Area (mm2)", "Dyn. (mW)", "Static (mW)");
+    for (const HwModule module : allHwModules()) {
+        const ModuleAreaPower& r = moduleAreaPower(module);
+        std::printf("%-34s %10.3f %12.2f %12.2f\n", r.name.c_str(),
+                    r.totalAreaMm2(), r.totalDynamicMw(),
+                    r.totalStaticMw());
+    }
+
+    const AcceleratorAreaPower total = singleAcceleratorAreaPower();
+    std::printf("%-34s %10.3f %12.2f %12.2f\n",
+                "ELSA Accelerator (1x)", total.core_area_mm2,
+                total.core_dynamic_mw, total.core_static_mw);
+    std::printf("%-34s %10.3f %12.2f %12.2f\n",
+                "External Memory Modules (1x)",
+                total.external_area_mm2, total.external_dynamic_mw,
+                total.external_static_mw);
+    std::printf("%-34s %10.3f %12.2f %12.2f\n",
+                "ELSA Accelerators (12x)", 12 * total.core_area_mm2,
+                12 * total.core_dynamic_mw, 12 * total.core_static_mw);
+    std::printf("%-34s %10.3f %12.2f %12.2f\n",
+                "External Memory Modules (12x)",
+                12 * total.external_area_mm2,
+                12 * total.external_dynamic_mw,
+                12 * total.external_static_mw);
+
+    std::printf("\nDerived figures quoted in the paper text:\n");
+    std::printf("  single accelerator peak power : %.2f W "
+                "(paper: ~1.49 W)\n",
+                total.totalPeakPowerMw() / 1000.0);
+    std::printf("  twelve accelerators peak power: %.2f W "
+                "(paper: ~17.93 W; V100 TDP 250 W)\n",
+                12.0 * total.totalPeakPowerMw() / 1000.0);
+    std::printf("  key hash SRAM  (n=512, k=64)  : %zu B "
+                "(paper: 4 KB)\n",
+                keyHashMemoryBytes(512, 64));
+    std::printf("  key norm SRAM  (n=512)        : %zu B "
+                "(paper: 512 B)\n",
+                keyNormMemoryBytes(512));
+    std::printf("  Q/K/V/O matrix SRAM (each)    : %zu B "
+                "(paper: ~36 KB, 9-bit elements)\n",
+                matrixMemoryBytes(512, 64));
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Accelerator design-space exploration with the cycle-level
+ * simulator.
+ *
+ * An architect sizing an ELSA-style accelerator must balance the
+ * pipeline (Section IV-D): candidate selection parallelism (P_c),
+ * attention-module banks (P_a), hash multipliers (m_h), and division
+ * multipliers (m_o). This example sweeps those knobs on a fixed
+ * workload, reports per-query cycles and where the bottleneck sits,
+ * and estimates each design's energy per operation -- the loop a
+ * real design study would run.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "energy/energy_model.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "sim/accelerator.h"
+#include "sim/pipeline_model.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace elsa;
+
+/** Which stage bounds the pipeline for a given config/candidates. */
+const char*
+bottleneck(const SimConfig& config, std::size_t n, double mean_c_bank)
+{
+    const double hash = static_cast<double>(hashCyclesPerVector(config));
+    const double scan =
+        static_cast<double>(candidateScanCycles(config, n));
+    const double div =
+        static_cast<double>(divisionCyclesPerQuery(config));
+    const double attn =
+        mean_c_bank
+        + static_cast<double>(config.attention_pipeline_latency);
+    if (attn >= hash && attn >= scan && attn >= div) {
+        return "attention";
+    }
+    if (scan >= hash && scan >= div) {
+        return "cand-scan";
+    }
+    if (hash >= div) {
+        return "hash";
+    }
+    return "division";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace elsa;
+
+    // Fixed workload: one BERT/RACE invocation at p = 1.
+    WorkloadRunner runner({bertLarge(), race()});
+    const auto invocations = runner.simInvocations(1.0, 1, 1);
+    const SimInvocation& inv = invocations.front();
+    std::printf("Design-space exploration on %s (n = %zu real "
+                "tokens, p = 1)\n\n",
+                runner.spec().label().c_str(), inv.n_real);
+
+    Rng rng(5);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng, true));
+
+    std::printf("%-28s %9s %10s %10s %10s %-10s\n", "configuration",
+                "cyc/query", "exec (us)", "stalls", "E/op (uJ)",
+                "bottleneck");
+
+    struct Design
+    {
+        const char* label;
+        std::size_t pa, pc, mh, mo;
+    };
+    const Design designs[] = {
+        {"tiny     (1,4,64,4)", 1, 4, 64, 4},
+        {"small    (2,8,128,8)", 2, 8, 128, 8},
+        {"paper    (4,8,256,16)", 4, 8, 256, 16},
+        {"wide-sel (4,16,256,16)", 4, 16, 256, 16},
+        {"8 banks  (8,8,512,32)", 8, 8, 512, 32},
+        {"16 banks (16,8,512,32)", 16, 8, 512, 32},
+    };
+
+    for (const auto& d : designs) {
+        SimConfig config = SimConfig::paperConfig();
+        config.pa = d.pa;
+        config.pc = d.pc;
+        config.mh = d.mh;
+        config.mo = d.mo;
+        Accelerator accel(config, hasher, kThetaBias64);
+        const RunResult run = accel.run(inv.input, inv.threshold);
+
+        const double cyc_per_query =
+            static_cast<double>(run.execute_cycles)
+            / static_cast<double>(inv.n_real);
+        double total_cands = 0.0;
+        for (const auto c : run.candidates_per_query) {
+            total_cands += static_cast<double>(c);
+        }
+        const double mean_c_bank =
+            total_cands
+            / (static_cast<double>(inv.n_real)
+               * static_cast<double>(config.pa));
+        // Scale the Table I powers to this design point: a design
+        // with twice the multipliers burns roughly twice the power.
+        const EnergyModel energy(
+            1.0, PowerScaling::forPipeline(d.pa, d.pc, d.mh, d.mo));
+        const EnergyBreakdown e = energy.compute(
+            run.activity, static_cast<double>(run.totalCycles()));
+        std::printf("%-28s %9.1f %10.2f %10zu %10.3f %-10s\n",
+                    d.label, cyc_per_query,
+                    static_cast<double>(run.totalCycles()) / 1e3,
+                    run.stall_cycles, e.totalUj(),
+                    bottleneck(config, inv.n_real, mean_c_bank));
+    }
+
+    std::printf("\nReading the table: under-provisioned designs "
+                "stall on queue backpressure; beyond\nthe paper's "
+                "P_a = 4 point, more banks keep shaving cycles until "
+                "the candidate scan\nor hash unit becomes the floor "
+                "(the balance rule of Section IV-D), while dynamic\n"
+                "energy stays roughly flat -- the same candidates are "
+                "processed, just faster.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dropping ELSA into a transformer layer.
+ *
+ * The previous examples work at the Q/K/V level; this one starts one
+ * level higher, where a model integrator lives: hidden states enter
+ * a multi-head self-attention layer (per-head projections -> ELSA
+ * attention -> output projection). It shows the three integration
+ * steps -- build the layer, learn per-head thresholds from training
+ * activations, swap forward() for forwardApprox() -- and measures
+ * the end-to-end layer output error the approximation introduces.
+ */
+
+#include <cstdio>
+
+#include "attention/multihead.h"
+#include "common/rng.h"
+#include "elsa/elsa.h"
+#include "tensor/ops.h"
+
+int
+main()
+{
+    using namespace elsa;
+
+    constexpr std::size_t n = 192;      // tokens
+    constexpr std::size_t hidden = 256; // model width
+    constexpr std::size_t heads = 4;
+    constexpr std::size_t d = 64;       // per-head dim
+
+    // 1. A transformer layer (random weights stand in for trained
+    //    ones) and "activations" flowing into it. Real activations
+    //    are low-rank/clustered -- tokens about the same thing have
+    //    similar embeddings and attend each other -- so the demo
+    //    builds each token as a cluster center plus noise.
+    Rng rng(2718);
+    const MultiHeadAttention layer =
+        MultiHeadAttention::makeRandom(hidden, heads, d, rng);
+    constexpr std::size_t clusters = 12;
+    Matrix centers(clusters, hidden);
+    centers.fillGaussian(rng, 0.0f, 0.45f);
+    auto make_activations = [&](std::uint64_t stream) {
+        Rng token_rng = rng.fork(stream);
+        Matrix m(n, hidden);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = token_rng.uniformInt(clusters);
+            for (std::size_t j = 0; j < hidden; ++j) {
+                m(i, j) = centers(c, j)
+                          + static_cast<float>(
+                                token_rng.gaussian(0.0, 0.18));
+            }
+        }
+        return m;
+    };
+    const Matrix train_hidden = make_activations(1);
+    const Matrix eval_hidden = make_activations(2);
+
+    // 2. One ELSA engine shared by all heads (they share d = k = 64),
+    //    one learned threshold per head.
+    Elsa elsa_engine(d);
+    std::printf("Transformer layer: n = %zu, hidden = %zu, %zu heads "
+                "x d = %zu\n\n",
+                n, hidden, heads, d);
+
+    const MultiHeadResult exact = layer.forward(eval_hidden);
+
+    std::printf("%-6s %14s %16s %18s\n", "p", "candidates",
+                "layer rel.err", "per-head fractions");
+    for (const double p : {0.5, 1.0, 2.0, 4.0}) {
+        std::vector<ThresholdLearner> learners(heads,
+                                               ThresholdLearner(p));
+        layer.learnThresholds(train_hidden, learners);
+        std::vector<double> thresholds;
+        for (const auto& learner : learners) {
+            thresholds.push_back(learner.threshold());
+        }
+
+        // 3. The approximate forward pass.
+        const MultiHeadResult approx = layer.forwardApprox(
+            eval_hidden, elsa_engine.engine(), thresholds);
+
+        const double err =
+            frobeniusDiff(exact.output, approx.output)
+            / frobeniusNorm(exact.output);
+        std::printf("%-6.1f %13.1f%% %16.4f   ", p,
+                    100.0 * approx.stats.meanCandidateFraction(), err);
+        for (const double f : approx.stats.candidate_fraction) {
+            std::printf(" %4.0f%%", 100.0 * f);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nEach head learns its own threshold (the paper's "
+                "Fig. 6): heads with peaky\nattention filter "
+                "aggressively, broad heads keep more candidates -- "
+                "no per-head\nhand tuning, just the single "
+                "hyperparameter p.\n");
+    return 0;
+}

@@ -1,0 +1,257 @@
+#include "attention/approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace elsa {
+
+std::size_t
+ApproxAttentionStats::totalCandidates() const
+{
+    std::size_t total = 0;
+    for (const auto c : candidates_per_query) {
+        total += c;
+    }
+    return total;
+}
+
+double
+ApproxAttentionStats::candidateFraction(std::size_t n) const
+{
+    if (candidates_per_query.empty() || n == 0) {
+        return 0.0;
+    }
+    const double mean = static_cast<double>(totalCandidates())
+                        / static_cast<double>(candidates_per_query.size());
+    return mean / static_cast<double>(n);
+}
+
+ApproxSelfAttention::ApproxSelfAttention(
+    std::shared_ptr<const SrpHasher> hasher, double theta_bias)
+    : hasher_(std::move(hasher)),
+      cos_lut_(hasher_ ? hasher_->bits() : 1, theta_bias)
+{
+    ELSA_CHECK(hasher_ != nullptr, "null hasher");
+}
+
+KeyPreprocessing
+ApproxSelfAttention::preprocessKeys(const Matrix& key) const
+{
+    ELSA_CHECK(key.cols() == hasher_->dim(),
+               "key dim " << key.cols() << " != hasher dim "
+                          << hasher_->dim());
+    KeyPreprocessing prep;
+    prep.hashes = hasher_->hashRows(key);
+    prep.norms.resize(key.rows());
+    for (std::size_t r = 0; r < key.rows(); ++r) {
+        prep.norms[r] = l2Norm(key.row(r), key.cols());
+        prep.max_norm = std::max(prep.max_norm, prep.norms[r]);
+    }
+    return prep;
+}
+
+std::vector<std::uint32_t>
+ApproxSelfAttention::selectCandidates(const HashValue& query_hash,
+                                      const KeyPreprocessing& prep,
+                                      double threshold) const
+{
+    const double cutoff = threshold * prep.max_norm;
+    std::vector<std::uint32_t> selected;
+    for (std::size_t y = 0; y < prep.hashes.size(); ++y) {
+        const int ham = hammingDistance(query_hash, prep.hashes[y]);
+        const double sim = prep.norms[y] * cos_lut_.lookup(ham);
+        // Paper skip condition: skip when t*||K_max|| >= sim, i.e.
+        // select only when the approximate similarity strictly
+        // exceeds the scaled threshold.
+        if (sim > cutoff) {
+            selected.push_back(static_cast<std::uint32_t>(y));
+        }
+    }
+    return selected;
+}
+
+std::vector<std::vector<std::uint32_t>>
+ApproxSelfAttention::candidatesForAll(const AttentionInput& input,
+                                      double threshold) const
+{
+    input.validate();
+    const KeyPreprocessing prep = preprocessKeys(input.key);
+    std::vector<std::vector<std::uint32_t>> all(input.n());
+    for (std::size_t i = 0; i < input.n(); ++i) {
+        const HashValue qh = hasher_->hash(input.query.row(i));
+        all[i] = selectCandidates(qh, prep, threshold);
+    }
+    return all;
+}
+
+namespace {
+
+/**
+ * Index of the key with the highest approximate similarity; the
+ * fallback when the threshold filter selects nothing.
+ */
+std::uint32_t
+bestApproximateKey(const HashValue& query_hash,
+                   const KeyPreprocessing& prep, const CosineLut& lut)
+{
+    std::uint32_t best = 0;
+    double best_sim = -std::numeric_limits<double>::infinity();
+    for (std::size_t y = 0; y < prep.hashes.size(); ++y) {
+        const int ham = hammingDistance(query_hash, prep.hashes[y]);
+        const double sim = prep.norms[y] * lut.lookup(ham);
+        if (sim > best_sim) {
+            best_sim = sim;
+            best = static_cast<std::uint32_t>(y);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+ApproxAttentionResult
+ApproxSelfAttention::run(const AttentionInput& input,
+                         double threshold) const
+{
+    input.validate();
+    const std::size_t n = input.n();
+    const std::size_t d = input.d();
+    const KeyPreprocessing prep = preprocessKeys(input.key);
+
+    ApproxAttentionResult result;
+    result.output = Matrix(n, d);
+    result.stats.candidates_per_query.resize(n);
+
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < n; ++i) {
+        const HashValue qh = hasher_->hash(input.query.row(i));
+        std::vector<std::uint32_t> cands =
+            selectCandidates(qh, prep, threshold);
+        if (cands.empty()) {
+            ++result.stats.empty_selections;
+            cands.push_back(bestApproximateKey(qh, prep, cos_lut_));
+        }
+        result.stats.candidates_per_query[i] = cands.size();
+
+        // Exact dot products and softmax restricted to candidates.
+        scores.assign(cands.size(), 0.0);
+        const float* q = input.query.row(i);
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            scores[c] = dot(q, input.key.row(cands[c]), d);
+        }
+        softmaxInPlace(scores);
+        float* out = result.output.row(i);
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            const double w = scores[c];
+            const float* v = input.value.row(cands[c]);
+            for (std::size_t col = 0; col < d; ++col) {
+                out[col] += static_cast<float>(w * v[col]);
+            }
+        }
+    }
+    return result;
+}
+
+ApproxAttentionResult
+ApproxSelfAttention::runCausal(const AttentionInput& input,
+                               double threshold) const
+{
+    input.validate();
+    const std::size_t n = input.n();
+    const std::size_t d = input.d();
+    const KeyPreprocessing prep = preprocessKeys(input.key);
+
+    ApproxAttentionResult result;
+    result.output = Matrix(n, d);
+    result.stats.candidates_per_query.resize(n);
+
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < n; ++i) {
+        const HashValue qh = hasher_->hash(input.query.row(i));
+        // Select, then drop future keys (j > i). The hardware
+        // equivalent simply stops the candidate scan at key i.
+        std::vector<std::uint32_t> cands =
+            selectCandidates(qh, prep, threshold);
+        cands.erase(std::remove_if(cands.begin(), cands.end(),
+                                   [i](std::uint32_t j) {
+                                       return j > i;
+                                   }),
+                    cands.end());
+        if (cands.empty()) {
+            ++result.stats.empty_selections;
+            // Best visible key; key i itself is always visible.
+            std::uint32_t best = 0;
+            double best_sim =
+                -std::numeric_limits<double>::infinity();
+            for (std::size_t y = 0; y <= i; ++y) {
+                const int ham =
+                    hammingDistance(qh, prep.hashes[y]);
+                const double sim =
+                    prep.norms[y] * cos_lut_.lookup(ham);
+                if (sim > best_sim) {
+                    best_sim = sim;
+                    best = static_cast<std::uint32_t>(y);
+                }
+            }
+            cands.push_back(best);
+        }
+        result.stats.candidates_per_query[i] = cands.size();
+
+        scores.assign(cands.size(), 0.0);
+        const float* q = input.query.row(i);
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            scores[c] = dot(q, input.key.row(cands[c]), d);
+        }
+        softmaxInPlace(scores);
+        float* out = result.output.row(i);
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            const double w = scores[c];
+            const float* v = input.value.row(cands[c]);
+            for (std::size_t col = 0; col < d; ++col) {
+                out[col] += static_cast<float>(w * v[col]);
+            }
+        }
+    }
+    return result;
+}
+
+Matrix
+ApproxSelfAttention::attentionOverCandidates(
+    const AttentionInput& input,
+    const std::vector<std::vector<std::uint32_t>>& candidates)
+{
+    input.validate();
+    ELSA_CHECK(candidates.size() == input.n(),
+               "candidate list count " << candidates.size()
+                                       << " != n = " << input.n());
+    const std::size_t n = input.n();
+    const std::size_t d = input.d();
+    Matrix output(n, d);
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& cands = candidates[i];
+        ELSA_CHECK(!cands.empty(),
+                   "empty candidate list for query " << i);
+        scores.assign(cands.size(), 0.0);
+        const float* q = input.query.row(i);
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            ELSA_CHECK(cands[c] < n, "candidate index out of range");
+            scores[c] = dot(q, input.key.row(cands[c]), d);
+        }
+        softmaxInPlace(scores);
+        float* out = output.row(i);
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            const double w = scores[c];
+            const float* v = input.value.row(cands[c]);
+            for (std::size_t col = 0; col < d; ++col) {
+                out[col] += static_cast<float>(w * v[col]);
+            }
+        }
+    }
+    return output;
+}
+
+} // namespace elsa

@@ -1,0 +1,125 @@
+#include "attention/blocked.h"
+
+#include <algorithm>
+
+namespace elsa {
+
+void
+BlockedAttentionConfig::validate() const
+{
+    ELSA_CHECK(window > 0, "window must be positive");
+}
+
+BlockedSelfAttention::BlockedSelfAttention(BlockedAttentionConfig config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+BlockedSelfAttention::windows(std::size_t total_tokens) const
+{
+    ELSA_CHECK(total_tokens > 0, "empty sequence");
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (std::size_t begin = 0; begin < total_tokens;
+         begin += config_.window) {
+        ranges.emplace_back(begin,
+                            std::min(total_tokens,
+                                     begin + config_.window));
+    }
+    return ranges;
+}
+
+AttentionInput
+BlockedSelfAttention::slice(const AttentionInput& input,
+                            std::size_t begin, std::size_t end)
+{
+    const std::size_t rows = end - begin;
+    const std::size_t d = input.d();
+    AttentionInput out;
+    out.query = Matrix(rows, d);
+    out.key = Matrix(rows, d);
+    out.value = Matrix(rows, d);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::copy(input.query.row(begin + r),
+                  input.query.row(begin + r) + d, out.query.row(r));
+        std::copy(input.key.row(begin + r),
+                  input.key.row(begin + r) + d, out.key.row(r));
+        std::copy(input.value.row(begin + r),
+                  input.value.row(begin + r) + d, out.value.row(r));
+    }
+    return out;
+}
+
+BlockedAttentionResult
+BlockedSelfAttention::forward(const AttentionInput& input) const
+{
+    input.validate();
+    const std::size_t d = input.d();
+    BlockedAttentionResult result;
+    result.output = Matrix(input.n(), d);
+    for (const auto& [begin, end] : windows(input.n())) {
+        const AttentionInput window = slice(input, begin, end);
+        const Matrix out = exactAttention(window);
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            std::copy(out.row(r), out.row(r) + d,
+                      result.output.row(begin + r));
+        }
+        ++result.num_windows;
+        result.window_macs +=
+            exactAttentionMacs(window.n(), d);
+    }
+    return result;
+}
+
+void
+BlockedSelfAttention::learnThresholds(
+    const AttentionInput& train, double p,
+    std::vector<ThresholdLearner>& learners) const
+{
+    train.validate();
+    const auto ranges = windows(train.n());
+    if (learners.size() < ranges.size()) {
+        learners.resize(ranges.size(), ThresholdLearner(p));
+    }
+    for (std::size_t w = 0; w < ranges.size(); ++w) {
+        const AttentionInput window =
+            slice(train, ranges[w].first, ranges[w].second);
+        learners[w].observe(window.query, window.key);
+    }
+}
+
+BlockedAttentionResult
+BlockedSelfAttention::forwardApprox(
+    const AttentionInput& input, const ApproxSelfAttention& engine,
+    const std::vector<double>& thresholds) const
+{
+    input.validate();
+    const auto ranges = windows(input.n());
+    ELSA_CHECK(thresholds.size() >= ranges.size(),
+               "need a threshold per window: " << thresholds.size()
+                                               << " < "
+                                               << ranges.size());
+    const std::size_t d = input.d();
+    BlockedAttentionResult result;
+    result.output = Matrix(input.n(), d);
+    double fraction_sum = 0.0;
+    for (std::size_t w = 0; w < ranges.size(); ++w) {
+        const AttentionInput window =
+            slice(input, ranges[w].first, ranges[w].second);
+        const ApproxAttentionResult out =
+            engine.run(window, thresholds[w]);
+        for (std::size_t r = 0; r < out.output.rows(); ++r) {
+            std::copy(out.output.row(r), out.output.row(r) + d,
+                      result.output.row(ranges[w].first + r));
+        }
+        fraction_sum += out.stats.candidateFraction(window.n());
+        ++result.num_windows;
+        result.window_macs += exactAttentionMacs(window.n(), d);
+    }
+    result.mean_candidate_fraction =
+        fraction_sum / static_cast<double>(ranges.size());
+    return result;
+}
+
+} // namespace elsa

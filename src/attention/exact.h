@@ -1,0 +1,88 @@
+#ifndef ELSA_ATTENTION_EXACT_H_
+#define ELSA_ATTENTION_EXACT_H_
+
+/**
+ * @file
+ * Exact self-attention (Section II-A): O = softmax(Q K^T) V.
+ *
+ * This is the reference implementation every approximation in the
+ * repository is measured against, and also the functional model of the
+ * "no approximation" (ELSA-base) datapath when given quantized inputs.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace elsa {
+
+/** Inputs of one self-attention operation: n x d each. */
+struct AttentionInput
+{
+    Matrix query;
+    Matrix key;
+    Matrix value;
+
+    /** Number of entities n. */
+    std::size_t n() const { return query.rows(); }
+
+    /** Embedding dimension d. */
+    std::size_t d() const { return query.cols(); }
+
+    /** Validate that all three matrices agree in shape. */
+    void validate() const;
+};
+
+/** Options of the exact attention computation. */
+struct ExactAttentionOptions
+{
+    /**
+     * Scale applied to the attention scores before softmax. The
+     * paper's description uses unscaled dot products (scaled variants
+     * divide by sqrt(d)); 1.0 reproduces the paper.
+     */
+    double score_scale = 1.0;
+
+    /**
+     * Causal (autoregressive) masking: query i attends only keys
+     * j <= i, as in the GPT-style text-generation workloads the
+     * paper cites (n = 800-1024, Section IV-E).
+     */
+    bool causal = false;
+};
+
+/** Compute O = softmax(scale * Q K^T) V; O is n x d. */
+Matrix exactAttention(const AttentionInput& input,
+                      const ExactAttentionOptions& options = {});
+
+/**
+ * Exact attention that also returns the softmax-normalized score
+ * matrix S' (n x n), used by the threshold learner and the fidelity
+ * metrics.
+ */
+struct ExactAttentionTrace
+{
+    Matrix output;
+    /**
+     * scores[i][j] = softmax-normalized attention of query i on key
+     * j. Row i has n entries, or i + 1 in causal mode.
+     */
+    std::vector<std::vector<double>> scores;
+    /** raw_scores[i][j] = Q_i . K_j before softmax. */
+    std::vector<std::vector<double>> raw_scores;
+};
+
+ExactAttentionTrace exactAttentionTrace(const AttentionInput& input,
+                                        const ExactAttentionOptions&
+                                            options = {});
+
+/**
+ * Multiply-accumulate count of the exact computation: n^2 d for
+ * Q K^T plus n^2 d for S' V (Section II-B).
+ */
+std::size_t exactAttentionMacs(std::size_t n, std::size_t d);
+
+} // namespace elsa
+
+#endif // ELSA_ATTENTION_EXACT_H_

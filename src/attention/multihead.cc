@@ -1,0 +1,164 @@
+#include "attention/multihead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+
+void
+MultiHeadWeights::validate() const
+{
+    ELSA_CHECK(!w_query.empty(), "layer needs at least one head");
+    ELSA_CHECK(w_key.size() == w_query.size()
+                   && w_value.size() == w_query.size(),
+               "per-head weight counts differ");
+    const std::size_t hidden = w_query[0].rows();
+    const std::size_t d = w_query[0].cols();
+    ELSA_CHECK(hidden > 0 && d > 0, "empty projection weights");
+    for (std::size_t h = 0; h < w_query.size(); ++h) {
+        for (const Matrix* w : {&w_query[h], &w_key[h], &w_value[h]}) {
+            ELSA_CHECK(w->rows() == hidden && w->cols() == d,
+                       "head " << h << " projection is " << w->rows()
+                               << "x" << w->cols() << ", expected "
+                               << hidden << "x" << d);
+        }
+    }
+    ELSA_CHECK(w_output.rows() == w_query.size() * d,
+               "output projection rows " << w_output.rows()
+                                         << " != heads*d");
+    ELSA_CHECK(w_output.cols() == hidden,
+               "output projection cols " << w_output.cols()
+                                         << " != hidden " << hidden);
+}
+
+double
+MultiHeadStats::meanCandidateFraction() const
+{
+    if (candidate_fraction.empty()) {
+        return 1.0;
+    }
+    double sum = 0.0;
+    for (const double f : candidate_fraction) {
+        sum += f;
+    }
+    return sum / static_cast<double>(candidate_fraction.size());
+}
+
+MultiHeadAttention::MultiHeadAttention(MultiHeadWeights weights)
+    : weights_(std::move(weights))
+{
+    weights_.validate();
+}
+
+MultiHeadAttention
+MultiHeadAttention::makeRandom(std::size_t hidden, std::size_t num_heads,
+                               std::size_t head_dim, Rng& rng)
+{
+    ELSA_CHECK(hidden > 0 && num_heads > 0 && head_dim > 0,
+               "dimensions must be positive");
+    const auto scale = static_cast<float>(
+        1.0 / std::sqrt(static_cast<double>(hidden)));
+    MultiHeadWeights weights;
+    auto random_projection = [&] {
+        Matrix w(hidden, head_dim);
+        w.fillGaussian(rng, 0.0f, scale);
+        return w;
+    };
+    for (std::size_t h = 0; h < num_heads; ++h) {
+        weights.w_query.push_back(random_projection());
+        weights.w_key.push_back(random_projection());
+        weights.w_value.push_back(random_projection());
+    }
+    weights.w_output = Matrix(num_heads * head_dim, hidden);
+    weights.w_output.fillGaussian(
+        rng, 0.0f,
+        static_cast<float>(
+            1.0 / std::sqrt(static_cast<double>(num_heads * head_dim))));
+    return MultiHeadAttention(std::move(weights));
+}
+
+AttentionInput
+MultiHeadAttention::projectHead(const Matrix& hidden,
+                                std::size_t head) const
+{
+    ELSA_CHECK(head < numHeads(), "head index out of range");
+    ELSA_CHECK(hidden.cols() == hiddenDim(),
+               "input hidden size " << hidden.cols() << " != "
+                                    << hiddenDim());
+    AttentionInput input;
+    input.query = matmul(hidden, weights_.w_query[head]);
+    input.key = matmul(hidden, weights_.w_key[head]);
+    input.value = matmul(hidden, weights_.w_value[head]);
+    return input;
+}
+
+Matrix
+MultiHeadAttention::combineHeads(
+    const std::vector<Matrix>& head_outputs) const
+{
+    const std::size_t n = head_outputs[0].rows();
+    const std::size_t d = head_outputs[0].cols();
+    Matrix concat(n, numHeads() * d);
+    for (std::size_t h = 0; h < numHeads(); ++h) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const float* src = head_outputs[h].row(i);
+            float* dst = concat.row(i) + h * d;
+            std::copy(src, src + d, dst);
+        }
+    }
+    return matmul(concat, weights_.w_output);
+}
+
+MultiHeadResult
+MultiHeadAttention::forward(const Matrix& hidden) const
+{
+    std::vector<Matrix> head_outputs;
+    head_outputs.reserve(numHeads());
+    for (std::size_t h = 0; h < numHeads(); ++h) {
+        head_outputs.push_back(exactAttention(projectHead(hidden, h)));
+    }
+    MultiHeadResult result;
+    result.output = combineHeads(head_outputs);
+    return result;
+}
+
+void
+MultiHeadAttention::learnThresholds(
+    const Matrix& hidden, std::vector<ThresholdLearner>& learners) const
+{
+    ELSA_CHECK(learners.size() == numHeads(),
+               "need one learner per head: " << learners.size()
+                                             << " != " << numHeads());
+    for (std::size_t h = 0; h < numHeads(); ++h) {
+        const AttentionInput input = projectHead(hidden, h);
+        learners[h].observe(input.query, input.key);
+    }
+}
+
+MultiHeadResult
+MultiHeadAttention::forwardApprox(
+    const Matrix& hidden, const ApproxSelfAttention& engine,
+    const std::vector<double>& thresholds) const
+{
+    ELSA_CHECK(thresholds.size() == numHeads(),
+               "need one threshold per head: " << thresholds.size()
+                                               << " != " << numHeads());
+    std::vector<Matrix> head_outputs;
+    head_outputs.reserve(numHeads());
+    MultiHeadResult result;
+    for (std::size_t h = 0; h < numHeads(); ++h) {
+        const AttentionInput input = projectHead(hidden, h);
+        const ApproxAttentionResult head =
+            engine.run(input, thresholds[h]);
+        result.stats.candidate_fraction.push_back(
+            head.stats.candidateFraction(input.n()));
+        head_outputs.push_back(head.output);
+    }
+    result.output = combineHeads(head_outputs);
+    return result;
+}
+
+} // namespace elsa

@@ -1,0 +1,127 @@
+#ifndef ELSA_ATTENTION_MULTIHEAD_H_
+#define ELSA_ATTENTION_MULTIHEAD_H_
+
+/**
+ * @file
+ * Multi-head self-attention layer.
+ *
+ * The paper accelerates the self-attention *mechanism* (per head:
+ * softmax(Q K^T) V). A transformer layer wraps that mechanism with
+ * learned projections: hidden states X (n x hidden) are projected to
+ * per-head Q/K/V (n x d), each head runs self-attention, and the
+ * concatenated head outputs are projected back to the hidden size.
+ * MultiHeadAttention implements that wrapper so library users can
+ * drop ELSA into a model-layer-shaped hole, with an exact path and
+ * an approximate path that shares one ELSA engine across heads but
+ * uses per-head thresholds (Section III-E: each sub-layer learns its
+ * own threshold).
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "attention/approx.h"
+#include "attention/exact.h"
+#include "attention/threshold.h"
+#include "tensor/matrix.h"
+
+namespace elsa {
+
+class Rng;
+
+/** Learned weights of one multi-head attention layer. */
+struct MultiHeadWeights
+{
+    /** Per-head query/key/value projections, each hidden x d. */
+    std::vector<Matrix> w_query;
+    std::vector<Matrix> w_key;
+    std::vector<Matrix> w_value;
+
+    /** Output projection, (heads * d) x hidden. */
+    Matrix w_output;
+
+    std::size_t numHeads() const { return w_query.size(); }
+
+    /** Raise elsa::Error unless all shapes are mutually consistent. */
+    void validate() const;
+};
+
+/** Per-head run statistics of the approximate path. */
+struct MultiHeadStats
+{
+    /** Candidate fraction per head. */
+    std::vector<double> candidate_fraction;
+
+    /** Mean candidate fraction over heads. */
+    double meanCandidateFraction() const;
+};
+
+/** Result of a multi-head forward pass. */
+struct MultiHeadResult
+{
+    /** n x hidden output (after the output projection). */
+    Matrix output;
+
+    /** Populated by the approximate path only. */
+    MultiHeadStats stats;
+};
+
+/** A multi-head self-attention layer with exact and ELSA paths. */
+class MultiHeadAttention
+{
+  public:
+    /**
+     * @param weights Layer weights; copied in and validated.
+     */
+    explicit MultiHeadAttention(MultiHeadWeights weights);
+
+    /** Random layer (Xavier-ish scaling) for tests and examples. */
+    static MultiHeadAttention makeRandom(std::size_t hidden,
+                                         std::size_t num_heads,
+                                         std::size_t head_dim,
+                                         Rng& rng);
+
+    std::size_t numHeads() const { return weights_.numHeads(); }
+    std::size_t hiddenDim() const { return weights_.w_output.cols(); }
+    std::size_t headDim() const { return weights_.w_query[0].cols(); }
+
+    /** Per-head Q/K/V of the input hidden states (n x hidden). */
+    AttentionInput projectHead(const Matrix& hidden,
+                               std::size_t head) const;
+
+    /** Exact forward pass. */
+    MultiHeadResult forward(const Matrix& hidden) const;
+
+    /**
+     * Learn per-head thresholds on a training input (one observation
+     * per call; call repeatedly for more training data).
+     *
+     * @param hidden   n x hidden training activations.
+     * @param learners One ThresholdLearner per head, updated in
+     *                 place; size must equal numHeads().
+     */
+    void learnThresholds(const Matrix& hidden,
+                         std::vector<ThresholdLearner>& learners) const;
+
+    /**
+     * Approximate forward pass with per-head thresholds.
+     *
+     * @param hidden     n x hidden input activations.
+     * @param engine     Shared ELSA engine (hash width = head dim).
+     * @param thresholds One learned threshold per head.
+     */
+    MultiHeadResult forwardApprox(
+        const Matrix& hidden, const ApproxSelfAttention& engine,
+        const std::vector<double>& thresholds) const;
+
+  private:
+    /** Concatenate per-head outputs and apply the output projection. */
+    Matrix combineHeads(const std::vector<Matrix>& head_outputs) const;
+
+    MultiHeadWeights weights_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_ATTENTION_MULTIHEAD_H_

@@ -1,0 +1,76 @@
+#ifndef ELSA_BASELINES_A3_H_
+#define ELSA_BASELINES_A3_H_
+
+/**
+ * @file
+ * Timing model of the A3 attention accelerator (HPCA 2020),
+ * reproducing the two structural limitations Section V-E discusses:
+ *
+ *  1. expensive preprocessing: A3 sorts every column of the key
+ *     matrix on external hardware (e.g. the host GPU), which costs
+ *     d * n * log2(n) comparison-ish operations and does not shrink
+ *     when attention accelerators are replicated -- so with multiple
+ *     accelerators the preprocessing dominates;
+ *  2. a low-parallelism approximation stage that can emit at most
+ *     two candidate keys per cycle (and often fewer) into a single
+ *     attention computation module, capping the achievable speedup.
+ *
+ * The published result the model is calibrated against: a 1.85x
+ * speedup over its own no-approximation baseline on BERT +
+ * SQuADv1.1 at 1.3% accuracy loss.
+ */
+
+#include <cstddef>
+
+namespace elsa {
+
+/** Analytic A3 model. */
+class A3Model
+{
+  public:
+    /**
+     * @param host_ops_per_second Sorting throughput of the external
+     *        preprocessing hardware (keys-column sort steps/s).
+     * @param frequency_ghz       Accelerator clock.
+     */
+    explicit A3Model(double host_ops_per_second = 2e10,
+                     double frequency_ghz = 1.0);
+
+    /** Preprocessing seconds: sort d columns of n keys on the host. */
+    double preprocessSeconds(std::size_t n, std::size_t d) const;
+
+    /**
+     * Execution cycles of the no-approximation A3 baseline: one
+     * attention module, one key per cycle, n keys per query.
+     */
+    double baseExecuteCycles(std::size_t n) const;
+
+    /**
+     * Execution cycles with A3's approximation. The selection stage
+     * examines sorted score lists and emits at most
+     * kMaxSelectionsPerCycle candidates per cycle; per query it
+     * examines enough entries to cover candidate_fraction * n keys.
+     */
+    double approxExecuteCycles(std::size_t n,
+                               double candidate_fraction) const;
+
+    /** Total seconds per op (preprocessing amortized over the op). */
+    double baseSecondsPerOp(std::size_t n, std::size_t d) const;
+    double approxSecondsPerOp(std::size_t n, std::size_t d,
+                              double candidate_fraction) const;
+
+    /** Bytes of preprocessing storage: 2x the key matrix. */
+    static std::size_t preprocessStorageBytes(std::size_t n,
+                                              std::size_t d);
+
+    /** Selection-stage emit limit (keys per cycle). */
+    static constexpr double kMaxSelectionsPerCycle = 2.0;
+
+  private:
+    double host_ops_per_second_;
+    double frequency_ghz_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_BASELINES_A3_H_

@@ -1,0 +1,32 @@
+#include "baselines/ideal.h"
+
+#include "common/logging.h"
+
+namespace elsa {
+
+IdealAccelerator::IdealAccelerator(std::size_t num_multipliers,
+                                   double frequency_ghz)
+    : num_multipliers_(num_multipliers), frequency_ghz_(frequency_ghz)
+{
+    ELSA_CHECK(num_multipliers > 0, "need >= 1 multiplier");
+    ELSA_CHECK(frequency_ghz > 0.0, "frequency must be positive");
+}
+
+double
+IdealAccelerator::cyclesPerOp(std::size_t n, std::size_t d) const
+{
+    // 2 n^2 d MACs (Q K^T and S' V), one MAC per multiplier-cycle,
+    // perfectly utilized.
+    const double macs = 2.0 * static_cast<double>(n)
+                        * static_cast<double>(n)
+                        * static_cast<double>(d);
+    return macs / static_cast<double>(num_multipliers_);
+}
+
+double
+IdealAccelerator::secondsPerOp(std::size_t n, std::size_t d) const
+{
+    return cyclesPerOp(n, d) / (frequency_ghz_ * 1e9);
+}
+
+} // namespace elsa

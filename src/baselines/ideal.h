@@ -1,0 +1,45 @@
+#ifndef ELSA_BASELINES_IDEAL_H_
+#define ELSA_BASELINES_IDEAL_H_
+
+/**
+ * @file
+ * The "ideal" accelerator of Section V-C: sustains 100% of its peak
+ * FP throughput at 1 GHz with the same number of multipliers as one
+ * ELSA-base accelerator (528 = 4 attention modules x 2 x 64
+ * multipliers + 16 division multipliers). It performs no
+ * approximation and no preprocessing, and -- like ELSA -- skips
+ * padded rows. This is an upper bound for any matrix-multiplication
+ * accelerator without approximation.
+ */
+
+#include <cstddef>
+
+namespace elsa {
+
+/** Analytic ideal-accelerator model. */
+class IdealAccelerator
+{
+  public:
+    /**
+     * @param num_multipliers Multiplier budget (528 to match ELSA).
+     * @param frequency_ghz   Clock (1 GHz in the paper).
+     */
+    explicit IdealAccelerator(std::size_t num_multipliers = 528,
+                              double frequency_ghz = 1.0);
+
+    /** Cycles for one self-attention op over n real tokens. */
+    double cyclesPerOp(std::size_t n, std::size_t d) const;
+
+    /** Seconds for one self-attention op. */
+    double secondsPerOp(std::size_t n, std::size_t d) const;
+
+    std::size_t numMultipliers() const { return num_multipliers_; }
+
+  private:
+    std::size_t num_multipliers_;
+    double frequency_ghz_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_BASELINES_IDEAL_H_

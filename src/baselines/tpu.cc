@@ -1,0 +1,34 @@
+#include "baselines/tpu.h"
+
+#include "baselines/gpu_model.h"
+
+namespace elsa {
+
+double
+TpuModel::normalizedGpuRatio(const DatasetSpec& dataset)
+{
+    // Paper Section V-E: measured TPU (peak-FLOPS-normalized)
+    // throughput relative to the GPU on ALBERT workloads.
+    if (dataset.name == "SQuADv1.1") {
+        return 5.5;
+    }
+    if (dataset.name == "SQuADv2.0") {
+        return 6.7;
+    }
+    if (dataset.name == "RACE") {
+        return 5.4;
+    }
+    return 5.5;
+}
+
+double
+TpuModel::normalizedAttentionOpsPerSecond(const ModelConfig& model,
+                                          const DatasetSpec& dataset)
+    const
+{
+    const GpuModel gpu;
+    return gpu.attentionOpsPerSecond(model, dataset.padded_length)
+           * normalizedGpuRatio(dataset);
+}
+
+} // namespace elsa

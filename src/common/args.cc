@@ -1,0 +1,76 @@
+#include "common/args.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     const std::set<std::string>& known_flags)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        ELSA_CHECK(arg.rfind("--", 0) == 0,
+                   "expected --flag, got: " << arg);
+        arg = arg.substr(2);
+        std::string value = "1"; // Boolean switch default.
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        } else if (i + 1 < argc
+                   && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        ELSA_CHECK(known_flags.count(arg) == 1,
+                   "unknown flag: --" << arg);
+        values_[arg] = value;
+    }
+}
+
+bool
+ArgParser::has(const std::string& flag) const
+{
+    return values_.count(flag) == 1;
+}
+
+std::string
+ArgParser::get(const std::string& flag,
+               const std::string& fallback) const
+{
+    const auto it = values_.find(flag);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string& flag, std::int64_t fallback) const
+{
+    const auto it = values_.find(flag);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    char* end = nullptr;
+    const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+    ELSA_CHECK(end != nullptr && *end == '\0',
+               "flag --" << flag << " expects an integer, got '"
+                         << it->second << "'");
+    return parsed;
+}
+
+double
+ArgParser::getDouble(const std::string& flag, double fallback) const
+{
+    const auto it = values_.find(flag);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(it->second.c_str(), &end);
+    ELSA_CHECK(end != nullptr && *end == '\0',
+               "flag --" << flag << " expects a number, got '"
+                         << it->second << "'");
+    return parsed;
+}
+
+} // namespace elsa

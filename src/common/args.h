@@ -1,0 +1,50 @@
+#ifndef ELSA_COMMON_ARGS_H_
+#define ELSA_COMMON_ARGS_H_
+
+/**
+ * @file
+ * Tiny command-line flag parser for the benchmark binaries.
+ *
+ * Supports `--flag value` and `--flag=value` forms plus boolean
+ * switches. Unknown flags raise elsa::Error so typos fail loudly.
+ */
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace elsa {
+
+/** Parses --key value / --key=value style arguments. */
+class ArgParser
+{
+  public:
+    /**
+     * @param argc/argv   main()'s arguments.
+     * @param known_flags The accepted flag names (without "--").
+     */
+    ArgParser(int argc, const char* const* argv,
+              const std::set<std::string>& known_flags);
+
+    /** True when the flag was present. */
+    bool has(const std::string& flag) const;
+
+    /** String value; `fallback` when absent. */
+    std::string get(const std::string& flag,
+                    const std::string& fallback = "") const;
+
+    /** Integer value; `fallback` when absent. */
+    std::int64_t getInt(const std::string& flag,
+                        std::int64_t fallback) const;
+
+    /** Double value; `fallback` when absent. */
+    double getDouble(const std::string& flag, double fallback) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_COMMON_ARGS_H_

@@ -1,0 +1,37 @@
+#ifndef ELSA_COMMON_BITS_H_
+#define ELSA_COMMON_BITS_H_
+
+/**
+ * @file
+ * Small bit-manipulation helpers shared across ELSA modules.
+ */
+
+#include <bit>
+#include <cstdint>
+
+namespace elsa {
+
+/** Population count of a 64-bit word. */
+inline int
+popcount64(std::uint64_t x)
+{
+    return std::popcount(x);
+}
+
+/** Ceiling division for non-negative integers. */
+inline std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** True when x is a power of two (x > 0). */
+inline bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace elsa
+
+#endif // ELSA_COMMON_BITS_H_

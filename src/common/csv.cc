@@ -1,0 +1,62 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path)
+{
+    ELSA_CHECK(out_.good(), "cannot open CSV file: " << path);
+}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+        return field;
+    }
+    std::string quoted = "\"";
+    for (const char c : field) {
+        if (c == '"') {
+            quoted += "\"\"";
+        } else {
+            quoted += c;
+        }
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) {
+            out_ << ',';
+        }
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+    ++rows_;
+    ELSA_CHECK(out_.good(), "CSV write failed");
+}
+
+void
+CsvWriter::writeHeader(const std::vector<std::string>& columns)
+{
+    writeRow(columns);
+}
+
+std::string
+csvNumber(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+} // namespace elsa

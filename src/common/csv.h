@@ -1,0 +1,49 @@
+#ifndef ELSA_COMMON_CSV_H_
+#define ELSA_COMMON_CSV_H_
+
+/**
+ * @file
+ * Minimal CSV writer for the benchmark harness.
+ *
+ * The figure-reproduction benches print human-readable tables; with
+ * --csv <path> they additionally emit machine-readable series for
+ * plotting. The writer handles quoting (commas, quotes, newlines)
+ * per RFC 4180.
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace elsa {
+
+/** Streams rows of fields to a CSV file. */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) the file; raises elsa::Error on failure. */
+    explicit CsvWriter(const std::string& path);
+
+    /** Write one row; fields are quoted as needed. */
+    void writeRow(const std::vector<std::string>& fields);
+
+    /** Convenience: header row. */
+    void writeHeader(const std::vector<std::string>& columns);
+
+    /** Number of rows written (including the header). */
+    std::size_t rowsWritten() const { return rows_; }
+
+    /** Quote a field per RFC 4180 (exposed for tests). */
+    static std::string escape(const std::string& field);
+
+  private:
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+};
+
+/** Format a double with fixed precision for CSV fields. */
+std::string csvNumber(double value, int precision = 6);
+
+} // namespace elsa
+
+#endif // ELSA_COMMON_CSV_H_

@@ -1,0 +1,19 @@
+#include "common/logging.h"
+
+#include <sstream>
+
+namespace elsa {
+namespace detail {
+
+void
+raiseError(const char* kind, const char* file, int line,
+           const std::string& message)
+{
+    std::ostringstream oss;
+    oss << "[elsa " << kind << "] " << file << ":" << line << ": "
+        << message;
+    throw Error(oss.str());
+}
+
+} // namespace detail
+} // namespace elsa

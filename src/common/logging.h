@@ -1,0 +1,73 @@
+#ifndef ELSA_COMMON_LOGGING_H_
+#define ELSA_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * Error-reporting primitives for the ELSA library.
+ *
+ * Following the gem5 convention, we distinguish two classes of failure:
+ *  - fatal(): the caller violated the API contract (bad configuration,
+ *    mismatched matrix shapes, out-of-range hyperparameter). Reported as
+ *    an elsa::Error exception so that library users and tests can recover.
+ *  - panic(): an internal invariant was broken, i.e. a bug in ELSA itself.
+ *    Also raised as elsa::Error but tagged as internal.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace elsa {
+
+/** Exception type raised by all ELSA error checks. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Raise an elsa::Error with file/line context. */
+[[noreturn]] void raiseError(const char* kind, const char* file, int line,
+                             const std::string& message);
+
+} // namespace detail
+
+} // namespace elsa
+
+/** Abort the current operation because the caller misused the API. */
+#define ELSA_FATAL(msg)                                                     \
+    do {                                                                    \
+        std::ostringstream elsa_oss_;                                       \
+        elsa_oss_ << msg;                                                   \
+        ::elsa::detail::raiseError("fatal", __FILE__, __LINE__,             \
+                                   elsa_oss_.str());                        \
+    } while (0)
+
+/** Abort because an internal ELSA invariant was violated (a bug). */
+#define ELSA_PANIC(msg)                                                     \
+    do {                                                                    \
+        std::ostringstream elsa_oss_;                                       \
+        elsa_oss_ << msg;                                                   \
+        ::elsa::detail::raiseError("panic", __FILE__, __LINE__,             \
+                                   elsa_oss_.str());                        \
+    } while (0)
+
+/** Check a user-facing precondition; raises ELSA_FATAL on failure. */
+#define ELSA_CHECK(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ELSA_FATAL("check failed: " #cond ": " << msg);                 \
+        }                                                                   \
+    } while (0)
+
+/** Check an internal invariant; raises ELSA_PANIC on failure. */
+#define ELSA_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ELSA_PANIC("assertion failed: " #cond ": " << msg);             \
+        }                                                                   \
+    } while (0)
+
+#endif // ELSA_COMMON_LOGGING_H_

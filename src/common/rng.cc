@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+namespace {
+
+/** splitmix64 step; used to expand a seed into the xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    ELSA_CHECK(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    // Box-Muller transform; u1 is kept away from 0 to avoid log(0).
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::vector<double>
+Rng::gaussianVector(std::size_t n)
+{
+    std::vector<double> out(n);
+    for (auto& v : out) {
+        v = gaussian();
+    }
+    return out;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    // Mix the parent seed and the stream id through splitmix64 so that
+    // children with adjacent ids are statistically independent.
+    std::uint64_t s = seed_ ^ (stream_id * 0xd1342543de82ef95ULL
+                               + 0x632be59bd9b4e019ULL);
+    return Rng(splitmix64(s));
+}
+
+} // namespace elsa

@@ -1,0 +1,60 @@
+#ifndef ELSA_COMMON_STATS_H_
+#define ELSA_COMMON_STATS_H_
+
+/**
+ * @file
+ * Streaming and batch statistics helpers used by the calibration,
+ * threshold-learning, and benchmark-reporting code.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace elsa {
+
+/** Streaming mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Maximum observation; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/**
+ * q-th percentile (0 <= q <= 1) of the values using linear
+ * interpolation between order statistics. The input is copied and
+ * sorted; values must be non-empty.
+ */
+double percentile(std::vector<double> values, double q);
+
+/** Geometric mean of strictly positive values; values must be non-empty. */
+double geomean(const std::vector<double>& values);
+
+} // namespace elsa
+
+#endif // ELSA_COMMON_STATS_H_

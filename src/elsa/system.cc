@@ -1,0 +1,153 @@
+#include "elsa/system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+#include "sim/pipeline_model.h"
+
+namespace elsa {
+
+ElsaSystem::ElsaSystem(WorkloadSpec spec, SystemConfig config,
+                       std::uint64_t seed)
+    : spec_(std::move(spec)),
+      config_(config),
+      seed_(seed),
+      runner_(spec_, seed)
+{
+    config_.sim.validate();
+    ELSA_CHECK(config_.sim.d == spec_.model.head_dim,
+               "sim d " << config_.sim.d << " != model head dim "
+                        << spec_.model.head_dim);
+}
+
+const WorkloadEvaluation&
+ElsaSystem::fidelityAt(double p)
+{
+    auto it = fidelity_cache_.find(p);
+    if (it == fidelity_cache_.end()) {
+        it = fidelity_cache_
+                 .emplace(p, runner_.evaluate(p, config_.eval))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+ElsaSystem::chooseP(ApproxMode mode)
+{
+    if (mode == ApproxMode::kBase) {
+        return 0.0;
+    }
+    const double bound = accuracyLossBound(spec_.model, mode);
+    double best = 0.0;
+    for (const double p : WorkloadRunner::standardPGrid()) {
+        if (fidelityAt(p).estimated_loss_pct <= bound) {
+            best = std::max(best, p);
+        }
+    }
+    return best;
+}
+
+ModeReport
+ElsaSystem::simulateAtP(ApproxMode mode, double p)
+{
+    ModeReport report;
+    report.mode = mode;
+    report.p = p;
+    if (p > 0.0) {
+        report.estimated_loss_pct = fidelityAt(p).estimated_loss_pct;
+    }
+
+    // Materialize invocations and run them on the accelerator array.
+    const std::vector<SimInvocation> invocations = runner_.simInvocations(
+        p, config_.sim_inputs, config_.sim_sublayers, config_.eval);
+    ELSA_CHECK(!invocations.empty(), "no invocations to simulate");
+
+    AcceleratorArray array(config_.sim, config_.num_accelerators,
+                           runner_.engine().hasher(),
+                           runner_.engine().cosineLut().thetaBias());
+
+    std::vector<const AttentionInput*> inputs;
+    std::vector<double> thresholds;
+    inputs.reserve(invocations.size());
+    for (const auto& inv : invocations) {
+        inputs.push_back(&inv.input);
+        thresholds.push_back(inv.threshold);
+    }
+    const ArrayRunResult run = array.run(inputs, thresholds);
+
+    const double freq_hz = config_.sim.frequency_ghz * 1e9;
+    const double mean_cycles = run.meanLatencyCycles();
+    report.candidate_fraction = run.mean_candidate_fraction;
+    report.elsa_latency_s = mean_cycles / freq_hz;
+    report.preprocess_fraction =
+        run.total_cycles > 0
+            ? static_cast<double>(run.total_preprocess_cycles)
+                  / static_cast<double>(run.total_cycles)
+            : 0.0;
+    // Steady state: every accelerator retires one op per mean-op
+    // time.
+    report.elsa_ops_per_second =
+        static_cast<double>(config_.num_accelerators) * freq_hz
+        / mean_cycles;
+
+    // --- GPU comparison (padded length) ---
+    const GpuModel gpu;
+    report.gpu_ops_per_second = gpu.attentionOpsPerSecond(
+        spec_.model, spec_.dataset.padded_length);
+    report.throughput_vs_gpu =
+        report.elsa_ops_per_second / report.gpu_ops_per_second;
+
+    // --- Ideal-accelerator comparison (real tokens, no padding) ---
+    const IdealAccelerator ideal;
+    RunningStat ideal_latency;
+    for (const auto& inv : invocations) {
+        ideal_latency.add(
+            ideal.secondsPerOp(inv.n_real, spec_.model.head_dim));
+    }
+    report.latency_vs_ideal = report.elsa_latency_s
+                              / ideal_latency.mean();
+
+    // --- Energy (Fig. 13) ---
+    const EnergyModel energy_model(config_.sim.frequency_ghz);
+    EnergyBreakdown total = energy_model.compute(
+        run.activity, static_cast<double>(run.total_cycles));
+    const double inv_count =
+        static_cast<double>(invocations.size());
+    for (auto& uj : total.module_uj) {
+        uj /= inv_count;
+    }
+    report.energy_breakdown = total;
+    report.elsa_energy_per_op_uj = total.totalUj();
+
+    const double gpu_energy_uj = gpu.attentionEnergyPerOp(
+                                     spec_.model,
+                                     spec_.dataset.padded_length)
+                                 * 1e6;
+    report.energy_eff_vs_gpu =
+        gpu_energy_uj / report.elsa_energy_per_op_uj;
+    return report;
+}
+
+ModeReport
+ElsaSystem::evaluateMode(ApproxMode mode)
+{
+    const double p = chooseP(mode);
+    return simulateAtP(mode, p);
+}
+
+std::vector<ModeReport>
+ElsaSystem::evaluateAllModes()
+{
+    std::vector<ModeReport> reports;
+    for (const ApproxMode mode :
+         {ApproxMode::kBase, ApproxMode::kConservative,
+          ApproxMode::kModerate, ApproxMode::kAggressive}) {
+        reports.push_back(evaluateMode(mode));
+    }
+    return reports;
+}
+
+} // namespace elsa

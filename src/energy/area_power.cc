@@ -1,0 +1,103 @@
+#include "energy/area_power.h"
+
+#include <array>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace elsa {
+
+namespace {
+
+// Table I of the paper, verbatim.
+const std::array<ModuleAreaPower, 9> kTable = {{
+    {HwModule::kHashComputation, "Hash Computation (m_h = 256)",
+     0.202, 115.08, 2.23, false},
+    {HwModule::kNormComputation, "Norm Computation",
+     0.006, 9.91, 0.07, false},
+    {HwModule::kCandidateSelection, "32x Candidate Selection",
+     0.180, 78.41, 1.95, false},
+    {HwModule::kAttentionCompute, "4x Attention Computation",
+     0.666, 566.42, 7.53, false},
+    {HwModule::kOutputDivision, "Output Division (m_o = 16)",
+     0.022, 11.42, 0.19, false},
+    {HwModule::kKeyHashMemory, "Key Hash Memory (4KB)",
+     0.141, 139.91, 1.05, false},
+    {HwModule::kKeyNormMemory, "Key Norm Memory (512B)",
+     0.038, 34.90, 0.29, false},
+    {HwModule::kKeyValueMemory, "Key/Value Mem. (36KB ea.)",
+     0.253, 167.39, 2.29, true, 2},
+    {HwModule::kQueryOutputMemory, "Query/Output Mem. (36KB ea.)",
+     0.193, 91.03, 1.72, true, 2},
+}};
+
+} // namespace
+
+const std::vector<HwModule>&
+allHwModules()
+{
+    static const std::vector<HwModule> modules = {
+        HwModule::kHashComputation,   HwModule::kNormComputation,
+        HwModule::kCandidateSelection, HwModule::kAttentionCompute,
+        HwModule::kOutputDivision,    HwModule::kKeyHashMemory,
+        HwModule::kKeyNormMemory,     HwModule::kKeyValueMemory,
+        HwModule::kQueryOutputMemory,
+    };
+    return modules;
+}
+
+const ModuleAreaPower&
+moduleAreaPower(HwModule module)
+{
+    for (const auto& entry : kTable) {
+        if (entry.module == module) {
+            return entry;
+        }
+    }
+    ELSA_PANIC("unknown hardware module");
+}
+
+const char*
+hwModuleName(HwModule module)
+{
+    return moduleAreaPower(module).name.c_str();
+}
+
+AcceleratorAreaPower
+singleAcceleratorAreaPower()
+{
+    AcceleratorAreaPower total;
+    for (const auto& entry : kTable) {
+        if (entry.external) {
+            total.external_area_mm2 += entry.totalAreaMm2();
+            total.external_dynamic_mw += entry.totalDynamicMw();
+            total.external_static_mw += entry.totalStaticMw();
+        } else {
+            total.core_area_mm2 += entry.totalAreaMm2();
+            total.core_dynamic_mw += entry.totalDynamicMw();
+            total.core_static_mw += entry.totalStaticMw();
+        }
+    }
+    return total;
+}
+
+std::size_t
+keyHashMemoryBytes(std::size_t n, std::size_t k)
+{
+    return ceilDiv(n * k, 8);
+}
+
+std::size_t
+keyNormMemoryBytes(std::size_t n)
+{
+    return n;
+}
+
+std::size_t
+matrixMemoryBytes(std::size_t n, std::size_t d)
+{
+    // 9-bit elements (1 sign + 5 integer + 3 fraction bits).
+    return ceilDiv(n * d * 9, 8);
+}
+
+} // namespace elsa

@@ -1,0 +1,105 @@
+#ifndef ELSA_ENERGY_AREA_POWER_H_
+#define ELSA_ENERGY_AREA_POWER_H_
+
+/**
+ * @file
+ * Area and (peak) power characteristics of the ELSA accelerator,
+ * transcribed from Table I of the paper (TSMC 40 nm, 1 GHz,
+ * n = 512, d = 64, P_a = 4, P_c = 8, m_h = 256, m_o = 16).
+ *
+ * These numbers are the paper's synthesis results and serve as the
+ * energy model's per-module power database; DESIGN.md records this
+ * as a data substitution for RTL synthesis.
+ */
+
+#include <string>
+#include <vector>
+
+namespace elsa {
+
+/** The hardware modules Table I itemizes. */
+enum class HwModule
+{
+    kHashComputation,   ///< Hash computation module (m_h = 256).
+    kNormComputation,   ///< Norm computation module.
+    kCandidateSelection,///< 32x candidate selection modules.
+    kAttentionCompute,  ///< 4x attention computation modules.
+    kOutputDivision,    ///< Output division module (m_o = 16).
+    kKeyHashMemory,     ///< Key hash SRAM (4 KB).
+    kKeyNormMemory,     ///< Key norm SRAM (512 B).
+    kKeyValueMemory,    ///< External key + value SRAM (36 KB each).
+    kQueryOutputMemory, ///< External query + output SRAM (36 KB each).
+};
+
+/** All modules, in Table I order. */
+const std::vector<HwModule>& allHwModules();
+
+/** Area/power record of one module. */
+struct ModuleAreaPower
+{
+    HwModule module;
+    std::string name;
+    /** Area / power of ONE instance as Table I lists it. */
+    double area_mm2 = 0.0;
+    double dynamic_power_mw = 0.0;
+    double static_power_mw = 0.0;
+    /** True for the external on-chip memory modules. */
+    bool external = false;
+    /**
+     * Instances per accelerator: the "36KB ea." memory rows cover
+     * two memories each (key + value, query + output).
+     */
+    int count = 1;
+
+    double totalAreaMm2() const { return area_mm2 * count; }
+    double totalDynamicMw() const { return dynamic_power_mw * count; }
+    double totalStaticMw() const { return static_power_mw * count; }
+};
+
+/** Table I record of the given module. */
+const ModuleAreaPower& moduleAreaPower(HwModule module);
+
+/** Human-readable module name. */
+const char* hwModuleName(HwModule module);
+
+/** Aggregate characteristics of one ELSA accelerator. */
+struct AcceleratorAreaPower
+{
+    double core_area_mm2 = 0.0;
+    double external_area_mm2 = 0.0;
+    double core_dynamic_mw = 0.0;
+    double core_static_mw = 0.0;
+    double external_dynamic_mw = 0.0;
+    double external_static_mw = 0.0;
+
+    double totalAreaMm2() const
+    {
+        return core_area_mm2 + external_area_mm2;
+    }
+    double totalPeakPowerMw() const
+    {
+        return core_dynamic_mw + core_static_mw + external_dynamic_mw
+               + external_static_mw;
+    }
+};
+
+/** Sum of Table I over a single accelerator. */
+AcceleratorAreaPower singleAcceleratorAreaPower();
+
+/**
+ * Key SRAM sizing formulas (Section IV-C (3)): the key hash memory
+ * needs n*k/8 bytes and the key norm memory n bytes (8-bit norms).
+ */
+std::size_t keyHashMemoryBytes(std::size_t n, std::size_t k);
+std::size_t keyNormMemoryBytes(std::size_t n);
+
+/**
+ * Input/output matrix SRAM bytes: n x d elements of 9 bits each,
+ * rounded up to whole bytes per matrix (Section IV-C: ~36 KB at
+ * n = 512, d = 64).
+ */
+std::size_t matrixMemoryBytes(std::size_t n, std::size_t d);
+
+} // namespace elsa
+
+#endif // ELSA_ENERGY_AREA_POWER_H_

@@ -1,0 +1,146 @@
+#include "energy/energy_model.h"
+
+#include "common/logging.h"
+
+namespace elsa {
+
+std::size_t
+ActivityCounters::index(HwModule module)
+{
+    const auto i = static_cast<std::size_t>(module);
+    ELSA_ASSERT(i < 9, "module index out of range");
+    return i;
+}
+
+void
+ActivityCounters::add(HwModule module, double cycles)
+{
+    ELSA_CHECK(cycles >= 0.0, "negative active cycles");
+    active_[index(module)] += cycles;
+}
+
+double
+ActivityCounters::get(HwModule module) const
+{
+    return active_[index(module)];
+}
+
+void
+ActivityCounters::merge(const ActivityCounters& other)
+{
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        active_[i] += other.active_[i];
+    }
+}
+
+double
+EnergyBreakdown::totalUj() const
+{
+    double total = 0.0;
+    for (const double e : module_uj) {
+        total += e;
+    }
+    return total;
+}
+
+double
+EnergyBreakdown::moduleUj(HwModule module) const
+{
+    return module_uj[static_cast<std::size_t>(module)];
+}
+
+double
+EnergyBreakdown::approximationLogicUj() const
+{
+    return moduleUj(HwModule::kHashComputation)
+           + moduleUj(HwModule::kNormComputation)
+           + moduleUj(HwModule::kCandidateSelection);
+}
+
+double
+EnergyBreakdown::attentionComputeUj() const
+{
+    return moduleUj(HwModule::kAttentionCompute)
+           + moduleUj(HwModule::kOutputDivision);
+}
+
+double
+EnergyBreakdown::internalMemoryUj() const
+{
+    return moduleUj(HwModule::kKeyHashMemory)
+           + moduleUj(HwModule::kKeyNormMemory);
+}
+
+double
+EnergyBreakdown::externalMemoryUj() const
+{
+    return moduleUj(HwModule::kKeyValueMemory)
+           + moduleUj(HwModule::kQueryOutputMemory);
+}
+
+EnergyBreakdown&
+EnergyBreakdown::operator+=(const EnergyBreakdown& other)
+{
+    for (std::size_t i = 0; i < module_uj.size(); ++i) {
+        module_uj[i] += other.module_uj[i];
+    }
+    return *this;
+}
+
+PowerScaling
+PowerScaling::forPipeline(std::size_t pa, std::size_t pc,
+                          std::size_t mh, std::size_t mo)
+{
+    ELSA_CHECK(pa > 0 && pc > 0 && mh > 0 && mo > 0,
+               "pipeline parameters must be positive");
+    PowerScaling scaling;
+    auto idx = [](HwModule m) { return static_cast<std::size_t>(m); };
+    scaling.factor[idx(HwModule::kHashComputation)] = mh / 256.0;
+    scaling.factor[idx(HwModule::kCandidateSelection)] =
+        static_cast<double>(pa * pc) / 32.0;
+    scaling.factor[idx(HwModule::kAttentionCompute)] = pa / 4.0;
+    scaling.factor[idx(HwModule::kOutputDivision)] = mo / 16.0;
+    return scaling;
+}
+
+EnergyModel::EnergyModel(double frequency_ghz)
+    : frequency_ghz_(frequency_ghz)
+{
+    ELSA_CHECK(frequency_ghz > 0.0, "frequency must be positive");
+}
+
+EnergyModel::EnergyModel(double frequency_ghz,
+                         const PowerScaling& scaling)
+    : frequency_ghz_(frequency_ghz), scaling_(scaling)
+{
+    ELSA_CHECK(frequency_ghz > 0.0, "frequency must be positive");
+}
+
+double
+EnergyModel::cyclesToSeconds(double cycles) const
+{
+    return cycles / (frequency_ghz_ * 1e9);
+}
+
+EnergyBreakdown
+EnergyModel::compute(const ActivityCounters& activity,
+                     double total_cycles) const
+{
+    ELSA_CHECK(total_cycles >= 0.0, "negative total cycles");
+    EnergyBreakdown breakdown;
+    const double cycle_s = 1.0 / (frequency_ghz_ * 1e9);
+    std::size_t i = 0;
+    for (const HwModule module : allHwModules()) {
+        const ModuleAreaPower& record = moduleAreaPower(module);
+        const double scale = scaling_.factor[i];
+        // mW * s = mJ; * 1000 = uJ.
+        const double dynamic_uj = scale * record.totalDynamicMw()
+                                  * activity.get(module) * cycle_s * 1e3;
+        const double static_uj = scale * record.totalStaticMw()
+                                 * total_cycles * cycle_s * 1e3;
+        breakdown.module_uj[i++] = dynamic_uj + static_uj;
+    }
+    return breakdown;
+}
+
+} // namespace elsa

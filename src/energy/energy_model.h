@@ -1,0 +1,112 @@
+#ifndef ELSA_ENERGY_ENERGY_MODEL_H_
+#define ELSA_ENERGY_ENERGY_MODEL_H_
+
+/**
+ * @file
+ * Energy accounting for the ELSA accelerator (Fig. 13 of the paper).
+ *
+ * Dynamic energy of a module group = its Table I dynamic power times
+ * the group's *equivalent full-utilization active cycles* (e.g. two
+ * of the four attention computation modules busy for C cycles count
+ * as 0.5 * C); static energy = static power times total elapsed
+ * cycles. The cycle-level simulator produces the activity counters.
+ */
+
+#include <array>
+#include <cstddef>
+
+#include "energy/area_power.h"
+
+namespace elsa {
+
+/** Per-module-group activity, in full-utilization cycle equivalents. */
+class ActivityCounters
+{
+  public:
+    /** Add active cycles for a module group. */
+    void add(HwModule module, double cycles);
+
+    /** Accumulated active cycles of a module group. */
+    double get(HwModule module) const;
+
+    /** Merge another counter set into this one. */
+    void merge(const ActivityCounters& other);
+
+  private:
+    static std::size_t index(HwModule module);
+    std::array<double, 9> active_{};
+};
+
+/** Energy of one run, split by module group. */
+struct EnergyBreakdown
+{
+    /** Per-module energy in microjoules, indexed like allHwModules(). */
+    std::array<double, 9> module_uj{};
+
+    /** Total energy in microjoules. */
+    double totalUj() const;
+
+    /** Energy of a single module group. */
+    double moduleUj(HwModule module) const;
+
+    /** Hash + norm + candidate selection (the approximation logic). */
+    double approximationLogicUj() const;
+
+    /** Attention computation + output division. */
+    double attentionComputeUj() const;
+
+    /** Key hash + key norm SRAM (internal memories). */
+    double internalMemoryUj() const;
+
+    /** Key/value + query/output SRAM (external memories). */
+    double externalMemoryUj() const;
+
+    EnergyBreakdown& operator+=(const EnergyBreakdown& other);
+};
+
+/** Power-scaling factors for non-paper pipeline configurations. */
+struct PowerScaling
+{
+    /** Factor per module group, indexed like allHwModules(). */
+    std::array<double, 9> factor{1, 1, 1, 1, 1, 1, 1, 1, 1};
+
+    /**
+     * Scaling for a pipeline configuration relative to the Table I
+     * synthesis point (P_a = 4, P_c = 8, m_h = 256, m_o = 16):
+     * module power grows linearly with its multiplier / instance
+     * count. SRAM power is capacity-bound and kept fixed.
+     */
+    static PowerScaling forPipeline(std::size_t pa, std::size_t pc,
+                                    std::size_t mh, std::size_t mo);
+};
+
+/** Converts activity counters into energy using Table I powers. */
+class EnergyModel
+{
+  public:
+    /** @param frequency_ghz Accelerator clock; the paper uses 1 GHz. */
+    explicit EnergyModel(double frequency_ghz = 1.0);
+
+    /** Model with per-module power scaling (design-space studies). */
+    EnergyModel(double frequency_ghz, const PowerScaling& scaling);
+
+    /**
+     * Energy of a run.
+     *
+     * @param activity     Per-module-group active cycles.
+     * @param total_cycles Elapsed cycles (for static power).
+     */
+    EnergyBreakdown compute(const ActivityCounters& activity,
+                            double total_cycles) const;
+
+    /** Elapsed seconds for a cycle count at this clock. */
+    double cyclesToSeconds(double cycles) const;
+
+  private:
+    double frequency_ghz_;
+    PowerScaling scaling_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_ENERGY_ENERGY_MODEL_H_

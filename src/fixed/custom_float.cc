@@ -1,0 +1,72 @@
+#include "fixed/custom_float.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+double
+CustomFloatFormat::maxMagnitude() const
+{
+    // Largest exponent (all-ones reserved would be the IEEE convention;
+    // the ELSA unit does not need infinities, so we use the full range).
+    const int max_exp = (1 << exponent_bits) - 1 - bias();
+    const double max_mantissa =
+        2.0 - std::ldexp(1.0, -fraction_bits); // 1.111...1b
+    return std::ldexp(max_mantissa, max_exp);
+}
+
+double
+CustomFloatFormat::minNormal() const
+{
+    return std::ldexp(1.0, -bias());
+}
+
+double
+quantizeToCustomFloat(double value, const CustomFloatFormat& format)
+{
+    if (value == 0.0 || !std::isfinite(value)) {
+        return std::isfinite(value)
+                   ? 0.0
+                   : std::copysign(format.maxMagnitude(), value);
+    }
+    const double magnitude = std::abs(value);
+    if (magnitude >= format.maxMagnitude()) {
+        return std::copysign(format.maxMagnitude(), value);
+    }
+    if (magnitude < format.minNormal()) {
+        // Flush to zero; the ELSA pipeline has no subnormal support.
+        return 0.0;
+    }
+    int exp = 0;
+    const double mantissa = std::frexp(magnitude, &exp); // in [0.5, 1)
+    // Normalize mantissa to [1, 2) with exponent exp - 1.
+    const double m = mantissa * 2.0;
+    const double scale = std::ldexp(1.0, format.fraction_bits);
+    const double rounded = std::nearbyint((m - 1.0) * scale) / scale + 1.0;
+    return std::copysign(std::ldexp(rounded, exp - 1), value);
+}
+
+CustomFloat
+CustomFloat::fromReal(double value, const CustomFloatFormat& format)
+{
+    CustomFloat cf;
+    cf.format_ = format;
+    cf.value_ = quantizeToCustomFloat(value, format);
+    return cf;
+}
+
+CustomFloat
+CustomFloat::add(const CustomFloat& other) const
+{
+    return fromReal(value_ + other.value_, format_);
+}
+
+CustomFloat
+CustomFloat::mul(const CustomFloat& other) const
+{
+    return fromReal(value_ * other.value_, format_);
+}
+
+} // namespace elsa

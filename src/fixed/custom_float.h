@@ -1,0 +1,85 @@
+#ifndef ELSA_FIXED_CUSTOM_FLOAT_H_
+#define ELSA_FIXED_CUSTOM_FLOAT_H_
+
+/**
+ * @file
+ * Custom floating-point format of the ELSA datapath (Section IV-E).
+ *
+ * The output of the exponent unit and all computation downstream of it
+ * (the running sum of exponentiated scores, the weighted value
+ * accumulation) use a custom floating-point representation with a
+ * single sign bit, ten exponent bits, and five fraction bits, to cover
+ * the huge dynamic range of e^x. CustomFloat models the format's
+ * quantization: values round to the nearest representable number and
+ * saturate at the format's limits.
+ */
+
+#include <cstdint>
+
+namespace elsa {
+
+/** Parameters of a sign/exponent/fraction custom float format. */
+struct CustomFloatFormat
+{
+    int exponent_bits = 10;
+    int fraction_bits = 5;
+
+    /** Exponent bias; follows the IEEE convention 2^(E-1) - 1. */
+    int bias() const { return (1 << (exponent_bits - 1)) - 1; }
+
+    /** Largest finite representable magnitude. */
+    double maxMagnitude() const;
+
+    /** Smallest positive normal magnitude. */
+    double minNormal() const;
+};
+
+/** The format used by the ELSA pipeline: 1 sign / 10 exponent / 5 frac. */
+inline constexpr CustomFloatFormat kElsaFloatFormat{10, 5};
+
+/**
+ * A value held in a custom float format.
+ *
+ * The value is stored as the already-quantized double, plus the format,
+ * so downstream arithmetic can be carried out in double precision and
+ * re-quantized at each stage boundary (which is what the hardware's
+ * normalize-and-round steps do).
+ */
+class CustomFloat
+{
+  public:
+    CustomFloat() = default;
+
+    /** Quantize a real value into the given format. */
+    static CustomFloat fromReal(double value,
+                                const CustomFloatFormat& format
+                                = kElsaFloatFormat);
+
+    /** The represented (already quantized) value. */
+    double toReal() const { return value_; }
+
+    /** Sum with re-quantization, as the accumulator hardware performs. */
+    CustomFloat add(const CustomFloat& other) const;
+
+    /** Product with re-quantization. */
+    CustomFloat mul(const CustomFloat& other) const;
+
+    const CustomFloatFormat& format() const { return format_; }
+
+  private:
+    double value_ = 0.0;
+    CustomFloatFormat format_ = kElsaFloatFormat;
+};
+
+/**
+ * Quantize a double to the given custom float format (round to
+ * nearest, saturate to the largest finite value, flush subnormals
+ * to zero, preserve sign).
+ */
+double quantizeToCustomFloat(double value,
+                             const CustomFloatFormat& format
+                             = kElsaFloatFormat);
+
+} // namespace elsa
+
+#endif // ELSA_FIXED_CUSTOM_FLOAT_H_

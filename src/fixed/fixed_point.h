@@ -1,0 +1,126 @@
+#ifndef ELSA_FIXED_FIXED_POINT_H_
+#define ELSA_FIXED_FIXED_POINT_H_
+
+/**
+ * @file
+ * Fixed-point number formats of the ELSA datapath (Section IV-E).
+ *
+ * The paper represents the key/query/value elements as a fixed-point
+ * value with one sign bit, five integer bits and three fraction bits
+ * (S5.3), and the pre-defined hash matrices as one sign bit and five
+ * fraction bits (S0.5). The rest of the pipeline widens the integer
+ * part as needed to avoid overflow while keeping the fraction width.
+ *
+ * FixedPoint models one such format: it stores the quantized value as
+ * an integer number of 2^-FracBits steps, saturates on overflow, and
+ * rounds to nearest on conversion from float. Arithmetic between
+ * values of the same format is exact in the underlying integers, which
+ * matches what the hardware multipliers and adders do.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace elsa {
+
+/**
+ * Signed fixed-point value with IntBits integer bits and FracBits
+ * fraction bits (plus an implicit sign bit).
+ */
+template <int IntBits, int FracBits>
+class FixedPoint
+{
+  public:
+    static_assert(IntBits >= 0 && FracBits >= 0, "negative bit widths");
+    static_assert(IntBits + FracBits <= 30, "format too wide for int32");
+
+    /** Total storage width in bits, including the sign bit. */
+    static constexpr int kTotalBits = 1 + IntBits + FracBits;
+
+    /** Scale factor: raw value = real value * kScale. */
+    static constexpr std::int32_t kScale = std::int32_t{1} << FracBits;
+
+    /** Largest representable raw value. */
+    static constexpr std::int32_t kRawMax =
+        (std::int32_t{1} << (IntBits + FracBits)) - 1;
+
+    /** Smallest representable raw value (two's-complement symmetric). */
+    static constexpr std::int32_t kRawMin = -kRawMax - 1;
+
+    /** Zero. */
+    FixedPoint() = default;
+
+    /** Quantize a real value: round to nearest, saturate to range. */
+    static FixedPoint
+    fromReal(double value)
+    {
+        const double scaled = value * static_cast<double>(kScale);
+        double rounded = std::nearbyint(scaled);
+        rounded = std::clamp(rounded, static_cast<double>(kRawMin),
+                             static_cast<double>(kRawMax));
+        return fromRaw(static_cast<std::int32_t>(rounded));
+    }
+
+    /** Build from a raw integer count of 2^-FracBits steps. */
+    static FixedPoint
+    fromRaw(std::int32_t raw)
+    {
+        FixedPoint fp;
+        fp.raw_ = std::clamp(raw, kRawMin, kRawMax);
+        return fp;
+    }
+
+    /** Raw integer value. */
+    std::int32_t raw() const { return raw_; }
+
+    /** Real value this fixed-point number represents. */
+    double
+    toReal() const
+    {
+        return static_cast<double>(raw_) / static_cast<double>(kScale);
+    }
+
+    /** Quantization step size. */
+    static constexpr double step() { return 1.0 / kScale; }
+
+    /** Largest representable real value. */
+    static constexpr double
+    maxReal()
+    {
+        return static_cast<double>(kRawMax) / kScale;
+    }
+
+    /** Smallest representable real value. */
+    static constexpr double
+    minReal()
+    {
+        return static_cast<double>(kRawMin) / kScale;
+    }
+
+    bool operator==(const FixedPoint&) const = default;
+
+  private:
+    std::int32_t raw_ = 0;
+};
+
+/** Input format of the key/query/value matrices: S5.3 (9 bits). */
+using InputFixed = FixedPoint<5, 3>;
+
+/** Format of the pre-defined hash matrices: S0.5 (6 bits). */
+using HashMatrixFixed = FixedPoint<0, 5>;
+
+/**
+ * Quantize a real value through a fixed-point format and back.
+ * Convenience for modeling a datapath stage's rounding behaviour.
+ */
+template <int IntBits, int FracBits>
+inline double
+quantize(double value)
+{
+    return FixedPoint<IntBits, FracBits>::fromReal(value).toReal();
+}
+
+} // namespace elsa
+
+#endif // ELSA_FIXED_FIXED_POINT_H_

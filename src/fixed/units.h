@@ -1,0 +1,95 @@
+#ifndef ELSA_FIXED_UNITS_H_
+#define ELSA_FIXED_UNITS_H_
+
+/**
+ * @file
+ * Special functional units of the ELSA accelerator (Section IV-E).
+ *
+ * - ExpUnit computes e^x through the identity
+ *   e^x = 2^((log2 e) x) = 2^frac((log2 e) x) * 2^floor((log2 e) x),
+ *   where 2^frac(.) comes from a 32-entry lookup table.
+ * - ReciprocalUnit computes 1/x for a floating-point value with five
+ *   fraction bits through a 32-entry lookup table indexed by the
+ *   mantissa's fraction bits.
+ * - SqrtUnit computes sqrt(x) with the tabulate-and-multiply scheme
+ *   (Takagi; Istoan & Pasca): a table lookup on the mantissa's high
+ *   bits followed by one multiplication with a modified operand.
+ *
+ * Each unit is a bit-faithful functional model: the same LUT contents
+ * a synthesized design would hold, the same rounding, and accuracy
+ * bounds asserted by the unit tests.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "fixed/custom_float.h"
+
+namespace elsa {
+
+/** LUT-based exponent unit: e^x in the ELSA custom float format. */
+class ExpUnit
+{
+  public:
+    /** Number of entries in the 2^frac lookup table. */
+    static constexpr int kLutSize = 32;
+
+    ExpUnit();
+
+    /**
+     * Compute e^x, quantized to the pipeline's custom float format.
+     * Saturates at the format's largest magnitude for very large x and
+     * flushes to zero for very small results.
+     */
+    double compute(double x) const;
+
+    /** Raw LUT entry i = round(2^(i/32)) in 5-fraction-bit precision. */
+    double lutEntry(int index) const;
+
+  private:
+    std::array<double, kLutSize> lut_;
+};
+
+/** 32-entry lookup-table reciprocal unit for 5-fraction-bit floats. */
+class ReciprocalUnit
+{
+  public:
+    static constexpr int kLutSize = 32;
+
+    ReciprocalUnit();
+
+    /**
+     * Compute 1/x. x must be nonzero; the sign is preserved.
+     * The result carries the precision of a 5-fraction-bit mantissa.
+     */
+    double compute(double x) const;
+
+    /** Raw LUT entry for mantissa (1 + i/32). */
+    double lutEntry(int index) const;
+
+  private:
+    std::array<double, kLutSize> lut_;
+};
+
+/** Tabulate-and-multiply square root unit. */
+class SqrtUnit
+{
+  public:
+    /** Entries in the mantissa-segment table (6 index bits). */
+    static constexpr int kTableSize = 64;
+
+    SqrtUnit();
+
+    /** Compute sqrt(x); x must be >= 0. */
+    double compute(double x) const;
+
+  private:
+    // Table over mantissa segments of [1, 4): using a [1,4) range lets
+    // the unit fold the exponent's parity into the table index, so the
+    // remaining exponent is always even and halving it is a shift.
+    std::array<double, kTableSize> table_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_FIXED_UNITS_H_

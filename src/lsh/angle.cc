@@ -1,0 +1,52 @@
+#include "lsh/angle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+double
+estimateAngle(int hamming, std::size_t k)
+{
+    ELSA_CHECK(k > 0, "hash width must be positive");
+    ELSA_CHECK(hamming >= 0 && static_cast<std::size_t>(hamming) <= k,
+               "hamming distance " << hamming << " out of [0, " << k
+                                   << "]");
+    return M_PI * static_cast<double>(hamming) / static_cast<double>(k);
+}
+
+double
+correctedAngle(int hamming, std::size_t k, double theta_bias)
+{
+    return std::max(0.0, estimateAngle(hamming, k) - theta_bias);
+}
+
+double
+approximateSimilarity(double key_norm, int hamming, std::size_t k,
+                      double theta_bias)
+{
+    return key_norm * std::cos(correctedAngle(hamming, k, theta_bias));
+}
+
+CosineLut::CosineLut(std::size_t k, double theta_bias)
+    : k_(k), theta_bias_(theta_bias), table_(k + 1)
+{
+    ELSA_CHECK(k > 0, "hash width must be positive");
+    for (std::size_t h = 0; h <= k; ++h) {
+        table_[h] = std::cos(
+            correctedAngle(static_cast<int>(h), k, theta_bias));
+    }
+}
+
+double
+CosineLut::lookup(int hamming) const
+{
+    ELSA_CHECK(hamming >= 0
+                   && static_cast<std::size_t>(hamming) < table_.size(),
+               "LUT index " << hamming << " out of range");
+    return table_[static_cast<std::size_t>(hamming)];
+}
+
+} // namespace elsa

@@ -1,0 +1,68 @@
+#ifndef ELSA_LSH_ANGLE_H_
+#define ELSA_LSH_ANGLE_H_
+
+/**
+ * @file
+ * Hamming-distance angle estimation and approximate similarity
+ * (Sections III-B and III-D).
+ *
+ * hamming(h(x), h(y)) is an unbiased estimator of the angular
+ * distance: theta ~= pi/k * hamming. ELSA subtracts theta_bias (the
+ * 80th-percentile estimator error) so that the estimate
+ * *underestimates* the angle -- and hence overestimates the
+ * similarity -- in 80% of cases, which keeps relevant keys from
+ * being filtered out. The approximate (query-normalized) similarity
+ * is then
+ *
+ *   Sim(Q/||Q||, K) ~= ||K|| * cos(max(0, pi/k * hamming - bias)).
+ *
+ * CosineLut is the hardware's (k+1)-entry lookup table that maps a
+ * Hamming distance directly to cos(max(0, pi/k * h - bias)).
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace elsa {
+
+/** Raw (uncorrected) angle estimate pi/k * hamming. */
+double estimateAngle(int hamming, std::size_t k);
+
+/** Bias-corrected angle estimate max(0, pi/k * hamming - bias). */
+double correctedAngle(int hamming, std::size_t k, double theta_bias);
+
+/**
+ * Approximate query-normalized similarity
+ * ||K|| * cos(max(0, pi/k * hamming - bias)).
+ */
+double approximateSimilarity(double key_norm, int hamming, std::size_t k,
+                             double theta_bias);
+
+/**
+ * The candidate selection module's pre-populated lookup table:
+ * entry h = cos(max(0, pi/k * h - theta_bias)) for h = 0..k.
+ */
+class CosineLut
+{
+  public:
+    /** Build the table for hash width k and the given bias. */
+    CosineLut(std::size_t k, double theta_bias);
+
+    /** Lookup by Hamming distance (0 <= h <= k). */
+    double lookup(int hamming) const;
+
+    /** Table size, always k + 1. */
+    std::size_t size() const { return table_.size(); }
+
+    std::size_t hashBits() const { return k_; }
+    double thetaBias() const { return theta_bias_; }
+
+  private:
+    std::size_t k_;
+    double theta_bias_;
+    std::vector<double> table_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_LSH_ANGLE_H_

@@ -1,0 +1,92 @@
+#include "lsh/batched.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace elsa {
+
+BatchedKroneckerHasher::BatchedKroneckerHasher(
+    std::vector<KroneckerSrpHasher> batches)
+    : batches_(std::move(batches))
+{
+    ELSA_CHECK(!batches_.empty(), "need at least one batch");
+    const std::size_t d = batches_.front().dim();
+    for (const auto& b : batches_) {
+        ELSA_CHECK(b.dim() == d,
+                   "batch input dims differ: " << b.dim() << " vs "
+                                               << d);
+    }
+}
+
+BatchedKroneckerHasher
+BatchedKroneckerHasher::makeRandom(std::size_t k, std::size_t d,
+                                   std::size_t num_factors, Rng& rng,
+                                   bool quantize_factors)
+{
+    ELSA_CHECK(k > 0 && d > 0, "k and d must be positive");
+    ELSA_CHECK(k % d == 0,
+               "batched hashing needs k to be a multiple of d; got k = "
+                   << k << ", d = " << d);
+    std::vector<KroneckerSrpHasher> batches;
+    batches.reserve(k / d);
+    for (std::size_t b = 0; b < k / d; ++b) {
+        batches.push_back(KroneckerSrpHasher::makeRandom(
+            d, num_factors, rng, quantize_factors));
+    }
+    return BatchedKroneckerHasher(std::move(batches));
+}
+
+HashValue
+BatchedKroneckerHasher::hash(const float* x) const
+{
+    HashValue out(bits());
+    std::size_t offset = 0;
+    for (const auto& batch : batches_) {
+        const HashValue part = batch.hash(x);
+        for (std::size_t i = 0; i < part.bits(); ++i) {
+            out.setBit(offset + i, part.bit(i));
+        }
+        offset += part.bits();
+    }
+    return out;
+}
+
+std::size_t
+BatchedKroneckerHasher::dim() const
+{
+    return batches_.front().dim();
+}
+
+std::size_t
+BatchedKroneckerHasher::bits() const
+{
+    return batches_.size() * batches_.front().bits();
+}
+
+std::size_t
+BatchedKroneckerHasher::multiplicationsPerHash() const
+{
+    std::size_t total = 0;
+    for (const auto& batch : batches_) {
+        total += batch.multiplicationsPerHash();
+    }
+    return total;
+}
+
+Matrix
+BatchedKroneckerHasher::denseProjection() const
+{
+    const std::size_t d = dim();
+    Matrix out(bits(), d);
+    std::size_t row = 0;
+    for (const auto& batch : batches_) {
+        const Matrix part = batch.denseProjection();
+        for (std::size_t r = 0; r < part.rows(); ++r) {
+            std::copy(part.row(r), part.row(r) + d, out.row(row++));
+        }
+    }
+    return out;
+}
+
+} // namespace elsa

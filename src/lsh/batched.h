@@ -1,0 +1,67 @@
+#ifndef ELSA_LSH_BATCHED_H_
+#define ELSA_LSH_BATCHED_H_
+
+/**
+ * @file
+ * Batched SRP hashing for k > d (Section IV-E, "Choice of Hash
+ * Length k").
+ *
+ * A single orthogonal projection can produce at most d orthogonal
+ * hyperplanes. When more hash bits are wanted, the paper (following
+ * super-bit LSH) uses *batches* of orthogonal vectors: each batch is
+ * an independent orthogonal projection, and the hash bits of all
+ * batches are concatenated. BatchedKroneckerHasher builds each batch
+ * from the fast Kronecker structure, so hashing k = B*d bits costs
+ * B * 3 d^(4/3) multiplications.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "lsh/srp.h"
+
+namespace elsa {
+
+class Rng;
+
+/** Concatenation of independent Kronecker SRP hashers (k = B * d). */
+class BatchedKroneckerHasher : public SrpHasher
+{
+  public:
+    /**
+     * Construct from existing per-batch hashers; all batches must
+     * share the same input dimension.
+     */
+    explicit BatchedKroneckerHasher(
+        std::vector<KroneckerSrpHasher> batches);
+
+    /**
+     * Random batched hasher producing k bits for d-dimensional
+     * inputs; k must be a multiple of d.
+     *
+     * @param quantize_factors Quantize factors to the S0.5 hardware
+     *        format.
+     */
+    static BatchedKroneckerHasher makeRandom(std::size_t k,
+                                             std::size_t d,
+                                             std::size_t num_factors,
+                                             Rng& rng,
+                                             bool quantize_factors
+                                             = false);
+
+    using SrpHasher::hash;
+    HashValue hash(const float* x) const override;
+    std::size_t dim() const override;
+    std::size_t bits() const override;
+    std::size_t multiplicationsPerHash() const override;
+    Matrix denseProjection() const override;
+
+    std::size_t numBatches() const { return batches_.size(); }
+
+  private:
+    std::vector<KroneckerSrpHasher> batches_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_LSH_BATCHED_H_

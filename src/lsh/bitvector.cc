@@ -1,0 +1,56 @@
+#include "lsh/bitvector.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace elsa {
+
+HashValue::HashValue(std::size_t bits)
+    : bits_(bits), words_((bits + 63) / 64, 0)
+{
+}
+
+void
+HashValue::setBit(std::size_t i, bool value)
+{
+    ELSA_ASSERT(i < bits_, "bit index " << i << " out of " << bits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (value) {
+        words_[i / 64] |= mask;
+    } else {
+        words_[i / 64] &= ~mask;
+    }
+}
+
+bool
+HashValue::bit(std::size_t i) const
+{
+    ELSA_ASSERT(i < bits_, "bit index " << i << " out of " << bits_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+int
+HashValue::popcount() const
+{
+    int count = 0;
+    for (const auto word : words_) {
+        count += popcount64(word);
+    }
+    return count;
+}
+
+int
+hammingDistance(const HashValue& a, const HashValue& b)
+{
+    ELSA_CHECK(a.bits() == b.bits(),
+               "hamming distance between different widths: " << a.bits()
+                                                             << " vs "
+                                                             << b.bits());
+    int distance = 0;
+    for (std::size_t w = 0; w < a.words().size(); ++w) {
+        distance += popcount64(a.words()[w] ^ b.words()[w]);
+    }
+    return distance;
+}
+
+} // namespace elsa

@@ -1,0 +1,60 @@
+#ifndef ELSA_LSH_BITVECTOR_H_
+#define ELSA_LSH_BITVECTOR_H_
+
+/**
+ * @file
+ * Packed k-bit hash values (binary embeddings) and Hamming distance.
+ *
+ * A HashValue is the k-bit binary embedding of a query or key vector
+ * (Section III-B). Bits are packed into 64-bit words so the Hamming
+ * distance is a handful of XORs and popcounts -- the exact operation
+ * the candidate selection module's k-bit XOR unit and adder perform.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace elsa {
+
+/** Packed fixed-width bit vector. */
+class HashValue
+{
+  public:
+    /** Empty (zero-bit) value. */
+    HashValue() = default;
+
+    /** All-zero value with the given number of bits. */
+    explicit HashValue(std::size_t bits);
+
+    /** Number of bits. */
+    std::size_t bits() const { return bits_; }
+
+    /** Set bit i to the given value. */
+    void setBit(std::size_t i, bool value);
+
+    /** Read bit i. */
+    bool bit(std::size_t i) const;
+
+    /** Number of set bits. */
+    int popcount() const;
+
+    /** Packed words (little-endian bit order within each word). */
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+    bool operator==(const HashValue&) const = default;
+
+  private:
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * Hamming distance between two equal-width hash values.
+ * This is the hardware's k-bit XOR followed by a population count.
+ */
+int hammingDistance(const HashValue& a, const HashValue& b);
+
+} // namespace elsa
+
+#endif // ELSA_LSH_BITVECTOR_H_

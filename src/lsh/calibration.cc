@@ -1,0 +1,58 @@
+#include "lsh/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "lsh/angle.h"
+#include "lsh/srp.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+
+double
+calibrateThetaBias(std::size_t d, std::size_t k, Rng& rng,
+                   const BiasCalibrationOptions& options)
+{
+    ELSA_CHECK(options.num_pairs > 0 && options.num_hashers > 0,
+               "calibration needs at least one pair and one hasher");
+    std::vector<double> errors;
+    errors.reserve(options.num_pairs * options.num_hashers);
+    const std::size_t pairs_per_hasher =
+        (options.num_pairs + options.num_hashers - 1)
+        / options.num_hashers;
+
+    std::vector<float> x(d);
+    std::vector<float> y(d);
+    for (std::size_t hi = 0; hi < options.num_hashers; ++hi) {
+        const DenseSrpHasher hasher = DenseSrpHasher::makeRandom(k, d, rng);
+        for (std::size_t p = 0; p < pairs_per_hasher; ++p) {
+            for (std::size_t i = 0; i < d; ++i) {
+                x[i] = static_cast<float>(rng.gaussian());
+                y[i] = static_cast<float>(rng.gaussian());
+            }
+            const double cosine =
+                dot(x.data(), y.data(), d)
+                / (l2Norm(x.data(), d) * l2Norm(y.data(), d));
+            const double truth =
+                std::acos(std::clamp(cosine, -1.0, 1.0));
+            const int ham = hammingDistance(hasher.hash(x.data()),
+                                            hasher.hash(y.data()));
+            errors.push_back(estimateAngle(ham, k) - truth);
+        }
+    }
+    return percentile(std::move(errors), options.percentile);
+}
+
+double
+thetaBiasFor(std::size_t d, std::size_t k, Rng& rng)
+{
+    if (d == 64 && k == 64) {
+        return kThetaBias64;
+    }
+    return calibrateThetaBias(d, k, rng);
+}
+
+} // namespace elsa

@@ -1,0 +1,80 @@
+#include "lsh/orthogonal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+
+void
+modifiedGramSchmidt(Matrix& m)
+{
+    ELSA_CHECK(m.rows() <= m.cols(),
+               "Gram-Schmidt requires rows <= cols, got " << m.rows()
+                                                          << "x"
+                                                          << m.cols());
+    const std::size_t d = m.cols();
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        float* vi = m.row(i);
+        const double norm = l2Norm(vi, d);
+        ELSA_CHECK(norm > 1e-12,
+                   "Gram-Schmidt hit a (near-)dependent row " << i);
+        for (std::size_t c = 0; c < d; ++c) {
+            vi[c] = static_cast<float>(vi[c] / norm);
+        }
+        // Modified variant: immediately remove the i-th component from
+        // every later row (numerically stabler than classical GS).
+        for (std::size_t j = i + 1; j < m.rows(); ++j) {
+            float* vj = m.row(j);
+            const double proj = dot(vi, vj, d);
+            for (std::size_t c = 0; c < d; ++c) {
+                vj[c] = static_cast<float>(vj[c] - proj * vi[c]);
+            }
+        }
+    }
+}
+
+Matrix
+randomOrthogonalProjection(std::size_t k, std::size_t d, Rng& rng)
+{
+    ELSA_CHECK(k > 0 && d > 0, "projection dims must be positive");
+    Matrix out(k, d);
+    std::size_t produced = 0;
+    while (produced < k) {
+        const std::size_t batch = std::min(d, k - produced);
+        Matrix block(batch, d);
+        block.fillGaussian(rng);
+        modifiedGramSchmidt(block);
+        for (std::size_t r = 0; r < batch; ++r) {
+            std::copy(block.row(r), block.row(r) + d,
+                      out.row(produced + r));
+        }
+        produced += batch;
+    }
+    return out;
+}
+
+Matrix
+randomOrthogonalSquare(std::size_t s, Rng& rng)
+{
+    return randomOrthogonalProjection(s, s, rng);
+}
+
+double
+orthonormalityError(const Matrix& m)
+{
+    const std::size_t r = m.rows();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < r; ++j) {
+            const double g = dot(m.row(i), m.row(j), m.cols());
+            const double expected = (i == j) ? 1.0 : 0.0;
+            worst = std::max(worst, std::abs(g - expected));
+        }
+    }
+    return worst;
+}
+
+} // namespace elsa

@@ -1,0 +1,59 @@
+#ifndef ELSA_LSH_ORTHOGONAL_H_
+#define ELSA_LSH_ORTHOGONAL_H_
+
+/**
+ * @file
+ * Orthogonal random projection generation (Section III-B).
+ *
+ * ELSA uses a variant of sign random projection whose k projection
+ * vectors are orthogonalized with the modified Gram-Schmidt process.
+ * Orthogonal projections avoid two random vectors pointing in similar
+ * directions, which provably reduces the angle-estimation error
+ * (super-bit LSH, Ji et al.). When k > d, batches of at most d
+ * orthogonal vectors are generated independently.
+ */
+
+#include <cstddef>
+
+#include "tensor/matrix.h"
+
+namespace elsa {
+
+class Rng;
+
+/**
+ * Orthonormalize the rows of m in place using the modified
+ * Gram-Schmidt process. Rows must be linearly independent (which
+ * random Gaussian rows are with probability 1); requires
+ * rows <= cols.
+ */
+void modifiedGramSchmidt(Matrix& m);
+
+/**
+ * Generate a k x d matrix of random orthonormal projection rows.
+ *
+ * Rows are drawn i.i.d. N(0,1) and orthonormalized. When k > d, the
+ * rows are produced in independent batches of at most d rows each
+ * (rows within a batch are mutually orthogonal; rows across batches
+ * are independent), following the super-bit construction.
+ */
+Matrix randomOrthogonalProjection(std::size_t k, std::size_t d, Rng& rng);
+
+/**
+ * Generate a random s x s orthogonal matrix (orthonormal rows and,
+ * because it is square, orthonormal columns).
+ */
+Matrix randomOrthogonalSquare(std::size_t s, Rng& rng);
+
+/**
+ * Max absolute deviation of G = M * M^T from the identity over all
+ * row pairs; a measure of orthonormality used by tests and
+ * calibration sanity checks. Only meaningful when rows <= cols
+ * (cross-batch rows of a k > d projection are independent, not
+ * orthogonal).
+ */
+double orthonormalityError(const Matrix& m);
+
+} // namespace elsa
+
+#endif // ELSA_LSH_ORTHOGONAL_H_

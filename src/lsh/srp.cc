@@ -1,0 +1,196 @@
+#include "lsh/srp.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fixed/fixed_point.h"
+#include "lsh/orthogonal.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+
+namespace {
+
+/** sign(x) per the paper: 1 if x >= 0, else 0. */
+bool
+signBit(double x)
+{
+    return x >= 0.0;
+}
+
+} // namespace
+
+HashValue
+SrpHasher::hash(const std::vector<float>& x) const
+{
+    ELSA_CHECK(x.size() == dim(),
+               "hash input size " << x.size() << " != d = " << dim());
+    return hash(x.data());
+}
+
+std::vector<HashValue>
+SrpHasher::hashRows(const Matrix& m) const
+{
+    ELSA_CHECK(m.cols() == dim(),
+               "hashRows input has " << m.cols() << " cols, d = " << dim());
+    std::vector<HashValue> hashes;
+    hashes.reserve(m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        hashes.push_back(hash(m.row(r)));
+    }
+    return hashes;
+}
+
+// --- DenseSrpHasher --------------------------------------------------
+
+DenseSrpHasher::DenseSrpHasher(Matrix projection)
+    : projection_(std::move(projection))
+{
+    ELSA_CHECK(projection_.rows() > 0 && projection_.cols() > 0,
+               "empty projection matrix");
+}
+
+DenseSrpHasher
+DenseSrpHasher::makeRandom(std::size_t k, std::size_t d, Rng& rng)
+{
+    return DenseSrpHasher(randomOrthogonalProjection(k, d, rng));
+}
+
+HashValue
+DenseSrpHasher::hash(const float* x) const
+{
+    HashValue h(bits());
+    for (std::size_t i = 0; i < bits(); ++i) {
+        h.setBit(i, signBit(dot(projection_.row(i), x, dim())));
+    }
+    return h;
+}
+
+std::size_t
+DenseSrpHasher::multiplicationsPerHash() const
+{
+    return bits() * dim();
+}
+
+// --- KroneckerSrpHasher ----------------------------------------------
+
+KroneckerSrpHasher::KroneckerSrpHasher(std::vector<Matrix> factors)
+    : factors_(std::move(factors))
+{
+    ELSA_CHECK(!factors_.empty(), "KroneckerSrpHasher needs >= 1 factor");
+    factor_size_ = factors_.front().rows();
+    dim_ = 1;
+    for (const auto& f : factors_) {
+        ELSA_CHECK(f.rows() == factor_size_ && f.cols() == factor_size_,
+                   "Kronecker factors must all be square of equal size; "
+                   "got " << f.rows() << "x" << f.cols() << " vs s = "
+                          << factor_size_);
+        dim_ *= factor_size_;
+    }
+}
+
+KroneckerSrpHasher
+KroneckerSrpHasher::makeRandom(std::size_t d, std::size_t num_factors,
+                               Rng& rng, bool quantize_factors)
+{
+    ELSA_CHECK(num_factors >= 1, "need at least one Kronecker factor");
+    const double root = std::pow(static_cast<double>(d),
+                                 1.0 / static_cast<double>(num_factors));
+    const auto s = static_cast<std::size_t>(std::lround(root));
+    std::size_t check = 1;
+    for (std::size_t i = 0; i < num_factors; ++i) {
+        check *= s;
+    }
+    ELSA_CHECK(check == d,
+               "d = " << d << " is not a perfect " << num_factors
+                      << "-th power");
+    std::vector<Matrix> factors;
+    factors.reserve(num_factors);
+    for (std::size_t i = 0; i < num_factors; ++i) {
+        Matrix f = randomOrthogonalSquare(s, rng);
+        if (quantize_factors) {
+            f = quantizeProjectionMatrix(f);
+        }
+        factors.push_back(std::move(f));
+    }
+    return KroneckerSrpHasher(std::move(factors));
+}
+
+std::vector<float>
+KroneckerSrpHasher::project(const float* x) const
+{
+    const std::size_t s = factor_size_;
+    const std::size_t m = factors_.size();
+    std::vector<float> buf(x, x + dim_);
+    std::vector<float> tmp(dim_);
+    // Contract one tensor mode per factor. Viewing x as an order-m
+    // tensor with every mode of extent s, mode t has stride s^(m-1-t)
+    // in row-major order; contracting A_t over mode t costs d*s
+    // multiplications, for m*d*s total (Section III-C).
+    std::size_t stride = dim_ / s; // stride of mode 0
+    for (std::size_t t = 0; t < m; ++t) {
+        const Matrix& a = factors_[t];
+        const std::size_t block = s * stride;
+        for (std::size_t base = 0; base < dim_; base += block) {
+            for (std::size_t inner = 0; inner < stride; ++inner) {
+                const std::size_t offset = base + inner;
+                for (std::size_t j = 0; j < s; ++j) {
+                    double acc = 0.0;
+                    for (std::size_t i = 0; i < s; ++i) {
+                        acc += static_cast<double>(a(j, i))
+                               * static_cast<double>(
+                                   buf[offset + i * stride]);
+                    }
+                    tmp[offset + j * stride] = static_cast<float>(acc);
+                }
+            }
+        }
+        buf.swap(tmp);
+        stride /= s;
+    }
+    return buf;
+}
+
+HashValue
+KroneckerSrpHasher::hash(const float* x) const
+{
+    const std::vector<float> projected = project(x);
+    HashValue h(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) {
+        h.setBit(i, signBit(projected[i]));
+    }
+    return h;
+}
+
+std::size_t
+KroneckerSrpHasher::multiplicationsPerHash() const
+{
+    return factors_.size() * dim_ * factor_size_;
+}
+
+Matrix
+KroneckerSrpHasher::denseProjection() const
+{
+    Matrix acc = factors_.front();
+    for (std::size_t i = 1; i < factors_.size(); ++i) {
+        acc = kronecker(acc, factors_[i]);
+    }
+    return acc;
+}
+
+// --- Quantization ----------------------------------------------------
+
+Matrix
+quantizeProjectionMatrix(const Matrix& m)
+{
+    Matrix out(m.rows(), m.cols());
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+            out(i, j) = static_cast<float>(
+                quantize<0, 5>(static_cast<double>(m(i, j))));
+        }
+    }
+    return out;
+}
+
+} // namespace elsa

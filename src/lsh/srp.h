@@ -1,0 +1,151 @@
+#ifndef ELSA_LSH_SRP_H_
+#define ELSA_LSH_SRP_H_
+
+/**
+ * @file
+ * Sign random projection (SRP) hashing (Sections III-B and III-C).
+ *
+ * An SrpHasher maps a d-dimensional vector to a k-bit binary hash:
+ * bit i is 1 iff the dot product with the i-th projection row is
+ * >= 0. Two implementations are provided:
+ *
+ *  - DenseSrpHasher multiplies by an explicit k x d orthogonal matrix
+ *    (k*d multiplications per hash).
+ *  - KroneckerSrpHasher represents the projection as the Kronecker
+ *    product of m small s x s orthogonal factors (d = s^m) and
+ *    evaluates it with m*d*s multiplications per hash -- 2d^(3/2) for
+ *    m = 2 and 3d^(4/3) for m = 3, matching Section III-C.
+ *
+ * Both report their per-hash multiplication count so the cost model
+ * and the ablation benchmarks can compare them. The projection
+ * matrix elements can optionally be quantized to the hardware's S0.5
+ * fixed-point format.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "lsh/bitvector.h"
+#include "tensor/matrix.h"
+
+namespace elsa {
+
+class Rng;
+
+/** Interface of a sign-random-projection hasher. */
+class SrpHasher
+{
+  public:
+    virtual ~SrpHasher() = default;
+
+    /** Hash a d-dimensional vector into a k-bit binary embedding. */
+    virtual HashValue hash(const float* x) const = 0;
+
+    /** Convenience overload. */
+    HashValue hash(const std::vector<float>& x) const;
+
+    /** Hash every row of the given n x d matrix. */
+    std::vector<HashValue> hashRows(const Matrix& m) const;
+
+    /** Input dimensionality d. */
+    virtual std::size_t dim() const = 0;
+
+    /** Hash width k in bits. */
+    virtual std::size_t bits() const = 0;
+
+    /** Number of scalar multiplications needed per hash. */
+    virtual std::size_t multiplicationsPerHash() const = 0;
+
+    /**
+     * The k x d projection matrix this hasher applies (expanded to
+     * dense form for the Kronecker variant). Used by equivalence
+     * tests.
+     */
+    virtual Matrix denseProjection() const = 0;
+};
+
+/** SRP hasher holding an explicit dense projection matrix. */
+class DenseSrpHasher : public SrpHasher
+{
+  public:
+    /**
+     * Construct from a k x d projection matrix (rows are the
+     * projection vectors).
+     */
+    explicit DenseSrpHasher(Matrix projection);
+
+    /** Generate a random orthogonal k x d projection from rng. */
+    static DenseSrpHasher makeRandom(std::size_t k, std::size_t d,
+                                     Rng& rng);
+
+    using SrpHasher::hash;
+    HashValue hash(const float* x) const override;
+    std::size_t dim() const override { return projection_.cols(); }
+    std::size_t bits() const override { return projection_.rows(); }
+    std::size_t multiplicationsPerHash() const override;
+    Matrix denseProjection() const override { return projection_; }
+
+  private:
+    Matrix projection_;
+};
+
+/**
+ * SRP hasher whose projection is a Kronecker product of m square
+ * orthogonal factors, evaluated through tensor contractions.
+ */
+class KroneckerSrpHasher : public SrpHasher
+{
+  public:
+    /**
+     * Construct from the list of s x s orthogonal factors
+     * A_1, ..., A_m. The input dimension is s^m and the hash width
+     * equals the input dimension.
+     */
+    explicit KroneckerSrpHasher(std::vector<Matrix> factors);
+
+    /**
+     * Generate a random Kronecker hasher for d = s^m.
+     *
+     * @param d           Input dimension; must equal s^m.
+     * @param num_factors m, the number of Kronecker factors.
+     * @param rng         Randomness source.
+     * @param quantize_factors When true, factor elements are rounded
+     *        to the hardware's S0.5 fixed-point format (Section IV-E).
+     */
+    static KroneckerSrpHasher makeRandom(std::size_t d,
+                                         std::size_t num_factors, Rng& rng,
+                                         bool quantize_factors = false);
+
+    using SrpHasher::hash;
+    HashValue hash(const float* x) const override;
+    std::size_t dim() const override { return dim_; }
+    std::size_t bits() const override { return dim_; }
+    std::size_t multiplicationsPerHash() const override;
+    Matrix denseProjection() const override;
+
+    /** The Kronecker factors A_1, ..., A_m. */
+    const std::vector<Matrix>& factors() const { return factors_; }
+
+    /**
+     * Apply the projection to x, returning the pre-sign projected
+     * values (useful for testing the contraction path against the
+     * dense product).
+     */
+    std::vector<float> project(const float* x) const;
+
+  private:
+    std::vector<Matrix> factors_;
+    std::size_t dim_ = 0;
+    std::size_t factor_size_ = 0;
+};
+
+/**
+ * Quantize every element of a projection matrix to the S0.5
+ * fixed-point format used for the pre-defined hash matrices.
+ */
+Matrix quantizeProjectionMatrix(const Matrix& m);
+
+} // namespace elsa
+
+#endif // ELSA_LSH_SRP_H_

@@ -1,0 +1,170 @@
+#include "sim/accelerator.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "sim/candidate_stage.h"
+#include "sim/pipeline_model.h"
+
+namespace elsa {
+
+double
+RunResult::candidateFraction() const
+{
+    if (candidates_per_query.empty()) {
+        return 0.0;
+    }
+    std::size_t total = 0;
+    for (const auto c : candidates_per_query) {
+        total += c;
+    }
+    const double n = static_cast<double>(candidates_per_query.size());
+    return static_cast<double>(total) / (n * n);
+}
+
+Accelerator::Accelerator(SimConfig config,
+                         std::shared_ptr<const SrpHasher> hasher,
+                         double theta_bias)
+    : config_(config),
+      functional_(config, std::move(hasher), theta_bias)
+{
+    config_.validate();
+}
+
+RunResult
+Accelerator::run(const AttentionInput& input, double threshold) const
+{
+    input.validate();
+    const std::size_t n = input.n();
+    const std::size_t d = config_.d;
+    const std::size_t pa = config_.pa;
+    const std::size_t keys_per_bank = ceilDiv(n, pa);
+
+    RunResult result;
+    result.output = Matrix(n, d);
+    result.candidates_per_query.resize(n);
+
+    // ---- Preprocessing phase (Section IV-C (2)) ----
+    const FunctionalContext ctx = functional_.preprocess(input);
+    const std::size_t hash_per_vec = hashCyclesPerVector(config_);
+    result.preprocess_cycles = preprocessingCycles(config_, n);
+
+    // Hash module: n key hashes + the first query hash.
+    result.activity.add(HwModule::kHashComputation,
+                        static_cast<double>(hash_per_vec * (n + 1)));
+    // Norm module and the attention multipliers it borrows: one key
+    // dot product per attention module per cycle.
+    const double norm_cycles =
+        static_cast<double>(ceilDiv(n, pa));
+    result.activity.add(HwModule::kNormComputation,
+                        static_cast<double>(n));
+    result.activity.add(HwModule::kAttentionCompute, norm_cycles);
+    // SRAM traffic of the preprocessing phase: key/value reads for
+    // hashing and norms, key hash/norm writes.
+    result.activity.add(HwModule::kKeyValueMemory, norm_cycles);
+    result.activity.add(HwModule::kKeyHashMemory,
+                        static_cast<double>(n) / (pa * config_.pc));
+    result.activity.add(HwModule::kKeyNormMemory,
+                        static_cast<double>(n) / (pa * config_.pc));
+
+    // ---- Execution phase ----
+    const std::size_t division_cycles = divisionCyclesPerQuery(config_);
+    std::size_t exec_cycles = 0;
+
+    std::vector<std::vector<std::uint32_t>> bank_grants(pa);
+    for (std::size_t i = 0; i < n; ++i) {
+        const HashValue& query_hash = ctx.query_hashes[i];
+
+        std::size_t total_candidates = 0;
+        std::size_t max_bank_cycles = 0;
+        std::size_t query_stalls = 0;
+        double scanned_keys = 0.0;
+        for (std::size_t b = 0; b < pa; ++b) {
+            const std::size_t begin = b * keys_per_bank;
+            const std::size_t end =
+                std::min(n, begin + keys_per_bank);
+            bank_grants[b].clear();
+            if (begin >= end) {
+                continue;
+            }
+            const std::vector<bool> hits = functional_.bankHits(
+                ctx, query_hash, begin, end, threshold);
+            const BankQueryTrace trace =
+                simulateBankQuery(hits, config_);
+            for (const auto local : trace.grant_order) {
+                bank_grants[b].push_back(
+                    static_cast<std::uint32_t>(begin + local));
+            }
+            total_candidates += trace.grant_order.size();
+            result.stall_cycles += trace.stall_cycles;
+            query_stalls += trace.stall_cycles;
+            scanned_keys += static_cast<double>(trace.scan_cycles);
+            max_bank_cycles = std::max(max_bank_cycles, trace.cycles);
+        }
+
+        bool used_fallback = false;
+        if (total_candidates == 0) {
+            // Fallback: use the key with the highest approximate
+            // similarity so the output row stays defined.
+            ++result.empty_selections;
+            used_fallback = true;
+            const std::uint32_t best = functional_.bestKey(ctx,
+                                                           query_hash);
+            bank_grants[best / keys_per_bank].push_back(best);
+            total_candidates = 1;
+        }
+        result.candidates_per_query[i] = total_candidates;
+
+        // Pipeline interval of this query (Fig. 9): the banked scan
+        // plus attention drain, the (overlapped) hash of the next
+        // query, and the (overlapped) division of the previous one.
+        const std::size_t bank_time =
+            max_bank_cycles + config_.attention_pipeline_latency;
+        const std::size_t interval =
+            std::max({bank_time, hash_per_vec, division_cycles});
+        exec_cycles += interval;
+
+        if (config_.collect_query_trace) {
+            result.query_trace.push_back(
+                {i, interval, max_bank_cycles, total_candidates,
+                 query_stalls, used_fallback});
+        }
+
+        // Activity: candidate modules and the hash/norm SRAMs they
+        // read run for the scanned keys; the attention modules and
+        // the key/value SRAM run one cycle per granted candidate.
+        const double group_scan = scanned_keys
+                                  / static_cast<double>(pa * config_.pc);
+        result.activity.add(HwModule::kCandidateSelection, group_scan);
+        result.activity.add(HwModule::kKeyHashMemory, group_scan);
+        result.activity.add(HwModule::kKeyNormMemory, group_scan);
+        const double attention_cycles =
+            static_cast<double>(total_candidates)
+            / static_cast<double>(pa);
+        result.activity.add(HwModule::kAttentionCompute,
+                            attention_cycles);
+        result.activity.add(HwModule::kKeyValueMemory, attention_cycles);
+        result.activity.add(HwModule::kOutputDivision,
+                            static_cast<double>(division_cycles));
+        // Query read + output write traffic.
+        result.activity.add(HwModule::kQueryOutputMemory,
+                            1.0 + static_cast<double>(division_cycles));
+        // The hash module computes the next query's hash during this
+        // interval.
+        if (i + 1 < n) {
+            result.activity.add(HwModule::kHashComputation,
+                                static_cast<double>(hash_per_vec));
+        }
+
+        // ---- Functional output ----
+        const QueryOutput out =
+            functional_.computeQueryOutput(ctx, i, bank_grants);
+        std::copy(out.row.begin(), out.row.end(), result.output.row(i));
+    }
+
+    // Tail: the last query's output division drains after the loop.
+    result.execute_cycles = exec_cycles + division_cycles;
+    return result;
+}
+
+} // namespace elsa

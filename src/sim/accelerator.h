@@ -1,0 +1,119 @@
+#ifndef ELSA_SIM_ACCELERATOR_H_
+#define ELSA_SIM_ACCELERATOR_H_
+
+/**
+ * @file
+ * Cycle-level simulator of one ELSA accelerator (Section IV).
+ *
+ * The simulator is split functional/timing: the FunctionalModel
+ * computes the values flowing through the datapath (with the hardware
+ * number formats) while this class assembles the pipeline timing:
+ *
+ *   preprocessing:  hash every key + the first query
+ *                   (3 d^(4/3) (n+1) / m_h cycles), norms overlapped;
+ *   execution:      per query, the banked candidate-selection scan is
+ *                   simulated cycle by cycle (queues, backpressure,
+ *                   longest-queue-first arbiter); the query's pipeline
+ *                   interval is the maximum of the bank times, the
+ *                   next query's hash time, and the previous query's
+ *                   output division time (Fig. 9);
+ *   activity:       per-module active-cycle counters feed the energy
+ *                   model (Fig. 13).
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "attention/exact.h"
+#include "energy/energy_model.h"
+#include "sim/config.h"
+#include "sim/functional.h"
+
+namespace elsa {
+
+/** One query's timing, recorded when SimConfig::collect_query_trace
+ *  is set. */
+struct QueryTraceRecord
+{
+    std::size_t query_id = 0;
+    /** Pipeline interval charged to this query. */
+    std::size_t interval_cycles = 0;
+    /** Slowest bank's scan+drain time. */
+    std::size_t max_bank_cycles = 0;
+    /** Candidates selected (after fallback). */
+    std::size_t candidates = 0;
+    /** Candidate-module stall cycles across banks. */
+    std::size_t stall_cycles = 0;
+    /** True when the no-candidate fallback fired. */
+    bool used_fallback = false;
+};
+
+/** Timing and value results of one self-attention run. */
+struct RunResult
+{
+    std::size_t preprocess_cycles = 0;
+    std::size_t execute_cycles = 0;
+
+    /** Total elapsed cycles. */
+    std::size_t totalCycles() const
+    {
+        return preprocess_cycles + execute_cycles;
+    }
+
+    /** The computed n x d output matrix. */
+    Matrix output;
+
+    /** Selected candidate count per query (after the fallback). */
+    std::vector<std::size_t> candidates_per_query;
+
+    /** Per-module active cycles for the energy model. */
+    ActivityCounters activity;
+
+    /** Total candidate-module stall cycles (queue backpressure). */
+    std::size_t stall_cycles = 0;
+
+    /** Queries that needed the no-candidate fallback. */
+    std::size_t empty_selections = 0;
+
+    /** Per-query records; empty unless collect_query_trace is set. */
+    std::vector<QueryTraceRecord> query_trace;
+
+    /** Mean candidates per query / n. */
+    double candidateFraction() const;
+};
+
+/** One simulated ELSA accelerator. */
+class Accelerator
+{
+  public:
+    /**
+     * @param config     Pipeline configuration.
+     * @param hasher     SRP hasher (the pre-defined hash matrices).
+     * @param theta_bias Angle correction bias.
+     */
+    Accelerator(SimConfig config,
+                std::shared_ptr<const SrpHasher> hasher,
+                double theta_bias);
+
+    const SimConfig& config() const { return config_; }
+    const FunctionalModel& functional() const { return functional_; }
+
+    /**
+     * Run one self-attention operation.
+     *
+     * @param input     Q/K/V (n rows of real tokens; no padding).
+     * @param threshold Learned candidate-selection threshold t; pass
+     *                  -infinity (or ThresholdLearner's p = 0 value)
+     *                  for the ELSA-base exact mode.
+     */
+    RunResult run(const AttentionInput& input, double threshold) const;
+
+  private:
+    SimConfig config_;
+    FunctionalModel functional_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_SIM_ACCELERATOR_H_

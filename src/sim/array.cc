@@ -1,0 +1,59 @@
+#include "sim/array.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+AcceleratorArray::AcceleratorArray(SimConfig config,
+                                   std::size_t num_accelerators,
+                                   std::shared_ptr<const SrpHasher> hasher,
+                                   double theta_bias,
+                                   SchedulingPolicy policy)
+    : num_accelerators_(num_accelerators),
+      accelerator_(config, std::move(hasher), theta_bias),
+      policy_(policy)
+{
+    ELSA_CHECK(num_accelerators > 0, "array needs >= 1 accelerator");
+}
+
+ArrayRunResult
+AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
+                      const std::vector<double>& thresholds) const
+{
+    ELSA_CHECK(inputs.size() == thresholds.size(),
+               "inputs/thresholds size mismatch");
+    ArrayRunResult result;
+    result.num_invocations = inputs.size();
+
+    // Greedy least-loaded scheduling; accelerators are identical so
+    // only the load vector matters.
+    std::vector<std::size_t> load(num_accelerators_, 0);
+    double fraction_sum = 0.0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        ELSA_CHECK(inputs[i] != nullptr, "null input " << i);
+        const RunResult run_result =
+            accelerator_.run(*inputs[i], thresholds[i]);
+        const std::size_t cycles = run_result.totalCycles();
+        result.total_cycles += cycles;
+        result.total_preprocess_cycles += run_result.preprocess_cycles;
+        result.activity.merge(run_result.activity);
+        fraction_sum += run_result.candidateFraction();
+
+        if (policy_ == SchedulingPolicy::kLeastLoaded) {
+            auto least = std::min_element(load.begin(), load.end());
+            *least += cycles;
+        } else {
+            load[i % num_accelerators_] += cycles;
+        }
+    }
+    result.makespan_cycles = *std::max_element(load.begin(), load.end());
+    result.mean_candidate_fraction =
+        inputs.empty() ? 0.0
+                       : fraction_sum
+                             / static_cast<double>(inputs.size());
+    return result;
+}
+
+} // namespace elsa

@@ -1,0 +1,101 @@
+#ifndef ELSA_SIM_ARRAY_H_
+#define ELSA_SIM_ARRAY_H_
+
+/**
+ * @file
+ * Batch-level parallelism across multiple ELSA accelerators
+ * (Section IV-D: "the whole ELSA accelerators can be replicated to
+ * exploit batch-level parallelism; our evaluation utilizes a set of
+ * twelve ELSA accelerators").
+ *
+ * Self-attention operations of a batch are independent, so the array
+ * schedules each invocation onto the least-loaded accelerator and
+ * the batch completes at the makespan.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/accelerator.h"
+
+namespace elsa {
+
+/** Summary of running a batch of invocations on the array. */
+struct ArrayRunResult
+{
+    /** Completion time of the batch (max over accelerators). */
+    std::size_t makespan_cycles = 0;
+
+    /** Sum of per-invocation cycles (work, not wall time). */
+    std::size_t total_cycles = 0;
+
+    /** Sum of per-invocation preprocessing cycles. */
+    std::size_t total_preprocess_cycles = 0;
+
+    /** Number of invocations executed. */
+    std::size_t num_invocations = 0;
+
+    /** Merged per-module activity of all invocations. */
+    ActivityCounters activity;
+
+    /** Mean candidate fraction over invocations. */
+    double mean_candidate_fraction = 0.0;
+
+    /** Mean per-invocation latency in cycles. */
+    double meanLatencyCycles() const
+    {
+        return num_invocations == 0
+                   ? 0.0
+                   : static_cast<double>(total_cycles)
+                         / static_cast<double>(num_invocations);
+    }
+};
+
+/** How batch invocations are assigned to accelerators. */
+enum class SchedulingPolicy
+{
+    /** Each invocation goes to the currently least-loaded unit. */
+    kLeastLoaded,
+    /** Invocation i goes to unit i mod num_accelerators. */
+    kRoundRobin,
+};
+
+/** An array of identical ELSA accelerators. */
+class AcceleratorArray
+{
+  public:
+    /**
+     * @param config           Per-accelerator configuration.
+     * @param num_accelerators Replication factor (12 in the paper).
+     * @param hasher           Shared SRP hasher.
+     * @param theta_bias       Angle correction bias.
+     * @param policy           Batch scheduling policy.
+     */
+    AcceleratorArray(SimConfig config, std::size_t num_accelerators,
+                     std::shared_ptr<const SrpHasher> hasher,
+                     double theta_bias,
+                     SchedulingPolicy policy
+                     = SchedulingPolicy::kLeastLoaded);
+
+    std::size_t size() const { return num_accelerators_; }
+    const Accelerator& accelerator() const { return accelerator_; }
+
+    /**
+     * Run a batch: invocation i uses thresholds[i]. Outputs are
+     * discarded (only timing/energy summaries are kept); use
+     * Accelerator::run directly when the output matrix is needed.
+     */
+    ArrayRunResult
+    run(const std::vector<const AttentionInput*>& inputs,
+        const std::vector<double>& thresholds) const;
+
+  private:
+    std::size_t num_accelerators_;
+    Accelerator accelerator_;
+    SchedulingPolicy policy_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_SIM_ARRAY_H_

@@ -1,0 +1,90 @@
+#include "sim/candidate_stage.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+BankQueryTrace
+simulateBankQuery(const std::vector<bool>& hits, const SimConfig& config)
+{
+    const std::size_t pc = config.pc;
+    const std::size_t num_keys = hits.size();
+
+    BankQueryTrace trace;
+    if (num_keys == 0) {
+        return trace;
+    }
+
+    // Per-module scan cursor: module m processes bank-local keys
+    // m, m + pc, m + 2 pc, ... in order.
+    std::vector<std::size_t> cursor(pc, 0);
+    std::vector<std::deque<std::uint32_t>> queues(pc);
+
+    auto moduleDone = [&](std::size_t m) {
+        return m + cursor[m] * pc >= num_keys;
+    };
+
+    std::size_t cycle = 0;
+    for (;;) {
+        bool all_scanned = true;
+        for (std::size_t m = 0; m < pc; ++m) {
+            if (!moduleDone(m)) {
+                all_scanned = false;
+                break;
+            }
+        }
+        bool queues_empty = true;
+        for (const auto& q : queues) {
+            if (!q.empty()) {
+                queues_empty = false;
+                break;
+            }
+        }
+        if (all_scanned && queues_empty) {
+            break;
+        }
+        ++cycle;
+
+        // Arbiter: grant from the longest queue (ties -> lowest
+        // module index). The grant frees a slot at the start of the
+        // cycle, so a module can refill it in the same cycle.
+        std::size_t best = pc;
+        std::size_t best_size = 0;
+        for (std::size_t m = 0; m < pc; ++m) {
+            if (queues[m].size() > best_size) {
+                best_size = queues[m].size();
+                best = m;
+            }
+        }
+        if (best < pc) {
+            trace.grant_order.push_back(queues[best].front());
+            queues[best].pop_front();
+        }
+
+        // Candidate selection modules: one key per cycle unless the
+        // output queue is full and the key would need a slot.
+        for (std::size_t m = 0; m < pc; ++m) {
+            if (moduleDone(m)) {
+                continue;
+            }
+            const std::size_t key = m + cursor[m] * pc;
+            if (hits[key]) {
+                if (queues[m].size() >= config.queue_depth) {
+                    ++trace.stall_cycles;
+                    continue; // Backpressure: retry next cycle.
+                }
+                queues[m].push_back(static_cast<std::uint32_t>(key));
+            }
+            ++cursor[m];
+            ++trace.scan_cycles;
+        }
+    }
+    // The bank is occupied until the scan completed *and* the queues
+    // drained, whichever is later.
+    trace.cycles = cycle;
+    return trace;
+}
+
+} // namespace elsa

@@ -1,0 +1,58 @@
+#ifndef ELSA_SIM_CANDIDATE_STAGE_H_
+#define ELSA_SIM_CANDIDATE_STAGE_H_
+
+/**
+ * @file
+ * Cycle-accurate model of one bank's candidate selection stage
+ * (Section IV-C (1)).
+ *
+ * Per bank, P_c fully-pipelined candidate selection modules each
+ * process one key per cycle (module m handles the bank's keys with
+ * local index congruent to m modulo P_c). A module that finds a
+ * candidate pushes the key id into its finite output queue; when the
+ * queue is full the module stalls. An arbiter with the
+ * longest-queue-first policy forwards one candidate per cycle to the
+ * bank's attention computation module.
+ *
+ * The stage finishes when every module has scanned all of its keys
+ * and every queue has drained; the attention module then needs its
+ * pipeline-drain latency on top (accounted by the Accelerator).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace elsa {
+
+/** Result of simulating one (query, bank) candidate scan. */
+struct BankQueryTrace
+{
+    /** Cycles until the scan completed and all queues drained. */
+    std::size_t cycles = 0;
+
+    /** Key ids (bank-local) in the order the arbiter granted them. */
+    std::vector<std::uint32_t> grant_order;
+
+    /** Total module-cycles lost to queue backpressure. */
+    std::size_t stall_cycles = 0;
+
+    /** Cycles the P_c modules spent scanning (for energy). */
+    std::size_t scan_cycles = 0;
+};
+
+/**
+ * Simulate the candidate selection stage of one bank for one query.
+ *
+ * @param hits   hits[j] is true when the bank's j-th key passes the
+ *               threshold filter (selected as a candidate).
+ * @param config Pipeline configuration (uses pc and queue_depth).
+ */
+BankQueryTrace simulateBankQuery(const std::vector<bool>& hits,
+                                 const SimConfig& config);
+
+} // namespace elsa
+
+#endif // ELSA_SIM_CANDIDATE_STAGE_H_

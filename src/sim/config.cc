@@ -1,0 +1,39 @@
+#include "sim/config.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+void
+SimConfig::validate() const
+{
+    ELSA_CHECK(d > 0 && k > 0, "d and k must be positive");
+    ELSA_CHECK(pa > 0 && pc > 0, "P_a and P_c must be positive");
+    ELSA_CHECK(mh > 0 && mo > 0, "m_h and m_o must be positive");
+    ELSA_CHECK(num_hash_factors >= 1, "need >= 1 hash factor");
+    ELSA_CHECK(queue_depth >= 1, "queue depth must be >= 1");
+    ELSA_CHECK(frequency_ghz > 0.0, "frequency must be positive");
+    // d must be a perfect num_hash_factors-th power for the
+    // Kronecker-structured hash matrices.
+    const double root = std::pow(static_cast<double>(d),
+                                 1.0 / static_cast<double>(
+                                     num_hash_factors));
+    const auto s = static_cast<std::size_t>(std::lround(root));
+    std::size_t check = 1;
+    for (std::size_t i = 0; i < num_hash_factors; ++i) {
+        check *= s;
+    }
+    ELSA_CHECK(check == d,
+               "d = " << d << " is not a perfect " << num_hash_factors
+                      << "-th power, required by the Kronecker hash");
+}
+
+SimConfig
+SimConfig::paperConfig()
+{
+    return SimConfig{}; // Defaults are the paper's configuration.
+}
+
+} // namespace elsa

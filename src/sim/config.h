@@ -1,0 +1,80 @@
+#ifndef ELSA_SIM_CONFIG_H_
+#define ELSA_SIM_CONFIG_H_
+
+/**
+ * @file
+ * Configuration of the simulated ELSA accelerator (Section IV).
+ *
+ * The evaluation configuration of the paper is the default:
+ * d = k = 64, P_a = 4 attention computation modules (banks),
+ * P_c = 8 candidate selection modules per bank, m_h = 256 hash
+ * multipliers, m_o = 16 output-division multipliers, 1 GHz clock,
+ * and twelve accelerators for batch-level parallelism.
+ */
+
+#include <cstddef>
+
+namespace elsa {
+
+/** Parameters of one simulated ELSA accelerator. */
+struct SimConfig
+{
+    /** Embedding dimension d of queries/keys/values. */
+    std::size_t d = 64;
+
+    /** Hash width k in bits (k = d in the evaluated design). */
+    std::size_t k = 64;
+
+    /** Number of attention computation modules / memory banks (P_a). */
+    std::size_t pa = 4;
+
+    /** Candidate selection modules per bank (P_c). */
+    std::size_t pc = 8;
+
+    /** Multipliers in the hash computation module (m_h). */
+    std::size_t mh = 256;
+
+    /** Multipliers in the output division module (m_o). */
+    std::size_t mo = 16;
+
+    /** Kronecker factors of the hash projection (Section III-C). */
+    std::size_t num_hash_factors = 3;
+
+    /** Depth of each candidate selection module's output queue. */
+    std::size_t queue_depth = 4;
+
+    /**
+     * Cycles between the last arbiter grant of a query and the
+     * hand-off of its accumulated row to the output division module.
+     * The attention module's adder tree / exponent / MAC stages are
+     * deeper than this, but double-buffered accumulators let the
+     * drain overlap the next query's candidate scan, leaving only a
+     * short hand-off bubble.
+     */
+    std::size_t attention_pipeline_latency = 2;
+
+    /** Accelerator clock frequency. */
+    double frequency_ghz = 1.0;
+
+    /** Record a per-query QueryTraceRecord in the RunResult. */
+    bool collect_query_trace = false;
+
+    /**
+     * When true, the functional model applies the hardware number
+     * formats (S5.3 inputs, 8-bit key norms, LUT exponent/reciprocal/
+     * sqrt, custom-float accumulation). When false, the functional
+     * path uses double precision, which must match the software
+     * algorithm bit-for-bit (used by the equivalence tests).
+     */
+    bool model_quantization = true;
+
+    /** Raise elsa::Error unless the configuration is consistent. */
+    void validate() const;
+
+    /** The paper's synthesis/evaluation configuration. */
+    static SimConfig paperConfig();
+};
+
+} // namespace elsa
+
+#endif // ELSA_SIM_CONFIG_H_

@@ -1,0 +1,50 @@
+#include "sim/host.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "energy/area_power.h"
+
+namespace elsa {
+
+void
+HostInterfaceConfig::validate() const
+{
+    ELSA_CHECK(copy_bytes_per_cycle > 0,
+               "copy bandwidth must be positive");
+}
+
+HostInterface::HostInterface(HostInterfaceConfig config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+std::size_t
+HostInterface::transferBytes(std::size_t n, std::size_t d) const
+{
+    // Q, K, V in; O out -- four matrices in the 9-bit SRAM format.
+    return 4 * matrixMemoryBytes(n, d);
+}
+
+std::size_t
+HostInterface::overheadCycles(std::size_t n, std::size_t d) const
+{
+    std::size_t cycles = config_.command_cycles;
+    if (config_.mode == HostTransferMode::kCopy) {
+        cycles += ceilDiv(transferBytes(n, d),
+                          config_.copy_bytes_per_cycle);
+    }
+    return cycles;
+}
+
+double
+HostInterface::overheadFraction(std::size_t n, std::size_t d,
+                                std::size_t compute_cycles) const
+{
+    const double overhead =
+        static_cast<double>(overheadCycles(n, d));
+    return overhead
+           / (overhead + static_cast<double>(compute_cycles));
+}
+
+} // namespace elsa

@@ -1,0 +1,81 @@
+#ifndef ELSA_SIM_HOST_H_
+#define ELSA_SIM_HOST_H_
+
+/**
+ * @file
+ * Host-integration model (Section IV-B).
+ *
+ * The ELSA accelerator is a functional unit attached to a host (CPU,
+ * GPU, or NN accelerator). The host issues a command with n and the
+ * Q/K/V matrix locations, the accelerator runs, writes the output
+ * matrix, and notifies the host. Two integration styles exist:
+ *
+ *  - pass-by-reference: the matrices stay in the host's scratchpad
+ *    (e.g. GPU shared memory) and the accelerator reads them in
+ *    place -- only the command round trip is paid;
+ *  - copy-in/copy-out: the matrices are staged into the accelerator's
+ *    own SRAMs over an on-chip link of finite bandwidth.
+ *
+ * The model yields the per-invocation host overhead in cycles so the
+ * evaluation can show that pass-by-reference keeps the overhead
+ * negligible while naive copying erodes the speedup at small n.
+ */
+
+#include <cstddef>
+
+#include "sim/config.h"
+
+namespace elsa {
+
+/** How the host shares the Q/K/V/O matrices with the accelerator. */
+enum class HostTransferMode
+{
+    kPassByReference, ///< Accelerator reads host scratchpad in place.
+    kCopy,            ///< Matrices staged over the on-chip link.
+};
+
+/** Host-interface parameters. */
+struct HostInterfaceConfig
+{
+    HostTransferMode mode = HostTransferMode::kPassByReference;
+
+    /** Command issue + completion notification round trip (cycles). */
+    std::size_t command_cycles = 100;
+
+    /** On-chip link bandwidth for kCopy, bytes per cycle. */
+    std::size_t copy_bytes_per_cycle = 64;
+
+    void validate() const;
+};
+
+/** Per-invocation host overhead model. */
+class HostInterface
+{
+  public:
+    explicit HostInterface(HostInterfaceConfig config);
+
+    const HostInterfaceConfig& config() const { return config_; }
+
+    /**
+     * Bytes moved per invocation in kCopy mode: Q, K, V in and O out,
+     * each n x d at 9 bits per element (the matrix SRAM format).
+     */
+    std::size_t transferBytes(std::size_t n, std::size_t d) const;
+
+    /** Host overhead cycles added to one self-attention invocation. */
+    std::size_t overheadCycles(std::size_t n, std::size_t d) const;
+
+    /**
+     * Fraction of the total invocation time spent on host overhead,
+     * given the accelerator's compute cycles for that invocation.
+     */
+    double overheadFraction(std::size_t n, std::size_t d,
+                            std::size_t compute_cycles) const;
+
+  private:
+    HostInterfaceConfig config_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_SIM_HOST_H_

@@ -1,0 +1,79 @@
+#include "sim/pipeline_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace elsa {
+
+std::size_t
+hashMultiplications(std::size_t d, std::size_t num_factors)
+{
+    const double root = std::pow(static_cast<double>(d),
+                                 1.0 / static_cast<double>(num_factors));
+    const auto s = static_cast<std::size_t>(std::lround(root));
+    std::size_t check = 1;
+    for (std::size_t i = 0; i < num_factors; ++i) {
+        check *= s;
+    }
+    ELSA_CHECK(check == d, "d = " << d << " not a perfect power");
+    return num_factors * d * s;
+}
+
+std::size_t
+hashCyclesPerVector(const SimConfig& config)
+{
+    return ceilDiv(hashMultiplications(config.d, config.num_hash_factors),
+                   config.mh);
+}
+
+std::size_t
+preprocessingCycles(const SimConfig& config, std::size_t n)
+{
+    const std::size_t hash_cycles = hashCyclesPerVector(config) * (n + 1);
+    // Norm computation borrows the attention modules' multipliers
+    // (one key dot product per module per cycle) and finishes through
+    // its square-root unit; it overlaps the hash phase.
+    const std::size_t norm_cycles = ceilDiv(n, config.pa)
+                                    + config.attention_pipeline_latency;
+    return std::max(hash_cycles, norm_cycles);
+}
+
+std::size_t
+candidateScanCycles(const SimConfig& config, std::size_t n)
+{
+    const std::size_t keys_per_bank = ceilDiv(n, config.pa);
+    return ceilDiv(keys_per_bank, config.pc);
+}
+
+std::size_t
+divisionCyclesPerQuery(const SimConfig& config)
+{
+    return ceilDiv(config.d, config.mo);
+}
+
+std::size_t
+queryIntervalLowerBound(const SimConfig& config, std::size_t n,
+                        std::size_t c_bank)
+{
+    return std::max({hashCyclesPerVector(config),
+                     candidateScanCycles(config, n), c_bank,
+                     divisionCyclesPerQuery(config)});
+}
+
+double
+maxPipelineSpeedup(const SimConfig& config, std::size_t n)
+{
+    // A query takes at least the max of the fixed (candidate-count
+    // independent) stage times; speedup over the n-cycle baseline is
+    // n divided by that bound.
+    const std::size_t fixed =
+        std::max({hashCyclesPerVector(config),
+                  candidateScanCycles(config, n),
+                  divisionCyclesPerQuery(config), std::size_t{1}});
+    return static_cast<double>(n) / static_cast<double>(fixed);
+}
+
+} // namespace elsa

@@ -1,0 +1,60 @@
+#ifndef ELSA_SIM_PIPELINE_MODEL_H_
+#define ELSA_SIM_PIPELINE_MODEL_H_
+
+/**
+ * @file
+ * Closed-form pipeline timing of Section IV-D.
+ *
+ * The paper gives analytic cycle counts for each module:
+ *   - hashing one vector takes 3 d^(4/3) / m_h cycles (twelve 4x4
+ *     matrix multiplications for d = 64);
+ *   - preprocessing takes 3 d^(4/3) (n+1) / m_h cycles (all key
+ *     hashes plus the first query hash);
+ *   - a query occupies the pipeline for
+ *     max(3 d^(4/3)/m_h, n/(P_a P_c), c_bank, d/m_o) cycles.
+ *
+ * The cycle-accurate simulator must agree with these bounds; the
+ * integration tests cross-check them.
+ */
+
+#include <cstddef>
+
+#include "sim/config.h"
+
+namespace elsa {
+
+/** Multiplications to hash one vector: f * d * s with s = d^(1/f). */
+std::size_t hashMultiplications(std::size_t d, std::size_t num_factors);
+
+/** Cycles to hash one vector: ceil(hashMultiplications / m_h). */
+std::size_t hashCyclesPerVector(const SimConfig& config);
+
+/** Preprocessing cycles: n key hashes + the first query hash, plus
+ *  the norm computation overlapped on the attention multipliers. */
+std::size_t preprocessingCycles(const SimConfig& config, std::size_t n);
+
+/** Cycles the P_c candidate selection modules of one bank need to
+ *  scan their n/P_a keys, ignoring queue backpressure. */
+std::size_t candidateScanCycles(const SimConfig& config, std::size_t n);
+
+/** Output division cycles per query: ceil(d / m_o). */
+std::size_t divisionCyclesPerQuery(const SimConfig& config);
+
+/**
+ * Lower bound on one query's pipeline interval given the maximum
+ * per-bank candidate count c_bank (Section IV-D):
+ * max(hash, scan, c_bank, division).
+ */
+std::size_t queryIntervalLowerBound(const SimConfig& config,
+                                    std::size_t n, std::size_t c_bank);
+
+/**
+ * The paper's pipeline-balance rule: the largest speedup (n / cycles
+ * per query) the non-attention stages allow. With the paper config
+ * and n >= 96 this is 8.
+ */
+double maxPipelineSpeedup(const SimConfig& config, std::size_t n);
+
+} // namespace elsa
+
+#endif // ELSA_SIM_PIPELINE_MODEL_H_

@@ -1,0 +1,76 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+UtilizationReport
+computeUtilization(const RunResult& result)
+{
+    UtilizationReport report;
+    const double total = static_cast<double>(result.totalCycles());
+    if (total <= 0.0) {
+        return report;
+    }
+    std::size_t i = 0;
+    for (const HwModule module : allHwModules()) {
+        report.utilization[i++] =
+            std::min(1.0, result.activity.get(module) / total);
+    }
+    return report;
+}
+
+std::string
+formatUtilization(const UtilizationReport& report)
+{
+    std::ostringstream oss;
+    for (const HwModule module : allHwModules()) {
+        oss << "  " << moduleAreaPower(module).name << ": ";
+        const double pct = 100.0 * report.get(module);
+        oss << pct << "%\n";
+    }
+    return oss.str();
+}
+
+void
+writeQueryTraceCsv(std::ostream& os,
+                   const std::vector<QueryTraceRecord>& records)
+{
+    os << "query,interval_cycles,max_bank_cycles,candidates,"
+          "stall_cycles,used_fallback\n";
+    for (const auto& r : records) {
+        os << r.query_id << ',' << r.interval_cycles << ','
+           << r.max_bank_cycles << ',' << r.candidates << ','
+           << r.stall_cycles << ',' << (r.used_fallback ? 1 : 0)
+           << '\n';
+    }
+}
+
+QueryTraceSummary
+summarizeQueryTrace(const std::vector<QueryTraceRecord>& records)
+{
+    QueryTraceSummary summary;
+    if (records.empty()) {
+        return summary;
+    }
+    double interval_sum = 0.0;
+    double candidate_sum = 0.0;
+    for (const auto& r : records) {
+        interval_sum += static_cast<double>(r.interval_cycles);
+        candidate_sum += static_cast<double>(r.candidates);
+        summary.max_interval =
+            std::max(summary.max_interval, r.interval_cycles);
+        summary.total_stalls += r.stall_cycles;
+        summary.fallbacks += r.used_fallback ? 1 : 0;
+    }
+    const double count = static_cast<double>(records.size());
+    summary.mean_interval = interval_sum / count;
+    summary.mean_candidates = candidate_sum / count;
+    return summary;
+}
+
+} // namespace elsa

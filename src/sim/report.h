@@ -1,0 +1,65 @@
+#ifndef ELSA_SIM_REPORT_H_
+#define ELSA_SIM_REPORT_H_
+
+/**
+ * @file
+ * Post-run reporting utilities for the cycle-level simulator:
+ * per-query trace records, per-module utilization, and CSV export
+ * for offline analysis (the role a stats dump plays in a
+ * full-system simulator).
+ */
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.h"
+#include "sim/accelerator.h"
+
+namespace elsa {
+
+/** Per-module utilization (active cycles / total cycles). */
+struct UtilizationReport
+{
+    /** Utilization in [0, 1] per module, indexed like allHwModules(). */
+    std::array<double, 9> utilization{};
+
+    double get(HwModule module) const
+    {
+        return utilization[static_cast<std::size_t>(module)];
+    }
+};
+
+/** Compute per-module utilization from a run result. */
+UtilizationReport computeUtilization(const RunResult& result);
+
+/** Render a human-readable utilization summary. */
+std::string formatUtilization(const UtilizationReport& report);
+
+/**
+ * Write per-query trace records as CSV
+ * (query,interval,bank,candidates,stalls,fallback).
+ */
+void writeQueryTraceCsv(std::ostream& os,
+                        const std::vector<QueryTraceRecord>& records);
+
+/**
+ * Summary statistics over the per-query records: mean/max interval,
+ * mean candidates, total stalls, fallback count.
+ */
+struct QueryTraceSummary
+{
+    double mean_interval = 0.0;
+    std::size_t max_interval = 0;
+    double mean_candidates = 0.0;
+    std::size_t total_stalls = 0;
+    std::size_t fallbacks = 0;
+};
+
+QueryTraceSummary
+summarizeQueryTrace(const std::vector<QueryTraceRecord>& records);
+
+} // namespace elsa
+
+#endif // ELSA_SIM_REPORT_H_

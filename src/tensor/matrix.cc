@@ -1,0 +1,43 @@
+#include "tensor/matrix.h"
+
+#include "common/rng.h"
+
+namespace elsa {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    ELSA_CHECK(data_.size() == rows * cols,
+               "matrix data size " << data_.size() << " != " << rows << "x"
+                                   << cols);
+}
+
+void
+Matrix::fill(float value)
+{
+    for (auto& v : data_) {
+        v = value;
+    }
+}
+
+void
+Matrix::fillGaussian(Rng& rng, float mean, float stddev)
+{
+    for (auto& v : data_) {
+        v = static_cast<float>(rng.gaussian(mean, stddev));
+    }
+}
+
+bool
+Matrix::operator==(const Matrix& other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_
+           && data_ == other.data_;
+}
+
+} // namespace elsa

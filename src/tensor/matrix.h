@@ -1,0 +1,94 @@
+#ifndef ELSA_TENSOR_MATRIX_H_
+#define ELSA_TENSOR_MATRIX_H_
+
+/**
+ * @file
+ * Dense row-major matrix of floats.
+ *
+ * ELSA works with small matrices (n <= ~2048, d = 64), so this is a
+ * deliberately simple contiguous-storage matrix rather than a
+ * full-blown tensor library. Rows of the Q/K/V matrices are the
+ * queries/keys/values of the paper.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+class Rng;
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix initialized to zero. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** rows x cols matrix initialized from the given row-major data. */
+    Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    /** Element access with bounds checks in debug-style ELSA_ASSERT. */
+    float&
+    at(std::size_t r, std::size_t c)
+    {
+        ELSA_ASSERT(r < rows_ && c < cols_,
+                    "matrix index (" << r << "," << c << ") out of "
+                    << rows_ << "x" << cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        ELSA_ASSERT(r < rows_ && c < cols_,
+                    "matrix index (" << r << "," << c << ") out of "
+                    << rows_ << "x" << cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked element access for hot loops. */
+    float& operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row r. */
+    float* row(std::size_t r) { return data_.data() + r * cols_; }
+    const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+    /** Raw row-major storage. */
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /** Set every element to the given value. */
+    void fill(float value);
+
+    /** Fill with i.i.d. N(mean, stddev) samples drawn from rng. */
+    void fillGaussian(Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+    /** Equality with exact float comparison (useful in tests). */
+    bool operator==(const Matrix& other) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_TENSOR_MATRIX_H_

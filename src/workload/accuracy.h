@@ -1,0 +1,55 @@
+#ifndef ELSA_WORKLOAD_ACCURACY_H_
+#define ELSA_WORKLOAD_ACCURACY_H_
+
+/**
+ * @file
+ * Accuracy-loss proxy (see DESIGN.md, substitutions).
+ *
+ * The paper measures end-to-end metric loss (F1, accuracy, NDCG@10)
+ * of real pretrained models under approximation. Without those
+ * models, this repository estimates the metric loss from the
+ * *attention-mass recall*: the fraction of the exact softmax mass the
+ * selected candidates retain. Missing softmax mass is precisely what
+ * perturbs the attention output and, downstream, the model metric;
+ * the mapping below is calibrated so that the paper's two published
+ * operating points hold for the synthetic workloads:
+ *
+ *   p = 1: < 40% candidates and < 1% accuracy loss;
+ *   p = 2: ~26% candidates and < 2% accuracy loss.
+ */
+
+#include "workload/model.h"
+
+namespace elsa {
+
+/**
+ * Estimated end-to-end metric loss, in percentage points, caused by
+ * an approximation whose mean attention-mass recall over all
+ * (sub-)layers is mean_recall (in [0, 1]).
+ */
+double estimateAccuracyLossPct(const ModelConfig& model,
+                               double mean_recall);
+
+/**
+ * Largest tolerable accuracy loss of each ELSA operating mode
+ * (Section V-C): conservative / moderate / aggressive are defined by
+ * 1% / 2.5% / 5% worst-case loss for the NLP models and
+ * 0.5% / 1% / 2% NDCG@10 drop for the recommenders.
+ */
+enum class ApproxMode
+{
+    kBase,         ///< No approximation (p = 0).
+    kConservative, ///< <= 1% (NLP) / 0.5% (rec) loss.
+    kModerate,     ///< <= 2.5% (NLP) / 1% (rec) loss.
+    kAggressive,   ///< <= 5% (NLP) / 2% (rec) loss.
+};
+
+/** Human-readable mode name ("ELSA-moderate" etc.). */
+const char* approxModeName(ApproxMode mode);
+
+/** The loss bound (percentage points) of a mode for a model. */
+double accuracyLossBound(const ModelConfig& model, ApproxMode mode);
+
+} // namespace elsa
+
+#endif // ELSA_WORKLOAD_ACCURACY_H_

@@ -1,0 +1,142 @@
+#ifndef ELSA_WORKLOAD_GENERATOR_H_
+#define ELSA_WORKLOAD_GENERATOR_H_
+
+/**
+ * @file
+ * Synthetic Q/K/V generator.
+ *
+ * Stands in for the pretrained models' attention inputs (see
+ * DESIGN.md). The generator reproduces the properties of real
+ * attention that the ELSA approximation interacts with:
+ *
+ *  - the softmax concentrates most of its mass on a few keys per
+ *    query (each query is *planted* to attend a small relevant set);
+ *  - different (sub-)layers have different score distributions
+ *    (concentration and relevant-set size vary with the layer/head
+ *    index), so layer-specific thresholds genuinely differ;
+ *  - key norms vary across keys (exercising the ||K|| factor of the
+ *    approximate similarity);
+ *  - NLP-style locality: relevant keys are biased towards positions
+ *    near the query.
+ *
+ * Everything is deterministic given the (model, layer, head,
+ * input_id) coordinates and a master seed.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "attention/exact.h"
+#include "workload/model.h"
+
+namespace elsa {
+
+class Rng;
+
+/** Per-(sub-)layer attention statistics the generator synthesizes. */
+struct SublayerProfile
+{
+    /** Score magnitude of the planted relevant keys (softmax "peakiness"). */
+    double concentration = 8.0;
+
+    /** Mean number of truly relevant keys per query. */
+    double mean_relevant = 4.0;
+
+    /** Strength of the locality bias (0 = none). */
+    double locality = 0.5;
+
+    /** Mean key norm (chosen to fit the S5.3 input range). */
+    double key_norm_mean = 4.0;
+
+    /** Relative spread of key norms. */
+    double key_norm_spread = 0.25;
+
+    /**
+     * Strength of the shared context direction mixed into every key
+     * (real transformer embeddings are anisotropic: they live in a
+     * narrow cone, which produces a continuum of moderate
+     * query-key similarities rather than pure noise).
+     */
+    double key_context = 0.5;
+
+    /** Strength of the shared context direction in the queries. */
+    double query_context = 0.5;
+
+    /**
+     * Final query scale; sets the softmax temperature (smaller =
+     * flatter attention).
+     */
+    double temperature = 0.55;
+
+    /** Isotropic query noise coefficient. */
+    double noise = 0.2;
+
+    /**
+     * Exponent shaping the per-key context affinity: affinity ~
+     * u^context_decay. 1 = uniform density; larger values thin the
+     * upper similarity continuum (fewer borderline keys near the
+     * selection threshold).
+     */
+    double context_decay = 1.0;
+};
+
+/**
+ * The profile of a given (layer, head) in a model: a deterministic
+ * function of the coordinates that makes early/late layers and
+ * different heads behave differently, like real transformer heads do.
+ */
+SublayerProfile sublayerProfile(const ModelConfig& model,
+                                std::size_t layer, std::size_t head);
+
+/** Generates synthetic attention inputs for a model. */
+class QkvGenerator
+{
+  public:
+    /**
+     * @param model       The model whose attention inputs to imitate.
+     * @param master_seed Seed from which every (layer, head, input)
+     *                    stream is derived.
+     */
+    QkvGenerator(ModelConfig model, std::uint64_t master_seed);
+
+    /**
+     * Generate the Q/K/V of one self-attention invocation.
+     *
+     * @param layer    Layer index in [0, model.num_layers).
+     * @param head     Head index in [0, model.num_heads).
+     * @param n_real   Number of real (non-padding) tokens; the
+     *                 returned matrices have exactly n_real rows.
+     * @param input_id Which input sample this is; different ids give
+     *                 independent inputs.
+     */
+    AttentionInput generate(std::size_t layer, std::size_t head,
+                            std::size_t n_real,
+                            std::uint64_t input_id) const;
+
+    /**
+     * Generate with an explicit profile instead of the model's
+     * (layer, head) profile. The stream is still derived from
+     * (layer, head, input_id).
+     */
+    AttentionInput generateWithProfile(const SublayerProfile& profile,
+                                       std::size_t layer,
+                                       std::size_t head,
+                                       std::size_t n_real,
+                                       std::uint64_t input_id) const;
+
+    const ModelConfig& model() const { return model_; }
+
+  private:
+    ModelConfig model_;
+    std::uint64_t master_seed_;
+};
+
+/**
+ * Sample a real-token count from the dataset's length distribution
+ * (Gaussian, clamped to [min_tokens, max_tokens]).
+ */
+std::size_t sampleSequenceLength(const DatasetSpec& dataset, Rng& rng);
+
+} // namespace elsa
+
+#endif // ELSA_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "workload/model.h"
+
+namespace elsa {
+
+std::string
+WorkloadSpec::label() const
+{
+    return model.name + "/" + dataset.name;
+}
+
+ModelConfig
+bertLarge()
+{
+    return ModelConfig{"BERT", 24, 16, 64, 1024, 4096, true};
+}
+
+ModelConfig
+robertaLarge()
+{
+    return ModelConfig{"RoBERTa", 24, 16, 64, 1024, 4096, true};
+}
+
+ModelConfig
+albertLarge()
+{
+    return ModelConfig{"ALBERT", 24, 16, 64, 1024, 4096, true};
+}
+
+ModelConfig
+sasRec()
+{
+    // 3-layer SASRec model (Section V-A), single-head with d = 64.
+    return ModelConfig{"SASRec", 3, 1, 64, 64, 256, false};
+}
+
+ModelConfig
+bert4Rec()
+{
+    // 3-layer, 2-head BERT4Rec model (Section V-A).
+    return ModelConfig{"BERT4Rec", 3, 2, 64, 128, 512, false};
+}
+
+DatasetSpec
+squadV11()
+{
+    // Question-answering contexts; models run with n = 384.
+    return DatasetSpec{"SQuADv1.1", 384, 200.0, 60.0, 64, 384};
+}
+
+DatasetSpec
+squadV20()
+{
+    return DatasetSpec{"SQuADv2.0", 384, 205.0, 62.0, 64, 384};
+}
+
+DatasetSpec
+race()
+{
+    // Long reading-comprehension passages; n = 512 and mostly full.
+    return DatasetSpec{"RACE", 512, 360.0, 90.0, 128, 512};
+}
+
+DatasetSpec
+imdb()
+{
+    // Movie-review sentiment; long, highly variable documents.
+    return DatasetSpec{"IMDB", 512, 300.0, 120.0, 64, 512};
+}
+
+DatasetSpec
+movieLens1M()
+{
+    // User interaction histories; recommenders run with n = 200.
+    return DatasetSpec{"ML-1M", 200, 163.0, 40.0, 16, 200};
+}
+
+std::vector<WorkloadSpec>
+evaluationWorkloads()
+{
+    std::vector<WorkloadSpec> specs;
+    for (const auto& model : {bertLarge(), robertaLarge(), albertLarge()}) {
+        specs.push_back({model, squadV11()});
+        specs.push_back({model, squadV20()});
+        specs.push_back({model, race()});
+    }
+    specs.push_back({robertaLarge(), imdb()});
+    specs.push_back({sasRec(), movieLens1M()});
+    specs.push_back({bert4Rec(), movieLens1M()});
+    return specs;
+}
+
+} // namespace elsa

@@ -1,0 +1,95 @@
+#ifndef ELSA_WORKLOAD_MODEL_H_
+#define ELSA_WORKLOAD_MODEL_H_
+
+/**
+ * @file
+ * Model and dataset descriptions of the paper's evaluation
+ * (Section V-A).
+ *
+ * Five self-attention-oriented models are evaluated: BERT-large,
+ * RoBERTa-large, ALBERT-large (NLP), and SASRec / BERT4Rec
+ * (sequential recommendation). The datasets define the sequence
+ * lengths the models see: SQuADv1.1/v2.0, RACE, IMDB, and
+ * MovieLens-1M. Since the real datasets are not available here, each
+ * dataset carries an empirical-shape token-length distribution (see
+ * DESIGN.md substitutions); the padded length n is the model input
+ * length the GPU implementations pad to, while ELSA and the ideal
+ * accelerator process only the real tokens.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace elsa {
+
+/** Architecture parameters of one evaluated model. */
+struct ModelConfig
+{
+    std::string name;
+    std::size_t num_layers = 0;
+    std::size_t num_heads = 0;
+    /** Per-head dimension d; 64 for every evaluated model. */
+    std::size_t head_dim = 64;
+    /** Model hidden size (= num_heads * head_dim for these models). */
+    std::size_t hidden_dim = 0;
+    /** Feed-forward inner dimension. */
+    std::size_t ffn_dim = 0;
+    /** True for the NLP models, false for the recommenders. */
+    bool is_nlp = true;
+
+    /** Number of self-attention (sub-)layers = layers * heads. */
+    std::size_t numSublayers() const { return num_layers * num_heads; }
+};
+
+/** Sequence-length characteristics of one dataset. */
+struct DatasetSpec
+{
+    std::string name;
+    /** Model input length n (GPU implementations pad to this). */
+    std::size_t padded_length = 0;
+    /** Mean number of real (non-padding) tokens. */
+    double mean_tokens = 0.0;
+    /** Standard deviation of the real token count. */
+    double stddev_tokens = 0.0;
+    /** Clamp range of the real token count. */
+    std::size_t min_tokens = 0;
+    std::size_t max_tokens = 0;
+};
+
+/** A model-dataset pairing evaluated in the paper. */
+struct WorkloadSpec
+{
+    ModelConfig model;
+    DatasetSpec dataset;
+
+    /** "BERT/SQuADv1.1"-style label used in reports. */
+    std::string label() const;
+};
+
+/** The five evaluated models. */
+ModelConfig bertLarge();
+ModelConfig robertaLarge();
+ModelConfig albertLarge();
+ModelConfig sasRec();
+ModelConfig bert4Rec();
+
+/** The five datasets. */
+DatasetSpec squadV11();
+DatasetSpec squadV20();
+DatasetSpec race();
+DatasetSpec imdb();
+DatasetSpec movieLens1M();
+
+/**
+ * The twelve model-dataset combinations of the paper's evaluation:
+ * BERT x {SQuADv1.1, SQuADv2.0, RACE},
+ * RoBERTa x {SQuADv1.1, SQuADv2.0, RACE, IMDB},
+ * ALBERT x {SQuADv1.1, SQuADv2.0, RACE},
+ * SASRec x MovieLens-1M, BERT4Rec x MovieLens-1M.
+ */
+std::vector<WorkloadSpec> evaluationWorkloads();
+
+} // namespace elsa
+
+#endif // ELSA_WORKLOAD_MODEL_H_

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the baseline cost models: the analytic V100 GPU model,
+ * the ideal accelerator, the A3 model, and the TPUv2 model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/a3.h"
+#include "baselines/gpu_model.h"
+#include "baselines/ideal.h"
+#include "baselines/tpu.h"
+#include "common/logging.h"
+#include "workload/model.h"
+
+namespace elsa {
+namespace {
+
+TEST(GpuModelTest, AttentionTimeScalesQuadratically)
+{
+    const GpuModel gpu;
+    const ModelConfig bert = bertLarge();
+    const double t256 = gpu.attentionSecondsPerOp(bert, 256);
+    const double t512 = gpu.attentionSecondsPerOp(bert, 512);
+    EXPECT_NEAR(t512 / t256, 4.0, 0.05);
+}
+
+TEST(GpuModelTest, EfficienciesAreSane)
+{
+    // Attention kernels run far below the big-GEMM efficiency.
+    for (const auto& m : {bertLarge(), robertaLarge(), albertLarge(),
+                          sasRec(), bert4Rec()}) {
+        EXPECT_GT(GpuModel::attentionEfficiency(m), 0.0) << m.name;
+        EXPECT_LT(GpuModel::attentionEfficiency(m),
+                  GpuModel::gemmEfficiency(m))
+            << m.name;
+        EXPECT_LE(GpuModel::gemmEfficiency(m), 1.0) << m.name;
+    }
+}
+
+TEST(GpuModelTest, Fig2PortionNearPaperAtDefaultLength)
+{
+    // Fig. 2: the self-attention accounts for ~38% of runtime on
+    // average across the five models at their default lengths.
+    const GpuModel gpu;
+    double sum = 0.0;
+    int count = 0;
+    const std::pair<ModelConfig, std::size_t> cases[] = {
+        {bertLarge(), 384},  {robertaLarge(), 384},
+        {albertLarge(), 384}, {sasRec(), 200},
+        {bert4Rec(), 200},
+    };
+    for (const auto& [model, n] : cases) {
+        const double portion =
+            gpu.layerRuntime(model, n).attentionPortion();
+        EXPECT_GT(portion, 0.10) << model.name;
+        EXPECT_LT(portion, 0.75) << model.name;
+        sum += portion;
+        ++count;
+    }
+    EXPECT_NEAR(sum / count, 0.38, 0.12);
+}
+
+TEST(GpuModelTest, Fig2PortionGrowsWithSequenceLength)
+{
+    // Fig. 2: 4x sequence length -> ~64% average portion.
+    const GpuModel gpu;
+    const ModelConfig bert = bertLarge();
+    const double base =
+        gpu.layerRuntime(bert, 384, 1.0).attentionPortion();
+    const double longer =
+        gpu.layerRuntime(bert, 384, 4.0).attentionPortion();
+    EXPECT_GT(longer, base);
+    EXPECT_GT(longer, 0.45);
+}
+
+TEST(GpuModelTest, Fig2PortionGrowsWithSmallerFfn)
+{
+    // Fig. 2 right side: FFN dimension / 4 -> larger portion.
+    const GpuModel gpu;
+    const ModelConfig bert = bertLarge();
+    const double base =
+        gpu.layerRuntime(bert, 384, 4.0, 1.0).attentionPortion();
+    const double thin =
+        gpu.layerRuntime(bert, 384, 4.0, 0.25).attentionPortion();
+    EXPECT_GT(thin, base);
+    EXPECT_GT(thin, 0.6); // Paper: ~73%.
+}
+
+TEST(GpuModelTest, EnergyUsesMeasuredPower)
+{
+    const GpuModel gpu;
+    const ModelConfig bert = bertLarge();
+    EXPECT_NEAR(gpu.attentionEnergyPerOp(bert, 384),
+                gpu.attentionSecondsPerOp(bert, 384) * 240.0, 1e-12);
+}
+
+TEST(GpuModelTest, RejectsZeroLength)
+{
+    const GpuModel gpu;
+    EXPECT_THROW(gpu.attentionSecondsPerOp(bertLarge(), 0), Error);
+}
+
+TEST(IdealAcceleratorTest, CycleFormula)
+{
+    // 2 n^2 d / 528 at 100% utilization; n = 512, d = 64.
+    const IdealAccelerator ideal;
+    EXPECT_EQ(ideal.numMultipliers(), 528u);
+    EXPECT_NEAR(ideal.cyclesPerOp(512, 64),
+                2.0 * 512.0 * 512.0 * 64.0 / 528.0, 1e-6);
+    EXPECT_NEAR(ideal.secondsPerOp(512, 64),
+                ideal.cyclesPerOp(512, 64) * 1e-9, 1e-15);
+}
+
+TEST(IdealAcceleratorTest, ScalesWithMultipliers)
+{
+    const IdealAccelerator big(1056);
+    const IdealAccelerator small(528);
+    EXPECT_NEAR(small.cyclesPerOp(128, 64) / big.cyclesPerOp(128, 64),
+                2.0, 1e-9);
+    EXPECT_THROW(IdealAccelerator(0), Error);
+}
+
+TEST(A3ModelTest, PreprocessingScalesWithSortCost)
+{
+    const A3Model a3;
+    const double p256 = a3.preprocessSeconds(256, 64);
+    const double p512 = a3.preprocessSeconds(512, 64);
+    // n log n scaling: ratio = 2 * log(512)/log(256) = 2.25.
+    EXPECT_NEAR(p512 / p256, 2.0 * 9.0 / 8.0, 1e-6);
+}
+
+TEST(A3ModelTest, SelectionBoundCapsSpeedupNearTwo)
+{
+    // The structural limitation of Section V-E: even with very few
+    // candidates the approximation cannot beat ~1.85x on execution
+    // cycles, because selection emits at most ~2 keys/cycle.
+    const A3Model a3;
+    const double base = a3.baseExecuteCycles(512);
+    const double approx = a3.approxExecuteCycles(512, 0.05);
+    EXPECT_NEAR(base / approx, 1.85, 0.01);
+    // With many candidates the attention module binds instead.
+    const double heavy = a3.approxExecuteCycles(512, 0.9);
+    EXPECT_NEAR(base / heavy, 1.0 / 0.9, 0.01);
+}
+
+TEST(A3ModelTest, PreprocessingStorageTwiceKeyMatrix)
+{
+    EXPECT_EQ(A3Model::preprocessStorageBytes(512, 64),
+              2u * 512u * 64u * 2u);
+}
+
+TEST(A3ModelTest, TotalTimeIncludesPreprocessing)
+{
+    const A3Model a3;
+    EXPECT_GT(a3.baseSecondsPerOp(512, 64),
+              a3.baseExecuteCycles(512) / 1e9);
+    EXPECT_GT(a3.approxSecondsPerOp(512, 64, 0.3),
+              a3.preprocessSeconds(512, 64));
+}
+
+TEST(TpuModelTest, PublishedRatios)
+{
+    EXPECT_DOUBLE_EQ(TpuModel::normalizedGpuRatio(squadV11()), 5.5);
+    EXPECT_DOUBLE_EQ(TpuModel::normalizedGpuRatio(squadV20()), 6.7);
+    EXPECT_DOUBLE_EQ(TpuModel::normalizedGpuRatio(race()), 5.4);
+}
+
+TEST(TpuModelTest, NormalizedThroughputAboveGpu)
+{
+    const TpuModel tpu;
+    const GpuModel gpu;
+    const ModelConfig albert = albertLarge();
+    for (const auto& ds : {squadV11(), squadV20(), race()}) {
+        const double tpu_tput =
+            tpu.normalizedAttentionOpsPerSecond(albert, ds);
+        const double gpu_tput =
+            gpu.attentionOpsPerSecond(albert, ds.padded_length);
+        EXPECT_NEAR(tpu_tput / gpu_tput,
+                    TpuModel::normalizedGpuRatio(ds), 1e-9)
+            << ds.name;
+    }
+}
+
+} // namespace
+} // namespace elsa

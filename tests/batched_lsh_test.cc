@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the batched (k > d) Kronecker SRP hasher (Section IV-E,
+ * "Choice of Hash Length k"): structure, estimator quality, and the
+ * interaction with the approximate attention engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "attention/approx.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "lsh/angle.h"
+#include "lsh/batched.h"
+#include "lsh/calibration.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+namespace {
+
+TEST(BatchedHasherTest, BitsAndCost)
+{
+    Rng rng(1);
+    const auto hasher =
+        BatchedKroneckerHasher::makeRandom(192, 64, 3, rng);
+    EXPECT_EQ(hasher.dim(), 64u);
+    EXPECT_EQ(hasher.bits(), 192u);
+    EXPECT_EQ(hasher.numBatches(), 3u);
+    // Cost = 3 batches x 3 d^(4/3) = 3 * 768.
+    EXPECT_EQ(hasher.multiplicationsPerHash(), 3u * 768u);
+}
+
+TEST(BatchedHasherTest, RejectsNonMultipleK)
+{
+    Rng rng(2);
+    EXPECT_THROW(BatchedKroneckerHasher::makeRandom(100, 64, 3, rng),
+                 Error);
+}
+
+TEST(BatchedHasherTest, ConcatenationMatchesPerBatchHashes)
+{
+    Rng rng(3);
+    const auto hasher =
+        BatchedKroneckerHasher::makeRandom(128, 64, 3, rng);
+    const Matrix dense = hasher.denseProjection();
+    ASSERT_EQ(dense.rows(), 128u);
+    std::vector<float> x(64);
+    for (auto& v : x) {
+        v = static_cast<float>(rng.gaussian());
+    }
+    const HashValue h = hasher.hash(x.data());
+    for (std::size_t i = 0; i < 128; ++i) {
+        const double proj = dot(dense.row(i), x.data(), 64);
+        EXPECT_EQ(h.bit(i), proj >= 0.0) << "bit " << i;
+    }
+}
+
+TEST(BatchedHasherTest, MoreBitsReduceEstimatorError)
+{
+    Rng rng(4);
+    const auto k64 = BatchedKroneckerHasher::makeRandom(64, 64, 3, rng);
+    const auto k256 =
+        BatchedKroneckerHasher::makeRandom(256, 64, 3, rng);
+    RunningStat err64;
+    RunningStat err256;
+    std::vector<float> x(64);
+    std::vector<float> y(64);
+    for (int i = 0; i < 2000; ++i) {
+        for (std::size_t c = 0; c < 64; ++c) {
+            x[c] = static_cast<float>(rng.gaussian());
+            y[c] = static_cast<float>(rng.gaussian());
+        }
+        const double cosine = dot(x.data(), y.data(), 64)
+                              / (l2Norm(x.data(), 64)
+                                 * l2Norm(y.data(), 64));
+        const double truth = std::acos(std::clamp(cosine, -1.0, 1.0));
+        const double e64 =
+            estimateAngle(hammingDistance(k64.hash(x.data()),
+                                          k64.hash(y.data())),
+                          64)
+            - truth;
+        const double e256 =
+            estimateAngle(hammingDistance(k256.hash(x.data()),
+                                          k256.hash(y.data())),
+                          256)
+            - truth;
+        err64.add(e64 * e64);
+        err256.add(e256 * e256);
+    }
+    EXPECT_LT(err256.mean(), err64.mean());
+}
+
+TEST(BatchedHasherTest, WorksWithApproxAttentionEngine)
+{
+    Rng rng(5);
+    auto hasher = std::make_shared<BatchedKroneckerHasher>(
+        BatchedKroneckerHasher::makeRandom(128, 64, 3, rng, true));
+    BiasCalibrationOptions options;
+    options.num_pairs = 2000;
+    options.num_hashers = 2;
+    const double bias = calibrateThetaBias(64, 128, rng, options);
+    ApproxSelfAttention engine(hasher, bias);
+    EXPECT_EQ(engine.hashBits(), 128u);
+    EXPECT_EQ(engine.cosineLut().size(), 129u);
+
+    AttentionInput input;
+    input.query = Matrix(32, 64);
+    input.key = Matrix(32, 64);
+    input.value = Matrix(32, 64);
+    input.query.fillGaussian(rng);
+    input.key.fillGaussian(rng);
+    input.value.fillGaussian(rng);
+    const auto result = engine.run(input, 0.2);
+    EXPECT_EQ(result.output.rows(), 32u);
+    EXPECT_EQ(result.stats.candidates_per_query.size(), 32u);
+}
+
+} // namespace
+} // namespace elsa

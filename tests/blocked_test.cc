@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for blocked (windowed) long-sequence attention: window
+ * arithmetic, per-window equivalence with exact attention, threshold
+ * learning, and the approximate path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "attention/blocked.h"
+#include "common/rng.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "tensor/ops.h"
+#include "workload/generator.h"
+
+namespace elsa {
+namespace {
+
+AttentionInput
+longInput(std::size_t n, std::uint64_t seed = 3)
+{
+    QkvGenerator gen(bertLarge(), seed);
+    return gen.generate(8, 2, n, 0);
+}
+
+std::shared_ptr<const SrpHasher>
+makeHasher()
+{
+    Rng rng(5);
+    return std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+}
+
+TEST(BlockedTest, WindowRangesCoverSequence)
+{
+    BlockedSelfAttention blocked({128});
+    const auto ranges = blocked.windows(300);
+    ASSERT_EQ(ranges.size(), 3u);
+    EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 128}));
+    EXPECT_EQ(ranges[1],
+              (std::pair<std::size_t, std::size_t>{128, 256}));
+    EXPECT_EQ(ranges[2],
+              (std::pair<std::size_t, std::size_t>{256, 300}));
+}
+
+TEST(BlockedTest, ExactWindowingEqualsSingleWindowWhenSmall)
+{
+    const AttentionInput input = longInput(96);
+    BlockedSelfAttention blocked({512});
+    const BlockedAttentionResult result = blocked.forward(input);
+    EXPECT_EQ(result.num_windows, 1u);
+    EXPECT_LT(maxAbsDiff(result.output, exactAttention(input)), 1e-5);
+    EXPECT_EQ(result.window_macs, exactAttentionMacs(96, 64));
+}
+
+TEST(BlockedTest, EachWindowMatchesStandaloneExactAttention)
+{
+    const AttentionInput input = longInput(256);
+    BlockedSelfAttention blocked({100});
+    const BlockedAttentionResult result = blocked.forward(input);
+    EXPECT_EQ(result.num_windows, 3u);
+    // Check window 1 ([100, 200)) against a manual slice.
+    AttentionInput window;
+    window.query = Matrix(100, 64);
+    window.key = Matrix(100, 64);
+    window.value = Matrix(100, 64);
+    for (std::size_t r = 0; r < 100; ++r) {
+        for (std::size_t c = 0; c < 64; ++c) {
+            window.query(r, c) = input.query(100 + r, c);
+            window.key(r, c) = input.key(100 + r, c);
+            window.value(r, c) = input.value(100 + r, c);
+        }
+    }
+    const Matrix expected = exactAttention(window);
+    for (std::size_t r = 0; r < 100; ++r) {
+        for (std::size_t c = 0; c < 64; ++c) {
+            ASSERT_NEAR(result.output(100 + r, c), expected(r, c),
+                        1e-5);
+        }
+    }
+}
+
+TEST(BlockedTest, WindowMacsShrinkQuadratically)
+{
+    const AttentionInput input = longInput(512);
+    const BlockedAttentionResult whole =
+        BlockedSelfAttention({512}).forward(input);
+    const BlockedAttentionResult halves =
+        BlockedSelfAttention({256}).forward(input);
+    // Two windows of n/2 cost half of one window of n.
+    EXPECT_EQ(halves.window_macs, whole.window_macs / 2);
+}
+
+TEST(BlockedTest, ApproxPathWithAllCandidatesMatchesExact)
+{
+    const AttentionInput input = longInput(200);
+    BlockedSelfAttention blocked({128});
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    const std::vector<double> open(
+        2, -std::numeric_limits<double>::infinity());
+    const BlockedAttentionResult approx =
+        blocked.forwardApprox(input, engine, open);
+    const BlockedAttentionResult exact = blocked.forward(input);
+    EXPECT_LT(maxAbsDiff(approx.output, exact.output), 1e-3);
+    EXPECT_DOUBLE_EQ(approx.mean_candidate_fraction, 1.0);
+}
+
+TEST(BlockedTest, LearnedThresholdsFilterPerWindow)
+{
+    const AttentionInput train = longInput(384, 11);
+    const AttentionInput eval = longInput(384, 12);
+    BlockedSelfAttention blocked({128});
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+
+    std::vector<ThresholdLearner> learners;
+    blocked.learnThresholds(train, 1.0, learners);
+    ASSERT_EQ(learners.size(), 3u);
+    std::vector<double> thresholds;
+    for (const auto& learner : learners) {
+        EXPECT_GT(learner.sampleCount(), 0u);
+        thresholds.push_back(learner.threshold());
+    }
+    const BlockedAttentionResult result =
+        blocked.forwardApprox(eval, engine, thresholds);
+    EXPECT_LT(result.mean_candidate_fraction, 1.0);
+    EXPECT_GT(result.mean_candidate_fraction, 0.02);
+    // Output stays close to the blocked-exact reference.
+    const BlockedAttentionResult exact = blocked.forward(eval);
+    const double rel = frobeniusDiff(result.output, exact.output)
+                       / frobeniusNorm(exact.output);
+    EXPECT_LT(rel, 0.5);
+}
+
+TEST(BlockedTest, ThresholdCountValidated)
+{
+    const AttentionInput input = longInput(300);
+    BlockedSelfAttention blocked({128});
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    EXPECT_THROW(blocked.forwardApprox(input, engine, {0.1}), Error);
+}
+
+TEST(BlockedTest, RejectsZeroWindow)
+{
+    EXPECT_THROW(BlockedSelfAttention({0}), Error);
+}
+
+} // namespace
+} // namespace elsa

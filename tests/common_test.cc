@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, statistics, bit helpers,
+ * and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace elsa {
+namespace {
+
+TEST(LoggingTest, FatalRaisesElsaError)
+{
+    EXPECT_THROW(ELSA_FATAL("boom"), Error);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(ELSA_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(LoggingTest, CheckThrowsWithContext)
+{
+    try {
+        ELSA_CHECK(false, "the message " << 42);
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("the message 42"), std::string::npos);
+        EXPECT_NE(what.find("common_test.cc"), std::string::npos);
+    }
+}
+
+TEST(LoggingTest, AssertThrowsPanic)
+{
+    try {
+        ELSA_ASSERT(false, "invariant");
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("panic"),
+                  std::string::npos);
+    }
+}
+
+TEST(RngTest, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) {
+        sum += rng.uniform();
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound)
+{
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(17);
+        ASSERT_LT(v, 17u);
+        seen.insert(v);
+    }
+    // All 17 residues should appear in 1000 draws.
+    EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(RngTest, UniformIntRejectsZeroBound)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.uniformInt(0), Error);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal)
+{
+    Rng rng(17);
+    RunningStat stat;
+    for (int i = 0; i < 200000; ++i) {
+        stat.add(rng.gaussian());
+    }
+    EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParameters)
+{
+    Rng rng(19);
+    RunningStat stat;
+    for (int i = 0; i < 100000; ++i) {
+        stat.add(rng.gaussian(5.0, 2.0));
+    }
+    EXPECT_NEAR(stat.mean(), 5.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent)
+{
+    Rng parent(23);
+    Rng a = parent.fork(0);
+    Rng b = parent.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic)
+{
+    Rng parent(23);
+    Rng a = parent.fork(5);
+    Rng b = Rng(23).fork(5);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RunningStatTest, EmptyStat)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue)
+{
+    RunningStat stat;
+    stat.add(3.5);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(stat.min(), 3.5);
+    EXPECT_DOUBLE_EQ(stat.max(), 3.5);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence)
+{
+    RunningStat stat;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stat.add(v);
+    }
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    // Unbiased sample variance of the classic example = 32/7.
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(PercentileTest, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenValues)
+{
+    // Sorted: 1 2 3 4; q=0.5 -> position 1.5 -> 2.5.
+    EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(PercentileTest, Extremes)
+{
+    const std::vector<double> v = {5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, EightiethPercentile)
+{
+    // 0..10 inclusive; 80th percentile at position 8.
+    std::vector<double> v;
+    for (int i = 0; i <= 10; ++i) {
+        v.push_back(static_cast<double>(i));
+    }
+    EXPECT_DOUBLE_EQ(percentile(v, 0.8), 8.0);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadQ)
+{
+    EXPECT_THROW(percentile({}, 0.5), Error);
+    EXPECT_THROW(percentile({1.0}, -0.1), Error);
+    EXPECT_THROW(percentile({1.0}, 1.1), Error);
+}
+
+TEST(GeomeanTest, KnownValues)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(GeomeanTest, RejectsEmptyAndNonPositive)
+{
+    EXPECT_THROW(geomean({}), Error);
+    EXPECT_THROW(geomean({1.0, 0.0}), Error);
+    EXPECT_THROW(geomean({1.0, -2.0}), Error);
+}
+
+TEST(BitsTest, Popcount64)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(0xFFFFFFFFFFFFFFFFULL), 64);
+    EXPECT_EQ(popcount64(0xAAAAAAAAAAAAAAAAULL), 32);
+}
+
+TEST(BitsTest, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(768, 256), 3u);
+}
+
+TEST(BitsTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(65));
+}
+
+} // namespace
+} // namespace elsa

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the CSV writer and the benchmark flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/args.h"
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace elsa {
+namespace {
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+class CsvWriterTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath() const
+    {
+        return ::testing::TempDir() + "elsa_csv_test.csv";
+    }
+
+    void TearDown() override { std::remove(tempPath().c_str()); }
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter writer(tempPath());
+        writer.writeHeader({"workload", "p", "value"});
+        writer.writeRow({"BERT/SQuADv1.1", "1.0", "0.42"});
+        EXPECT_EQ(writer.rowsWritten(), 2u);
+    }
+    EXPECT_EQ(readFile(tempPath()),
+              "workload,p,value\nBERT/SQuADv1.1,1.0,0.42\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters)
+{
+    {
+        CsvWriter writer(tempPath());
+        writer.writeRow({"a,b", "say \"hi\"", "line\nbreak", "plain"});
+    }
+    EXPECT_EQ(readFile(tempPath()),
+              "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\",plain\n");
+}
+
+TEST_F(CsvWriterTest, EscapeHelper)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST_F(CsvWriterTest, RejectsUnwritablePath)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(CsvNumberTest, FixedPrecision)
+{
+    EXPECT_EQ(csvNumber(1.23456789, 3), "1.235");
+    EXPECT_EQ(csvNumber(2.0, 1), "2.0");
+}
+
+TEST(ArgParserTest, ParsesSeparateAndEqualsForms)
+{
+    const char* argv[] = {"prog", "--inputs", "6", "--csv=/tmp/x.csv",
+                          "--verbose"};
+    ArgParser args(5, argv, {"inputs", "csv", "verbose"});
+    EXPECT_TRUE(args.has("inputs"));
+    EXPECT_EQ(args.getInt("inputs", 0), 6);
+    EXPECT_EQ(args.get("csv"), "/tmp/x.csv");
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.getInt("missing", 42), 42);
+}
+
+TEST(ArgParserTest, ParsesDoubles)
+{
+    const char* argv[] = {"prog", "--p", "2.5"};
+    ArgParser args(3, argv, {"p"});
+    EXPECT_DOUBLE_EQ(args.getDouble("p", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(args.getDouble("q", 1.5), 1.5);
+}
+
+TEST(ArgParserTest, RejectsUnknownFlagsAndBadValues)
+{
+    const char* bad_flag[] = {"prog", "--oops", "1"};
+    EXPECT_THROW(ArgParser(3, bad_flag, {"inputs"}), Error);
+
+    const char* bad_int[] = {"prog", "--inputs", "abc"};
+    ArgParser args(3, bad_int, {"inputs"});
+    EXPECT_THROW(args.getInt("inputs", 0), Error);
+
+    const char* not_flag[] = {"prog", "value"};
+    EXPECT_THROW(ArgParser(2, not_flag, {"inputs"}), Error);
+}
+
+} // namespace
+} // namespace elsa

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * End-to-end determinism tests: every published number in
+ * EXPERIMENTS.md must be exactly reproducible from the seeds, so the
+ * full stack -- generator, threshold learning, hashing, simulator,
+ * energy -- has to be bit-stable run over run and independent of
+ * unrelated evaluations interleaved in between.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "elsa/system.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "sim/accelerator.h"
+#include "tensor/ops.h"
+#include "workload/workload.h"
+
+namespace elsa {
+namespace {
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig config;
+    config.eval.max_sublayers = 2;
+    config.eval.num_eval_inputs = 2;
+    config.eval.num_train_inputs = 2;
+    config.sim_sublayers = 2;
+    config.sim_inputs = 2;
+    return config;
+}
+
+TEST(DeterminismTest, WorkloadEvaluationBitStable)
+{
+    WorkloadRunner a({bertLarge(), squadV11()});
+    WorkloadRunner b({bertLarge(), squadV11()});
+    WorkloadEvalOptions options;
+    options.max_sublayers = 3;
+    options.num_eval_inputs = 2;
+    options.num_train_inputs = 2;
+    const WorkloadEvaluation ea = a.evaluate(1.0, options);
+    const WorkloadEvaluation eb = b.evaluate(1.0, options);
+    EXPECT_DOUBLE_EQ(ea.mean_candidate_fraction,
+                     eb.mean_candidate_fraction);
+    EXPECT_DOUBLE_EQ(ea.mean_mass_recall, eb.mean_mass_recall);
+    EXPECT_DOUBLE_EQ(ea.estimated_loss_pct, eb.estimated_loss_pct);
+    EXPECT_EQ(ea.thresholds.size(), eb.thresholds.size());
+    for (std::size_t i = 0; i < ea.thresholds.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ea.thresholds[i], eb.thresholds[i]);
+    }
+}
+
+TEST(DeterminismTest, EvaluationUnaffectedByInterleavedWork)
+{
+    // Running other p values in between must not change a result
+    // (no hidden shared RNG state).
+    WorkloadRunner a({sasRec(), movieLens1M()});
+    WorkloadEvalOptions options;
+    options.max_sublayers = 2;
+    options.num_eval_inputs = 2;
+    const WorkloadEvaluation before = a.evaluate(2.0, options);
+    (void)a.evaluate(0.5, options);
+    (void)a.evaluate(8.0, options);
+    const WorkloadEvaluation after = a.evaluate(2.0, options);
+    EXPECT_DOUBLE_EQ(before.mean_candidate_fraction,
+                     after.mean_candidate_fraction);
+    EXPECT_DOUBLE_EQ(before.mean_mass_recall,
+                     after.mean_mass_recall);
+}
+
+TEST(DeterminismTest, SimulatorRunBitStable)
+{
+    WorkloadRunner runner({bert4Rec(), movieLens1M()});
+    const auto invocations = runner.simInvocations(1.0, 1, 2);
+    ASSERT_FALSE(invocations.empty());
+    Rng rng(404);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng, true));
+    Accelerator accel(SimConfig::paperConfig(), hasher, kThetaBias64);
+    const RunResult r1 =
+        accel.run(invocations[0].input, invocations[0].threshold);
+    const RunResult r2 =
+        accel.run(invocations[0].input, invocations[0].threshold);
+    EXPECT_EQ(r1.preprocess_cycles, r2.preprocess_cycles);
+    EXPECT_EQ(r1.execute_cycles, r2.execute_cycles);
+    EXPECT_EQ(r1.candidates_per_query, r2.candidates_per_query);
+    EXPECT_TRUE(r1.output == r2.output);
+}
+
+TEST(DeterminismTest, SystemModeReportsBitStable)
+{
+    ElsaSystem a({bert4Rec(), movieLens1M()}, tinyConfig());
+    ElsaSystem b({bert4Rec(), movieLens1M()}, tinyConfig());
+    const ModeReport ra = a.evaluateMode(ApproxMode::kModerate);
+    const ModeReport rb = b.evaluateMode(ApproxMode::kModerate);
+    EXPECT_DOUBLE_EQ(ra.p, rb.p);
+    EXPECT_DOUBLE_EQ(ra.candidate_fraction, rb.candidate_fraction);
+    EXPECT_DOUBLE_EQ(ra.elsa_ops_per_second, rb.elsa_ops_per_second);
+    EXPECT_DOUBLE_EQ(ra.elsa_energy_per_op_uj,
+                     rb.elsa_energy_per_op_uj);
+    EXPECT_DOUBLE_EQ(ra.throughput_vs_gpu, rb.throughput_vs_gpu);
+}
+
+TEST(DeterminismTest, DifferentMasterSeedsChangeResults)
+{
+    // The flip side: the seed genuinely flows through everything.
+    WorkloadRunner a({bertLarge(), race()}, 1);
+    WorkloadRunner b({bertLarge(), race()}, 2);
+    WorkloadEvalOptions options;
+    options.max_sublayers = 2;
+    options.num_eval_inputs = 2;
+    const WorkloadEvaluation ea = a.evaluate(1.0, options);
+    const WorkloadEvaluation eb = b.evaluate(1.0, options);
+    EXPECT_NE(ea.mean_mass_recall, eb.mean_mass_recall);
+}
+
+} // namespace
+} // namespace elsa

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the energy substrate: the Table I database, SRAM sizing
+ * formulas, activity counters, and energy integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "energy/area_power.h"
+#include "energy/energy_model.h"
+
+namespace elsa {
+namespace {
+
+TEST(AreaPowerTest, TableIValuesTranscribed)
+{
+    const auto& hash = moduleAreaPower(HwModule::kHashComputation);
+    EXPECT_DOUBLE_EQ(hash.area_mm2, 0.202);
+    EXPECT_DOUBLE_EQ(hash.dynamic_power_mw, 115.08);
+    EXPECT_DOUBLE_EQ(hash.static_power_mw, 2.23);
+
+    const auto& att = moduleAreaPower(HwModule::kAttentionCompute);
+    EXPECT_DOUBLE_EQ(att.area_mm2, 0.666);
+    EXPECT_DOUBLE_EQ(att.dynamic_power_mw, 566.42);
+
+    const auto& kv = moduleAreaPower(HwModule::kKeyValueMemory);
+    EXPECT_TRUE(kv.external);
+    const auto& csel = moduleAreaPower(HwModule::kCandidateSelection);
+    EXPECT_FALSE(csel.external);
+}
+
+TEST(AreaPowerTest, SingleAcceleratorTotalsMatchTableI)
+{
+    // Table I: ELSA accelerator (1x) = 1.255 mm^2, 956.05 mW dynamic,
+    // 13.31 mW static; external memories 0.892 mm^2 / 516.84 / 8.02.
+    const AcceleratorAreaPower total = singleAcceleratorAreaPower();
+    EXPECT_NEAR(total.core_area_mm2, 1.255, 1e-9);
+    EXPECT_NEAR(total.core_dynamic_mw, 956.05, 1e-6);
+    EXPECT_NEAR(total.core_static_mw, 13.31, 1e-9);
+    EXPECT_NEAR(total.external_area_mm2, 0.892, 1e-9);
+    EXPECT_NEAR(total.external_dynamic_mw, 516.84, 1e-6);
+    EXPECT_NEAR(total.external_static_mw, 8.02, 1e-9);
+    // Peak power of one accelerator ~1.49 W (Section V-D).
+    EXPECT_NEAR(total.totalPeakPowerMw(), 1494.22, 0.1);
+    // Twelve accelerators ~17.93 W.
+    EXPECT_NEAR(12.0 * total.totalPeakPowerMw() / 1000.0, 17.93, 0.05);
+    // Area: 12x core ~15.1 mm^2, external ~10.7 mm^2.
+    EXPECT_NEAR(12.0 * total.core_area_mm2, 15.06, 0.01);
+    EXPECT_NEAR(12.0 * total.external_area_mm2, 10.704, 0.01);
+}
+
+TEST(AreaPowerTest, MemorySizingFormulas)
+{
+    // Section IV-C (3): n = 512, k = 64 -> 4 KB hash, 512 B norms.
+    EXPECT_EQ(keyHashMemoryBytes(512, 64), 4096u);
+    EXPECT_EQ(keyNormMemoryBytes(512), 512u);
+    // 9-bit elements: 512 x 64 x 9 / 8 = 36864 B = 36 KB.
+    EXPECT_EQ(matrixMemoryBytes(512, 64), 36864u);
+}
+
+TEST(ActivityCountersTest, AddAndMerge)
+{
+    ActivityCounters a;
+    a.add(HwModule::kHashComputation, 100.0);
+    a.add(HwModule::kHashComputation, 50.0);
+    EXPECT_DOUBLE_EQ(a.get(HwModule::kHashComputation), 150.0);
+    EXPECT_DOUBLE_EQ(a.get(HwModule::kOutputDivision), 0.0);
+
+    ActivityCounters b;
+    b.add(HwModule::kHashComputation, 25.0);
+    b.add(HwModule::kOutputDivision, 10.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get(HwModule::kHashComputation), 175.0);
+    EXPECT_DOUBLE_EQ(a.get(HwModule::kOutputDivision), 10.0);
+}
+
+TEST(ActivityCountersTest, RejectsNegative)
+{
+    ActivityCounters a;
+    EXPECT_THROW(a.add(HwModule::kNormComputation, -1.0), Error);
+}
+
+TEST(EnergyModelTest, StaticOnlyWhenIdle)
+{
+    const EnergyModel model(1.0);
+    const ActivityCounters idle;
+    const EnergyBreakdown e = model.compute(idle, 1e6);
+    // 1e6 cycles at 1 GHz = 1 ms; static total = 21.33 mW -> 21.33 uJ.
+    const AcceleratorAreaPower totals = singleAcceleratorAreaPower();
+    const double expected_uj =
+        (totals.core_static_mw + totals.external_static_mw) * 1e-3;
+    EXPECT_NEAR(e.totalUj(), expected_uj * 1e3, 0.01);
+}
+
+TEST(EnergyModelTest, DynamicEnergyScalesWithActivity)
+{
+    const EnergyModel model(1.0);
+    ActivityCounters act;
+    act.add(HwModule::kAttentionCompute, 1000.0);
+    const EnergyBreakdown e1 = model.compute(act, 0.0);
+    act.add(HwModule::kAttentionCompute, 1000.0);
+    const EnergyBreakdown e2 = model.compute(act, 0.0);
+    EXPECT_NEAR(e2.moduleUj(HwModule::kAttentionCompute),
+                2.0 * e1.moduleUj(HwModule::kAttentionCompute), 1e-9);
+    // 1000 cycles at 1 ns x 566.42 mW = 566.42 nJ = 0.56642 uJ.
+    EXPECT_NEAR(e1.moduleUj(HwModule::kAttentionCompute), 0.56642,
+                1e-6);
+}
+
+TEST(EnergyModelTest, GroupAccessorsPartitionTotal)
+{
+    const EnergyModel model(1.0);
+    ActivityCounters act;
+    for (const HwModule m : allHwModules()) {
+        act.add(m, 500.0);
+    }
+    const EnergyBreakdown e = model.compute(act, 2000.0);
+    const double regrouped = e.approximationLogicUj()
+                             + e.attentionComputeUj()
+                             + e.internalMemoryUj()
+                             + e.externalMemoryUj();
+    EXPECT_NEAR(regrouped, e.totalUj(), 1e-9);
+}
+
+TEST(EnergyModelTest, FrequencyScalesTime)
+{
+    const EnergyModel slow(0.5);
+    EXPECT_DOUBLE_EQ(slow.cyclesToSeconds(5e8), 1.0);
+    const EnergyModel fast(2.0);
+    EXPECT_DOUBLE_EQ(fast.cyclesToSeconds(2e9), 1.0);
+    EXPECT_THROW(EnergyModel(0.0), Error);
+}
+
+TEST(PowerScalingTest, PaperConfigIsIdentity)
+{
+    const PowerScaling scaling =
+        PowerScaling::forPipeline(4, 8, 256, 16);
+    for (const double f : scaling.factor) {
+        EXPECT_DOUBLE_EQ(f, 1.0);
+    }
+}
+
+TEST(PowerScalingTest, ScalesWithUnitCounts)
+{
+    const PowerScaling scaling =
+        PowerScaling::forPipeline(8, 8, 512, 32);
+    auto idx = [](HwModule m) { return static_cast<std::size_t>(m); };
+    EXPECT_DOUBLE_EQ(scaling.factor[idx(HwModule::kAttentionCompute)],
+                     2.0);
+    EXPECT_DOUBLE_EQ(scaling.factor[idx(HwModule::kHashComputation)],
+                     2.0);
+    EXPECT_DOUBLE_EQ(
+        scaling.factor[idx(HwModule::kCandidateSelection)], 2.0);
+    EXPECT_DOUBLE_EQ(scaling.factor[idx(HwModule::kOutputDivision)],
+                     2.0);
+    // SRAM power is capacity-bound: unscaled.
+    EXPECT_DOUBLE_EQ(scaling.factor[idx(HwModule::kKeyHashMemory)],
+                     1.0);
+    EXPECT_THROW(PowerScaling::forPipeline(0, 8, 256, 16), Error);
+}
+
+TEST(PowerScalingTest, ScaledModelDoublesDynamicEnergy)
+{
+    ActivityCounters act;
+    act.add(HwModule::kAttentionCompute, 1000.0);
+    const EnergyModel plain(1.0);
+    const EnergyModel doubled(
+        1.0, PowerScaling::forPipeline(8, 8, 256, 16));
+    EXPECT_NEAR(
+        doubled.compute(act, 0.0).moduleUj(HwModule::kAttentionCompute),
+        2.0 * plain.compute(act, 0.0).moduleUj(
+                  HwModule::kAttentionCompute),
+        1e-9);
+}
+
+TEST(EnergyModelTest, BreakdownAccumulation)
+{
+    EnergyBreakdown total;
+    EnergyBreakdown part;
+    part.module_uj[0] = 1.0;
+    part.module_uj[3] = 2.0;
+    total += part;
+    total += part;
+    EXPECT_DOUBLE_EQ(total.module_uj[0], 2.0);
+    EXPECT_DOUBLE_EQ(total.module_uj[3], 4.0);
+    EXPECT_DOUBLE_EQ(total.totalUj(), 6.0);
+}
+
+} // namespace
+} // namespace elsa

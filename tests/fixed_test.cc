@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the hardware number formats (Section IV-E):
+ * fixed-point quantization, the custom float format, and the LUT
+ * functional units (exponent, reciprocal, square root).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fixed/custom_float.h"
+#include "fixed/fixed_point.h"
+#include "fixed/units.h"
+
+namespace elsa {
+namespace {
+
+TEST(FixedPointTest, InputFormatProperties)
+{
+    // S5.3: 9 bits total, step 1/8, range [-32, 31.875].
+    EXPECT_EQ(InputFixed::kTotalBits, 9);
+    EXPECT_DOUBLE_EQ(InputFixed::step(), 0.125);
+    EXPECT_DOUBLE_EQ(InputFixed::maxReal(), 31.875);
+    EXPECT_DOUBLE_EQ(InputFixed::minReal(), -32.0);
+}
+
+TEST(FixedPointTest, HashMatrixFormatProperties)
+{
+    // S0.5: 6 bits total, step 1/32.
+    EXPECT_EQ(HashMatrixFixed::kTotalBits, 6);
+    EXPECT_DOUBLE_EQ(HashMatrixFixed::step(), 1.0 / 32.0);
+}
+
+TEST(FixedPointTest, RoundsToNearest)
+{
+    EXPECT_DOUBLE_EQ(InputFixed::fromReal(1.0).toReal(), 1.0);
+    EXPECT_DOUBLE_EQ(InputFixed::fromReal(1.06).toReal(), 1.0);
+    EXPECT_DOUBLE_EQ(InputFixed::fromReal(1.07).toReal(), 1.125);
+    EXPECT_DOUBLE_EQ(InputFixed::fromReal(-0.06).toReal(), -0.0625 * 0.0);
+}
+
+TEST(FixedPointTest, SaturatesAtRangeLimits)
+{
+    EXPECT_DOUBLE_EQ(InputFixed::fromReal(100.0).toReal(), 31.875);
+    EXPECT_DOUBLE_EQ(InputFixed::fromReal(-100.0).toReal(), -32.0);
+}
+
+TEST(FixedPointTest, QuantizationErrorBoundedByHalfStep)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-31.0, 31.0);
+        const double q = quantize<5, 3>(x);
+        EXPECT_LE(std::abs(q - x), 0.0625 + 1e-12);
+    }
+}
+
+TEST(FixedPointTest, RawRoundTrip)
+{
+    const auto fp = InputFixed::fromRaw(17);
+    EXPECT_EQ(fp.raw(), 17);
+    EXPECT_DOUBLE_EQ(fp.toReal(), 17.0 / 8.0);
+}
+
+TEST(CustomFloatTest, FormatRange)
+{
+    // 10 exponent bits -> bias 511.
+    EXPECT_EQ(kElsaFloatFormat.bias(), 511);
+    EXPECT_GT(kElsaFloatFormat.maxMagnitude(), 1e150);
+    EXPECT_LT(kElsaFloatFormat.minNormal(), 1e-150);
+}
+
+TEST(CustomFloatTest, ExactForRepresentableValues)
+{
+    // 1.0, 2.0, 1.5 and friends are exactly representable with
+    // 5 fraction bits.
+    for (const double v : {1.0, 2.0, 1.5, 0.75, -3.25, 1024.0}) {
+        EXPECT_DOUBLE_EQ(quantizeToCustomFloat(v), v);
+    }
+}
+
+TEST(CustomFloatTest, RelativeErrorBounded)
+{
+    // 5 fraction bits -> relative error <= 2^-6.
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = std::exp(rng.uniform(-50.0, 50.0));
+        const double q = quantizeToCustomFloat(x);
+        EXPECT_LE(std::abs(q - x) / x, std::ldexp(1.0, -6) + 1e-12);
+    }
+}
+
+TEST(CustomFloatTest, SaturatesAndFlushes)
+{
+    const double max = kElsaFloatFormat.maxMagnitude();
+    EXPECT_DOUBLE_EQ(quantizeToCustomFloat(max * 4.0), max);
+    EXPECT_DOUBLE_EQ(quantizeToCustomFloat(-max * 4.0), -max);
+    EXPECT_DOUBLE_EQ(
+        quantizeToCustomFloat(kElsaFloatFormat.minNormal() / 4.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantizeToCustomFloat(0.0), 0.0);
+}
+
+TEST(CustomFloatTest, ArithmeticRequantizes)
+{
+    const CustomFloat a = CustomFloat::fromReal(1.0);
+    const CustomFloat b = CustomFloat::fromReal(1.0 / 64.0);
+    // 1 + 1/64 is not representable with 5 fraction bits; the sum
+    // rounds back to 1.0 (round-to-nearest-even at the half step).
+    EXPECT_DOUBLE_EQ(a.add(b).toReal(), 1.0);
+    EXPECT_DOUBLE_EQ(a.mul(CustomFloat::fromReal(2.0)).toReal(), 2.0);
+}
+
+TEST(ExpUnitTest, LutContentsArePowersOfTwo)
+{
+    ExpUnit unit;
+    EXPECT_DOUBLE_EQ(unit.lutEntry(0), 1.0);
+    for (int i = 1; i < ExpUnit::kLutSize; ++i) {
+        const double expected = std::exp2(i / 32.0);
+        EXPECT_NEAR(unit.lutEntry(i), expected, 0.02);
+        EXPECT_GT(unit.lutEntry(i), unit.lutEntry(i - 1) - 1e-9);
+    }
+    EXPECT_THROW(unit.lutEntry(32), Error);
+}
+
+TEST(ExpUnitTest, RelativeErrorBounded)
+{
+    // 32-entry LUT: segment width 1/32 in the exponent -> worst
+    // relative error ~ 2^(1/32) - 1 ~ 2.2%, plus output rounding.
+    ExpUnit unit;
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.uniform(-20.0, 20.0);
+        const double approx = unit.compute(x);
+        const double exact = std::exp(x);
+        EXPECT_LE(std::abs(approx - exact) / exact, 0.04)
+            << "x = " << x;
+    }
+}
+
+TEST(ExpUnitTest, HandlesLargeNegativeInputs)
+{
+    ExpUnit unit;
+    EXPECT_GE(unit.compute(-600.0), 0.0);
+    EXPECT_LE(unit.compute(-600.0), 1e-150);
+}
+
+TEST(ExpUnitTest, MonotoneNondecreasing)
+{
+    ExpUnit unit;
+    double prev = 0.0;
+    for (double x = -10.0; x <= 10.0; x += 0.05) {
+        const double v = unit.compute(x);
+        EXPECT_GE(v, prev - 1e-12) << "x = " << x;
+        prev = v;
+    }
+}
+
+TEST(ReciprocalUnitTest, RelativeErrorBounded)
+{
+    // 32 mantissa segments with midpoint entries: worst relative
+    // error ~ 1/64 plus rounding.
+    ReciprocalUnit unit;
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = std::exp(rng.uniform(-30.0, 30.0));
+        const double approx = unit.compute(x);
+        const double exact = 1.0 / x;
+        EXPECT_LE(std::abs(approx - exact) / exact, 0.035)
+            << "x = " << x;
+    }
+}
+
+TEST(ReciprocalUnitTest, PreservesSign)
+{
+    ReciprocalUnit unit;
+    EXPECT_GT(unit.compute(4.0), 0.0);
+    EXPECT_LT(unit.compute(-4.0), 0.0);
+    EXPECT_NEAR(unit.compute(-2.0), -0.5, 0.02);
+}
+
+TEST(ReciprocalUnitTest, RejectsZero)
+{
+    ReciprocalUnit unit;
+    EXPECT_THROW(unit.compute(0.0), Error);
+}
+
+TEST(SqrtUnitTest, ExactForZeroAndPowersOfFour)
+{
+    SqrtUnit unit;
+    EXPECT_DOUBLE_EQ(unit.compute(0.0), 0.0);
+    for (const double x : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+        EXPECT_NEAR(unit.compute(x), std::sqrt(x),
+                    std::sqrt(x) * 2e-4);
+    }
+}
+
+TEST(SqrtUnitTest, RelativeErrorBounded)
+{
+    // Tabulate-and-multiply with 64 segments over [1, 4): the
+    // first-order correction leaves O((3/64)^2 / 8) relative error.
+    SqrtUnit unit;
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = std::exp(rng.uniform(-10.0, 10.0));
+        const double approx = unit.compute(x);
+        const double exact = std::sqrt(x);
+        EXPECT_LE(std::abs(approx - exact) / exact, 5e-4)
+            << "x = " << x;
+    }
+}
+
+TEST(SqrtUnitTest, RejectsNegative)
+{
+    SqrtUnit unit;
+    EXPECT_THROW(unit.compute(-1.0), Error);
+}
+
+/** Property sweep: quantize-dequantize is idempotent per format. */
+template <int I, int F>
+void
+checkIdempotent()
+{
+    Rng rng(123);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(-40.0, 40.0);
+        const double once = quantize<I, F>(x);
+        const double twice = quantize<I, F>(once);
+        EXPECT_DOUBLE_EQ(once, twice);
+    }
+}
+
+TEST(FixedPointTest, QuantizationIdempotent)
+{
+    checkIdempotent<5, 3>();
+    checkIdempotent<0, 5>();
+    checkIdempotent<4, 3>();
+    checkIdempotent<8, 8>();
+}
+
+} // namespace
+} // namespace elsa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the host-integration model (Section IV-B): transfer
+ * sizing, overhead accounting, and the pass-by-reference vs copy
+ * comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "common/rng.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "sim/accelerator.h"
+#include "sim/host.h"
+#include "workload/generator.h"
+
+namespace elsa {
+namespace {
+
+TEST(HostInterfaceTest, TransferBytesFourMatrices)
+{
+    HostInterface host({HostTransferMode::kCopy, 100, 64});
+    // 4 x (512 x 64 x 9 / 8) = 4 x 36864.
+    EXPECT_EQ(host.transferBytes(512, 64), 4u * 36864u);
+}
+
+TEST(HostInterfaceTest, PassByReferencePaysOnlyCommand)
+{
+    HostInterface host({HostTransferMode::kPassByReference, 100, 64});
+    EXPECT_EQ(host.overheadCycles(512, 64), 100u);
+    EXPECT_EQ(host.overheadCycles(64, 64), 100u);
+}
+
+TEST(HostInterfaceTest, CopyOverheadScalesWithN)
+{
+    HostInterface host({HostTransferMode::kCopy, 100, 64});
+    const std::size_t small = host.overheadCycles(128, 64);
+    const std::size_t large = host.overheadCycles(512, 64);
+    EXPECT_GT(large, small);
+    // 4 * 36864 / 64 = 2304 copy cycles + 100 command cycles.
+    EXPECT_EQ(large, 100u + 2304u);
+}
+
+TEST(HostInterfaceTest, OverheadFractionBounds)
+{
+    HostInterface host({HostTransferMode::kCopy, 100, 64});
+    const double f = host.overheadFraction(512, 64, 10000);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+    // More compute -> smaller fraction.
+    EXPECT_LT(host.overheadFraction(512, 64, 100000), f);
+}
+
+TEST(HostInterfaceTest, RejectsZeroBandwidth)
+{
+    EXPECT_THROW(
+        HostInterface({HostTransferMode::kCopy, 100, 0}), Error);
+}
+
+TEST(HostInterfaceTest, ReferenceKeepsOverheadNegligibleOnRealRun)
+{
+    // The Section IV-B integration claim: with scratchpad sharing,
+    // host overhead is a rounding error next to the attention
+    // computation, even for the fast approximate configurations.
+    QkvGenerator gen(bertLarge(), 13);
+    const AttentionInput input = gen.generate(5, 5, 384, 0);
+    Rng rng(7);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+    Accelerator accel(SimConfig::paperConfig(), hasher, kThetaBias64);
+    const RunResult run = accel.run(input, 0.3);
+
+    HostInterface by_ref(
+        {HostTransferMode::kPassByReference, 100, 64});
+    HostInterface by_copy({HostTransferMode::kCopy, 100, 64});
+    const double ref_frac =
+        by_ref.overheadFraction(384, 64, run.totalCycles());
+    const double copy_frac =
+        by_copy.overheadFraction(384, 64, run.totalCycles());
+    EXPECT_LT(ref_frac, 0.05);
+    EXPECT_GT(copy_frac, ref_frac);
+}
+
+} // namespace
+} // namespace elsa

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Unit and property tests for the LSH substrate: bit vectors,
+ * Gram-Schmidt orthogonalization, dense and Kronecker SRP hashing,
+ * angle estimation, and theta_bias calibration (Section III).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "lsh/angle.h"
+#include "lsh/bitvector.h"
+#include "lsh/calibration.h"
+#include "lsh/orthogonal.h"
+#include "lsh/srp.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+namespace {
+
+TEST(HashValueTest, SetAndGetBits)
+{
+    HashValue h(70); // spans two words
+    EXPECT_EQ(h.bits(), 70u);
+    EXPECT_EQ(h.popcount(), 0);
+    h.setBit(0, true);
+    h.setBit(63, true);
+    h.setBit(69, true);
+    EXPECT_TRUE(h.bit(0));
+    EXPECT_TRUE(h.bit(63));
+    EXPECT_TRUE(h.bit(69));
+    EXPECT_FALSE(h.bit(1));
+    EXPECT_EQ(h.popcount(), 3);
+    h.setBit(63, false);
+    EXPECT_EQ(h.popcount(), 2);
+}
+
+TEST(HashValueTest, HammingDistanceBasics)
+{
+    HashValue a(64);
+    HashValue b(64);
+    EXPECT_EQ(hammingDistance(a, b), 0);
+    a.setBit(5, true);
+    EXPECT_EQ(hammingDistance(a, b), 1);
+    b.setBit(5, true);
+    EXPECT_EQ(hammingDistance(a, b), 0);
+    b.setBit(63, true);
+    a.setBit(0, true);
+    EXPECT_EQ(hammingDistance(a, b), 2);
+}
+
+TEST(HashValueTest, HammingWidthMismatchThrows)
+{
+    EXPECT_THROW(hammingDistance(HashValue(64), HashValue(32)), Error);
+}
+
+TEST(GramSchmidtTest, ProducesOrthonormalRows)
+{
+    Rng rng(1);
+    Matrix m(16, 64);
+    m.fillGaussian(rng);
+    modifiedGramSchmidt(m);
+    EXPECT_LT(orthonormalityError(m), 1e-4);
+}
+
+TEST(GramSchmidtTest, FullSquareOrthogonal)
+{
+    Rng rng(2);
+    Matrix m(32, 32);
+    m.fillGaussian(rng);
+    modifiedGramSchmidt(m);
+    EXPECT_LT(orthonormalityError(m), 1e-3);
+}
+
+TEST(GramSchmidtTest, RejectsMoreRowsThanCols)
+{
+    Matrix m(5, 4);
+    EXPECT_THROW(modifiedGramSchmidt(m), Error);
+}
+
+TEST(OrthogonalTest, ProjectionBatchesWhenKExceedsD)
+{
+    Rng rng(3);
+    const Matrix m = randomOrthogonalProjection(24, 8, rng);
+    EXPECT_EQ(m.rows(), 24u);
+    EXPECT_EQ(m.cols(), 8u);
+    // Each batch of 8 rows is orthonormal.
+    for (std::size_t batch = 0; batch < 3; ++batch) {
+        for (std::size_t i = 0; i < 8; ++i) {
+            for (std::size_t j = 0; j < 8; ++j) {
+                const double g = dot(m.row(batch * 8 + i),
+                                     m.row(batch * 8 + j), 8);
+                EXPECT_NEAR(g, i == j ? 1.0 : 0.0, 1e-4);
+            }
+        }
+    }
+}
+
+TEST(DenseSrpTest, HashIsDeterministic)
+{
+    Rng rng(4);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    std::vector<float> x(64);
+    for (auto& v : x) {
+        v = static_cast<float>(rng.gaussian());
+    }
+    EXPECT_EQ(hasher.hash(x), hasher.hash(x));
+}
+
+TEST(DenseSrpTest, OppositeVectorsHaveAllBitsFlipped)
+{
+    Rng rng(5);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    std::vector<float> x(64);
+    std::vector<float> neg(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        x[i] = static_cast<float>(rng.gaussian());
+        neg[i] = -x[i];
+    }
+    // sign() maps 0 to 1, but random projections are never exactly 0,
+    // so h(-x) is the complement of h(x): Hamming distance = k.
+    EXPECT_EQ(hammingDistance(hasher.hash(x), hasher.hash(neg)), 64);
+}
+
+TEST(DenseSrpTest, ScalingInvariance)
+{
+    Rng rng(6);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    std::vector<float> x(64);
+    std::vector<float> scaled(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        x[i] = static_cast<float>(rng.gaussian());
+        scaled[i] = 7.5f * x[i];
+    }
+    EXPECT_EQ(hasher.hash(x), hasher.hash(scaled));
+}
+
+TEST(DenseSrpTest, MultiplicationCount)
+{
+    Rng rng(7);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    EXPECT_EQ(hasher.multiplicationsPerHash(), 64u * 64u); // d^2
+}
+
+TEST(DenseSrpTest, HashRowsMatchesPerRowHash)
+{
+    Rng rng(8);
+    const auto hasher = DenseSrpHasher::makeRandom(32, 64, rng);
+    Matrix m(5, 64);
+    m.fillGaussian(rng);
+    const auto hashes = hasher.hashRows(m);
+    ASSERT_EQ(hashes.size(), 5u);
+    for (std::size_t r = 0; r < 5; ++r) {
+        EXPECT_EQ(hashes[r], hasher.hash(m.row(r)));
+    }
+}
+
+TEST(KroneckerSrpTest, ThreeWayProjectionMatchesDense)
+{
+    Rng rng(9);
+    const auto kron = KroneckerSrpHasher::makeRandom(64, 3, rng);
+    const Matrix dense = kron.denseProjection();
+    ASSERT_EQ(dense.rows(), 64u);
+    ASSERT_EQ(dense.cols(), 64u);
+    std::vector<float> x(64);
+    for (int trial = 0; trial < 20; ++trial) {
+        for (auto& v : x) {
+            v = static_cast<float>(rng.gaussian());
+        }
+        const std::vector<float> fast = kron.project(x.data());
+        for (std::size_t i = 0; i < 64; ++i) {
+            const double exact = dot(dense.row(i), x.data(), 64);
+            EXPECT_NEAR(fast[i], exact, 1e-3)
+                << "trial " << trial << " component " << i;
+        }
+    }
+}
+
+TEST(KroneckerSrpTest, TwoWayProjectionMatchesDense)
+{
+    Rng rng(10);
+    const auto kron = KroneckerSrpHasher::makeRandom(64, 2, rng);
+    const Matrix dense = kron.denseProjection();
+    std::vector<float> x(64);
+    for (auto& v : x) {
+        v = static_cast<float>(rng.gaussian());
+    }
+    const std::vector<float> fast = kron.project(x.data());
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_NEAR(fast[i], dot(dense.row(i), x.data(), 64), 1e-3);
+    }
+}
+
+TEST(KroneckerSrpTest, HashMatchesDenseProjectionSigns)
+{
+    Rng rng(11);
+    const auto kron = KroneckerSrpHasher::makeRandom(64, 3, rng);
+    const DenseSrpHasher dense(kron.denseProjection());
+    std::vector<float> x(64);
+    for (int trial = 0; trial < 50; ++trial) {
+        for (auto& v : x) {
+            v = static_cast<float>(rng.gaussian());
+        }
+        EXPECT_EQ(kron.hash(x.data()), dense.hash(x.data()));
+    }
+}
+
+TEST(KroneckerSrpTest, MultiplicationCounts)
+{
+    Rng rng(12);
+    // Section III-C: 2d^{3/2} for two factors, 3d^{4/3} for three.
+    const auto two = KroneckerSrpHasher::makeRandom(64, 2, rng);
+    EXPECT_EQ(two.multiplicationsPerHash(), 1024u);
+    const auto three = KroneckerSrpHasher::makeRandom(64, 3, rng);
+    EXPECT_EQ(three.multiplicationsPerHash(), 768u);
+    // Both far below the dense d^2 = 4096.
+    EXPECT_LT(three.multiplicationsPerHash(), 4096u);
+}
+
+TEST(KroneckerSrpTest, DenseProjectionIsOrthogonal)
+{
+    Rng rng(13);
+    const auto kron = KroneckerSrpHasher::makeRandom(64, 3, rng);
+    EXPECT_LT(orthonormalityError(kron.denseProjection()), 1e-3);
+}
+
+TEST(KroneckerSrpTest, RejectsNonPerfectPower)
+{
+    Rng rng(14);
+    EXPECT_THROW(KroneckerSrpHasher::makeRandom(60, 3, rng), Error);
+    EXPECT_THROW(KroneckerSrpHasher::makeRandom(50, 2, rng), Error);
+}
+
+TEST(KroneckerSrpTest, QuantizedFactorsStayNearOrthogonal)
+{
+    Rng rng(15);
+    const auto kron = KroneckerSrpHasher::makeRandom(64, 3, rng,
+                                                     true);
+    // S0.5 quantization perturbs the factors; the product should
+    // still be close to orthogonal.
+    EXPECT_LT(orthonormalityError(kron.denseProjection()), 0.2);
+}
+
+TEST(AngleTest, EstimateEndpoints)
+{
+    EXPECT_DOUBLE_EQ(estimateAngle(0, 64), 0.0);
+    EXPECT_DOUBLE_EQ(estimateAngle(64, 64), M_PI);
+    EXPECT_DOUBLE_EQ(estimateAngle(32, 64), M_PI / 2.0);
+}
+
+TEST(AngleTest, EstimateRejectsOutOfRange)
+{
+    EXPECT_THROW(estimateAngle(-1, 64), Error);
+    EXPECT_THROW(estimateAngle(65, 64), Error);
+}
+
+TEST(AngleTest, BiasCorrectionClampsAtZero)
+{
+    EXPECT_DOUBLE_EQ(correctedAngle(0, 64, 0.127), 0.0);
+    EXPECT_DOUBLE_EQ(correctedAngle(1, 64, 0.127),
+                     std::max(0.0, M_PI / 64.0 - 0.127));
+    EXPECT_NEAR(correctedAngle(32, 64, 0.127), M_PI / 2.0 - 0.127,
+                1e-12);
+}
+
+TEST(AngleTest, ApproximateSimilarityFormula)
+{
+    // hamming = 0 -> angle 0 -> similarity = norm.
+    EXPECT_DOUBLE_EQ(approximateSimilarity(4.0, 0, 64, 0.127), 4.0);
+    // hamming = k -> angle pi - bias -> cos < 0.
+    EXPECT_LT(approximateSimilarity(4.0, 64, 64, 0.127), 0.0);
+}
+
+TEST(CosineLutTest, MatchesDirectFormula)
+{
+    const CosineLut lut(64, 0.127);
+    EXPECT_EQ(lut.size(), 65u);
+    for (int h = 0; h <= 64; ++h) {
+        EXPECT_DOUBLE_EQ(lut.lookup(h),
+                         std::cos(correctedAngle(h, 64, 0.127)));
+    }
+    EXPECT_THROW(lut.lookup(65), Error);
+    EXPECT_THROW(lut.lookup(-1), Error);
+}
+
+TEST(CosineLutTest, MonotoneDecreasing)
+{
+    const CosineLut lut(64, 0.127);
+    for (int h = 1; h <= 64; ++h) {
+        EXPECT_LE(lut.lookup(h), lut.lookup(h - 1) + 1e-12);
+    }
+}
+
+TEST(SrpEstimatorTest, AngleEstimateIsUnbiased)
+{
+    // Without bias correction, the mean estimator error over random
+    // vector pairs is ~0 (Charikar's unbiasedness).
+    Rng rng(16);
+    RunningStat errors;
+    std::vector<float> x(64);
+    std::vector<float> y(64);
+    for (int h = 0; h < 4; ++h) {
+        const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+        for (int i = 0; i < 500; ++i) {
+            for (std::size_t c = 0; c < 64; ++c) {
+                x[c] = static_cast<float>(rng.gaussian());
+                y[c] = static_cast<float>(rng.gaussian());
+            }
+            const double cosine =
+                dot(x.data(), y.data(), 64)
+                / (l2Norm(x.data(), 64) * l2Norm(y.data(), 64));
+            const double truth =
+                std::acos(std::clamp(cosine, -1.0, 1.0));
+            const int ham = hammingDistance(hasher.hash(x.data()),
+                                            hasher.hash(y.data()));
+            errors.add(estimateAngle(ham, 64) - truth);
+        }
+    }
+    EXPECT_NEAR(errors.mean(), 0.0, 0.02);
+}
+
+TEST(SrpEstimatorTest, OrthogonalBeatsIndependentProjections)
+{
+    // Super-bit LSH claim: orthogonalized projections reduce the
+    // estimator variance relative to i.i.d. Gaussian projections.
+    Rng rng(17);
+    RunningStat ortho_err;
+    RunningStat iid_err;
+    std::vector<float> x(64);
+    std::vector<float> y(64);
+    for (int h = 0; h < 6; ++h) {
+        const auto ortho = DenseSrpHasher::makeRandom(64, 64, rng);
+        Matrix iid_proj(64, 64);
+        iid_proj.fillGaussian(rng);
+        const DenseSrpHasher iid(std::move(iid_proj));
+        for (int i = 0; i < 400; ++i) {
+            for (std::size_t c = 0; c < 64; ++c) {
+                x[c] = static_cast<float>(rng.gaussian());
+                y[c] = static_cast<float>(rng.gaussian());
+            }
+            const double cosine =
+                dot(x.data(), y.data(), 64)
+                / (l2Norm(x.data(), 64) * l2Norm(y.data(), 64));
+            const double truth =
+                std::acos(std::clamp(cosine, -1.0, 1.0));
+            const int ho = hammingDistance(ortho.hash(x.data()),
+                                           ortho.hash(y.data()));
+            const int hi = hammingDistance(iid.hash(x.data()),
+                                           iid.hash(y.data()));
+            const double eo = estimateAngle(ho, 64) - truth;
+            const double ei = estimateAngle(hi, 64) - truth;
+            ortho_err.add(eo * eo);
+            iid_err.add(ei * ei);
+        }
+    }
+    EXPECT_LT(ortho_err.mean(), iid_err.mean());
+}
+
+TEST(CalibrationTest, ThetaBiasNearPublishedValue)
+{
+    // Paper: theta_bias = 0.127 for d = k = 64 (80th percentile).
+    Rng rng(18);
+    BiasCalibrationOptions options;
+    options.num_pairs = 8000;
+    options.num_hashers = 4;
+    const double bias = calibrateThetaBias(64, 64, rng, options);
+    EXPECT_GT(bias, 0.08);
+    EXPECT_LT(bias, 0.18);
+}
+
+TEST(CalibrationTest, HigherKGivesSmallerBias)
+{
+    // More hash bits -> lower estimator error -> smaller correction.
+    Rng rng(19);
+    BiasCalibrationOptions options;
+    options.num_pairs = 4000;
+    options.num_hashers = 2;
+    const double bias_k32 = calibrateThetaBias(64, 32, rng, options);
+    const double bias_k128 = calibrateThetaBias(64, 128, rng, options);
+    EXPECT_LT(bias_k128, bias_k32);
+}
+
+TEST(CalibrationTest, ThetaBiasForUsesPublishedConstant)
+{
+    Rng rng(20);
+    EXPECT_DOUBLE_EQ(thetaBiasFor(64, 64, rng), kThetaBias64);
+}
+
+} // namespace
+} // namespace elsa

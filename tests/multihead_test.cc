@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the multi-head self-attention layer: weight validation,
+ * projection shapes, exact-vs-approximate agreement, and per-head
+ * threshold learning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "attention/multihead.h"
+#include "common/rng.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+namespace {
+
+Matrix
+randomHidden(std::size_t n, std::size_t hidden, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(n, hidden);
+    m.fillGaussian(rng);
+    return m;
+}
+
+std::shared_ptr<const SrpHasher>
+makeHasher()
+{
+    Rng rng(11);
+    return std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+}
+
+TEST(MultiHeadWeightsTest, ValidationCatchesShapeErrors)
+{
+    Rng rng(1);
+    MultiHeadAttention layer =
+        MultiHeadAttention::makeRandom(128, 2, 64, rng);
+    EXPECT_EQ(layer.numHeads(), 2u);
+    EXPECT_EQ(layer.hiddenDim(), 128u);
+    EXPECT_EQ(layer.headDim(), 64u);
+
+    MultiHeadWeights bad;
+    bad.w_query.push_back(Matrix(128, 64));
+    bad.w_key.push_back(Matrix(128, 64));
+    bad.w_value.push_back(Matrix(128, 32)); // wrong head dim
+    bad.w_output = Matrix(64, 128);
+    EXPECT_THROW(MultiHeadAttention{std::move(bad)}, Error);
+
+    MultiHeadWeights bad2;
+    bad2.w_query.push_back(Matrix(128, 64));
+    bad2.w_key.push_back(Matrix(128, 64));
+    bad2.w_value.push_back(Matrix(128, 64));
+    bad2.w_output = Matrix(32, 128); // wrong rows (heads*d = 64)
+    EXPECT_THROW(MultiHeadAttention{std::move(bad2)}, Error);
+}
+
+TEST(MultiHeadTest, ProjectionShapes)
+{
+    Rng rng(2);
+    const auto layer = MultiHeadAttention::makeRandom(128, 4, 64, rng);
+    const Matrix hidden = randomHidden(16, 128, 3);
+    const AttentionInput head = layer.projectHead(hidden, 2);
+    EXPECT_EQ(head.n(), 16u);
+    EXPECT_EQ(head.d(), 64u);
+    EXPECT_NO_THROW(head.validate());
+    EXPECT_THROW(layer.projectHead(hidden, 4), Error);
+    EXPECT_THROW(layer.projectHead(randomHidden(16, 64, 4), 0), Error);
+}
+
+TEST(MultiHeadTest, ProjectionMatchesManualMatmul)
+{
+    Rng rng(5);
+    const auto layer = MultiHeadAttention::makeRandom(96, 2, 64, rng);
+    const Matrix hidden = randomHidden(8, 96, 6);
+    const AttentionInput head = layer.projectHead(hidden, 1);
+    // Row 0 of Q = hidden.row(0) * w_query[1]: spot-check one entry.
+    // (We cannot reach the private weights, so check linearity: a
+    // doubled input doubles the projection.)
+    Matrix doubled = hidden;
+    for (std::size_t i = 0; i < doubled.size(); ++i) {
+        doubled.data()[i] *= 2.0f;
+    }
+    const AttentionInput head2 = layer.projectHead(doubled, 1);
+    for (std::size_t i = 0; i < head.query.size(); ++i) {
+        EXPECT_NEAR(head2.query.data()[i],
+                    2.0f * head.query.data()[i], 1e-4);
+    }
+}
+
+TEST(MultiHeadTest, ForwardOutputShape)
+{
+    Rng rng(7);
+    const auto layer = MultiHeadAttention::makeRandom(128, 4, 64, rng);
+    const Matrix hidden = randomHidden(24, 128, 8);
+    const MultiHeadResult result = layer.forward(hidden);
+    EXPECT_EQ(result.output.rows(), 24u);
+    EXPECT_EQ(result.output.cols(), 128u);
+}
+
+TEST(MultiHeadTest, ApproxWithAllCandidatesMatchesExact)
+{
+    Rng rng(9);
+    const auto layer = MultiHeadAttention::makeRandom(128, 2, 64, rng);
+    const Matrix hidden = randomHidden(32, 128, 10);
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+
+    const MultiHeadResult exact = layer.forward(hidden);
+    const std::vector<double> all_thresholds(
+        2, -std::numeric_limits<double>::infinity());
+    const MultiHeadResult approx =
+        layer.forwardApprox(hidden, engine, all_thresholds);
+    EXPECT_LT(maxAbsDiff(exact.output, approx.output), 1e-3);
+    for (const double f : approx.stats.candidate_fraction) {
+        EXPECT_DOUBLE_EQ(f, 1.0);
+    }
+}
+
+TEST(MultiHeadTest, LearnedThresholdsReduceCandidates)
+{
+    Rng rng(12);
+    const auto layer = MultiHeadAttention::makeRandom(128, 2, 64, rng);
+    const Matrix train = randomHidden(48, 128, 13);
+    const Matrix eval = randomHidden(48, 128, 14);
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+
+    std::vector<ThresholdLearner> learners(2, ThresholdLearner(1.0));
+    layer.learnThresholds(train, learners);
+    std::vector<double> thresholds;
+    for (const auto& learner : learners) {
+        EXPECT_GT(learner.sampleCount(), 0u);
+        thresholds.push_back(learner.threshold());
+    }
+    const MultiHeadResult result =
+        layer.forwardApprox(eval, engine, thresholds);
+    EXPECT_LT(result.stats.meanCandidateFraction(), 1.0);
+    EXPECT_GT(result.stats.meanCandidateFraction(), 0.0);
+}
+
+TEST(MultiHeadTest, MismatchedThresholdCountThrows)
+{
+    Rng rng(15);
+    const auto layer = MultiHeadAttention::makeRandom(128, 4, 64, rng);
+    const Matrix hidden = randomHidden(8, 128, 16);
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    EXPECT_THROW(layer.forwardApprox(hidden, engine, {0.1}), Error);
+    std::vector<ThresholdLearner> learners(2, ThresholdLearner(1.0));
+    EXPECT_THROW(layer.learnThresholds(hidden, learners), Error);
+}
+
+TEST(MultiHeadStatsTest, MeanFraction)
+{
+    MultiHeadStats stats;
+    EXPECT_DOUBLE_EQ(stats.meanCandidateFraction(), 1.0);
+    stats.candidate_fraction = {0.2, 0.4};
+    EXPECT_DOUBLE_EQ(stats.meanCandidateFraction(), 0.3);
+}
+
+} // namespace
+} // namespace elsa

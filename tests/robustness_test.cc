@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Robustness / failure-injection tests: degenerate and adversarial
+ * inputs that a production library must survive -- single-token
+ * sequences, all-zero rows (padding), values at the fixed-point
+ * saturation limit, duplicate keys, and pathological thresholds --
+ * through the software algorithm AND the cycle-level simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "attention/approx.h"
+#include "attention/exact.h"
+#include "attention/threshold.h"
+#include "common/rng.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "sim/accelerator.h"
+#include "tensor/ops.h"
+
+namespace elsa {
+namespace {
+
+std::shared_ptr<const SrpHasher>
+makeHasher()
+{
+    Rng rng(21);
+    return std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+}
+
+AttentionInput
+gaussianInput(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    AttentionInput input;
+    input.query = Matrix(n, 64);
+    input.key = Matrix(n, 64);
+    input.value = Matrix(n, 64);
+    input.query.fillGaussian(rng);
+    input.key.fillGaussian(rng);
+    input.value.fillGaussian(rng);
+    return input;
+}
+
+TEST(RobustnessTest, SingleTokenSequence)
+{
+    const AttentionInput input = gaussianInput(1, 1);
+    // Exact: softmax over one key = 1 -> output = value row.
+    const Matrix exact = exactAttention(input);
+    for (std::size_t c = 0; c < 64; ++c) {
+        EXPECT_NEAR(exact(0, c), input.value(0, c), 1e-5);
+    }
+    // Approximate engine and simulator must also handle n = 1.
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    const auto approx = engine.run(input, 0.5);
+    EXPECT_EQ(approx.stats.candidates_per_query[0], 1u);
+    Accelerator accel(SimConfig::paperConfig(), makeHasher(),
+                      kThetaBias64);
+    const RunResult run = accel.run(input, 0.5);
+    EXPECT_EQ(run.candidates_per_query[0], 1u);
+    EXPECT_GT(run.totalCycles(), 0u);
+}
+
+TEST(RobustnessTest, TwoTokensFewerThanBanks)
+{
+    // n = 2 < P_a = 4: some banks are empty. Bit-exact agreement is
+    // checked without quantization (with only two keys, the exp-LUT
+    // error shifts the softmax weights noticeably); the quantized
+    // run just has to complete with finite values.
+    const AttentionInput input = gaussianInput(2, 2);
+    SimConfig precise = SimConfig::paperConfig();
+    precise.model_quantization = false;
+    const RunResult exact_run =
+        Accelerator(precise, makeHasher(), kThetaBias64)
+            .run(input, -std::numeric_limits<double>::infinity());
+    EXPECT_LT(frobeniusDiff(exact_run.output, exactAttention(input)),
+              1e-3);
+
+    const RunResult quant_run =
+        Accelerator(SimConfig::paperConfig(), makeHasher(),
+                    kThetaBias64)
+            .run(input, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < quant_run.output.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(quant_run.output.data()[i]));
+    }
+}
+
+TEST(RobustnessTest, ZeroQueryRowsActAsPadding)
+{
+    AttentionInput input = gaussianInput(16, 3);
+    for (std::size_t c = 0; c < 64; ++c) {
+        input.query(5, c) = 0.0f;
+    }
+    // A zero query scores 0 against every key: softmax is uniform,
+    // output = mean of values. Nothing should crash.
+    const Matrix exact = exactAttention(input);
+    double mean_v0 = 0.0;
+    for (std::size_t j = 0; j < 16; ++j) {
+        mean_v0 += input.value(j, 0);
+    }
+    mean_v0 /= 16.0;
+    EXPECT_NEAR(exact(5, 0), mean_v0, 1e-4);
+
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    EXPECT_NO_THROW(engine.run(input, 0.3));
+}
+
+TEST(RobustnessTest, AllZeroKeyMatrixRejectedByLearner)
+{
+    AttentionInput input = gaussianInput(8, 4);
+    input.key.fill(0.0f);
+    ThresholdLearner learner(1.0);
+    EXPECT_THROW(learner.observe(input.query, input.key), Error);
+}
+
+TEST(RobustnessTest, SaturatingInputsStayFinite)
+{
+    // Values beyond the S5.3 range saturate instead of overflowing.
+    AttentionInput input = gaussianInput(32, 5);
+    for (std::size_t i = 0; i < input.query.size(); ++i) {
+        input.query.data()[i] *= 100.0f;
+        input.key.data()[i] *= 100.0f;
+    }
+    Accelerator accel(SimConfig::paperConfig(), makeHasher(),
+                      kThetaBias64);
+    const RunResult run = accel.run(
+        input, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < run.output.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(run.output.data()[i]));
+        // The output memory holds S5.3 values.
+        ASSERT_LE(std::abs(run.output.data()[i]), 32.0f);
+    }
+}
+
+TEST(RobustnessTest, DuplicateKeysSplitMassNotCycles)
+{
+    // All keys identical: every key is equally relevant; the engine
+    // must not divide by zero or mis-rank.
+    AttentionInput input = gaussianInput(16, 6);
+    for (std::size_t j = 1; j < 16; ++j) {
+        for (std::size_t c = 0; c < 64; ++c) {
+            input.key(j, c) = input.key(0, c);
+            input.value(j, c) = input.value(0, c);
+        }
+    }
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    const auto result = engine.run(input, 0.2);
+    // Output equals the shared value row (softmax over identical
+    // scores of identical values).
+    for (std::size_t c = 0; c < 64; ++c) {
+        EXPECT_NEAR(result.output(0, c), input.value(0, c), 1e-4);
+    }
+}
+
+TEST(RobustnessTest, NegativeThresholdSelectsEverything)
+{
+    const AttentionInput input = gaussianInput(24, 7);
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    // Any threshold below -1 selects all keys: cos >= -1 always and
+    // norms are positive.
+    const auto result = engine.run(input, -2.0);
+    for (const auto c : result.stats.candidates_per_query) {
+        EXPECT_EQ(c, 24u);
+    }
+}
+
+TEST(RobustnessTest, NanFreeUnderAggressiveQuantization)
+{
+    // Tiny values flush to zero in the custom float; the reciprocal
+    // path must never see a zero sum (fallback guarantees >= 1
+    // candidate whose exponent is positive).
+    AttentionInput input = gaussianInput(16, 8);
+    for (std::size_t i = 0; i < input.query.size(); ++i) {
+        input.query.data()[i] *= 0.01f;
+    }
+    Accelerator accel(SimConfig::paperConfig(), makeHasher(),
+                      kThetaBias64);
+    const RunResult run = accel.run(input, 1e9); // Force fallback.
+    for (std::size_t i = 0; i < run.output.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(run.output.data()[i]));
+    }
+}
+
+TEST(RobustnessTest, LearnerWithManyObservationsStaysBounded)
+{
+    ThresholdLearner learner(2.0);
+    for (std::uint64_t s = 0; s < 20; ++s) {
+        const AttentionInput input = gaussianInput(32, 100 + s);
+        learner.observe(input.query, input.key);
+    }
+    EXPECT_EQ(learner.sampleCount(), 20u * 32u);
+    // Normalized threshold is a cosine-like quantity: |t| <= ~1.
+    EXPECT_LT(std::abs(learner.threshold()), 1.5);
+}
+
+TEST(RobustnessTest, MismatchedQkvShapesRejectedEverywhere)
+{
+    AttentionInput input = gaussianInput(8, 9);
+    input.value = Matrix(8, 32);
+    ApproxSelfAttention engine(makeHasher(), kThetaBias64);
+    EXPECT_THROW(engine.run(input, 0.1), Error);
+    Accelerator accel(SimConfig::paperConfig(), makeHasher(),
+                      kThetaBias64);
+    EXPECT_THROW(accel.run(input, 0.1), Error);
+}
+
+} // namespace
+} // namespace elsa

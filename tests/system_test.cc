@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Integration tests for the top-level facade (elsa::Elsa) and the
+ * evaluation driver (elsa::ElsaSystem): the full
+ * algorithm -> simulator -> baselines -> energy path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "elsa/elsa.h"
+#include "elsa/system.h"
+#include "tensor/ops.h"
+#include "workload/generator.h"
+
+namespace elsa {
+namespace {
+
+SystemConfig
+fastConfig()
+{
+    SystemConfig config;
+    config.eval.max_sublayers = 3;
+    config.eval.num_eval_inputs = 2;
+    config.eval.num_train_inputs = 2;
+    config.sim_sublayers = 2;
+    config.sim_inputs = 2;
+    return config;
+}
+
+TEST(ElsaFacadeTest, ConstructionAndProperties)
+{
+    Elsa engine(64);
+    EXPECT_EQ(engine.dim(), 64u);
+    EXPECT_EQ(engine.hashBits(), 64u);
+    EXPECT_NEAR(engine.thetaBias(), 0.127, 1e-9);
+    EXPECT_NE(engine.hasher(), nullptr);
+}
+
+TEST(ElsaFacadeTest, RejectsNonCubeDimension)
+{
+    EXPECT_THROW(Elsa(100), Error);
+}
+
+TEST(ElsaFacadeTest, SupportsOtherCubeDimensions)
+{
+    // d = 27 and d = 125 are cubes; the engine should build and run
+    // (with a freshly calibrated theta_bias rather than the d = 64
+    // constant).
+    Elsa engine(27);
+    EXPECT_EQ(engine.hashBits(), 27u);
+    EXPECT_GT(engine.thetaBias(), 0.0);
+    Rng rng(3);
+    Matrix q(10, 27);
+    Matrix k(10, 27);
+    Matrix v(10, 27);
+    q.fillGaussian(rng);
+    k.fillGaussian(rng);
+    v.fillGaussian(rng);
+    const double t = engine.learnThreshold(q, k, 1.0);
+    EXPECT_NO_THROW(engine.approxAttention(q, k, v, t));
+}
+
+TEST(ElsaFacadeTest, ApproxConvergesToExactAsPShrinks)
+{
+    QkvGenerator gen(bertLarge(), 5);
+    const AttentionInput input = gen.generate(10, 2, 128, 0);
+    Elsa engine(64);
+    const Matrix exact =
+        engine.attention(input.query, input.key, input.value);
+
+    double prev_err = 1e9;
+    for (const double p : {8.0, 2.0, 0.5}) {
+        const double t = engine.learnThreshold(input.query, input.key,
+                                               p);
+        const auto result = engine.approxAttention(
+            input.query, input.key, input.value, t);
+        const double err = frobeniusDiff(exact, result.output)
+                           / frobeniusNorm(exact);
+        EXPECT_LE(err, prev_err + 0.02) << "p = " << p;
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 0.2); // p = 0.5 is close to exact.
+}
+
+TEST(ElsaSystemTest, FidelityCacheReturnsSameObject)
+{
+    ElsaSystem system({bert4Rec(), movieLens1M()}, fastConfig());
+    const WorkloadEvaluation& a = system.fidelityAt(1.0);
+    const WorkloadEvaluation& b = system.fidelityAt(1.0);
+    EXPECT_EQ(&a, &b);
+    EXPECT_DOUBLE_EQ(a.p, 1.0);
+}
+
+TEST(ElsaSystemTest, ChoosePRespectsBoundsAndOrdering)
+{
+    ElsaSystem system({bertLarge(), squadV11()}, fastConfig());
+    EXPECT_DOUBLE_EQ(system.chooseP(ApproxMode::kBase), 0.0);
+    const double cons = system.chooseP(ApproxMode::kConservative);
+    const double mod = system.chooseP(ApproxMode::kModerate);
+    const double agg = system.chooseP(ApproxMode::kAggressive);
+    EXPECT_LE(cons, mod);
+    EXPECT_LE(mod, agg);
+    EXPECT_GT(agg, 0.0);
+    // The chosen p's loss estimate respects the bound.
+    if (cons > 0.0) {
+        EXPECT_LE(system.fidelityAt(cons).estimated_loss_pct, 1.0);
+    }
+}
+
+TEST(ElsaSystemTest, ModeReportsHaveConsistentShape)
+{
+    ElsaSystem system({bertLarge(), squadV11()}, fastConfig());
+    const auto reports = system.evaluateAllModes();
+    ASSERT_EQ(reports.size(), 4u);
+
+    const ModeReport& base = reports[0];
+    EXPECT_EQ(base.mode, ApproxMode::kBase);
+    EXPECT_DOUBLE_EQ(base.p, 0.0);
+    EXPECT_NEAR(base.candidate_fraction, 1.0, 1e-9);
+    EXPECT_GT(base.elsa_ops_per_second, 0.0);
+    EXPECT_GT(base.throughput_vs_gpu, 1.0); // ELSA beats the GPU.
+    EXPECT_GT(base.elsa_energy_per_op_uj, 0.0);
+    EXPECT_GT(base.energy_eff_vs_gpu, 10.0);
+
+    // Approximation increases throughput and energy efficiency and
+    // decreases candidates, monotonically in the mode ordering.
+    for (std::size_t i = 1; i < reports.size(); ++i) {
+        EXPECT_LE(reports[i].candidate_fraction,
+                  reports[i - 1].candidate_fraction + 1e-9);
+        EXPECT_GE(reports[i].elsa_ops_per_second,
+                  reports[i - 1].elsa_ops_per_second * 0.999);
+        EXPECT_GE(reports[i].energy_eff_vs_gpu,
+                  reports[i - 1].energy_eff_vs_gpu * 0.999);
+    }
+}
+
+TEST(ElsaSystemTest, PreprocessingFractionSmall)
+{
+    // Fig. 11b: preprocessing is a small part of the latency.
+    ElsaSystem system({robertaLarge(), race()}, fastConfig());
+    const ModeReport base = system.evaluateMode(ApproxMode::kBase);
+    EXPECT_LT(base.preprocess_fraction, 0.25);
+    EXPECT_GT(base.preprocess_fraction, 0.0);
+}
+
+TEST(ElsaSystemTest, BaseLatencyNearIdealAccelerator)
+{
+    // Fig. 11b: ELSA-base latency ~1.03x the ideal accelerator
+    // (slightly larger here because the evaluation sequences are
+    // shorter than n = 512, which amortizes the fixed costs less).
+    ElsaSystem system({robertaLarge(), race()}, fastConfig());
+    const ModeReport base = system.evaluateMode(ApproxMode::kBase);
+    EXPECT_GT(base.latency_vs_ideal, 0.95);
+    EXPECT_LT(base.latency_vs_ideal, 1.6);
+    // Approximate modes beat the ideal accelerator (the paper's
+    // headline: approximation wins where exact cannot).
+    const ModeReport mod = system.evaluateMode(ApproxMode::kModerate);
+    EXPECT_LT(mod.latency_vs_ideal, base.latency_vs_ideal);
+}
+
+TEST(ElsaSystemTest, EnergyBreakdownSumsToTotal)
+{
+    ElsaSystem system({bert4Rec(), movieLens1M()}, fastConfig());
+    const ModeReport report =
+        system.evaluateMode(ApproxMode::kModerate);
+    const EnergyBreakdown& e = report.energy_breakdown;
+    EXPECT_NEAR(e.approximationLogicUj() + e.attentionComputeUj()
+                    + e.internalMemoryUj() + e.externalMemoryUj(),
+                report.elsa_energy_per_op_uj, 1e-9);
+    // Attention compute + memories dominate (Fig. 13b shape).
+    EXPECT_GT(e.attentionComputeUj() + e.externalMemoryUj(),
+              e.approximationLogicUj());
+}
+
+TEST(ElsaSystemTest, RejectsMismatchedSimDimension)
+{
+    SystemConfig config = fastConfig();
+    config.sim.d = 27;
+    config.sim.k = 27;
+    EXPECT_THROW(ElsaSystem({bertLarge(), squadV11()}, config), Error);
+}
+
+} // namespace
+} // namespace elsa
