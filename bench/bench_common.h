@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "common/args.h"
 #include "common/stats.h"
 #include "elsa/system.h"
+#include "obs/manifest.h"
 #include "workload/model.h"
 
 namespace elsa::bench {
@@ -43,6 +45,50 @@ standardSystemConfig()
     config.sim_sublayers = 6;
     config.sim_inputs = 6;
     return config;
+}
+
+/**
+ * Run manifest pre-filled with build provenance and the evaluation
+ * configuration; the bench adds its headline numbers to the
+ * "metrics" section and hands it to emitBenchSummary().
+ */
+inline obs::RunManifest
+makeBenchManifest(const char* artifact, const SystemConfig& config,
+                  std::uint64_t seed = 0x5eed)
+{
+    obs::RunManifest manifest(artifact);
+    manifest.addBuildInfo();
+    manifest.set("config", "seed", static_cast<std::size_t>(seed));
+    manifest.set("config", "d", config.sim.d);
+    manifest.set("config", "k", config.sim.k);
+    manifest.set("config", "pa", config.sim.pa);
+    manifest.set("config", "pc", config.sim.pc);
+    manifest.set("config", "mh", config.sim.mh);
+    manifest.set("config", "mo", config.sim.mo);
+    manifest.set("config", "frequency_ghz",
+                 config.sim.frequency_ghz);
+    manifest.set("config", "num_accelerators",
+                 config.num_accelerators);
+    manifest.set("config", "sim_inputs", config.sim_inputs);
+    manifest.set("config", "sim_sublayers", config.sim_sublayers);
+    return manifest;
+}
+
+/**
+ * Emit the machine-readable run summary: one `BENCH_JSON {...}` line
+ * on stdout (grep-able by trend tooling) and, when the bench was
+ * invoked with --manifest <path>, the same single-line JSON written
+ * to that file (the BENCH_*.json format).
+ */
+inline void
+emitBenchSummary(const obs::RunManifest& manifest,
+                 const ArgParser& args)
+{
+    std::printf("BENCH_JSON %s\n",
+                manifest.toJson(/*pretty=*/false).c_str());
+    if (args.has("manifest")) {
+        manifest.writeFile(args.get("manifest"), /*pretty=*/false);
+    }
 }
 
 /** Collects per-workload values and reports the geometric mean. */

@@ -23,7 +23,7 @@ int
 main(int argc, char** argv)
 {
     using namespace elsa;
-    const ArgParser args(argc, argv, {"csv"});
+    const ArgParser args(argc, argv, {"csv", "manifest"});
     std::unique_ptr<CsvWriter> csv;
     if (args.has("csv")) {
         csv = std::make_unique<CsvWriter>(args.get("csv"));
@@ -88,5 +88,19 @@ main(int argc, char** argv)
                 agg_g.geomean());
     std::printf("Paper reference: base 7.99-43.93x; geomeans 57x / "
                 "73x / 81x (cons/mod/agg).\n");
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "fig11a_throughput", bench::standardSystemConfig());
+    manifest.set("metrics", "workloads",
+                 evaluationWorkloads().size());
+    manifest.set("metrics", "throughput_vs_gpu_geomean_base",
+                 base_g.geomean());
+    manifest.set("metrics", "throughput_vs_gpu_geomean_conservative",
+                 cons_g.geomean());
+    manifest.set("metrics", "throughput_vs_gpu_geomean_moderate",
+                 mod_g.geomean());
+    manifest.set("metrics", "throughput_vs_gpu_geomean_aggressive",
+                 agg_g.geomean());
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

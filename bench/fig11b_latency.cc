@@ -13,12 +13,14 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/args.h"
 #include "elsa/system.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Fig. 11(b): normalized self-attention latency (ideal = 1)",
         "Per-op latency / ideal-accelerator latency; 'pre' = share "
@@ -54,5 +56,19 @@ main()
                 agg_g.geomean());
     std::printf("Paper reference: base 1.03x; cons/mod/agg 0.38x / "
                 "0.29x / 0.26x of the ideal accelerator.\n");
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "fig11b_latency", bench::standardSystemConfig());
+    manifest.set("metrics", "workloads",
+                 evaluationWorkloads().size());
+    manifest.set("metrics", "latency_vs_ideal_geomean_base",
+                 base_g.geomean());
+    manifest.set("metrics", "latency_vs_ideal_geomean_conservative",
+                 cons_g.geomean());
+    manifest.set("metrics", "latency_vs_ideal_geomean_moderate",
+                 mod_g.geomean());
+    manifest.set("metrics", "latency_vs_ideal_geomean_aggressive",
+                 agg_g.geomean());
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -8,21 +8,112 @@
  *      approximation p (Section III-E of the paper);
  *   3. run approximate attention and compare against the exact
  *      result.
+ *
+ * With --obs-dir <dir> it additionally demonstrates the
+ * observability layer: one cycle-level simulator run with stats and
+ * pipeline tracing enabled, dumping
+ *   <dir>/stats.json    stats registry (per-module active cycles...)
+ *   <dir>/stats.csv     the same registry, flat CSV
+ *   <dir>/trace.json    Chrome trace_event JSON (open in Perfetto)
+ *   <dir>/manifest.json run manifest (build, config, utilization)
+ * scripts/check_metrics.py validates these against the schema in
+ * docs/OBSERVABILITY.md.
  */
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "attention/metrics.h"
+#include "common/args.h"
 #include "common/rng.h"
 #include "elsa/elsa.h"
+#include "lsh/calibration.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sim/accelerator.h"
+#include "sim/report.h"
 #include "tensor/ops.h"
 #include "workload/generator.h"
 #include "workload/model.h"
 
-int
-main()
+namespace {
+
+/**
+ * Simulate one attention op with full observability on and dump the
+ * stats / trace / manifest files described in the file comment.
+ */
+void
+runObservabilityDemo(const elsa::Elsa& engine,
+                     const elsa::AttentionInput& input,
+                     double threshold, const std::string& dir)
 {
     using namespace elsa;
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+
+    SimConfig config = SimConfig::paperConfig();
+    config.collect_query_trace = true;
+    config.emit_trace = true;
+
+    obs::StatsRegistry& registry = obs::globalRegistry();
+    obs::TraceWriter trace(dir + "/trace.json");
+
+    Accelerator accel(config, engine.hasher(), engine.thetaBias());
+    accel.attachStats(&registry, "sim.accel0");
+    accel.attachTrace(&trace, /*pid=*/0);
+    const RunResult result = accel.run(input, threshold);
+    trace.close();
+
+    {
+        std::ofstream stats_json(dir + "/stats.json");
+        registry.dumpJson(stats_json);
+        std::ofstream stats_csv(dir + "/stats.csv");
+        registry.dumpCsv(stats_csv);
+    }
+
+    obs::RunManifest manifest("quickstart");
+    manifest.addBuildInfo();
+    manifest.set("config", "d", config.d);
+    manifest.set("config", "k", config.k);
+    manifest.set("config", "pa", config.pa);
+    manifest.set("config", "pc", config.pc);
+    manifest.set("config", "n", input.n());
+    manifest.set("config", "threshold", threshold);
+    manifest.set("config", "collect_query_trace",
+                 config.collect_query_trace);
+    manifest.set("config", "emit_trace", config.emit_trace);
+    manifest.set("metrics", "total_cycles", result.totalCycles());
+    manifest.set("metrics", "preprocess_cycles",
+                 result.preprocess_cycles);
+    manifest.set("metrics", "execute_cycles", result.execute_cycles);
+    manifest.set("metrics", "candidate_fraction",
+                 result.candidateFraction());
+    manifest.set("metrics", "fallbacks", result.empty_selections);
+    const UtilizationReport util = computeUtilization(result);
+    for (const HwModule module : allHwModules()) {
+        manifest.set("utilization", hwModuleMetricName(module),
+                     util.get(module));
+    }
+    manifest.writeFile(dir + "/manifest.json");
+
+    std::printf("\nObservability dump: %s/{stats.json, stats.csv, "
+                "trace.json, manifest.json}\n",
+                dir.c_str());
+    std::printf("Open %s/trace.json in https://ui.perfetto.dev or "
+                "chrome://tracing.\n",
+                dir.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace elsa;
+    const ArgParser args(argc, argv, {"obs-dir"});
 
     constexpr std::size_t n = 256; // input entities (e.g. tokens)
     constexpr std::size_t d = 64;  // embedding dimension
@@ -66,5 +157,12 @@ main()
     std::printf("\nLower p = conservative (more candidates, more "
                 "accurate);\nhigher p = aggressive (fewer candidates, "
                 "faster on the accelerator).\n");
+
+    if (args.has("obs-dir")) {
+        const double threshold =
+            engine.learnThreshold(input.query, input.key, 2.0);
+        runObservabilityDemo(engine, input, threshold,
+                             args.get("obs-dir"));
+    }
     return 0;
 }

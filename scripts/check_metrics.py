@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""End-to-end validation of the observability artifacts.
+
+Runs the quickstart binary with --obs-dir (stats + tracing + host
+profiling enabled) in a temporary directory and validates the four
+emitted files against the schema documented in docs/OBSERVABILITY.md:
+
+  stats.json    - metric-name grammar, per-kind field sets, and the
+                  invariant active_cycles <= cycles.total per module;
+  stats.csv     - header row and one row per scalar facet;
+  trace.json    - Chrome trace_event JSON object form, required
+                  per-event fields, metadata coverage;
+  manifest.json - required sections, schema_version, and the
+                  cross-check that the manifest's utilization equals
+                  active_cycles / cycles.total from stats.json.
+
+Usage: check_metrics.py <path-to-quickstart-binary>
+
+Exit status 0 when every check passes; 1 with a FAIL line per
+violation otherwise. Wired into CTest as the `check_metrics` test.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+DISTRIBUTION_FIELDS = {"kind", "count", "mean", "stddev", "min", "max"}
+HISTOGRAM_FIELDS = {
+    "kind", "count", "sum", "underflow", "overflow", "edges", "counts",
+}
+
+HW_MODULES = [
+    "hash_computation",
+    "norm_computation",
+    "candidate_selection",
+    "attention_compute",
+    "output_division",
+    "key_hash_memory",
+    "key_norm_memory",
+    "key_value_memory",
+    "query_output_memory",
+]
+
+failures = []
+
+
+def check(condition, message):
+    if not condition:
+        failures.append(message)
+        print(f"FAIL: {message}")
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_stats(stats):
+    for name, value in stats.items():
+        check(METRIC_NAME_RE.match(name),
+              f"stats: invalid metric name {name!r}")
+        if isinstance(value, dict):
+            kind = value.get("kind")
+            check(kind in ("distribution", "histogram"),
+                  f"stats: {name}: unknown kind {kind!r}")
+            expected = (DISTRIBUTION_FIELDS if kind == "distribution"
+                        else HISTOGRAM_FIELDS)
+            check(set(value) == expected,
+                  f"stats: {name}: fields {sorted(value)} != "
+                  f"{sorted(expected)}")
+            if kind == "histogram":
+                check(len(value["edges"]) == len(value["counts"]) + 1,
+                      f"stats: {name}: edges/counts length mismatch")
+                total = (sum(value["counts"]) + value["underflow"]
+                         + value["overflow"])
+                check(total == value["count"],
+                      f"stats: {name}: bucket counts do not sum to "
+                      f"count")
+        else:
+            check(isinstance(value, (int, float)),
+                  f"stats: {name}: counter is not a number")
+
+    total = stats.get("sim.accel0.cycles.total")
+    check(isinstance(total, (int, float)) and total > 0,
+          "stats: missing sim.accel0.cycles.total")
+    for module in HW_MODULES:
+        name = f"sim.accel0.{module}.active_cycles"
+        active = stats.get(name)
+        check(isinstance(active, (int, float)),
+              f"stats: missing {name}")
+        if isinstance(active, (int, float)) and total:
+            check(0 <= active,
+                  f"stats: {name} is negative")
+    check(any(name.startswith("host.") and name.endswith(".seconds")
+              for name in stats),
+          "stats: no host.<scope>.seconds profiling distributions "
+          "(is ELSA_PROF set?)")
+
+
+def check_stats_csv(path):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    check(lines and lines[0] == "name,kind,field,value",
+          "stats.csv: missing name,kind,field,value header")
+    check(len(lines) > 1, "stats.csv: no data rows")
+    for line in lines[1:]:
+        check(len(line.split(",")) == 4,
+              f"stats.csv: row does not have 4 fields: {line!r}")
+
+
+def check_trace(trace):
+    check(trace.get("displayTimeUnit") == "ns",
+          "trace: displayTimeUnit != 'ns'")
+    events = trace.get("traceEvents")
+    check(isinstance(events, list) and events,
+          "trace: traceEvents missing or empty")
+    if not isinstance(events, list):
+        return
+    phases = set()
+    for i, event in enumerate(events):
+        for field in ("name", "ph", "pid", "tid"):
+            check(field in event, f"trace: event {i} missing {field!r}")
+        ph = event.get("ph")
+        phases.add(ph)
+        if ph == "X":
+            check("ts" in event and "dur" in event,
+                  f"trace: complete event {i} missing ts/dur")
+            check(event.get("dur", 0) >= 1,
+                  f"trace: complete event {i} has dur < 1")
+        elif ph == "C":
+            check("value" in event.get("args", {}),
+                  f"trace: counter event {i} missing args.value")
+        elif ph == "M":
+            check(event.get("name") in ("process_name", "thread_name"),
+                  f"trace: unexpected metadata event {i}")
+            check("name" in event.get("args", {}),
+                  f"trace: metadata event {i} missing args.name")
+    check("M" in phases, "trace: no metadata (M) events")
+    check("X" in phases, "trace: no complete (X) events")
+    check("C" in phases, "trace: no counter (C) events")
+
+
+def check_manifest(manifest, stats):
+    check(manifest.get("artifact") == "quickstart",
+          "manifest: artifact != 'quickstart'")
+    check(manifest.get("schema_version") == 1,
+          "manifest: schema_version != 1")
+    for section in ("build", "config", "metrics", "utilization"):
+        check(isinstance(manifest.get(section), dict),
+              f"manifest: missing section {section!r}")
+    build = manifest.get("build", {})
+    for key in ("git_describe", "build_type", "compiler"):
+        check(key in build, f"manifest: build missing {key!r}")
+
+    # Cross-check: manifest utilization == active_cycles / total from
+    # the stats registry (both derive from the same RunResult).
+    total = stats.get("sim.accel0.cycles.total", 0)
+    utilization = manifest.get("utilization", {})
+    check(set(utilization) == set(HW_MODULES),
+          "manifest: utilization keys != hardware module list")
+    metrics = manifest.get("metrics", {})
+    check(metrics.get("total_cycles") == total,
+          "manifest: metrics.total_cycles != stats cycles.total")
+    for module in HW_MODULES:
+        active = stats.get(f"sim.accel0.{module}.active_cycles")
+        if total and isinstance(active, (int, float)):
+            expected = min(1.0, active / total)
+            got = utilization.get(module)
+            check(isinstance(got, (int, float))
+                  and abs(got - expected) < 1e-9,
+                  f"manifest: utilization.{module} = {got!r}, "
+                  f"expected {expected!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <quickstart-binary>")
+        return 1
+    quickstart = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="elsa_obs_") as tmp:
+        obs_dir = os.path.join(tmp, "obs")
+        env = dict(os.environ, ELSA_PROF="1")
+        result = subprocess.run(
+            [quickstart, "--obs-dir", obs_dir],
+            env=env, capture_output=True, text=True, timeout=600)
+        check(result.returncode == 0,
+              f"quickstart exited {result.returncode}:\n"
+              f"{result.stderr[-2000:]}")
+        if result.returncode != 0:
+            return 1
+
+        for name in ("stats.json", "stats.csv", "trace.json",
+                     "manifest.json"):
+            check(os.path.exists(os.path.join(obs_dir, name)),
+                  f"missing artifact {name}")
+        if failures:
+            return 1
+
+        stats = load_json(os.path.join(obs_dir, "stats.json"))
+        check_stats(stats)
+        check_stats_csv(os.path.join(obs_dir, "stats.csv"))
+        check_trace(load_json(os.path.join(obs_dir, "trace.json")))
+        check_manifest(load_json(os.path.join(obs_dir,
+                                              "manifest.json")),
+                       stats)
+
+    if failures:
+        print(f"{len(failures)} check(s) failed")
+        return 1
+    print("check_metrics: all observability artifacts valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/profile.h"
 #include "tensor/ops.h"
 
 namespace elsa {
@@ -45,10 +46,13 @@ ApproxSelfAttention::preprocessKeys(const Matrix& key) const
                           << hasher_->dim());
     KeyPreprocessing prep;
     prep.hashes = hasher_->hashRows(key);
-    prep.norms.resize(key.rows());
-    for (std::size_t r = 0; r < key.rows(); ++r) {
-        prep.norms[r] = l2Norm(key.row(r), key.cols());
-        prep.max_norm = std::max(prep.max_norm, prep.norms[r]);
+    {
+        ELSA_PROF_SCOPE("attention.key_norms");
+        prep.norms.resize(key.rows());
+        for (std::size_t r = 0; r < key.rows(); ++r) {
+            prep.norms[r] = l2Norm(key.row(r), key.cols());
+            prep.max_norm = std::max(prep.max_norm, prep.norms[r]);
+        }
     }
     return prep;
 }

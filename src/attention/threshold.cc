@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/profile.h"
 #include "tensor/ops.h"
 
 namespace elsa {
@@ -23,6 +24,7 @@ ThresholdLearner::observe(const Matrix& query, const Matrix& key)
     if (p_ == 0.0) {
         return; // Exact mode; no threshold to learn.
     }
+    ELSA_PROF_SCOPE("threshold.observe");
     const std::size_t n = key.rows();
     const std::size_t d = key.cols();
 

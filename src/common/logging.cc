@@ -1,8 +1,75 @@
 #include "common/logging.h"
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 namespace elsa {
+
+namespace {
+
+/** Parse an ELSA_LOG_LEVEL value; fall back to kWarn on junk. */
+LogLevel
+parseLogLevel(const char* text)
+{
+    const std::string s(text);
+    if (s == "debug") {
+        return LogLevel::kDebug;
+    }
+    if (s == "info") {
+        return LogLevel::kInfo;
+    }
+    if (s == "warn" || s == "warning") {
+        return LogLevel::kWarn;
+    }
+    if (s == "error") {
+        return LogLevel::kError;
+    }
+    if (s == "none" || s == "off") {
+        return LogLevel::kNone;
+    }
+    std::cerr << "[elsa warn] ignoring unknown ELSA_LOG_LEVEL '" << s
+              << "' (want debug|info|warn|error|none)\n";
+    return LogLevel::kWarn;
+}
+
+LogLevel&
+currentLevel()
+{
+    static LogLevel level = [] {
+        const char* env = std::getenv("ELSA_LOG_LEVEL");
+        return env != nullptr ? parseLogLevel(env) : LogLevel::kWarn;
+    }();
+    return level;
+}
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kNone: return "none";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return currentLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel() = level;
+}
+
 namespace detail {
 
 void
@@ -13,6 +80,21 @@ raiseError(const char* kind, const char* file, int line,
     oss << "[elsa " << kind << "] " << file << ":" << line << ": "
         << message;
     throw Error(oss.str());
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return level >= currentLevel() && currentLevel() != LogLevel::kNone
+           && level != LogLevel::kNone;
+}
+
+void
+logMessage(LogLevel level, const char* file, int line,
+           const std::string& message)
+{
+    std::cerr << "[elsa " << levelName(level) << "] " << file << ":"
+              << line << ": " << message << '\n';
 }
 
 } // namespace detail

@@ -3,7 +3,7 @@
 
 /**
  * @file
- * Error-reporting primitives for the ELSA library.
+ * Error-reporting and logging primitives for the ELSA library.
  *
  * Following the gem5 convention, we distinguish two classes of failure:
  *  - fatal(): the caller violated the API contract (bad configuration,
@@ -11,6 +11,13 @@
  *    an elsa::Error exception so that library users and tests can recover.
  *  - panic(): an internal invariant was broken, i.e. a bug in ELSA itself.
  *    Also raised as elsa::Error but tagged as internal.
+ *
+ * Non-fatal diagnostics go through the leveled ELSA_LOG_* macros
+ * (debug < info < warn < error) instead of ad-hoc std::cerr. The
+ * threshold defaults to warn and can be changed programmatically
+ * with setLogLevel() or via the ELSA_LOG_LEVEL environment variable
+ * (one of: debug, info, warn, error, none; read once at startup).
+ * Messages below the threshold cost one branch on a cached level.
  */
 
 #include <sstream>
@@ -26,11 +33,38 @@ class Error : public std::runtime_error
     explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/** Severity of a non-fatal diagnostic. */
+enum class LogLevel
+{
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kNone = 4, ///< Threshold-only value: suppresses everything.
+};
+
+/**
+ * Current logging threshold: messages with severity >= the threshold
+ * are written to stderr. Initialized from ELSA_LOG_LEVEL on first
+ * use; defaults to kWarn.
+ */
+LogLevel logLevel();
+
+/** Override the logging threshold (tests, embedding applications). */
+void setLogLevel(LogLevel level);
+
 namespace detail {
 
 /** Raise an elsa::Error with file/line context. */
 [[noreturn]] void raiseError(const char* kind, const char* file, int line,
                              const std::string& message);
+
+/** True when a message at this severity should be emitted. */
+bool logEnabled(LogLevel level);
+
+/** Write one formatted log line to stderr. */
+void logMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
 
 } // namespace detail
 
@@ -69,5 +103,21 @@ namespace detail {
             ELSA_PANIC("assertion failed: " #cond ": " << msg);             \
         }                                                                   \
     } while (0)
+
+/** Emit a leveled diagnostic to stderr (see LogLevel). */
+#define ELSA_LOG(level, msg)                                                \
+    do {                                                                    \
+        if (::elsa::detail::logEnabled(level)) {                            \
+            std::ostringstream elsa_oss_;                                   \
+            elsa_oss_ << msg;                                               \
+            ::elsa::detail::logMessage(level, __FILE__, __LINE__,           \
+                                       elsa_oss_.str());                    \
+        }                                                                   \
+    } while (0)
+
+#define ELSA_LOG_DEBUG(msg) ELSA_LOG(::elsa::LogLevel::kDebug, msg)
+#define ELSA_LOG_INFO(msg) ELSA_LOG(::elsa::LogLevel::kInfo, msg)
+#define ELSA_LOG_WARN(msg) ELSA_LOG(::elsa::LogLevel::kWarn, msg)
+#define ELSA_LOG_ERROR(msg) ELSA_LOG(::elsa::LogLevel::kError, msg)
 
 #endif // ELSA_COMMON_LOGGING_H_

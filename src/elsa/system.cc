@@ -22,6 +22,16 @@ ElsaSystem::ElsaSystem(WorkloadSpec spec, SystemConfig config,
                         << spec_.model.head_dim);
 }
 
+void
+ElsaSystem::attachObservability(obs::StatsRegistry* stats,
+                                obs::TraceWriter* trace,
+                                std::string prefix)
+{
+    stats_ = stats;
+    trace_ = trace;
+    stats_prefix_ = std::move(prefix);
+}
+
 const WorkloadEvaluation&
 ElsaSystem::fidelityAt(double p)
 {
@@ -68,6 +78,9 @@ ElsaSystem::simulateAtP(ApproxMode mode, double p)
     AcceleratorArray array(config_.sim, config_.num_accelerators,
                            runner_.engine().hasher(),
                            runner_.engine().cosineLut().thetaBias());
+    if (stats_ != nullptr || trace_ != nullptr) {
+        array.attachObservability(stats_, trace_, stats_prefix_);
+    }
 
     std::vector<const AttentionInput*> inputs;
     std::vector<double> thresholds;

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "baselines/gpu_model.h"
@@ -96,6 +97,17 @@ class ElsaSystem
 
     const WorkloadRunner& runner() const { return runner_; }
     const SystemConfig& config() const { return config_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Route every simulated run's stats/trace into the given sinks
+     * (non-owning; pass nullptr to detach). Counters land under
+     * `<prefix>.*`; tracing additionally needs
+     * config.sim.emit_trace = true.
+     */
+    void attachObservability(obs::StatsRegistry* stats,
+                             obs::TraceWriter* trace,
+                             std::string prefix = "sim.accel0");
 
     /**
      * Fidelity evaluation at one p (cached: repeated calls with the
@@ -121,6 +133,11 @@ class ElsaSystem
     std::uint64_t seed_;
     WorkloadRunner runner_;
     std::map<double, WorkloadEvaluation> fidelity_cache_;
+
+    /** Observability sinks (non-owning; see attachObservability). */
+    obs::StatsRegistry* stats_ = nullptr;
+    obs::TraceWriter* trace_ = nullptr;
+    std::string stats_prefix_ = "sim.accel0";
 };
 
 } // namespace elsa

@@ -63,6 +63,23 @@ hwModuleName(HwModule module)
     return moduleAreaPower(module).name.c_str();
 }
 
+const char*
+hwModuleMetricName(HwModule module)
+{
+    switch (module) {
+    case HwModule::kHashComputation: return "hash_computation";
+    case HwModule::kNormComputation: return "norm_computation";
+    case HwModule::kCandidateSelection: return "candidate_selection";
+    case HwModule::kAttentionCompute: return "attention_compute";
+    case HwModule::kOutputDivision: return "output_division";
+    case HwModule::kKeyHashMemory: return "key_hash_memory";
+    case HwModule::kKeyNormMemory: return "key_norm_memory";
+    case HwModule::kKeyValueMemory: return "key_value_memory";
+    case HwModule::kQueryOutputMemory: return "query_output_memory";
+    }
+    ELSA_PANIC("unknown hardware module");
+}
+
 AcceleratorAreaPower
 singleAcceleratorAreaPower()
 {

@@ -62,6 +62,13 @@ const ModuleAreaPower& moduleAreaPower(HwModule module);
 /** Human-readable module name. */
 const char* hwModuleName(HwModule module);
 
+/**
+ * Stable metric-path segment of a module ("hash_computation",
+ * "candidate_selection", ...) for hierarchical stats names like
+ * `sim.accel0.hash_computation.active_cycles`.
+ */
+const char* hwModuleMetricName(HwModule module);
+
 /** Aggregate characteristics of one ELSA accelerator. */
 struct AcceleratorAreaPower
 {

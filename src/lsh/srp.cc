@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "fixed/fixed_point.h"
 #include "lsh/orthogonal.h"
+#include "obs/profile.h"
 #include "tensor/ops.h"
 
 namespace elsa {
@@ -33,6 +34,7 @@ SrpHasher::hashRows(const Matrix& m) const
 {
     ELSA_CHECK(m.cols() == dim(),
                "hashRows input has " << m.cols() << " cols, d = " << dim());
+    ELSA_PROF_SCOPE("lsh.hash_rows");
     std::vector<HashValue> hashes;
     hashes.reserve(m.rows());
     for (std::size_t r = 0; r < m.rows(); ++r) {

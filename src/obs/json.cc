@@ -1,0 +1,468 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace elsa::obs {
+
+std::string
+jsonQuote(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value)) {
+        return "null";
+    }
+    // Shortest representation that round-trips a double.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    double parsed = std::strtod(buf, nullptr);
+    if (parsed == value) {
+        for (int precision = 1; precision < 17; ++precision) {
+            char shorter[32];
+            std::snprintf(shorter, sizeof(shorter), "%.*g", precision,
+                          value);
+            if (std::strtod(shorter, nullptr) == value) {
+                return shorter;
+            }
+        }
+    }
+    return buf;
+}
+
+// --- JsonWriter ------------------------------------------------------
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+void
+JsonWriter::newline()
+{
+    if (!pretty_) {
+        return;
+    }
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+        os_ << "  ";
+    }
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        if (stack_.back()) {
+            os_ << ',';
+        }
+        stack_.back() = true;
+        newline();
+    }
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    ELSA_ASSERT(!stack_.empty(), "endObject with no open container");
+    const bool had_values = stack_.back();
+    stack_.pop_back();
+    if (had_values) {
+        newline();
+    }
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    ELSA_ASSERT(!stack_.empty(), "endArray with no open container");
+    const bool had_values = stack_.back();
+    stack_.pop_back();
+    if (had_values) {
+        newline();
+    }
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& name)
+{
+    ELSA_ASSERT(!stack_.empty(), "key() outside an object");
+    if (stack_.back()) {
+        os_ << ',';
+    }
+    stack_.back() = true;
+    newline();
+    os_ << jsonQuote(name) << (pretty_ ? ": " : ":");
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& s)
+{
+    beforeValue();
+    os_ << jsonQuote(s);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    beforeValue();
+    os_ << jsonNumber(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::size_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+    return *this;
+}
+
+// --- JsonValue / parser ----------------------------------------------
+
+const JsonValue&
+JsonValue::at(const std::string& name) const
+{
+    ELSA_CHECK(kind == Kind::kObject,
+               "JSON .at(" << name << ") on a non-object");
+    const auto it = object_items.find(name);
+    ELSA_CHECK(it != object_items.end(),
+               "JSON object has no member '" << name << "'");
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string& name) const
+{
+    return kind == Kind::kObject
+           && object_items.find(name) != object_items.end();
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        ELSA_CHECK(pos_ == text_.size(),
+                   "trailing characters after JSON document at offset "
+                       << pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        ELSA_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        ELSA_CHECK(peek() == c, "expected '" << c << "' at offset "
+                                             << pos_ << ", got '"
+                                             << text_[pos_] << "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char* literal)
+    {
+        const std::size_t len = std::string(literal).size();
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        switch (c) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kString;
+            v.string_value = parseString();
+            return v;
+        }
+        case 't':
+        case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kBool;
+            if (consumeLiteral("true")) {
+                v.bool_value = true;
+            } else if (consumeLiteral("false")) {
+                v.bool_value = false;
+            } else {
+                ELSA_FATAL("malformed JSON literal at offset " << pos_);
+            }
+            return v;
+        }
+        case 'n': {
+            ELSA_CHECK(consumeLiteral("null"),
+                       "malformed JSON literal at offset " << pos_);
+            return JsonValue{};
+        }
+        default: return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            ELSA_CHECK(pos_ < text_.size(),
+                       "unterminated JSON string");
+            const char c = text_[pos_++];
+            if (c == '"') {
+                break;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            ELSA_CHECK(pos_ < text_.size(), "dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'u': {
+                ELSA_CHECK(pos_ + 4 <= text_.size(),
+                           "truncated \\u escape");
+                const unsigned long code = std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                // Basic-multilingual-plane pass-through only; the
+                // emitter never writes surrogate pairs.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+            }
+            default: ELSA_FATAL("bad JSON escape '\\" << esc << "'");
+            }
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWhitespace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        ELSA_CHECK(pos_ > start,
+                   "expected JSON value at offset " << start);
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        ELSA_CHECK(end != nullptr && *end == '\0',
+                   "malformed JSON number '" << token << "'");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kNumber;
+        v.number_value = parsed;
+        return v;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::kObject;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            ELSA_CHECK(peek() == '"', "JSON object key must be a string");
+            const std::string name = parseString();
+            expect(':');
+            v.object_items[name] = parseValue();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            break;
+        }
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::kArray;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_items.push_back(parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            break;
+        }
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string& text)
+{
+    JsonParser parser(text);
+    return parser.parseDocument();
+}
+
+} // namespace elsa::obs

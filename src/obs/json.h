@@ -1,0 +1,128 @@
+#ifndef ELSA_OBS_JSON_H_
+#define ELSA_OBS_JSON_H_
+
+/**
+ * @file
+ * Minimal JSON support for the observability layer.
+ *
+ * JsonWriter is a streaming emitter used by the stats dump, the
+ * Chrome trace writer, and the run manifest; it tracks nesting and
+ * inserts commas so call sites stay linear. parseJson() is a small
+ * recursive-descent reader used by the self-checks and tests to
+ * validate that everything we emit round-trips (well-formedness is
+ * part of the observability contract: the files must load in
+ * Perfetto / pandas without massaging).
+ *
+ * Neither side aims to be a general JSON library: no unicode escapes
+ * beyond pass-through UTF-8, no streaming parse, documents must fit
+ * in memory.
+ */
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace elsa::obs {
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string jsonQuote(const std::string& s);
+
+/** Format a double as JSON (finite values; nan/inf become null). */
+std::string jsonNumber(double value);
+
+/** Streaming JSON emitter with automatic comma placement. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os     Destination stream (not owned).
+     * @param pretty Two-space indentation when true; a single line
+     *               when false (the BENCH_*.json one-liner format).
+     */
+    explicit JsonWriter(std::ostream& os, bool pretty = true);
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Object key; must be followed by a value or begin*(). */
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& s);
+    JsonWriter& value(const char* s);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(std::size_t v);
+    JsonWriter& value(bool b);
+    JsonWriter& null();
+
+    /** Convenience: key(name).value(v). */
+    template <typename T>
+    JsonWriter&
+    kv(const std::string& name, const T& v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Nesting depth; 0 once the document is closed. */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    void beforeValue();
+    void newline();
+
+    std::ostream& os_;
+    bool pretty_;
+    /** One entry per open container; true = a value was written. */
+    std::vector<bool> stack_;
+    bool pending_key_ = false;
+};
+
+/** Parsed JSON value (for tests and schema self-checks). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Kind kind = Kind::kNull;
+    bool bool_value = false;
+    double number_value = 0.0;
+    std::string string_value;
+    std::vector<JsonValue> array_items;
+    /** Insertion order is not preserved; keys are unique. */
+    std::map<std::string, JsonValue> object_items;
+
+    bool isNull() const { return kind == Kind::kNull; }
+    bool isObject() const { return kind == Kind::kObject; }
+    bool isArray() const { return kind == Kind::kArray; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+    bool isString() const { return kind == Kind::kString; }
+
+    /** Object member or ELSA_FATAL when absent / not an object. */
+    const JsonValue& at(const std::string& name) const;
+
+    /** True when this is an object with the given member. */
+    bool has(const std::string& name) const;
+};
+
+/**
+ * Parse a complete JSON document. Raises elsa::Error on malformed
+ * input (including trailing garbage).
+ */
+JsonValue parseJson(const std::string& text);
+
+} // namespace elsa::obs
+
+#endif // ELSA_OBS_JSON_H_

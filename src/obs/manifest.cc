@@ -1,0 +1,183 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+#ifndef ELSA_GIT_DESCRIBE
+#define ELSA_GIT_DESCRIBE "unknown"
+#endif
+#ifndef ELSA_BUILD_TYPE
+#define ELSA_BUILD_TYPE "unknown"
+#endif
+
+namespace elsa::obs {
+
+BuildInfo
+buildInfo()
+{
+    BuildInfo info;
+    info.git_describe = ELSA_GIT_DESCRIBE;
+    info.build_type = ELSA_BUILD_TYPE;
+#ifdef __VERSION__
+    info.compiler = __VERSION__;
+#else
+    info.compiler = "unknown";
+#endif
+    return info;
+}
+
+RunManifest::RunManifest(std::string artifact)
+    : artifact_(std::move(artifact))
+{
+    ELSA_CHECK(!artifact_.empty(), "manifest artifact must be named");
+}
+
+RunManifest::Section&
+RunManifest::section(const std::string& name)
+{
+    for (auto& [section_name, section] : sections_) {
+        if (section_name == name) {
+            return section;
+        }
+    }
+    sections_.emplace_back(name, Section{});
+    return sections_.back().second;
+}
+
+void
+RunManifest::setValue(const std::string& section_name,
+                      const std::string& key, Value value)
+{
+    Section& s = section(section_name);
+    for (auto& [existing_key, existing_value] : s) {
+        if (existing_key == key) {
+            existing_value = std::move(value);
+            return;
+        }
+    }
+    s.emplace_back(key, std::move(value));
+}
+
+void
+RunManifest::set(const std::string& section_name,
+                 const std::string& key, const std::string& value)
+{
+    Value v;
+    v.kind = Value::Kind::kString;
+    v.string_value = value;
+    setValue(section_name, key, std::move(v));
+}
+
+void
+RunManifest::set(const std::string& section_name,
+                 const std::string& key, const char* value)
+{
+    set(section_name, key, std::string(value));
+}
+
+void
+RunManifest::set(const std::string& section_name,
+                 const std::string& key, double value)
+{
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number_value = value;
+    setValue(section_name, key, std::move(v));
+}
+
+void
+RunManifest::set(const std::string& section_name,
+                 const std::string& key, std::int64_t value)
+{
+    Value v;
+    v.kind = Value::Kind::kInteger;
+    v.int_value = value;
+    setValue(section_name, key, std::move(v));
+}
+
+void
+RunManifest::set(const std::string& section_name,
+                 const std::string& key, std::size_t value)
+{
+    set(section_name, key, static_cast<std::int64_t>(value));
+}
+
+void
+RunManifest::set(const std::string& section_name,
+                 const std::string& key, bool value)
+{
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.bool_value = value;
+    setValue(section_name, key, std::move(v));
+}
+
+void
+RunManifest::addBuildInfo()
+{
+    const BuildInfo info = buildInfo();
+    set("build", "git_describe", info.git_describe);
+    set("build", "build_type", info.build_type);
+    set("build", "compiler", info.compiler);
+}
+
+void
+RunManifest::writeJson(std::ostream& os, bool pretty) const
+{
+    JsonWriter w(os, pretty);
+    w.beginObject();
+    w.kv("artifact", artifact_);
+    w.kv("schema_version", std::int64_t{1});
+    for (const auto& [section_name, section] : sections_) {
+        w.key(section_name).beginObject();
+        for (const auto& [key, value] : section) {
+            switch (value.kind) {
+            case Value::Kind::kString:
+                w.kv(key, value.string_value);
+                break;
+            case Value::Kind::kNumber:
+                w.kv(key, value.number_value);
+                break;
+            case Value::Kind::kInteger:
+                w.kv(key, value.int_value);
+                break;
+            case Value::Kind::kBool:
+                w.kv(key, value.bool_value);
+                break;
+            }
+        }
+        w.endObject();
+    }
+    w.endObject();
+    if (pretty) {
+        os << '\n';
+    }
+}
+
+std::string
+RunManifest::toJson(bool pretty) const
+{
+    std::ostringstream oss;
+    writeJson(oss, pretty);
+    return oss.str();
+}
+
+void
+RunManifest::writeFile(const std::string& path, bool pretty) const
+{
+    std::ofstream out(path);
+    ELSA_CHECK(out.good(), "cannot open manifest file '" << path
+                                                         << "'");
+    writeJson(out, pretty);
+    if (!pretty) {
+        out << '\n';
+    }
+    out.flush();
+    ELSA_CHECK(out.good(), "failed writing manifest file '" << path
+                                                            << "'");
+}
+
+} // namespace elsa::obs

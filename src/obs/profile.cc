@@ -1,0 +1,48 @@
+#include "obs/profile.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace elsa::obs {
+
+namespace {
+
+bool&
+profilingFlag()
+{
+    static bool enabled = [] {
+        const char* env = std::getenv("ELSA_PROF");
+        return env != nullptr && std::string(env) != "0"
+               && std::string(env) != "";
+    }();
+    return enabled;
+}
+
+} // namespace
+
+bool
+profilingEnabled()
+{
+    return profilingFlag();
+}
+
+void
+setProfilingEnabled(bool enabled)
+{
+    profilingFlag() = enabled;
+}
+
+void
+ScopedTimer::record() const
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double seconds =
+        std::chrono::duration<double>(elapsed).count();
+    globalRegistry()
+        .distribution(std::string("host.") + scope_ + ".seconds")
+        .add(seconds);
+}
+
+} // namespace elsa::obs

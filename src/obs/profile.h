@@ -1,0 +1,77 @@
+#ifndef ELSA_OBS_PROFILE_H_
+#define ELSA_OBS_PROFILE_H_
+
+/**
+ * @file
+ * Scoped wall-clock profiling hooks for the host-side software path
+ * (SRP hashing, norm computation, threshold learning -- the parts of
+ * ELSA that run on the host rather than in the cycle simulator).
+ *
+ *     void SrpHasher::hashRows(...) {
+ *         ELSA_PROF_SCOPE("lsh.hash_rows");
+ *         ...
+ *     }
+ *
+ * Each scope feeds a Distribution named `host.<scope>.seconds` in
+ * the global StatsRegistry. Profiling is off by default: a disabled
+ * scope costs a single branch on a cached flag and takes no clock
+ * reading, so the hooks can live in hot paths permanently. Enable
+ * with ELSA_PROF=1 in the environment or setProfilingEnabled(true).
+ *
+ * Wall-clock numbers are for finding host-side hot spots; they are
+ * intentionally kept out of the simulated-cycle statistics.
+ */
+
+#include <chrono>
+
+namespace elsa::obs {
+
+/** True when ELSA_PROF_SCOPE timers record. Cached from ELSA_PROF. */
+bool profilingEnabled();
+
+/** Override the ELSA_PROF environment setting. */
+void setProfilingEnabled(bool enabled);
+
+/** RAII timer behind ELSA_PROF_SCOPE; use the macro, not this. */
+class ScopedTimer
+{
+  public:
+    /** @param scope Metric infix; must outlive the timer (literal). */
+    explicit ScopedTimer(const char* scope)
+        : scope_(scope), active_(profilingEnabled())
+    {
+        if (active_) {
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    ~ScopedTimer()
+    {
+        if (active_) {
+            record();
+        }
+    }
+
+  private:
+    /** Out-of-line slow path: clock read + registry update. */
+    void record() const;
+
+    const char* scope_;
+    bool active_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace elsa::obs
+
+#define ELSA_PROF_CONCAT2(a, b) a##b
+#define ELSA_PROF_CONCAT(a, b) ELSA_PROF_CONCAT2(a, b)
+
+/** Time this lexical scope into host.<name>.seconds when enabled. */
+#define ELSA_PROF_SCOPE(name)                                               \
+    ::elsa::obs::ScopedTimer ELSA_PROF_CONCAT(elsa_prof_scope_,             \
+                                              __LINE__)(name)
+
+#endif // ELSA_OBS_PROFILE_H_

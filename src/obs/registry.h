@@ -1,0 +1,171 @@
+#ifndef ELSA_OBS_REGISTRY_H_
+#define ELSA_OBS_REGISTRY_H_
+
+/**
+ * @file
+ * Central stats registry of the observability layer.
+ *
+ * Components register hierarchically named metrics -- dotted
+ * lowercase paths such as `sim.accel0.candidate_selection.
+ * active_cycles` or `host.lsh.hash_rows.seconds` -- and the registry
+ * owns their storage, so any part of the system (simulator, host
+ * software path, benches) can dump one coherent snapshot. Three
+ * metric kinds exist:
+ *
+ *  - Counter:       a monotonically growing (or set) scalar double;
+ *  - Distribution:  a RunningStat (count/mean/stddev/min/max);
+ *  - Histogram:     fixed-bucket counts (see obs/histogram.h).
+ *
+ * Metric objects are stable: the reference returned by counter() et
+ * al. stays valid for the registry's lifetime, so hot paths can
+ * resolve a metric once and update it without further lookups.
+ * Re-registering the same name with the same kind returns the same
+ * object; with a different kind it raises elsa::Error (name
+ * collisions are bugs, following gem5's stats discipline).
+ *
+ * The registry is not thread-safe; the simulator is single-threaded.
+ */
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/histogram.h"
+
+namespace elsa::obs {
+
+/** Scalar metric. */
+class Counter
+{
+  public:
+    void add(double delta) { value_ += delta; }
+    void increment() { value_ += 1.0; }
+    void set(double value) { value_ = value; }
+    double get() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** RunningStat-backed distribution metric. */
+class Distribution
+{
+  public:
+    void add(double x) { stat_.add(x); }
+    const RunningStat& stat() const { return stat_; }
+    void reset() { stat_ = RunningStat(); }
+
+  private:
+    RunningStat stat_;
+};
+
+/** Kind tag of a registered metric. */
+enum class MetricKind
+{
+    kCounter,
+    kDistribution,
+    kHistogram,
+};
+
+/** Human-readable kind name ("counter", "distribution", "histogram"). */
+const char* metricKindName(MetricKind kind);
+
+/**
+ * True when the name is a valid metric path: dot-separated segments
+ * of [a-z0-9_] with at least one segment, no empty segments.
+ */
+bool isValidMetricName(const std::string& name);
+
+/** Hierarchically named metric store; see file comment. */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry&) = delete;
+    StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+    /** Find-or-create a counter; fatal on kind collision. */
+    Counter& counter(const std::string& name);
+
+    /** Find-or-create a distribution; fatal on kind collision. */
+    Distribution& distribution(const std::string& name);
+
+    /**
+     * Find-or-create a histogram. The prototype's bucket edges are
+     * used on first registration and ignored afterwards (so call
+     * sites can pass the same prototype unconditionally).
+     */
+    Histogram& histogram(const std::string& name,
+                         const Histogram& prototype);
+
+    /** Kind of a registered name; fatal when unknown. */
+    MetricKind kind(const std::string& name) const;
+
+    /** True when the name has been registered. */
+    bool contains(const std::string& name) const;
+
+    /** Registered names in sorted order. */
+    std::vector<std::string> names() const;
+
+    /** Number of registered metrics. */
+    std::size_t size() const { return metrics_.size(); }
+
+    /**
+     * Counter value by name; fatal when the name is missing or not a
+     * counter. The read-side companion of counter() for report code.
+     */
+    double counterValue(const std::string& name) const;
+
+    /**
+     * Zero every metric, keeping the registrations (and therefore
+     * the references handed out earlier) alive.
+     */
+    void reset();
+
+    /** Drop all registrations. Invalidates outstanding references. */
+    void clear();
+
+    /**
+     * JSON dump: an object keyed by metric name; counters map to a
+     * number, distributions to {count, mean, stddev, min, max},
+     * histograms to {count, sum, underflow, overflow, edges, counts}.
+     * See docs/OBSERVABILITY.md for the schema.
+     */
+    void dumpJson(std::ostream& os, bool pretty = true) const;
+
+    /**
+     * CSV dump with header `name,kind,field,value`: one row per
+     * scalar facet of each metric (a counter yields one row, a
+     * distribution five, a histogram one per bucket plus summary
+     * rows). Flat on purpose so pandas/awk need no JSON parser.
+     */
+    void dumpCsv(std::ostream& os) const;
+
+  private:
+    struct Entry
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Distribution> distribution;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry& findOrCreate(const std::string& name, MetricKind kind);
+
+    std::map<std::string, Entry> metrics_;
+};
+
+/**
+ * Process-wide registry used by ELSA_PROF_SCOPE and by tools that
+ * want zero-plumbing stats (the benches pass explicit registries).
+ */
+StatsRegistry& globalRegistry();
+
+} // namespace elsa::obs
+
+#endif // ELSA_OBS_REGISTRY_H_

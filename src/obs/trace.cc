@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace elsa::obs {
+
+TraceWriter::TraceWriter(std::string path)
+    : enabled_(true), path_(std::move(path))
+{
+    ELSA_CHECK(!path_.empty(), "trace path must not be empty");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (enabled_) {
+        ELSA_LOG_WARN("trace writer for '"
+                      << path_
+                      << "' destroyed without close(); flushing");
+        try {
+            close();
+        } catch (const Error&) {
+            // Destructors must not throw; the warning above already
+            // points at the file.
+        }
+    }
+}
+
+void
+TraceWriter::processName(std::uint32_t pid, const std::string& name)
+{
+    if (!enabled_) {
+        return;
+    }
+    Event e;
+    e.phase = 'M';
+    e.name = "process_name";
+    e.pid = pid;
+    e.meta = name;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::threadName(std::uint32_t pid, std::uint32_t tid,
+                        const std::string& name)
+{
+    if (!enabled_) {
+        return;
+    }
+    Event e;
+    e.phase = 'M';
+    e.name = "thread_name";
+    e.pid = pid;
+    e.tid = tid;
+    e.meta = name;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::completeEvent(const std::string& name,
+                           const std::string& category,
+                           std::uint32_t pid, std::uint32_t tid,
+                           std::uint64_t ts_cycles,
+                           std::uint64_t dur_cycles)
+{
+    if (!enabled_) {
+        return;
+    }
+    Event e;
+    e.phase = 'X';
+    e.name = name;
+    e.category = category;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts_cycles;
+    e.dur = dur_cycles == 0 ? 1 : dur_cycles;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::counterEvent(const std::string& name, std::uint32_t pid,
+                          std::uint64_t ts_cycles, double value)
+{
+    if (!enabled_) {
+        return;
+    }
+    Event e;
+    e.phase = 'C';
+    e.name = name;
+    e.pid = pid;
+    e.ts = ts_cycles;
+    e.counter_value = value;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::instantEvent(const std::string& name, std::uint32_t pid,
+                          std::uint32_t tid, std::uint64_t ts_cycles)
+{
+    if (!enabled_) {
+        return;
+    }
+    Event e;
+    e.phase = 'i';
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts_cycles;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::writeJson(std::ostream& os) const
+{
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ns");
+    w.key("traceEvents").beginArray();
+    for (const Event& e : events_) {
+        w.beginObject();
+        w.kv("name", e.name);
+        w.kv("ph", std::string(1, e.phase));
+        w.kv("pid", static_cast<std::size_t>(e.pid));
+        w.kv("tid", static_cast<std::size_t>(e.tid));
+        switch (e.phase) {
+        case 'M':
+            w.key("args").beginObject();
+            w.kv("name", e.meta);
+            w.endObject();
+            break;
+        case 'X':
+            w.kv("cat",
+                 e.category.empty() ? std::string("sim") : e.category);
+            w.kv("ts", static_cast<std::size_t>(e.ts));
+            w.kv("dur", static_cast<std::size_t>(e.dur));
+            break;
+        case 'C':
+            w.kv("ts", static_cast<std::size_t>(e.ts));
+            w.key("args").beginObject();
+            w.kv("value", e.counter_value);
+            w.endObject();
+            break;
+        case 'i':
+            w.kv("ts", static_cast<std::size_t>(e.ts));
+            w.kv("s", "t");
+            break;
+        default: ELSA_PANIC("unknown trace phase " << e.phase);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+TraceWriter::close()
+{
+    if (!enabled_) {
+        return;
+    }
+    enabled_ = false;
+    std::ofstream out(path_);
+    ELSA_CHECK(out.good(),
+               "cannot open trace file '" << path_ << "' for writing");
+    writeJson(out);
+    out << '\n';
+    out.flush();
+    ELSA_CHECK(out.good(), "failed writing trace file '" << path_
+                                                         << "'");
+    events_.clear();
+}
+
+} // namespace elsa::obs

@@ -1,12 +1,37 @@
 #include "sim/accelerator.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/bits.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/candidate_stage.h"
 #include "sim/pipeline_model.h"
+#include "sim/report.h"
 
 namespace elsa {
+
+namespace {
+
+/** Trace thread ids: fixed module lanes, then one lane per bank. */
+constexpr std::uint32_t kTidHash = 0;
+constexpr std::uint32_t kTidNorm = 1;
+constexpr std::uint32_t kTidDivision = 2;
+constexpr std::uint32_t kTidBank0 = 3;
+
+/** "q<i> <suffix>" without operator+ chains (GCC 12 -Wrestrict). */
+std::string
+queryEventName(std::size_t query, const char* suffix)
+{
+    std::string name = "q";
+    name += std::to_string(query);
+    name += ' ';
+    name += suffix;
+    return name;
+}
+
+} // namespace
 
 double
 RunResult::candidateFraction() const
@@ -31,6 +56,38 @@ Accelerator::Accelerator(SimConfig config,
     config_.validate();
 }
 
+void
+Accelerator::attachStats(obs::StatsRegistry* registry,
+                         std::string prefix)
+{
+    stats_ = registry;
+    stats_prefix_ = std::move(prefix);
+}
+
+void
+Accelerator::attachTrace(obs::TraceWriter* trace, std::uint32_t pid)
+{
+    trace_ = trace;
+    trace_pid_ = pid;
+    if (trace_ == nullptr || !trace_->enabled()) {
+        return;
+    }
+    std::string process = "elsa.accel";
+    process += std::to_string(trace_pid_);
+    trace_->processName(trace_pid_, process);
+    trace_->threadName(trace_pid_, kTidHash, "hash computation");
+    trace_->threadName(trace_pid_, kTidNorm, "norm computation");
+    trace_->threadName(trace_pid_, kTidDivision, "output division");
+    for (std::size_t b = 0; b < config_.pa; ++b) {
+        std::string lane = "bank ";
+        lane += std::to_string(b);
+        lane += " (candidate scan + attention)";
+        trace_->threadName(trace_pid_,
+                           kTidBank0 + static_cast<std::uint32_t>(b),
+                           lane);
+    }
+}
+
 RunResult
 Accelerator::run(const AttentionInput& input, double threshold) const
 {
@@ -43,6 +100,11 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     RunResult result;
     result.output = Matrix(n, d);
     result.candidates_per_query.resize(n);
+
+    // Pipeline tracing is opt-in twice over (config flag + attached
+    // writer) and, when off, costs exactly this branch per run.
+    const bool tracing =
+        config_.emit_trace && trace_ != nullptr && trace_->enabled();
 
     // ---- Preprocessing phase (Section IV-C (2)) ----
     const FunctionalContext ctx = functional_.preprocess(input);
@@ -67,9 +129,20 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     result.activity.add(HwModule::kKeyNormMemory,
                         static_cast<double>(n) / (pa * config_.pc));
 
+    if (tracing) {
+        trace_->completeEvent("preprocess: hash keys+q0", "preprocess",
+                              trace_pid_, kTidHash, 0,
+                              result.preprocess_cycles);
+        trace_->completeEvent("preprocess: key norms", "preprocess",
+                              trace_pid_, kTidNorm, 0,
+                              static_cast<std::uint64_t>(norm_cycles));
+    }
+
     // ---- Execution phase ----
     const std::size_t division_cycles = divisionCyclesPerQuery(config_);
     std::size_t exec_cycles = 0;
+    // Trace-time cursor: start of the current query's interval.
+    std::uint64_t cursor = result.preprocess_cycles;
 
     std::vector<std::vector<std::uint32_t>> bank_grants(pa);
     for (std::size_t i = 0; i < n; ++i) {
@@ -100,9 +173,16 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             query_stalls += trace.stall_cycles;
             scanned_keys += static_cast<double>(trace.scan_cycles);
             max_bank_cycles = std::max(max_bank_cycles, trace.cycles);
+            if (tracing) {
+                trace_->completeEvent(
+                    queryEventName(i, "scan"), "execute", trace_pid_,
+                    kTidBank0 + static_cast<std::uint32_t>(b), cursor,
+                    trace.cycles);
+            }
         }
 
         bool used_fallback = false;
+        std::uint32_t fallback_bank = 0;
         if (total_candidates == 0) {
             // Fallback: use the key with the highest approximate
             // similarity so the output row stays defined.
@@ -110,7 +190,9 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             used_fallback = true;
             const std::uint32_t best = functional_.bestKey(ctx,
                                                            query_hash);
-            bank_grants[best / keys_per_bank].push_back(best);
+            fallback_bank =
+                static_cast<std::uint32_t>(best / keys_per_bank);
+            bank_grants[fallback_bank].push_back(best);
             total_candidates = 1;
         }
         result.candidates_per_query[i] = total_candidates;
@@ -123,6 +205,30 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         const std::size_t interval =
             std::max({bank_time, hash_per_vec, division_cycles});
         exec_cycles += interval;
+
+        if (tracing) {
+            if (used_fallback) {
+                trace_->instantEvent("fallback", trace_pid_,
+                                     kTidBank0 + fallback_bank,
+                                     cursor);
+            }
+            if (i + 1 < n) {
+                // The next query's hash overlaps this interval.
+                trace_->completeEvent(queryEventName(i + 1, "hash"),
+                                      "execute", trace_pid_, kTidHash,
+                                      cursor, hash_per_vec);
+            }
+            // This query's output division drains during the next
+            // interval (or the tail after the last query).
+            trace_->completeEvent(queryEventName(i, "divide"),
+                                  "execute", trace_pid_, kTidDivision,
+                                  cursor + interval, division_cycles);
+            trace_->counterEvent("candidates", trace_pid_, cursor,
+                                 static_cast<double>(total_candidates));
+            trace_->counterEvent("stall cycles", trace_pid_, cursor,
+                                 static_cast<double>(query_stalls));
+            cursor += interval;
+        }
 
         if (config_.collect_query_trace) {
             result.query_trace.push_back(
@@ -164,6 +270,12 @@ Accelerator::run(const AttentionInput& input, double threshold) const
 
     // Tail: the last query's output division drains after the loop.
     result.execute_cycles = exec_cycles + division_cycles;
+
+    // Publish to the attached registry after the timing is final, so
+    // instrumentation can never perturb the simulated cycle counts.
+    if (stats_ != nullptr) {
+        publishRunStats(result, *stats_, stats_prefix_);
+    }
     return result;
 }
 

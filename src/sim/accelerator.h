@@ -22,13 +22,20 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "attention/exact.h"
 #include "energy/energy_model.h"
 #include "sim/config.h"
 #include "sim/functional.h"
+
+namespace elsa::obs {
+class StatsRegistry;
+class TraceWriter;
+} // namespace elsa::obs
 
 namespace elsa {
 
@@ -100,6 +107,25 @@ class Accelerator
     const FunctionalModel& functional() const { return functional_; }
 
     /**
+     * Publish every future run's counters into `registry` under
+     * `prefix` (see publishRunStats in sim/report.h). Pass nullptr
+     * to detach. The registry is not owned and must outlive the
+     * accelerator. Publishing happens after the timing simulation
+     * and never changes simulated cycle counts.
+     */
+    void attachStats(obs::StatsRegistry* registry,
+                     std::string prefix = "sim.accel0");
+
+    /**
+     * Emit pipeline events of future runs to `trace` (requires
+     * SimConfig::emit_trace). `pid` labels this accelerator in the
+     * trace; module timelines become threads of that process.
+     * Thread-name metadata is emitted immediately. Pass nullptr to
+     * detach. Not owned; must outlive the accelerator.
+     */
+    void attachTrace(obs::TraceWriter* trace, std::uint32_t pid = 0);
+
+    /**
      * Run one self-attention operation.
      *
      * @param input     Q/K/V (n rows of real tokens; no padding).
@@ -112,6 +138,12 @@ class Accelerator
   private:
     SimConfig config_;
     FunctionalModel functional_;
+
+    /** Observability sinks (non-owning; see attachStats/attachTrace). */
+    obs::StatsRegistry* stats_ = nullptr;
+    std::string stats_prefix_ = "sim.accel0";
+    obs::TraceWriter* trace_ = nullptr;
+    std::uint32_t trace_pid_ = 0;
 };
 
 } // namespace elsa

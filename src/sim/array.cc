@@ -18,6 +18,15 @@ AcceleratorArray::AcceleratorArray(SimConfig config,
     ELSA_CHECK(num_accelerators > 0, "array needs >= 1 accelerator");
 }
 
+void
+AcceleratorArray::attachObservability(obs::StatsRegistry* stats,
+                                      obs::TraceWriter* trace,
+                                      const std::string& prefix)
+{
+    accelerator_.attachStats(stats, prefix);
+    accelerator_.attachTrace(trace);
+}
+
 ArrayRunResult
 AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
                       const std::vector<double>& thresholds) const

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/accelerator.h"
@@ -80,6 +81,16 @@ class AcceleratorArray
 
     std::size_t size() const { return num_accelerators_; }
     const Accelerator& accelerator() const { return accelerator_; }
+
+    /**
+     * Attach observability sinks to the simulated accelerator (see
+     * Accelerator::attachStats / attachTrace). The batch is timed on
+     * one representative accelerator instance, so its counters
+     * accumulate the whole batch under `prefix`.
+     */
+    void attachObservability(obs::StatsRegistry* stats,
+                             obs::TraceWriter* trace,
+                             const std::string& prefix = "sim.accel0");
 
     /**
      * Run a batch: invocation i uses thresholds[i]. Outputs are

@@ -8,18 +8,87 @@
 
 namespace elsa {
 
+namespace {
+
+std::string
+moduleCounterName(const std::string& prefix, HwModule module)
+{
+    return prefix + "." + hwModuleMetricName(module)
+           + ".active_cycles";
+}
+
+} // namespace
+
+void
+publishRunStats(const RunResult& result, obs::StatsRegistry& registry,
+                const std::string& prefix)
+{
+    registry.counter(prefix + ".invocations").increment();
+    registry.counter(prefix + ".cycles.preprocess")
+        .add(static_cast<double>(result.preprocess_cycles));
+    registry.counter(prefix + ".cycles.execute")
+        .add(static_cast<double>(result.execute_cycles));
+    registry.counter(prefix + ".cycles.total")
+        .add(static_cast<double>(result.totalCycles()));
+
+    for (const HwModule module : allHwModules()) {
+        registry.counter(moduleCounterName(prefix, module))
+            .add(result.activity.get(module));
+    }
+
+    registry.counter(prefix + ".candidate.stalls")
+        .add(static_cast<double>(result.stall_cycles));
+    registry.counter(prefix + ".candidate.fallbacks")
+        .add(static_cast<double>(result.empty_selections));
+    double selected = 0.0;
+    for (const std::size_t c : result.candidates_per_query) {
+        selected += static_cast<double>(c);
+    }
+    registry.counter(prefix + ".candidate.selected").add(selected);
+    registry.counter(prefix + ".queries")
+        .add(static_cast<double>(result.candidates_per_query.size()));
+
+    if (!result.query_trace.empty()) {
+        obs::Distribution& interval =
+            registry.distribution(prefix + ".query.interval_cycles");
+        // Candidate fraction lives in [0, 1]; stable edges make the
+        // histogram comparable across runs of any sequence length.
+        obs::Histogram& fraction = registry.histogram(
+            prefix + ".query.candidate_fraction",
+            obs::Histogram::linear(0.0, 1.0, 10));
+        const double n =
+            static_cast<double>(result.candidates_per_query.size());
+        for (const QueryTraceRecord& r : result.query_trace) {
+            interval.add(static_cast<double>(r.interval_cycles));
+            fraction.add(static_cast<double>(r.candidates)
+                         / std::max(1.0, n));
+        }
+    }
+}
+
 UtilizationReport
 computeUtilization(const RunResult& result)
 {
+    obs::StatsRegistry scratch;
+    publishRunStats(result, scratch, "run");
+    return utilizationFromRegistry(scratch, "run");
+}
+
+UtilizationReport
+utilizationFromRegistry(const obs::StatsRegistry& registry,
+                        const std::string& prefix)
+{
     UtilizationReport report;
-    const double total = static_cast<double>(result.totalCycles());
+    const double total =
+        registry.counterValue(prefix + ".cycles.total");
     if (total <= 0.0) {
         return report;
     }
     std::size_t i = 0;
     for (const HwModule module : allHwModules()) {
-        report.utilization[i++] =
-            std::min(1.0, result.activity.get(module) / total);
+        const double active =
+            registry.counterValue(moduleCounterName(prefix, module));
+        report.utilization[i++] = std::min(1.0, active / total);
     }
     return report;
 }

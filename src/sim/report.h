@@ -3,10 +3,16 @@
 
 /**
  * @file
- * Post-run reporting utilities for the cycle-level simulator:
- * per-query trace records, per-module utilization, and CSV export
- * for offline analysis (the role a stats dump plays in a
- * full-system simulator).
+ * Post-run reporting utilities for the cycle-level simulator, built
+ * on the observability layer: RunResult -> StatsRegistry publishing,
+ * per-module utilization, per-query trace CSV export, and summary
+ * statistics (the role a stats dump plays in a full-system
+ * simulator).
+ *
+ * publishRunStats() is the single RunResult -> metrics mapping; the
+ * utilization report and the JSON stats dump both read from it, so
+ * the numbers in `stats.json` and in formatUtilization() can never
+ * drift apart.
  */
 
 #include <cstddef>
@@ -15,15 +21,40 @@
 #include <vector>
 
 #include "energy/energy_model.h"
+#include "obs/registry.h"
 #include "sim/accelerator.h"
 
 namespace elsa {
+
+/**
+ * Publish one run's counters into a stats registry under the given
+ * prefix (e.g. "sim.accel0"):
+ *
+ *   <prefix>.cycles.{preprocess,execute,total}      counters
+ *   <prefix>.<module>.active_cycles                 counters
+ *   <prefix>.candidate.{stalls,fallbacks,selected}  counters
+ *   <prefix>.invocations                            counter
+ *   <prefix>.query.interval_cycles                  distribution*
+ *   <prefix>.query.candidate_fraction               histogram*
+ *
+ * (* only when the run recorded a per-query trace.) Counters
+ * accumulate across calls so an AcceleratorArray batch lands in one
+ * coherent set of totals.
+ */
+void publishRunStats(const RunResult& result,
+                     obs::StatsRegistry& registry,
+                     const std::string& prefix);
 
 /** Per-module utilization (active cycles / total cycles). */
 struct UtilizationReport
 {
     /** Utilization in [0, 1] per module, indexed like allHwModules(). */
-    std::array<double, 9> utilization{};
+    std::vector<double> utilization;
+
+    UtilizationReport()
+        : utilization(allHwModules().size(), 0.0)
+    {
+    }
 
     double get(HwModule module) const
     {
@@ -31,8 +62,20 @@ struct UtilizationReport
     }
 };
 
-/** Compute per-module utilization from a run result. */
+/**
+ * Compute per-module utilization from a run result. Implemented on
+ * top of publishRunStats(): the run is published into a scratch
+ * registry and the utilization derived from the dumped counters.
+ */
 UtilizationReport computeUtilization(const RunResult& result);
+
+/**
+ * Utilization from already-published registry counters: reads
+ * <prefix>.<module>.active_cycles / <prefix>.cycles.total.
+ */
+UtilizationReport
+utilizationFromRegistry(const obs::StatsRegistry& registry,
+                        const std::string& prefix);
 
 /** Render a human-readable utilization summary. */
 std::string formatUtilization(const UtilizationReport& report);
