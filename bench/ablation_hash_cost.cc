@@ -13,14 +13,16 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/args.h"
 #include "common/rng.h"
 #include "lsh/srp.h"
 #include "sim/pipeline_model.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Ablation: hash computation cost (dense vs Kronecker)",
         "Multiplications per hash and preprocessing share of the "
@@ -56,14 +58,22 @@ main()
     }
 
     // Accelerator preprocessing cycles by hash structure.
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "ablation_hash_cost", bench::standardSystemConfig());
     std::printf("\nPreprocessing cycles at n = 512, m_h = 256:\n");
     for (const std::size_t factors : {1u, 2u, 3u}) {
         SimConfig config = SimConfig::paperConfig();
         config.num_hash_factors = factors;
+        const std::size_t cycles = preprocessingCycles(config, 512);
         std::printf("  %zu-factor projection: %zu cycles\n", factors,
-                    preprocessingCycles(config, 512));
+                    cycles);
+        manifest.set("metrics",
+                     "preprocess_cycles_" + std::to_string(factors)
+                         + "_factor",
+                     cycles);
     }
     std::printf("(paper: 3 d^(4/3) (n+1) / m_h = 1539 cycles for the "
                 "3-way structure)\n");
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

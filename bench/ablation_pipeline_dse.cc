@@ -13,18 +13,21 @@
 #include <limits>
 
 #include "bench_common.h"
+#include "common/args.h"
 #include "common/rng.h"
 #include "lsh/calibration.h"
 #include "lsh/srp.h"
 #include "sim/accelerator.h"
 #include "sim/pipeline_model.h"
+#include "sim/report.h"
 #include "workload/generator.h"
 #include "workload/workload.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Ablation: pipeline design space (P_a, P_c, m_h, m_o)",
         "Cycle-level simulation of one BERT-like invocation across "
@@ -57,9 +60,9 @@ main()
         {4, 8, 64, 4, 4},   // starved hash/division units
     };
 
-    std::printf("\n%-26s %10s %10s %10s %8s %8s\n", "config",
+    std::printf("\n%-26s %10s %10s %10s %8s %8s  %s\n", "config",
                 "preproc", "exec", "cyc/query", "stalls",
-                "vs exact");
+                "vs exact", "limiting module");
 
     // Exact (no-approximation) reference on the paper configuration.
     const double base_exec = [&] {
@@ -70,6 +73,8 @@ main()
         return static_cast<double>(base.execute_cycles);
     }();
 
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "ablation_pipeline_dse", bench::standardSystemConfig());
     for (const auto& c : configs) {
         SimConfig sim = SimConfig::paperConfig();
         sim.pa = c.pa;
@@ -77,21 +82,37 @@ main()
         sim.mh = c.mh;
         sim.mo = c.mo;
         sim.queue_depth = c.qd;
+        sim.attribute_stalls = true;
         Accelerator accel(sim, hasher, kThetaBias64);
 
         const RunResult run = accel.run(inv.input, inv.threshold);
+        const BottleneckReport bottleneck = computeBottleneck(run);
         char label[64];
         std::snprintf(label, sizeof(label),
                       "Pa=%zu Pc=%-2zu mh=%-3zu mo=%-2zu qd=%zu",
                       c.pa, c.pc, c.mh, c.mo, c.qd);
-        std::printf("%-26s %10zu %10zu %10.1f %8zu %7.2fx\n", label,
-                    run.preprocess_cycles, run.execute_cycles,
+        std::printf("%-26s %10zu %10zu %10.1f %8zu %7.2fx  %s "
+                    "(%.0f%%)\n",
+                    label, run.preprocess_cycles, run.execute_cycles,
                     static_cast<double>(run.execute_cycles)
                         / static_cast<double>(inv.n_real),
                     run.stall_cycles,
                     base_exec
-                        / static_cast<double>(run.execute_cycles));
+                        / static_cast<double>(run.execute_cycles),
+                    attributedModuleName(bottleneck.limiting),
+                    100.0 * bottleneck.busy_fraction);
         std::fflush(stdout);
+        if (c.pa == 4 && c.pc == 8 && c.mh == 256 && c.mo == 16
+            && c.qd == 4) {
+            manifest.set("metrics", "paper_config_execute_cycles",
+                         run.execute_cycles);
+            manifest.set("metrics", "paper_config_stall_cycles",
+                         run.stall_cycles);
+            manifest.set("metrics", "paper_config_limiting_module",
+                         attributedModuleName(bottleneck.limiting));
+            manifest.set("metrics", "paper_config_limiting_busy",
+                         bottleneck.busy_fraction);
+        }
     }
 
     std::printf("\nPipeline floors at n = %zu (paper Section IV-D):\n",
@@ -107,5 +128,6 @@ main()
                 "speedup is min(n/c, %.1f)\n",
                 maxPipelineSpeedup(paper, inv.n_real),
                 maxPipelineSpeedup(paper, inv.n_real));
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -68,13 +68,16 @@ rmsError(const SrpHasher& hasher, Rng& rng, int pairs,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Ablation: SRP estimator quality and theta_bias",
         "Angle-estimation error by projection structure, hash width "
         "k, and bias correction.");
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "ablation_srp_quality", bench::standardSystemConfig());
 
     Rng rng(7);
     const int pairs = 4000;
@@ -89,14 +92,25 @@ main()
         const auto kron = KroneckerSrpHasher::makeRandom(64, 3, rng);
         const auto kron_q =
             KroneckerSrpHasher::makeRandom(64, 3, rng, true);
+        const double err_iid = rmsError(iid_hasher, rng, pairs);
+        const double err_ortho = rmsError(ortho, rng, pairs);
+        const double err_kron = rmsError(kron, rng, pairs);
+        const double err_kron_q = rmsError(kron_q, rng, pairs);
         std::printf("  i.i.d. Gaussian rows        : %.4f\n",
-                    rmsError(iid_hasher, rng, pairs));
+                    err_iid);
         std::printf("  orthogonalized (paper)      : %.4f\n",
-                    rmsError(ortho, rng, pairs));
+                    err_ortho);
         std::printf("  Kronecker 3-way             : %.4f\n",
-                    rmsError(kron, rng, pairs));
+                    err_kron);
         std::printf("  Kronecker 3-way + S0.5 quant: %.4f\n",
-                    rmsError(kron_q, rng, pairs));
+                    err_kron_q);
+        manifest.set("metrics", "rms_angle_error_iid", err_iid);
+        manifest.set("metrics", "rms_angle_error_orthogonal",
+                     err_ortho);
+        manifest.set("metrics", "rms_angle_error_kronecker",
+                     err_kron);
+        manifest.set("metrics", "rms_angle_error_kronecker_quant",
+                     err_kron_q);
     }
 
     std::printf("\nHash width k (orthogonalized dense, d = 64):\n");
@@ -125,6 +139,11 @@ main()
         std::printf("  with theta_bias   : %4.1f%% underestimated "
                     "(target ~80%%)\n",
                     100.0 * share_bias);
+        manifest.set("metrics", "underestimate_share_raw",
+                     share_raw);
+        manifest.set("metrics", "underestimate_share_corrected",
+                     share_bias);
     }
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -29,9 +29,10 @@
 #include "workload/generator.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Ablation: threshold vs sorted top-k candidate selection",
         "BERT-like sublayer, n = 384; budgets matched to the "
@@ -51,6 +52,8 @@ main()
     std::printf("\n%-6s %8s | %10s %10s %10s | %14s %14s\n", "p",
                 "budget", "threshold", "hash topk", "oracle",
                 "thresh ops/q", "sort ops/q");
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "ablation_topk_vs_threshold", bench::standardSystemConfig());
     for (const double p : {0.5, 1.0, 2.0, 4.0}) {
         ThresholdLearner learner(p);
         learner.observe(train.query, train.key);
@@ -68,14 +71,21 @@ main()
         const auto oracle_lists =
             TopKSelector::selectOracle(input, budget);
 
+        const double threshold_recall =
+            attentionMassRecall(input, threshold_lists);
+        const double topk_recall =
+            attentionMassRecall(input, topk_lists);
         std::printf("%-6.1f %8zu | %10.4f %10.4f %10.4f | %14zu "
                     "%14.0f\n",
-                    p, budget,
-                    attentionMassRecall(input, threshold_lists),
-                    attentionMassRecall(input, topk_lists),
+                    p, budget, threshold_recall, topk_recall,
                     attentionMassRecall(input, oracle_lists), n,
                     TopKSelector::sortOpsPerQuery(n));
         std::fflush(stdout);
+        if (p == 1.0) {
+            manifest.set("metrics", "threshold_recall_p1",
+                         threshold_recall);
+            manifest.set("metrics", "topk_recall_p1", topk_recall);
+        }
     }
 
     std::printf("\nThe threshold scheme stays within a few points of "
@@ -84,5 +94,6 @@ main()
                 "parallel compare per key --\nexactly the paper's "
                 "argument for rejecting sorting.\n",
                 1.0, TopKSelector::sortOpsPerQuery(n) / n);
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

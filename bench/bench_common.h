@@ -76,16 +76,27 @@ makeBenchManifest(const char* artifact, const SystemConfig& config,
 
 /**
  * Emit the machine-readable run summary: one `BENCH_JSON {...}` line
- * on stdout (grep-able by trend tooling) and, when the bench was
- * invoked with --manifest <path>, the same single-line JSON written
- * to that file (the BENCH_*.json format).
+ * on stdout. This is the single emission point for the format -- the
+ * elsa_bench driver and scripts/bench_compare.py parse these lines,
+ * so no bench may print its own variant.
+ */
+inline void
+emitBenchSummary(const obs::RunManifest& manifest)
+{
+    std::printf("BENCH_JSON %s\n",
+                manifest.toJson(/*pretty=*/false).c_str());
+}
+
+/**
+ * emitBenchSummary() plus, when the bench was invoked with
+ * --manifest <path>, the same single-line JSON written to that file
+ * (the BENCH_*.json format).
  */
 inline void
 emitBenchSummary(const obs::RunManifest& manifest,
                  const ArgParser& args)
 {
-    std::printf("BENCH_JSON %s\n",
-                manifest.toJson(/*pretty=*/false).c_str());
+    emitBenchSummary(manifest);
     if (args.has("manifest")) {
         manifest.writeFile(args.get("manifest"), /*pretty=*/false);
     }

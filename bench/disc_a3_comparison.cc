@@ -19,12 +19,14 @@
 
 #include "baselines/a3.h"
 #include "bench_common.h"
+#include "common/args.h"
 #include "elsa/system.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Section V-E: comparison with the A3 accelerator",
         "BERT + SQuADv1.1; A3 modeled with sort preprocessing and a "
@@ -99,5 +101,19 @@ main()
                 "matrix); ELSA needs %zu B of hash + norm SRAM.\n",
                 A3Model::preprocessStorageBytes(n, d),
                 keyHashMemoryBytes(n, 64) + keyNormMemoryBytes(n));
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "disc_a3_comparison", bench::standardSystemConfig());
+    manifest.set("metrics", "speedup_conservative_over_base",
+                 cons_over_base);
+    manifest.set("metrics", "speedup_moderate_over_base",
+                 mod_over_base);
+    manifest.set("metrics", "a3_speedup_over_own_base",
+                 a3_base_s / a3_approx_s);
+    manifest.set("metrics", "speedup_conservative_over_a3",
+                 a3_approx_s / elsa_cons_s);
+    manifest.set("metrics", "speedup_moderate_over_a3",
+                 a3_approx_s / elsa_mod_s);
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

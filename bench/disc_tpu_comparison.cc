@@ -13,12 +13,14 @@
 
 #include "baselines/tpu.h"
 #include "bench_common.h"
+#include "common/args.h"
 #include "elsa/system.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Section V-E: comparison with Google Cloud TPUv2 (ALBERT)",
         "Iso-peak-FLOPS normalization: TPUv2 at 45 TFLOPS "
@@ -39,6 +41,8 @@ main()
         {race(), 2.4, 8.0},
     };
 
+    bench::GeomeanTracker base_g;
+    bench::GeomeanTracker mod_g;
     for (const auto& row : rows) {
         const WorkloadSpec spec{albertLarge(), row.dataset};
         ElsaSystem system(spec, bench::standardSystemConfig());
@@ -51,6 +55,8 @@ main()
         const double base_vs_tpu =
             base.elsa_ops_per_second / tpu_tput;
         const double mod_vs_tpu = mod.elsa_ops_per_second / tpu_tput;
+        base_g.add(base_vs_tpu);
+        mod_g.add(mod_vs_tpu);
         std::printf("%-12s %11.1fx %11.1fx %6.1fx (%4.1f) %6.1fx "
                     "(%4.1f)\n",
                     row.dataset.name.c_str(),
@@ -63,5 +69,13 @@ main()
 
     std::printf("\nPaper reference: base 8.3x/6.4x/2.4x and moderate "
                 "27.8x/20.9x/8.0x over TPUv2.\n");
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "disc_tpu_comparison", bench::standardSystemConfig());
+    manifest.set("metrics", "speedup_base_vs_tpu_geomean",
+                 base_g.geomean());
+    manifest.set("metrics", "speedup_moderate_vs_tpu_geomean",
+                 mod_g.geomean());
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * elsa_bench: the benchmark-suite driver behind the regression
+ * harness. Runs any subset of the figure/table reproductions
+ * in-process, shares the expensive mode evaluations between entries
+ * (fig11a/11b/13a/13b all derive from the same simulator runs), and
+ * aggregates every entry's BENCH_JSON manifest into one
+ * schema-versioned BENCH_RESULTS.json that scripts/bench_compare.py
+ * diffs against the committed baseline.
+ *
+ *   elsa_bench --list
+ *   elsa_bench --quick --out BENCH_RESULTS.json
+ *   elsa_bench --bench fig11a_throughput,bottleneck_attribution
+ *
+ * --quick shrinks the workload set and evaluation depth so the suite
+ * finishes in seconds (the CTest / CI smoke configuration; the
+ * committed baseline under bench/baselines/ is recorded with it).
+ * Metric names match the standalone bench binaries where both exist,
+ * so trend tooling sees one namespace.
+ */
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/gpu_model.h"
+#include "bench_common.h"
+#include "common/args.h"
+#include "common/logging.h"
+#include "elsa/system.h"
+#include "energy/area_power.h"
+#include "obs/json.h"
+#include "sim/report.h"
+#include "workload/model.h"
+
+namespace elsa::bench {
+namespace {
+
+/**
+ * State shared by the suite entries: the evaluation configuration
+ * and a lazy cache of per-workload mode reports, so the four
+ * figure entries that read the same simulations pay for them once.
+ */
+struct SuiteContext
+{
+    bool quick = false;
+    SystemConfig config;
+    std::vector<WorkloadSpec> workloads;
+    std::map<std::string, std::vector<ModeReport>> mode_cache;
+
+    const std::vector<ModeReport>&
+    modes(const WorkloadSpec& spec)
+    {
+        auto it = mode_cache.find(spec.label());
+        if (it == mode_cache.end()) {
+            ElsaSystem system(spec, config);
+            it = mode_cache
+                     .emplace(spec.label(),
+                              system.evaluateAllModes())
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+SuiteContext
+makeContext(bool quick)
+{
+    SuiteContext ctx;
+    ctx.quick = quick;
+    ctx.config = standardSystemConfig();
+    // The bottleneck entry reads the breakdown off the same cached
+    // runs; attribution never changes simulated cycle counts.
+    ctx.config.sim.attribute_stalls = true;
+    if (quick) {
+        ctx.config.eval.max_sublayers = 2;
+        ctx.config.eval.num_eval_inputs = 2;
+        ctx.config.eval.num_train_inputs = 2;
+        ctx.config.sim_sublayers = 2;
+        ctx.config.sim_inputs = 2;
+        // One encoder and one recommender keep both sequence-length
+        // regimes in the baseline.
+        ctx.workloads = {{bertLarge(), squadV11()},
+                         {sasRec(), movieLens1M()}};
+    } else {
+        ctx.workloads = evaluationWorkloads();
+    }
+    return ctx;
+}
+
+obs::RunManifest
+makeManifest(const char* artifact, const SuiteContext& ctx)
+{
+    obs::RunManifest manifest = makeBenchManifest(artifact,
+                                                  ctx.config);
+    manifest.set("config", "quick", ctx.quick);
+    manifest.set("config", "workloads", ctx.workloads.size());
+    return manifest;
+}
+
+/** Geomean of one ModeReport field across the context's workloads. */
+template <typename Getter>
+std::array<double, 4>
+modeGeomeans(SuiteContext& ctx, Getter getter)
+{
+    std::array<GeomeanTracker, 4> trackers;
+    for (const auto& spec : ctx.workloads) {
+        const auto& reports = ctx.modes(spec);
+        for (std::size_t i = 0; i < 4; ++i) {
+            trackers[i].add(getter(reports[i]));
+        }
+    }
+    std::array<double, 4> result{};
+    for (std::size_t i = 0; i < 4; ++i) {
+        result[i] = trackers[i].geomean();
+    }
+    return result;
+}
+
+const char* const kModeSuffix[4] = {"base", "conservative",
+                                    "moderate", "aggressive"};
+
+void
+setPerMode(obs::RunManifest& manifest, const char* stem,
+           const std::array<double, 4>& values)
+{
+    for (std::size_t i = 0; i < 4; ++i) {
+        manifest.set("metrics",
+                     std::string(stem) + "_" + kModeSuffix[i],
+                     values[i]);
+    }
+}
+
+obs::RunManifest
+runFig11a(SuiteContext& ctx)
+{
+    const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
+        return r.throughput_vs_gpu;
+    });
+    std::printf("  throughput vs GPU (geomean): base %.1fx, "
+                "cons %.1fx, mod %.1fx, agg %.1fx\n",
+                g[0], g[1], g[2], g[3]);
+    obs::RunManifest manifest = makeManifest("fig11a_throughput",
+                                             ctx);
+    setPerMode(manifest, "throughput_vs_gpu_geomean", g);
+    return manifest;
+}
+
+obs::RunManifest
+runFig11b(SuiteContext& ctx)
+{
+    const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
+        return r.latency_vs_ideal;
+    });
+    std::printf("  latency vs ideal (geomean): base %.2fx, "
+                "cons %.2fx, mod %.2fx, agg %.2fx\n",
+                g[0], g[1], g[2], g[3]);
+    obs::RunManifest manifest = makeManifest("fig11b_latency", ctx);
+    setPerMode(manifest, "latency_vs_ideal_geomean", g);
+    return manifest;
+}
+
+obs::RunManifest
+runFig13a(SuiteContext& ctx)
+{
+    const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
+        return r.energy_eff_vs_gpu;
+    });
+    std::printf("  energy efficiency vs GPU (geomean): base %.0fx, "
+                "cons %.0fx, mod %.0fx, agg %.0fx\n",
+                g[0], g[1], g[2], g[3]);
+    obs::RunManifest manifest =
+        makeManifest("fig13a_energy_efficiency", ctx);
+    setPerMode(manifest, "energy_eff_vs_gpu_geomean", g);
+    return manifest;
+}
+
+obs::RunManifest
+runFig13b(SuiteContext& ctx)
+{
+    const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
+        return r.elsa_energy_per_op_uj;
+    });
+    std::printf("  energy per op (geomean uJ): base %.3f, "
+                "cons %.3f, mod %.3f, agg %.3f\n",
+                g[0], g[1], g[2], g[3]);
+    obs::RunManifest manifest =
+        makeManifest("fig13b_energy_breakdown", ctx);
+    setPerMode(manifest, "energy_per_op_uj_geomean", g);
+    // Shape check the paper argues about: the aggressive mode's
+    // approximation-logic share of the total.
+    const auto& aggressive = ctx.modes(ctx.workloads.front())[3];
+    const EnergyBreakdown& e = aggressive.energy_breakdown;
+    manifest.set("metrics", "approximation_logic_share_aggressive",
+                 e.totalUj() > 0.0
+                     ? e.approximationLogicUj() / e.totalUj()
+                     : 0.0);
+    return manifest;
+}
+
+obs::RunManifest
+runTable1(SuiteContext& ctx)
+{
+    const AcceleratorAreaPower total = singleAcceleratorAreaPower();
+    std::printf("  core area %.3f mm2, peak power %.2f W (x1), "
+                "%.2f W (x12)\n",
+                total.core_area_mm2,
+                total.totalPeakPowerMw() / 1000.0,
+                12.0 * total.totalPeakPowerMw() / 1000.0);
+    obs::RunManifest manifest = makeManifest("table1_area_power",
+                                             ctx);
+    manifest.set("metrics", "core_area_mm2", total.core_area_mm2);
+    manifest.set("metrics", "external_area_mm2",
+                 total.external_area_mm2);
+    manifest.set("metrics", "accelerator_peak_power_w",
+                 total.totalPeakPowerMw() / 1000.0);
+    manifest.set("metrics", "array_peak_power_w",
+                 12.0 * total.totalPeakPowerMw() / 1000.0);
+    manifest.set("metrics", "key_hash_sram_bytes",
+                 keyHashMemoryBytes(512, 64));
+    manifest.set("metrics", "key_norm_sram_bytes",
+                 keyNormMemoryBytes(512));
+    manifest.set("metrics", "matrix_sram_bytes",
+                 matrixMemoryBytes(512, 64));
+    return manifest;
+}
+
+obs::RunManifest
+runFig02(SuiteContext& ctx)
+{
+    const GpuModel gpu;
+    const std::pair<ModelConfig, std::size_t> cases[] = {
+        {bertLarge(), 384},   {robertaLarge(), 384},
+        {albertLarge(), 384}, {sasRec(), 200},
+        {bert4Rec(), 200},
+    };
+    struct Variant
+    {
+        const char* metric;
+        double seq_scale;
+        double ffn_scale;
+    };
+    const Variant variants[] = {
+        {"attention_portion_mean_default", 1.0, 1.0},
+        {"attention_portion_mean_seq4x", 4.0, 1.0},
+        {"attention_portion_mean_ffn_quarter", 1.0, 0.25},
+        {"attention_portion_mean_seq4x_ffn_quarter", 4.0, 0.25},
+    };
+    obs::RunManifest manifest =
+        makeManifest("fig02_attention_portion", ctx);
+    for (const auto& variant : variants) {
+        RunningStat portions;
+        for (const auto& [model, n] : cases) {
+            portions.add(gpu.layerRuntime(model, n,
+                                          variant.seq_scale,
+                                          variant.ffn_scale)
+                             .attentionPortion());
+        }
+        manifest.set("metrics", variant.metric, portions.mean());
+        std::printf("  %s: %.1f%%\n", variant.metric,
+                    100.0 * portions.mean());
+    }
+    return manifest;
+}
+
+obs::RunManifest
+runBottleneck(SuiteContext& ctx)
+{
+    // The tentpole consumer: which module limits the base (p = 0)
+    // configuration, straight from the attributed simulator runs.
+    const WorkloadSpec& spec = ctx.workloads.front();
+    const ModeReport& base = ctx.modes(spec)[0];
+    const BottleneckReport report =
+        computeBottleneck(base.stall_breakdown);
+    ELSA_CHECK(report.valid,
+               "bottleneck entry needs attribute_stalls runs");
+    std::printf("  workload %s:\n%s", spec.label().c_str(),
+                formatBottleneckReport(report).c_str());
+
+    obs::RunManifest manifest =
+        makeManifest("bottleneck_attribution", ctx);
+    manifest.set("metrics", "workload", spec.label());
+    manifest.set("metrics", "limiting_module",
+                 attributedModuleName(report.limiting));
+    manifest.set("metrics", "limiting_busy_fraction",
+                 report.busy_fraction);
+    manifest.set("metrics", "headroom", report.headroom);
+    for (const AttributedModule module : allAttributedModules()) {
+        const std::size_t m = static_cast<std::size_t>(module);
+        manifest.set("metrics",
+                     std::string("busy_fraction_")
+                         + attributedModuleMetricName(module),
+                     report.module_busy_fraction[m]);
+    }
+    return manifest;
+}
+
+using SuiteFn = obs::RunManifest (*)(SuiteContext&);
+
+struct SuiteEntry
+{
+    const char* name;
+    const char* description;
+    SuiteFn run;
+};
+
+const SuiteEntry kSuite[] = {
+    {"fig02_attention_portion",
+     "Fig. 2: attention share of GPU model runtime", runFig02},
+    {"fig11a_throughput",
+     "Fig. 11(a): throughput vs GPU, geomean per mode", runFig11a},
+    {"fig11b_latency",
+     "Fig. 11(b): latency vs ideal accelerator, geomean per mode",
+     runFig11b},
+    {"fig13a_energy_efficiency",
+     "Fig. 13(a): energy efficiency vs GPU, geomean per mode",
+     runFig13a},
+    {"fig13b_energy_breakdown",
+     "Fig. 13(b): energy per op and approximation share", runFig13b},
+    {"table1_area_power",
+     "Table I: area / peak power / SRAM sizings", runTable1},
+    {"bottleneck_attribution",
+     "Stall-cause attribution: the limiting pipeline module",
+     runBottleneck},
+};
+
+std::vector<std::string>
+splitList(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string item =
+            csv.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (!item.empty()) {
+            out.push_back(item);
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    return out;
+}
+
+const SuiteEntry&
+findEntry(const std::string& name)
+{
+    for (const SuiteEntry& entry : kSuite) {
+        if (name == entry.name) {
+            return entry;
+        }
+    }
+    std::string known;
+    for (const SuiteEntry& entry : kSuite) {
+        known += "\n  ";
+        known += entry.name;
+    }
+    ELSA_FATAL("unknown bench '" << name << "'; known benches:"
+                                 << known);
+}
+
+/**
+ * Assemble the BENCH_RESULTS.json envelope. The per-bench manifests
+ * are embedded verbatim (they already are single-line JSON), so the
+ * file carries exactly what the BENCH_JSON lines carried.
+ */
+std::string
+assembleResults(
+    bool quick,
+    const std::vector<std::pair<std::string, std::string>>& benches)
+{
+    std::string out = "{\"schema_version\":1,"
+                      "\"suite\":\"elsa_bench\",\"quick\":";
+    out += quick ? "true" : "false";
+    const obs::BuildInfo build = obs::buildInfo();
+    out += ",\"build\":{\"git_describe\":";
+    out += obs::jsonQuote(build.git_describe);
+    out += ",\"build_type\":";
+    out += obs::jsonQuote(build.build_type);
+    out += ",\"compiler\":";
+    out += obs::jsonQuote(build.compiler);
+    out += "},\"benches\":{";
+    bool first = true;
+    for (const auto& [name, json] : benches) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += obs::jsonQuote(name);
+        out += ':';
+        out += json;
+    }
+    out += "}}";
+    // Well-formedness is part of the contract; fail here rather than
+    // in the comparison tooling.
+    obs::parseJson(out);
+    return out;
+}
+
+} // namespace
+} // namespace elsa::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace elsa;
+    using namespace elsa::bench;
+    const ArgParser args(argc, argv,
+                         {"quick", "bench", "list", "out"});
+
+    if (args.has("list")) {
+        for (const SuiteEntry& entry : kSuite) {
+            std::printf("%-26s %s\n", entry.name, entry.description);
+        }
+        return 0;
+    }
+
+    std::vector<const SuiteEntry*> selected;
+    if (args.has("bench")) {
+        for (const std::string& name :
+             splitList(args.get("bench"))) {
+            selected.push_back(&findEntry(name));
+        }
+    } else {
+        for (const SuiteEntry& entry : kSuite) {
+            selected.push_back(&entry);
+        }
+    }
+    ELSA_CHECK(!selected.empty(), "no benches selected");
+
+    const bool quick = args.has("quick");
+    printHeader("elsa_bench: benchmark suite driver",
+                quick ? "quick configuration (reduced workloads and "
+                        "evaluation depth)"
+                      : "full evaluation configuration");
+
+    SuiteContext ctx = makeContext(quick);
+    std::vector<std::pair<std::string, std::string>> results;
+    for (const SuiteEntry* entry : selected) {
+        std::printf("\n[%s] %s\n", entry->name, entry->description);
+        std::fflush(stdout);
+        const obs::RunManifest manifest = entry->run(ctx);
+        emitBenchSummary(manifest);
+        std::fflush(stdout);
+        results.emplace_back(entry->name,
+                             manifest.toJson(/*pretty=*/false));
+    }
+
+    const std::string out_path = args.get("out",
+                                          "BENCH_RESULTS.json");
+    const std::string envelope = assembleResults(quick, results);
+    {
+        std::ofstream os(out_path);
+        ELSA_CHECK(os.good(), "cannot open " << out_path);
+        os << envelope << '\n';
+    }
+    std::printf("\nwrote %s (%zu benches)\n", out_path.c_str(),
+                results.size());
+    return 0;
+}

@@ -25,9 +25,10 @@
 #include "workload/generator.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Extension: windowed ELSA on long sequences",
         "512-token windows; ELSA at p = 1; GPU full-N^2 and windowed "
@@ -47,6 +48,8 @@ main()
     std::printf("\n%-7s %14s %14s %14s %12s %12s\n", "N",
                 "GPU full(us)", "GPU windowed", "ELSA windowed",
                 "vs full", "candidates");
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "ext_long_sequence", bench::standardSystemConfig());
     for (const std::size_t n : {512u, 1024u, 2048u, 4096u}) {
         // Generate the long sequence as window-sized independent
         // segments (each its own attention context).
@@ -95,6 +98,9 @@ main()
                     100.0 * fraction_sum
                         / static_cast<double>(ranges.size()));
         std::fflush(stdout);
+        manifest.set("metrics",
+                     "speedup_vs_gpu_full_n" + std::to_string(n),
+                     gpu_full_us / elsa_us);
     }
 
     std::printf("\nFull N^2 attention grows quadratically; windowing "
@@ -102,5 +108,6 @@ main()
                 "order of magnitude off each window -- together they "
                 "make 4096-token\nattention cheaper than 512-token "
                 "attention on the GPU.\n");
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -10,16 +10,19 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "baselines/gpu_model.h"
 #include "bench_common.h"
+#include "common/args.h"
 #include "common/stats.h"
 #include "workload/model.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Fig. 2: runtime portion of the self-attention mechanism",
         "Analytic V100 model; per-layer attention vs projection+FFN "
@@ -35,16 +38,22 @@ main()
     struct Variant
     {
         const char* name;
+        const char* metric;
         double seq_scale;
         double ffn_scale;
     };
     const Variant variants[] = {
-        {"default n, full FFN", 1.0, 1.0},
-        {"4x n,      full FFN", 4.0, 1.0},
-        {"default n, FFN/4   ", 1.0, 0.25},
-        {"4x n,      FFN/4   ", 4.0, 0.25},
+        {"default n, full FFN", "attention_portion_mean_default",
+         1.0, 1.0},
+        {"4x n,      full FFN", "attention_portion_mean_seq4x",
+         4.0, 1.0},
+        {"default n, FFN/4   ", "attention_portion_mean_ffn_quarter",
+         1.0, 0.25},
+        {"4x n,      FFN/4   ",
+         "attention_portion_mean_seq4x_ffn_quarter", 4.0, 0.25},
     };
 
+    std::vector<std::pair<const char*, double>> summary;
     for (const auto& variant : variants) {
         std::printf("\n-- %s --\n", variant.name);
         std::printf("%-10s %12s %12s %12s %12s\n", "model",
@@ -62,9 +71,17 @@ main()
         }
         std::printf("%-10s %38s %11.1f%%\n", "average", "",
                     100.0 * portions.mean());
+        summary.emplace_back(variant.metric, portions.mean());
     }
 
     std::printf("\nPaper reference: ~38%% average (default), ~64%% "
                 "(4x n), ~73%% (4x n + FFN/4).\n");
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "fig02_attention_portion", bench::standardSystemConfig());
+    for (const auto& [metric, value] : summary) {
+        manifest.set("metrics", metric, value);
+    }
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -23,7 +23,7 @@ int
 main(int argc, char** argv)
 {
     using namespace elsa;
-    const ArgParser args(argc, argv, {"csv"});
+    const ArgParser args(argc, argv, {"csv", "manifest"});
     std::unique_ptr<CsvWriter> csv;
     if (args.has("csv")) {
         csv = std::make_unique<CsvWriter>(args.get("csv"));
@@ -88,5 +88,19 @@ main(int argc, char** argv)
     std::printf("         p=2 -> %.1f%% candidates, %.2f%% loss "
                 "(paper: ~26%% avg, sub-2%%)\n",
                 100.0 * cand_at_p2.mean(), loss_at_p2.mean());
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "fig10_accuracy_vs_p", bench::standardSystemConfig());
+    manifest.set("metrics", "workloads",
+                 evaluationWorkloads().size());
+    manifest.set("metrics", "candidate_fraction_mean_p1",
+                 cand_at_p1.mean());
+    manifest.set("metrics", "estimated_loss_pct_mean_p1",
+                 loss_at_p1.mean());
+    manifest.set("metrics", "candidate_fraction_mean_p2",
+                 cand_at_p2.mean());
+    manifest.set("metrics", "estimated_loss_pct_mean_p2",
+                 loss_at_p2.mean());
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -11,12 +11,14 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/args.h"
 #include "elsa/system.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Fig. 13(a): normalized energy efficiency (perf/W, GPU = 1)",
         "Per-op ELSA energy from Table I powers x simulator "
@@ -51,5 +53,19 @@ main()
                 agg_g.geomean());
     std::printf("Paper reference: geomeans 442x / 1265x / 1726x / "
                 "2093x (base/cons/mod/agg).\n");
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "fig13a_energy_efficiency", bench::standardSystemConfig());
+    manifest.set("metrics", "workloads",
+                 evaluationWorkloads().size());
+    manifest.set("metrics", "energy_eff_vs_gpu_geomean_base",
+                 base_g.geomean());
+    manifest.set("metrics", "energy_eff_vs_gpu_geomean_conservative",
+                 cons_g.geomean());
+    manifest.set("metrics", "energy_eff_vs_gpu_geomean_moderate",
+                 mod_g.geomean());
+    manifest.set("metrics", "energy_eff_vs_gpu_geomean_aggressive",
+                 agg_g.geomean());
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

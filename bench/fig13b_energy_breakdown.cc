@@ -12,12 +12,14 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/args.h"
 #include "elsa/system.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Fig. 13(b): energy consumption breakdown per operation (uJ)",
         "Groups: approximation logic (hash+norm+candidate), "
@@ -37,9 +39,13 @@ main()
                 "config", "approx", "attn", "intSRAM", "extSRAM",
                 "total");
 
+    bench::GeomeanTracker total_base_g;
+    bench::GeomeanTracker total_agg_g;
     for (const auto& spec : specs) {
         ElsaSystem system(spec, bench::standardSystemConfig());
         const auto reports = system.evaluateAllModes();
+        total_base_g.add(reports[0].energy_breakdown.totalUj());
+        total_agg_g.add(reports[3].energy_breakdown.totalUj());
         for (const auto& report : reports) {
             const EnergyBreakdown& e = report.energy_breakdown;
             const char* short_name =
@@ -57,5 +63,15 @@ main()
                 "attention-compute and external-memory\nenergy enough "
                 "to lower the total despite the added approximation "
                 "logic.\n");
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "fig13b_energy_breakdown", bench::standardSystemConfig());
+    manifest.set("metrics", "workloads",
+                 std::size_t(sizeof(specs) / sizeof(specs[0])));
+    manifest.set("metrics", "energy_per_op_uj_geomean_base",
+                 total_base_g.geomean());
+    manifest.set("metrics", "energy_per_op_uj_geomean_aggressive",
+                 total_agg_g.geomean());
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

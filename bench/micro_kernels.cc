@@ -10,9 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "attention/approx.h"
+#include "attention/exact.h"
+#include "bench_common.h"
 #include "attention/exact.h"
 #include "attention/threshold.h"
 #include "common/rng.h"
@@ -164,4 +169,52 @@ BENCHMARK(BM_SqrtUnit);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * BENCHMARK_MAIN() expanded by hand so the binary can also emit the
+ * standard BENCH_JSON summary. Google Benchmark owns the flag
+ * namespace, so --manifest is stripped before Initialize() sees it.
+ * Timings are machine-dependent and deliberately left out of the
+ * manifest; the deterministic per-hash operation counts are the
+ * comparable metrics.
+ */
+int
+main(int argc, char** argv)
+{
+    std::string manifest_path;
+    std::vector<char*> filtered;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--manifest") == 0
+            && i + 1 < argc) {
+            manifest_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--manifest=", 11) == 0) {
+            manifest_path = argv[i] + 11;
+        } else {
+            filtered.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = static_cast<int>(filtered.size());
+    benchmark::Initialize(&filtered_argc, filtered.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               filtered.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    elsa::Rng rng(1);
+    const auto dense =
+        elsa::DenseSrpHasher::makeRandom(64, 64, rng);
+    const auto kron =
+        elsa::KroneckerSrpHasher::makeRandom(64, 3, rng);
+    elsa::obs::RunManifest manifest = elsa::bench::makeBenchManifest(
+        "micro_kernels", elsa::bench::standardSystemConfig());
+    manifest.set("metrics", "dense_mults_per_hash",
+                 dense.multiplicationsPerHash());
+    manifest.set("metrics", "kronecker_mults_per_hash",
+                 kron.multiplicationsPerHash());
+    elsa::bench::emitBenchSummary(manifest);
+    if (!manifest_path.empty()) {
+        manifest.writeFile(manifest_path, /*pretty=*/false);
+    }
+    return 0;
+}

@@ -9,12 +9,14 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/args.h"
 #include "energy/area_power.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace elsa;
+    const ArgParser args(argc, argv, {"manifest"});
     bench::printHeader(
         "Table I: area and (peak) power characteristics of ELSA",
         "n = 512, d = 64, P_a = 4, P_c = 8, m_h = 256, m_o = 16, "
@@ -62,5 +64,22 @@ main()
     std::printf("  Q/K/V/O matrix SRAM (each)    : %zu B "
                 "(paper: ~36 KB, 9-bit elements)\n",
                 matrixMemoryBytes(512, 64));
+
+    obs::RunManifest manifest = bench::makeBenchManifest(
+        "table1_area_power", bench::standardSystemConfig());
+    manifest.set("metrics", "core_area_mm2", total.core_area_mm2);
+    manifest.set("metrics", "external_area_mm2",
+                 total.external_area_mm2);
+    manifest.set("metrics", "accelerator_peak_power_w",
+                 total.totalPeakPowerMw() / 1000.0);
+    manifest.set("metrics", "array_peak_power_w",
+                 12.0 * total.totalPeakPowerMw() / 1000.0);
+    manifest.set("metrics", "key_hash_sram_bytes",
+                 keyHashMemoryBytes(512, 64));
+    manifest.set("metrics", "key_norm_sram_bytes",
+                 keyNormMemoryBytes(512));
+    manifest.set("metrics", "matrix_sram_bytes",
+                 matrixMemoryBytes(512, 64));
+    bench::emitBenchSummary(manifest, args);
     return 0;
 }

@@ -57,6 +57,7 @@ runObservabilityDemo(const elsa::Elsa& engine,
     SimConfig config = SimConfig::paperConfig();
     config.collect_query_trace = true;
     config.emit_trace = true;
+    config.attribute_stalls = true;
 
     obs::StatsRegistry& registry = obs::globalRegistry();
     obs::TraceWriter trace(dir + "/trace.json");
@@ -97,8 +98,24 @@ runObservabilityDemo(const elsa::Elsa& engine,
         manifest.set("utilization", hwModuleMetricName(module),
                      util.get(module));
     }
+    const BottleneckReport bottleneck = computeBottleneck(result);
+    manifest.set("bottleneck", "limiting_module",
+                 attributedModuleMetricName(bottleneck.limiting));
+    manifest.set("bottleneck", "busy_fraction",
+                 bottleneck.busy_fraction);
+    manifest.set("bottleneck", "headroom", bottleneck.headroom);
+    for (const AttributedModule module : allAttributedModules()) {
+        manifest.set("bottleneck",
+                     std::string("busy_fraction_")
+                         + attributedModuleMetricName(module),
+                     bottleneck.module_busy_fraction[static_cast<
+                         std::size_t>(module)]);
+    }
     manifest.writeFile(dir + "/manifest.json");
 
+    std::printf("\nBottleneck attribution "
+                "(SimConfig::attribute_stalls):\n%s",
+                formatBottleneckReport(bottleneck).c_str());
     std::printf("\nObservability dump: %s/{stats.json, stats.csv, "
                 "trace.json, manifest.json}\n",
                 dir.c_str());

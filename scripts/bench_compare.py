@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_RESULTS.json files against per-metric tolerances.
+
+Usage:
+    bench_compare.py <baseline.json> <current.json> [--tolerance R]
+                     [--list-metrics]
+
+The files are the envelopes written by `elsa_bench --out` (see
+docs/OBSERVABILITY.md for the schema).  Comparison rules:
+
+  * every bench present in the baseline must be present in the
+    current file, and every baseline metric must still exist;
+  * numeric metrics are compared by relative delta against a
+    direction inferred from the metric name -- higher-is-better
+    metrics fail only when they drop, lower-is-better metrics fail
+    only when they rise, everything else fails on drift in either
+    direction beyond tolerance;
+  * string / boolean metrics (e.g. the bottleneck's
+    ``limiting_module``) must match exactly;
+  * integer count metrics (``workloads``, ``*_bytes``) must match
+    exactly.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = schema or
+usage error.  Improvements are reported but never fail.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+SUITE = "elsa_bench"
+
+# Substrings deciding the regression direction of a numeric metric.
+HIGHER_IS_BETTER = (
+    "throughput",
+    "speedup",
+    "energy_eff",
+    "recall",
+)
+LOWER_IS_BETTER = (
+    "latency",
+    "cycles",
+    "energy_per_op",
+    "area",
+    "power",
+    "stall",
+)
+# Metrics compared exactly regardless of tolerance.
+EXACT = (
+    "workloads",
+    "_bytes",
+)
+
+# Per-metric relative-tolerance overrides (substring match, first
+# hit wins).  The default tolerance covers everything else.
+TOLERANCE_OVERRIDES = {
+    # Energy efficiency compounds throughput and energy noise.
+    "energy_eff": 0.08,
+}
+
+DEFAULT_TOLERANCE = 0.05
+
+
+def fail(message):
+    print(f"bench_compare: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_results(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version "
+            f"{doc.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    if doc.get("suite") != SUITE:
+        fail(f"{path}: suite {doc.get('suite')!r} != {SUITE!r}")
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        fail(f"{path}: 'benches' must be a non-empty object")
+    for name, bench in benches.items():
+        if not isinstance(bench, dict):
+            fail(f"{path}: bench {name!r} is not an object")
+        if bench.get("artifact") != name:
+            fail(
+                f"{path}: bench {name!r} artifact mismatch "
+                f"({bench.get('artifact')!r})"
+            )
+        if not isinstance(bench.get("metrics"), dict):
+            fail(f"{path}: bench {name!r} has no metrics section")
+    return doc
+
+
+def metric_tolerance(name, default):
+    for needle, tol in TOLERANCE_OVERRIDES.items():
+        if needle in name:
+            return tol
+    return default
+
+
+def direction(name):
+    """-1 = lower is better, +1 = higher is better, 0 = pinned."""
+    for needle in HIGHER_IS_BETTER:
+        if needle in name:
+            return 1
+    for needle in LOWER_IS_BETTER:
+        if needle in name:
+            return -1
+    return 0
+
+
+def compare_metric(label, base, cur, tolerance):
+    """Return (status, detail); status in ok/improved/regressed."""
+    if isinstance(base, (str, bool)) or isinstance(cur, (str, bool)):
+        if base == cur:
+            return "ok", f"{base!r}"
+        return "regressed", f"{base!r} -> {cur!r} (must match)"
+
+    if any(needle in label for needle in EXACT):
+        if base == cur:
+            return "ok", f"{base}"
+        return "regressed", f"{base} -> {cur} (must match exactly)"
+
+    base = float(base)
+    cur = float(cur)
+    if base == cur:
+        return "ok", f"{base:g}"
+    denom = abs(base) if base != 0.0 else 1.0
+    rel = (cur - base) / denom
+    detail = f"{base:g} -> {cur:g} ({rel:+.2%})"
+    sign = direction(label)
+    worse = (
+        abs(rel) > tolerance
+        if sign == 0
+        else rel * sign < -tolerance
+    )
+    if worse:
+        return "regressed", detail + f", tolerance {tolerance:.0%}"
+    if sign != 0 and rel * sign > tolerance:
+        return "improved", detail
+    return "ok", detail
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", help="baseline BENCH_RESULTS.json")
+    parser.add_argument("current", help="current BENCH_RESULTS.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="default relative tolerance (default %(default)s)",
+    )
+    parser.add_argument(
+        "--list-metrics",
+        action="store_true",
+        help="print every compared metric, not just failures",
+    )
+    args = parser.parse_args()
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+
+    if baseline.get("quick") != current.get("quick"):
+        fail(
+            "quick/full mismatch: baseline quick="
+            f"{baseline.get('quick')}, current quick="
+            f"{current.get('quick')} (not comparable)"
+        )
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for name, base_bench in sorted(baseline["benches"].items()):
+        cur_bench = current["benches"].get(name)
+        if cur_bench is None:
+            regressions.append((f"{name}", "bench missing from current"))
+            continue
+        base_metrics = base_bench["metrics"]
+        cur_metrics = cur_bench["metrics"]
+        for metric, base_value in base_metrics.items():
+            label = f"{name}.{metric}"
+            if metric not in cur_metrics:
+                regressions.append((label, "metric missing from current"))
+                continue
+            compared += 1
+            tol = metric_tolerance(metric, args.tolerance)
+            status, detail = compare_metric(
+                metric, base_value, cur_metrics[metric], tol
+            )
+            if status == "regressed":
+                regressions.append((label, detail))
+            elif status == "improved":
+                improvements.append((label, detail))
+            if args.list_metrics:
+                print(f"  {status:>9}  {label}: {detail}")
+
+    for label, detail in improvements:
+        print(f"IMPROVED  {label}: {detail}")
+    for label, detail in regressions:
+        print(f"REGRESSED {label}: {detail}")
+    print(
+        f"bench_compare: {compared} metrics compared, "
+        f"{len(improvements)} improved, {len(regressions)} regressed"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,10 +14,23 @@ emitted files against the schema documented in docs/OBSERVABILITY.md:
                   cross-check that the manifest's utilization equals
                   active_cycles / cycles.total from stats.json.
 
-Usage: check_metrics.py <path-to-quickstart-binary>
+The stall-attribution counters (<prefix>.stall.<module>.<cause>) are
+validated structurally (only known module/cause names) and
+arithmetically: per module the five cause counters must sum exactly
+to lane_cycles -- the same conservation invariant the simulator
+asserts internally.
+
+Usage:
+  check_metrics.py <path-to-quickstart-binary>
+  check_metrics.py --bench-results <BENCH_RESULTS.json>
+
+The second form validates an aggregated bench-results file produced
+by the elsa_bench driver (schema documented in docs/OBSERVABILITY.md)
+without running any binary.
 
 Exit status 0 when every check passes; 1 with a FAIL line per
-violation otherwise. Wired into CTest as the `check_metrics` test.
+violation otherwise. Wired into CTest as the `check_metrics` and
+`check_bench_schema` tests.
 """
 
 import json
@@ -45,6 +58,27 @@ HW_MODULES = [
     "key_value_memory",
     "query_output_memory",
 ]
+
+# Stall-attribution schema (src/sim/stall.h). Module and cause names
+# in <prefix>.stall.<module>.<field> counters must come from exactly
+# these sets; anything else is a producer/validator drift bug.
+STALL_MODULES = [
+    "hash_computation",
+    "norm_computation",
+    "candidate_selection",
+    "arbitration",
+    "attention_compute",
+    "output_division",
+]
+STALL_CAUSES = [
+    "busy",
+    "starved",
+    "backpressured",
+    "bank_conflict",
+    "drained",
+]
+STALL_FIELDS = {f"{cause}_cycles" for cause in STALL_CAUSES}
+STALL_FIELDS.add("lane_cycles")
 
 failures = []
 
@@ -100,6 +134,52 @@ def check_stats(stats):
               for name in stats),
           "stats: no host.<scope>.seconds profiling distributions "
           "(is ELSA_PROF set?)")
+    check_stall_counters(stats, "sim.accel0")
+
+
+def check_stall_counters(stats, prefix):
+    """Validate the <prefix>.stall.* counters: known names only, and
+    exact per-module conservation cause-sum == lane_cycles."""
+    stall_prefix = f"{prefix}.stall."
+    seen_modules = set()
+    for name in stats:
+        if not name.startswith(stall_prefix):
+            continue
+        parts = name[len(stall_prefix):].split(".")
+        check(len(parts) == 2,
+              f"stats: malformed stall counter name {name!r}")
+        if len(parts) != 2:
+            continue
+        module, field = parts
+        check(module in STALL_MODULES,
+              f"stats: {name}: unknown stall module {module!r}")
+        check(field in STALL_FIELDS,
+              f"stats: {name}: unknown stall field {field!r}")
+        seen_modules.add(module)
+
+    # quickstart runs with attribute_stalls on, so the counters must
+    # exist -- for every attributed module, with all six fields.
+    check(seen_modules == set(STALL_MODULES),
+          f"stats: stall counters cover {sorted(seen_modules)}, "
+          f"expected all of {sorted(STALL_MODULES)}")
+    for module in STALL_MODULES:
+        lane = stats.get(f"{stall_prefix}{module}.lane_cycles")
+        check(isinstance(lane, (int, float)) and lane > 0,
+              f"stats: missing/zero {stall_prefix}{module}"
+              f".lane_cycles")
+        cause_sum = 0
+        for cause in STALL_CAUSES:
+            value = stats.get(f"{stall_prefix}{module}"
+                              f".{cause}_cycles")
+            check(isinstance(value, (int, float)) and value >= 0,
+                  f"stats: missing/negative {stall_prefix}{module}"
+                  f".{cause}_cycles")
+            if isinstance(value, (int, float)):
+                cause_sum += value
+        if isinstance(lane, (int, float)):
+            check(cause_sum == lane,
+                  f"stats: {module}: cause sum {cause_sum} != "
+                  f"lane_cycles {lane} (conservation violated)")
 
 
 def check_stats_csv(path):
@@ -150,9 +230,22 @@ def check_manifest(manifest, stats):
           "manifest: artifact != 'quickstart'")
     check(manifest.get("schema_version") == 1,
           "manifest: schema_version != 1")
-    for section in ("build", "config", "metrics", "utilization"):
+    for section in ("build", "config", "metrics", "utilization",
+                    "bottleneck"):
         check(isinstance(manifest.get(section), dict),
               f"manifest: missing section {section!r}")
+    bottleneck = manifest.get("bottleneck", {})
+    check(bottleneck.get("limiting_module") in STALL_MODULES,
+          f"manifest: bottleneck.limiting_module "
+          f"{bottleneck.get('limiting_module')!r} not a known module")
+    busy = bottleneck.get("busy_fraction")
+    headroom = bottleneck.get("headroom")
+    check(isinstance(busy, (int, float)) and 0.0 <= busy <= 1.0,
+          "manifest: bottleneck.busy_fraction outside [0, 1]")
+    check(isinstance(headroom, (int, float))
+          and isinstance(busy, (int, float))
+          and abs(busy + headroom - 1.0) < 1e-9,
+          "manifest: bottleneck busy_fraction + headroom != 1")
     build = manifest.get("build", {})
     for key in ("git_describe", "build_type", "compiler"):
         check(key in build, f"manifest: build missing {key!r}")
@@ -177,9 +270,63 @@ def check_manifest(manifest, stats):
                   f"expected {expected!r}")
 
 
+def check_bench_results(path):
+    """Validate an aggregated BENCH_RESULTS.json file from the
+    elsa_bench driver (see docs/OBSERVABILITY.md)."""
+    try:
+        results = load_json(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        check(False, f"bench-results: cannot load {path}: {exc}")
+        return
+    check(results.get("schema_version") == 1,
+          "bench-results: schema_version != 1")
+    check(results.get("suite") == "elsa_bench",
+          f"bench-results: suite {results.get('suite')!r} != "
+          f"'elsa_bench'")
+    check(isinstance(results.get("quick"), bool),
+          "bench-results: missing boolean 'quick'")
+    build = results.get("build")
+    check(isinstance(build, dict), "bench-results: missing 'build'")
+    if isinstance(build, dict):
+        for key in ("git_describe", "build_type", "compiler"):
+            check(key in build,
+                  f"bench-results: build missing {key!r}")
+    benches = results.get("benches")
+    check(isinstance(benches, dict) and benches,
+          "bench-results: 'benches' missing or empty")
+    if not isinstance(benches, dict):
+        return
+    for name, bench in sorted(benches.items()):
+        check(isinstance(bench, dict),
+              f"bench-results: {name}: entry is not an object")
+        if not isinstance(bench, dict):
+            continue
+        check(bench.get("artifact") == name,
+              f"bench-results: {name}: artifact "
+              f"{bench.get('artifact')!r} != bench name")
+        check(bench.get("schema_version") == 1,
+              f"bench-results: {name}: schema_version != 1")
+        metrics = bench.get("metrics")
+        check(isinstance(metrics, dict) and metrics,
+              f"bench-results: {name}: metrics missing or empty")
+        if isinstance(metrics, dict):
+            for metric, value in metrics.items():
+                check(isinstance(value, (int, float, str, bool)),
+                      f"bench-results: {name}.{metric}: value is "
+                      f"not a scalar")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--bench-results":
+        check_bench_results(sys.argv[2])
+        if failures:
+            print(f"{len(failures)} check(s) failed")
+            return 1
+        print("check_metrics: bench results file valid")
+        return 0
     if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} <quickstart-binary>")
+        print(f"usage: {sys.argv[0]} <quickstart-binary> | "
+              f"--bench-results <BENCH_RESULTS.json>")
         return 1
     quickstart = sys.argv[1]
 

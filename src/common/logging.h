@@ -104,6 +104,20 @@ void logMessage(LogLevel level, const char* file, int line,
         }                                                                   \
     } while (0)
 
+/**
+ * Check an internal invariant in debug builds only; compiled out
+ * under NDEBUG (i.e. the default Release build). For invariants that
+ * are cheap to state but sit on hot paths, e.g. the stall-cause
+ * conservation sum of the cycle simulator.
+ */
+#ifdef NDEBUG
+#define ELSA_DASSERT(cond, msg)                                             \
+    do {                                                                    \
+    } while (0)
+#else
+#define ELSA_DASSERT(cond, msg) ELSA_ASSERT(cond, msg)
+#endif
+
 /** Emit a leveled diagnostic to stderr (see LogLevel). */
 #define ELSA_LOG(level, msg)                                                \
     do {                                                                    \

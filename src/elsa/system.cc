@@ -90,6 +90,8 @@ ElsaSystem::simulateAtP(ApproxMode mode, double p)
         thresholds.push_back(inv.threshold);
     }
     const ArrayRunResult run = array.run(inputs, thresholds);
+    report.stall_breakdown = run.stall_breakdown;
+    report.simulated_cycles = run.total_cycles;
 
     const double freq_hz = config_.sim.frequency_ghz * 1e9;
     const double mean_cycles = run.meanLatencyCycles();

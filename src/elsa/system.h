@@ -86,6 +86,17 @@ struct ModeReport
 
     /** Fig. 13b: per-module-group energy breakdown (uJ per op). */
     EnergyBreakdown energy_breakdown;
+
+    /**
+     * Merged stall-cause breakdown over the simulated invocations;
+     * all-zero unless SystemConfig::sim.attribute_stalls was set.
+     * Feed to computeBottleneck() (sim/report.h) to name the
+     * limiting pipeline module.
+     */
+    StallBreakdown stall_breakdown;
+
+    /** Total simulated cycles behind stall_breakdown. */
+    std::size_t simulated_cycles = 0;
 };
 
 /** Evaluation driver of one workload. */

@@ -31,6 +31,28 @@ queryEventName(std::size_t query, const char* suffix)
     return name;
 }
 
+/** "stall.<module>.<cause>" counter-track name. */
+std::string
+stallTrackName(AttributedModule module, StallCause cause)
+{
+    std::string name = "stall.";
+    name += attributedModuleMetricName(module);
+    name += '.';
+    name += stallCauseMetricName(cause);
+    return name;
+}
+
+/** Per-bank inputs to the stall attribution of one query. */
+struct BankAttribution
+{
+    bool active = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t scan = 0;
+    std::uint64_t conflict = 0;
+    std::uint64_t drained = 0;
+};
+
 } // namespace
 
 double
@@ -138,6 +160,51 @@ Accelerator::run(const AttentionInput& input, double threshold) const
                               static_cast<std::uint64_t>(norm_cycles));
     }
 
+    // ---- Stall attribution of the preprocessing phase ----
+    // Attribution is post-hoc arithmetic over already-simulated
+    // quantities (see sim/stall.h); with the flag off this whole
+    // layer costs one branch per run plus one per query.
+    const bool attribute = config_.attribute_stalls;
+    StallBreakdown& causes = result.stall_breakdown;
+    if (attribute) {
+        const std::uint64_t pre = result.preprocess_cycles;
+        // Hash module: n key hashes + the first query hash; any
+        // remainder of the phase it sits on a finished hash waiting
+        // for execution to start draining its buffer.
+        const std::uint64_t hash_busy =
+            static_cast<std::uint64_t>(hash_per_vec) * (n + 1);
+        causes.add(AttributedModule::kHash, StallCause::kBusy,
+                   hash_busy);
+        causes.add(AttributedModule::kHash, StallCause::kBackpressured,
+                   pre - hash_busy);
+        // Norm module: occupied until its pipeline drains, then done
+        // for the whole run.
+        const std::uint64_t norm_busy =
+            static_cast<std::uint64_t>(ceilDiv(n, pa))
+            + config_.attention_pipeline_latency;
+        causes.add(AttributedModule::kNorm, StallCause::kBusy,
+                   norm_busy);
+        causes.add(AttributedModule::kNorm, StallCause::kDrained,
+                   pre - norm_busy);
+        // The attention multipliers compute one key dot product per
+        // key for the norms; otherwise the execution-phase modules
+        // wait for the first query.
+        causes.add(AttributedModule::kAttention, StallCause::kBusy, n);
+        causes.add(AttributedModule::kAttention, StallCause::kStarved,
+                   static_cast<std::uint64_t>(pa) * pre - n);
+        causes.add(AttributedModule::kCandidateSelection,
+                   StallCause::kStarved,
+                   static_cast<std::uint64_t>(pa * config_.pc) * pre);
+        causes.add(AttributedModule::kArbitration, StallCause::kStarved,
+                   static_cast<std::uint64_t>(pa) * pre);
+        causes.add(AttributedModule::kOutputDivision,
+                   StallCause::kStarved, pre);
+    }
+    // Per-bank attribution inputs, reused across queries; cumulative
+    // counters already emitted to the trace (for delta detection).
+    std::vector<BankAttribution> bank_attr(attribute ? pa : 0);
+    StallBreakdown traced_causes;
+
     // ---- Execution phase ----
     const std::size_t division_cycles = divisionCyclesPerQuery(config_);
     std::size_t exec_cycles = 0;
@@ -157,6 +224,9 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             const std::size_t end =
                 std::min(n, begin + keys_per_bank);
             bank_grants[b].clear();
+            if (attribute) {
+                bank_attr[b] = BankAttribution{};
+            }
             if (begin >= end) {
                 continue;
             }
@@ -173,6 +243,12 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             query_stalls += trace.stall_cycles;
             scanned_keys += static_cast<double>(trace.scan_cycles);
             max_bank_cycles = std::max(max_bank_cycles, trace.cycles);
+            if (attribute) {
+                bank_attr[b] = {true, trace.cycles,
+                                trace.grant_order.size(),
+                                trace.scan_cycles, trace.stall_cycles,
+                                trace.drained_module_cycles};
+            }
             if (tracing) {
                 trace_->completeEvent(
                     queryEventName(i, "scan"), "execute", trace_pid_,
@@ -206,6 +282,82 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             std::max({bank_time, hash_per_vec, division_cycles});
         exec_cycles += interval;
 
+        if (attribute) {
+            const std::uint64_t iv = interval;
+            const std::uint64_t latency =
+                config_.attention_pipeline_latency;
+            // Hash module: overlaps the next query's hash, then waits
+            // for the slower stage holding the interval open; after
+            // the last query there is nothing left to hash.
+            if (i + 1 < n) {
+                causes.add(AttributedModule::kHash, StallCause::kBusy,
+                           hash_per_vec);
+                causes.add(AttributedModule::kHash,
+                           StallCause::kBackpressured,
+                           iv - hash_per_vec);
+            } else {
+                causes.add(AttributedModule::kHash,
+                           StallCause::kDrained, iv);
+            }
+            // Norm module: all of its work happened in preprocessing.
+            causes.add(AttributedModule::kNorm, StallCause::kDrained,
+                       iv);
+            for (std::size_t b = 0; b < pa; ++b) {
+                const BankAttribution& bank = bank_attr[b];
+                if (!bank.active) {
+                    causes.add(AttributedModule::kCandidateSelection,
+                               StallCause::kStarved,
+                               config_.pc * iv);
+                    causes.add(AttributedModule::kArbitration,
+                               StallCause::kStarved, iv);
+                    causes.add(AttributedModule::kAttention,
+                               StallCause::kStarved, iv);
+                    continue;
+                }
+                // Candidate modules: scanning is work, a full queue
+                // is a bank conflict (P_c modules vs one grant port),
+                // done-scanning-while-queues-drain is drain-out, and
+                // after the bank finishes it waits for the next query
+                // gated by the slowest bank.
+                causes.add(AttributedModule::kCandidateSelection,
+                           StallCause::kBusy, bank.scan);
+                causes.add(AttributedModule::kCandidateSelection,
+                           StallCause::kBankConflict, bank.conflict);
+                causes.add(AttributedModule::kCandidateSelection,
+                           StallCause::kDrained, bank.drained);
+                causes.add(AttributedModule::kCandidateSelection,
+                           StallCause::kStarved,
+                           config_.pc * (iv - bank.cycles));
+                // Arbiter: one grant per cycle when any queue holds a
+                // candidate; otherwise it waits on the scanners.
+                causes.add(AttributedModule::kArbitration,
+                           StallCause::kBusy, bank.grants);
+                causes.add(AttributedModule::kArbitration,
+                           StallCause::kStarved, iv - bank.grants);
+                // Attention module: one granted candidate per cycle
+                // plus the pipeline drain hand-off.
+                const std::uint64_t attention_busy =
+                    bank.grants > 0 ? bank.grants + latency
+                                    : bank.grants;
+                causes.add(AttributedModule::kAttention,
+                           StallCause::kBusy, attention_busy);
+                causes.add(AttributedModule::kAttention,
+                           StallCause::kStarved, iv - attention_busy);
+            }
+            // Output division: works on the previous query's row; the
+            // first interval has nothing to divide yet.
+            if (i == 0) {
+                causes.add(AttributedModule::kOutputDivision,
+                           StallCause::kStarved, iv);
+            } else {
+                causes.add(AttributedModule::kOutputDivision,
+                           StallCause::kBusy, division_cycles);
+                causes.add(AttributedModule::kOutputDivision,
+                           StallCause::kStarved,
+                           iv - division_cycles);
+            }
+        }
+
         if (tracing) {
             if (used_fallback) {
                 trace_->instantEvent("fallback", trace_pid_,
@@ -227,6 +379,26 @@ Accelerator::run(const AttentionInput& input, double threshold) const
                                  static_cast<double>(total_candidates));
             trace_->counterEvent("stall cycles", trace_pid_, cursor,
                                  static_cast<double>(query_stalls));
+            // Cumulative per-lane cause counters, one Perfetto track
+            // per (module, cause); emitted only on change to bound
+            // the event count.
+            if (attribute) {
+                for (const AttributedModule module :
+                     allAttributedModules()) {
+                    for (const StallCause cause : allStallCauses()) {
+                        const std::uint64_t now =
+                            causes.get(module, cause);
+                        if (now == traced_causes.get(module, cause)) {
+                            continue;
+                        }
+                        trace_->counterEvent(
+                            stallTrackName(module, cause), trace_pid_,
+                            cursor + interval,
+                            static_cast<double>(now));
+                    }
+                }
+                traced_causes = causes;
+            }
             cursor += interval;
         }
 
@@ -270,6 +442,28 @@ Accelerator::run(const AttentionInput& input, double threshold) const
 
     // Tail: the last query's output division drains after the loop.
     result.execute_cycles = exec_cycles + division_cycles;
+
+    if (attribute) {
+        // Everything but the divider has finished when the tail
+        // starts.
+        const std::uint64_t tail = division_cycles;
+        causes.add(AttributedModule::kOutputDivision, StallCause::kBusy,
+                   tail);
+        causes.add(AttributedModule::kHash, StallCause::kDrained, tail);
+        causes.add(AttributedModule::kNorm, StallCause::kDrained, tail);
+        causes.add(AttributedModule::kCandidateSelection,
+                   StallCause::kDrained,
+                   static_cast<std::uint64_t>(pa * config_.pc) * tail);
+        causes.add(AttributedModule::kArbitration, StallCause::kDrained,
+                   static_cast<std::uint64_t>(pa) * tail);
+        causes.add(AttributedModule::kAttention, StallCause::kDrained,
+                   static_cast<std::uint64_t>(pa) * tail);
+        // The hard conservation invariant of sim/stall.h; also
+        // enforced (in every build type) by the attribution tests.
+        ELSA_DASSERT(causes.conserves(result.totalCycles(), config_),
+                     "stall-cause lane cycles do not sum to "
+                         << result.totalCycles() << " total cycles");
+    }
 
     // Publish to the attached registry after the timing is final, so
     // instrumentation can never perturb the simulated cycle counts.

@@ -31,6 +31,7 @@
 #include "energy/energy_model.h"
 #include "sim/config.h"
 #include "sim/functional.h"
+#include "sim/stall.h"
 
 namespace elsa::obs {
 class StatsRegistry;
@@ -79,6 +80,14 @@ struct RunResult
 
     /** Total candidate-module stall cycles (queue backpressure). */
     std::size_t stall_cycles = 0;
+
+    /**
+     * Per-module lane-cycle breakdown by cause (busy / starved /
+     * backpressured / bank_conflict / drained); all-zero unless
+     * SimConfig::attribute_stalls is set. See sim/stall.h for the
+     * attribution model and the conservation invariant.
+     */
+    StallBreakdown stall_breakdown;
 
     /** Queries that needed the no-candidate fallback. */
     std::size_t empty_selections = 0;

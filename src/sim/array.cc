@@ -48,6 +48,7 @@ AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
         result.total_cycles += cycles;
         result.total_preprocess_cycles += run_result.preprocess_cycles;
         result.activity.merge(run_result.activity);
+        result.stall_breakdown.merge(run_result.stall_breakdown);
         fraction_sum += run_result.candidateFraction();
 
         if (policy_ == SchedulingPolicy::kLeastLoaded) {

@@ -40,6 +40,13 @@ struct ArrayRunResult
     /** Merged per-module activity of all invocations. */
     ActivityCounters activity;
 
+    /**
+     * Merged stall-cause breakdown of all invocations; all-zero
+     * unless SimConfig::attribute_stalls is set. Conservation holds
+     * against total_cycles (the sum over invocations).
+     */
+    StallBreakdown stall_breakdown;
+
     /** Mean candidate fraction over invocations. */
     double mean_candidate_fraction = 0.0;
 

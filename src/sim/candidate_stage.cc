@@ -64,9 +64,13 @@ simulateBankQuery(const std::vector<bool>& hits, const SimConfig& config)
         }
 
         // Candidate selection modules: one key per cycle unless the
-        // output queue is full and the key would need a slot.
+        // output queue is full and the key would need a slot. Each
+        // module lands in exactly one state per cycle (scan / stall /
+        // drained), which is what makes the stall-cause conservation
+        // sum exact.
         for (std::size_t m = 0; m < pc; ++m) {
             if (moduleDone(m)) {
+                ++trace.drained_module_cycles;
                 continue;
             }
             const std::size_t key = m + cursor[m] * pc;

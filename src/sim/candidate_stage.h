@@ -41,6 +41,16 @@ struct BankQueryTrace
 
     /** Cycles the P_c modules spent scanning (for energy). */
     std::size_t scan_cycles = 0;
+
+    /**
+     * Module-cycles spent done-scanning while the bank's queues
+     * drained out (the tail where a module has no keys left but the
+     * arbiter is still emptying queues). Together with the above:
+     * scan_cycles + stall_cycles + drained_module_cycles
+     *   == P_c * cycles, exactly -- every module is in exactly one
+     * state each bank cycle (the stall-attribution invariant).
+     */
+    std::size_t drained_module_cycles = 0;
 };
 
 /**

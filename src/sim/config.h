@@ -60,6 +60,16 @@ struct SimConfig
     bool collect_query_trace = false;
 
     /**
+     * Classify every idle lane cycle of every pipeline module into a
+     * cause (starved / backpressured / bank_conflict / drained) and
+     * accumulate the breakdown in RunResult::stall_breakdown; see
+     * sim/stall.h. Attribution is post-hoc arithmetic over
+     * already-simulated quantities -- it never changes simulated
+     * cycle counts -- and with the flag off it costs nothing.
+     */
+    bool attribute_stalls = false;
+
+    /**
      * Emit pipeline begin/end + counter events to the TraceWriter
      * attached via Accelerator::attachTrace (Chrome trace_event
      * JSON; open in chrome://tracing or Perfetto). With the flag off

@@ -17,6 +17,18 @@ moduleCounterName(const std::string& prefix, HwModule module)
            + ".active_cycles";
 }
 
+std::string
+stallCounterName(const std::string& prefix, AttributedModule module,
+                 const char* field)
+{
+    std::string name = prefix;
+    name += ".stall.";
+    name += attributedModuleMetricName(module);
+    name += '.';
+    name += field;
+    return name;
+}
+
 } // namespace
 
 void
@@ -47,6 +59,23 @@ publishRunStats(const RunResult& result, obs::StatsRegistry& registry,
     registry.counter(prefix + ".candidate.selected").add(selected);
     registry.counter(prefix + ".queries")
         .add(static_cast<double>(result.candidates_per_query.size()));
+
+    if (!result.stall_breakdown.empty()) {
+        for (const AttributedModule module : allAttributedModules()) {
+            for (const StallCause cause : allStallCauses()) {
+                registry
+                    .counter(stallCounterName(
+                        prefix, module, stallCauseMetricName(cause)))
+                    .add(static_cast<double>(
+                        result.stall_breakdown.get(module, cause)));
+            }
+            registry
+                .counter(
+                    stallCounterName(prefix, module, "lane_cycles"))
+                .add(static_cast<double>(
+                    result.stall_breakdown.laneCycles(module)));
+        }
+    }
 
     if (!result.query_trace.empty()) {
         obs::Distribution& interval =
@@ -101,6 +130,71 @@ formatUtilization(const UtilizationReport& report)
         oss << "  " << moduleAreaPower(module).name << ": ";
         const double pct = 100.0 * report.get(module);
         oss << pct << "%\n";
+    }
+    return oss.str();
+}
+
+BottleneckReport
+computeBottleneck(const StallBreakdown& breakdown)
+{
+    BottleneckReport report;
+    if (breakdown.empty()) {
+        return report;
+    }
+    report.valid = true;
+    double best = -1.0;
+    for (const AttributedModule module : allAttributedModules()) {
+        const std::size_t m = static_cast<std::size_t>(module);
+        const double busy = breakdown.busyFraction(module);
+        report.module_busy_fraction[m] = busy;
+        if (busy > best) {
+            best = busy;
+            report.limiting = module;
+        }
+        std::uint64_t worst_idle = 0;
+        StallCause dominant = StallCause::kStarved;
+        for (const StallCause cause : allStallCauses()) {
+            if (cause == StallCause::kBusy) {
+                continue;
+            }
+            const std::uint64_t idle = breakdown.get(module, cause);
+            if (idle > worst_idle) {
+                worst_idle = idle;
+                dominant = cause;
+            }
+        }
+        report.dominant_idle_cause[m] = dominant;
+    }
+    report.busy_fraction = best;
+    report.headroom = 1.0 - best;
+    return report;
+}
+
+BottleneckReport
+computeBottleneck(const RunResult& result)
+{
+    return computeBottleneck(result.stall_breakdown);
+}
+
+std::string
+formatBottleneckReport(const BottleneckReport& report)
+{
+    std::ostringstream oss;
+    if (!report.valid) {
+        oss << "no stall attribution data (enable "
+               "SimConfig::attribute_stalls)\n";
+        return oss.str();
+    }
+    oss << "limiting module: "
+        << attributedModuleName(report.limiting) << " ("
+        << 100.0 * report.busy_fraction << "% busy, "
+        << 100.0 * report.headroom << "% headroom)\n";
+    for (const AttributedModule module : allAttributedModules()) {
+        const std::size_t m = static_cast<std::size_t>(module);
+        oss << "  " << attributedModuleName(module) << ": "
+            << 100.0 * report.module_busy_fraction[m]
+            << "% busy, idles mostly "
+            << stallCauseName(report.dominant_idle_cause[m]) << "\n";
     }
     return oss.str();
 }

@@ -15,6 +15,7 @@
  * drift apart.
  */
 
+#include <array>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
@@ -34,12 +35,17 @@ namespace elsa {
  *   <prefix>.<module>.active_cycles                 counters
  *   <prefix>.candidate.{stalls,fallbacks,selected}  counters
  *   <prefix>.invocations                            counter
+ *   <prefix>.stall.<module>.<cause>_cycles          counters**
+ *   <prefix>.stall.<module>.lane_cycles             counters**
  *   <prefix>.query.interval_cycles                  distribution*
  *   <prefix>.query.candidate_fraction               histogram*
  *
- * (* only when the run recorded a per-query trace.) Counters
- * accumulate across calls so an AcceleratorArray batch lands in one
- * coherent set of totals.
+ * (* only when the run recorded a per-query trace; ** only when
+ * SimConfig::attribute_stalls produced a breakdown -- causes are
+ * busy / starved / backpressured / bank_conflict / drained over the
+ * six attributed module classes of sim/stall.h, and the cause sum
+ * equals lane_cycles exactly.) Counters accumulate across calls so
+ * an AcceleratorArray batch lands in one coherent set of totals.
  */
 void publishRunStats(const RunResult& result,
                      obs::StatsRegistry& registry,
@@ -79,6 +85,47 @@ utilizationFromRegistry(const obs::StatsRegistry& registry,
 
 /** Render a human-readable utilization summary. */
 std::string formatUtilization(const UtilizationReport& report);
+
+/**
+ * Which pipeline module limits this run, and by how much.
+ *
+ * The limiting module is the attributed module class with the
+ * highest busy fraction (busy lane cycles / its total lane cycles):
+ * in a pipeline whose interval is the max over stage times, the
+ * stage closest to fully busy is the one every other stage waits
+ * for. `headroom` (1 - busy fraction) is how much faster the run
+ * could get before that module saturates -- speeding up anything
+ * else first is wasted effort (the Fig. 11 / Section IV-D argument).
+ */
+struct BottleneckReport
+{
+    /** False when the run carried no attribution data. */
+    bool valid = false;
+
+    /** The limiting module (highest busy fraction). */
+    AttributedModule limiting = AttributedModule::kAttention;
+
+    /** Busy fraction of the limiting module, in [0, 1]. */
+    double busy_fraction = 0.0;
+
+    /** 1 - busy_fraction of the limiting module. */
+    double headroom = 1.0;
+
+    /** Busy fraction per module, indexed by AttributedModule. */
+    std::array<double, kNumAttributedModules> module_busy_fraction{};
+
+    /** Dominant idle cause per module (ties -> lowest enum value). */
+    std::array<StallCause, kNumAttributedModules> dominant_idle_cause{};
+};
+
+/** Derive the bottleneck report from an attributed breakdown. */
+BottleneckReport computeBottleneck(const StallBreakdown& breakdown);
+
+/** Convenience overload reading RunResult::stall_breakdown. */
+BottleneckReport computeBottleneck(const RunResult& result);
+
+/** Render a human-readable bottleneck summary. */
+std::string formatBottleneckReport(const BottleneckReport& report);
 
 /**
  * Write per-query trace records as CSV
