@@ -11,20 +11,34 @@
  *   elsa_bench --list
  *   elsa_bench --quick --out BENCH_RESULTS.json
  *   elsa_bench --bench fig11a_throughput,bottleneck_attribution
+ *   elsa_bench --quick --threads 8
  *
  * --quick shrinks the workload set and evaluation depth so the suite
  * finishes in seconds (the CTest / CI smoke configuration; the
  * committed baseline under bench/baselines/ is recorded with it).
  * Metric names match the standalone bench binaries where both exist,
  * so trend tooling sees one namespace.
+ *
+ * --threads N sizes the process-wide pool (default: ELSA_THREADS or
+ * the hardware concurrency) and runs independent suite entries
+ * concurrently on it, sharing the mode-report cache. Entry output is
+ * captured per entry and printed in suite order, and every simulated
+ * metric is identical at any thread count; only the wall_seconds
+ * metrics (advisory in scripts/bench_compare.py) vary.
  */
 
 #include <array>
+#include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/parallel.h"
 
 #include "baselines/gpu_model.h"
 #include "bench_common.h"
@@ -40,36 +54,77 @@ namespace elsa::bench {
 namespace {
 
 /**
+ * Captured stdout of one suite entry. Entries may run concurrently
+ * (--threads), so each formats into its own buffer and main() prints
+ * the buffers in suite order -- the printed output is identical at
+ * any thread count.
+ */
+class EntryLog
+{
+  public:
+    /** printf into the buffer (lines longer than 1 KiB truncate). */
+    void
+    add(const char* fmt, ...)
+    {
+        char line[1024];
+        va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(line, sizeof line, fmt, ap);
+        va_end(ap);
+        text_ += line;
+    }
+
+    const std::string& text() const { return text_; }
+
+  private:
+    std::string text_;
+};
+
+/**
  * State shared by the suite entries: the evaluation configuration
  * and a lazy cache of per-workload mode reports, so the four
  * figure entries that read the same simulations pay for them once.
+ * modes() is safe to call from concurrently running entries:
+ * concurrent callers of the same workload share one evaluation.
  */
 struct SuiteContext
 {
     bool quick = false;
     SystemConfig config;
     std::vector<WorkloadSpec> workloads;
-    std::map<std::string, std::vector<ModeReport>> mode_cache;
+
+    /**
+     * Address-stable cache cells (std::map nodes); cache_m guards
+     * only the map structure, the cell fills through its once_flag.
+     */
+    struct ModeCell
+    {
+        std::once_flag once;
+        std::vector<ModeReport> reports;
+    };
+    std::mutex cache_m;
+    std::map<std::string, ModeCell> mode_cache;
 
     const std::vector<ModeReport>&
     modes(const WorkloadSpec& spec)
     {
-        auto it = mode_cache.find(spec.label());
-        if (it == mode_cache.end()) {
-            ElsaSystem system(spec, config);
-            it = mode_cache
-                     .emplace(spec.label(),
-                              system.evaluateAllModes())
-                     .first;
+        ModeCell* cell = nullptr;
+        {
+            std::lock_guard<std::mutex> lk(cache_m);
+            cell = &mode_cache[spec.label()];
         }
-        return it->second;
+        std::call_once(cell->once, [&] {
+            ElsaSystem system(spec, config);
+            cell->reports = system.evaluateAllModes();
+        });
+        return cell->reports;
     }
 };
 
-SuiteContext
-makeContext(bool quick)
+/** Fill in a (non-movable: it owns a mutex) default-built context. */
+void
+initContext(SuiteContext& ctx, bool quick)
 {
-    SuiteContext ctx;
     ctx.quick = quick;
     ctx.config = standardSystemConfig();
     // The bottleneck entry reads the breakdown off the same cached
@@ -88,7 +143,6 @@ makeContext(bool quick)
     } else {
         ctx.workloads = evaluationWorkloads();
     }
-    return ctx;
 }
 
 obs::RunManifest
@@ -98,6 +152,12 @@ makeManifest(const char* artifact, const SuiteContext& ctx)
                                                   ctx.config);
     manifest.set("config", "quick", ctx.quick);
     manifest.set("config", "workloads", ctx.workloads.size());
+    // Execution environment, so a results file records how it was
+    // produced. Simulated metrics never depend on either value.
+    manifest.set("config", "threads", ThreadPool::global().threads());
+    manifest.set("config", "hardware_concurrency",
+                 static_cast<std::size_t>(
+                     std::thread::hardware_concurrency()));
     return manifest;
 }
 
@@ -135,12 +195,12 @@ setPerMode(obs::RunManifest& manifest, const char* stem,
 }
 
 obs::RunManifest
-runFig11a(SuiteContext& ctx)
+runFig11a(SuiteContext& ctx, EntryLog& log)
 {
     const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
         return r.throughput_vs_gpu;
     });
-    std::printf("  throughput vs GPU (geomean): base %.1fx, "
+    log.add("  throughput vs GPU (geomean): base %.1fx, "
                 "cons %.1fx, mod %.1fx, agg %.1fx\n",
                 g[0], g[1], g[2], g[3]);
     obs::RunManifest manifest = makeManifest("fig11a_throughput",
@@ -150,12 +210,12 @@ runFig11a(SuiteContext& ctx)
 }
 
 obs::RunManifest
-runFig11b(SuiteContext& ctx)
+runFig11b(SuiteContext& ctx, EntryLog& log)
 {
     const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
         return r.latency_vs_ideal;
     });
-    std::printf("  latency vs ideal (geomean): base %.2fx, "
+    log.add("  latency vs ideal (geomean): base %.2fx, "
                 "cons %.2fx, mod %.2fx, agg %.2fx\n",
                 g[0], g[1], g[2], g[3]);
     obs::RunManifest manifest = makeManifest("fig11b_latency", ctx);
@@ -164,12 +224,12 @@ runFig11b(SuiteContext& ctx)
 }
 
 obs::RunManifest
-runFig13a(SuiteContext& ctx)
+runFig13a(SuiteContext& ctx, EntryLog& log)
 {
     const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
         return r.energy_eff_vs_gpu;
     });
-    std::printf("  energy efficiency vs GPU (geomean): base %.0fx, "
+    log.add("  energy efficiency vs GPU (geomean): base %.0fx, "
                 "cons %.0fx, mod %.0fx, agg %.0fx\n",
                 g[0], g[1], g[2], g[3]);
     obs::RunManifest manifest =
@@ -179,12 +239,12 @@ runFig13a(SuiteContext& ctx)
 }
 
 obs::RunManifest
-runFig13b(SuiteContext& ctx)
+runFig13b(SuiteContext& ctx, EntryLog& log)
 {
     const auto g = modeGeomeans(ctx, [](const ModeReport& r) {
         return r.elsa_energy_per_op_uj;
     });
-    std::printf("  energy per op (geomean uJ): base %.3f, "
+    log.add("  energy per op (geomean uJ): base %.3f, "
                 "cons %.3f, mod %.3f, agg %.3f\n",
                 g[0], g[1], g[2], g[3]);
     obs::RunManifest manifest =
@@ -202,10 +262,10 @@ runFig13b(SuiteContext& ctx)
 }
 
 obs::RunManifest
-runTable1(SuiteContext& ctx)
+runTable1(SuiteContext& ctx, EntryLog& log)
 {
     const AcceleratorAreaPower total = singleAcceleratorAreaPower();
-    std::printf("  core area %.3f mm2, peak power %.2f W (x1), "
+    log.add("  core area %.3f mm2, peak power %.2f W (x1), "
                 "%.2f W (x12)\n",
                 total.core_area_mm2,
                 total.totalPeakPowerMw() / 1000.0,
@@ -229,7 +289,7 @@ runTable1(SuiteContext& ctx)
 }
 
 obs::RunManifest
-runFig02(SuiteContext& ctx)
+runFig02(SuiteContext& ctx, EntryLog& log)
 {
     const GpuModel gpu;
     const std::pair<ModelConfig, std::size_t> cases[] = {
@@ -260,14 +320,14 @@ runFig02(SuiteContext& ctx)
                              .attentionPortion());
         }
         manifest.set("metrics", variant.metric, portions.mean());
-        std::printf("  %s: %.1f%%\n", variant.metric,
+        log.add("  %s: %.1f%%\n", variant.metric,
                     100.0 * portions.mean());
     }
     return manifest;
 }
 
 obs::RunManifest
-runBottleneck(SuiteContext& ctx)
+runBottleneck(SuiteContext& ctx, EntryLog& log)
 {
     // The tentpole consumer: which module limits the base (p = 0)
     // configuration, straight from the attributed simulator runs.
@@ -277,7 +337,7 @@ runBottleneck(SuiteContext& ctx)
         computeBottleneck(base.stall_breakdown);
     ELSA_CHECK(report.valid,
                "bottleneck entry needs attribute_stalls runs");
-    std::printf("  workload %s:\n%s", spec.label().c_str(),
+    log.add("  workload %s:\n%s", spec.label().c_str(),
                 formatBottleneckReport(report).c_str());
 
     obs::RunManifest manifest =
@@ -298,7 +358,7 @@ runBottleneck(SuiteContext& ctx)
     return manifest;
 }
 
-using SuiteFn = obs::RunManifest (*)(SuiteContext&);
+using SuiteFn = obs::RunManifest (*)(SuiteContext&, EntryLog&);
 
 struct SuiteEntry
 {
@@ -413,7 +473,8 @@ main(int argc, char** argv)
     using namespace elsa;
     using namespace elsa::bench;
     const ArgParser args(argc, argv,
-                         {"quick", "bench", "list", "out"});
+                         {"quick", "bench", "list", "out",
+                          "threads"});
 
     if (args.has("list")) {
         for (const SuiteEntry& entry : kSuite) {
@@ -435,22 +496,62 @@ main(int argc, char** argv)
     }
     ELSA_CHECK(!selected.empty(), "no benches selected");
 
+    const std::int64_t threads_flag = args.getInt("threads", 0);
+    ELSA_CHECK(threads_flag >= 0,
+               "--threads must be >= 0, got " << threads_flag);
+    if (threads_flag > 0) {
+        ThreadPool::setGlobalThreads(
+            static_cast<std::size_t>(threads_flag));
+    }
+
     const bool quick = args.has("quick");
     printHeader("elsa_bench: benchmark suite driver",
                 quick ? "quick configuration (reduced workloads and "
                         "evaluation depth)"
                       : "full evaluation configuration");
+    std::printf("threads: %zu (hardware concurrency %u)\n",
+                ThreadPool::global().threads(),
+                std::thread::hardware_concurrency());
 
-    SuiteContext ctx = makeContext(quick);
+    SuiteContext ctx;
+    initContext(ctx, quick);
+
+    // Independent entries fan out over the pool; each entry captures
+    // its output and reports its manifest (with its wall time) into
+    // its own slot, and everything is printed / assembled serially
+    // in suite order below. Simulated metrics are identical at any
+    // thread count; only the advisory wall_seconds values move.
+    struct EntryResult
+    {
+        std::string json;
+        std::string log;
+    };
+    const std::vector<EntryResult> entry_results =
+        ThreadPool::global().parallelMap<EntryResult>(
+            selected.size(), [&](std::size_t i) {
+                EntryLog log;
+                const auto start = std::chrono::steady_clock::now();
+                obs::RunManifest manifest = selected[i]->run(ctx, log);
+                const double wall_seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                manifest.set("metrics", "wall_seconds", wall_seconds);
+                return EntryResult{manifest.toJson(/*pretty=*/false),
+                                   log.text()};
+            });
+
     std::vector<std::pair<std::string, std::string>> results;
-    for (const SuiteEntry* entry : selected) {
-        std::printf("\n[%s] %s\n", entry->name, entry->description);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        std::printf("\n[%s] %s\n", selected[i]->name,
+                    selected[i]->description);
+        std::fputs(entry_results[i].log.c_str(), stdout);
+        // The emitBenchSummary() format (bench_common.h): the
+        // manifest was serialized on the worker, so print the line
+        // from the stored JSON here.
+        std::printf("BENCH_JSON %s\n", entry_results[i].json.c_str());
         std::fflush(stdout);
-        const obs::RunManifest manifest = entry->run(ctx);
-        emitBenchSummary(manifest);
-        std::fflush(stdout);
-        results.emplace_back(entry->name,
-                             manifest.toJson(/*pretty=*/false));
+        results.emplace_back(selected[i]->name, entry_results[i].json);
     }
 
     const std::string out_path = args.get("out",

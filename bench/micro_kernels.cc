@@ -20,6 +20,7 @@
 #include "bench_common.h"
 #include "attention/exact.h"
 #include "attention/threshold.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "fixed/units.h"
 #include "lsh/calibration.h"
@@ -136,6 +137,57 @@ BM_ApproxAttention(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 2 * n * n * 64);
 }
 BENCHMARK(BM_ApproxAttention)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_PoolDispatchOverhead(benchmark::State& state)
+{
+    // Fixed cost of fanning a trivial loop out over the pool: an
+    // upper bound on how fine-grained parallelFor call sites may
+    // reasonably be. Arg = pool slots (1 = the inline fast path).
+    ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::size_t checksum = 0;
+        pool.parallelFor(64, [&](std::size_t i) {
+            benchmark::DoNotOptimize(i);
+            if (i == 0) {
+                checksum = 1;
+            }
+        });
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PoolDispatchOverhead)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_ParallelHammingThroughput(benchmark::State& state)
+{
+    // The array-simulation shape at microbenchmark scale: chunks of
+    // independent Hamming scans fanned over the pool, results
+    // written to their chunk index. Compare against the serial
+    // BM_HammingDistance per-item time to read off the scaling on
+    // the machine at hand. Arg = pool slots.
+    Rng rng(2);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    const AttentionInput input = benchInput(256);
+    const auto hashes = hasher.hashRows(input.key);
+    const auto queries = hasher.hashRows(input.query);
+    ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+    std::vector<int> totals(queries.size());
+    for (auto _ : state) {
+        pool.parallelFor(queries.size(), [&](std::size_t q) {
+            int total = 0;
+            for (const auto& h : hashes) {
+                total += hammingDistance(queries[q], h);
+            }
+            totals[q] = total;
+        });
+        benchmark::DoNotOptimize(totals.data());
+    }
+    state.SetItemsProcessed(state.iterations() * queries.size()
+                            * hashes.size());
+}
+BENCHMARK(BM_ParallelHammingThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void
 BM_ExpUnit(benchmark::State& state)

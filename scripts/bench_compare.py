@@ -18,7 +18,11 @@ docs/OBSERVABILITY.md for the schema).  Comparison rules:
   * string / boolean metrics (e.g. the bottleneck's
     ``limiting_module``) must match exactly;
   * integer count metrics (``workloads``, ``*_bytes``) must match
-    exactly.
+    exactly;
+  * wall-clock metrics (``wall_seconds`` and friends) are advisory:
+    they depend on the machine, its load, and ``--threads``, so they
+    are compared with a wide lower-is-better tolerance and reported,
+    but can never fail the gate.
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = schema or
 usage error.  Improvements are reported but never fail.
@@ -51,6 +55,15 @@ EXACT = (
     "workloads",
     "_bytes",
 )
+
+# Wall-clock measurements (host time, not simulated cycles).  Never
+# gate on them: they move with the machine, its load, and the
+# --threads setting of the run that produced the file.
+WALL_TIME = (
+    "wall_seconds",
+    "wall_time",
+)
+WALL_TIME_TOLERANCE = 0.50
 
 # Per-metric relative-tolerance overrides (substring match, first
 # hit wins).  The default tolerance covers everything else.
@@ -105,8 +118,14 @@ def metric_tolerance(name, default):
     return default
 
 
+def is_wall_time(name):
+    return any(needle in name for needle in WALL_TIME)
+
+
 def direction(name):
     """-1 = lower is better, +1 = higher is better, 0 = pinned."""
+    if is_wall_time(name):
+        return -1
     for needle in HIGHER_IS_BETTER:
         if needle in name:
             return 1
@@ -180,6 +199,7 @@ def main():
 
     regressions = []
     improvements = []
+    advisories = []
     compared = 0
     for name, base_bench in sorted(baseline["benches"].items()):
         cur_bench = current["benches"].get(name)
@@ -190,15 +210,32 @@ def main():
         cur_metrics = cur_bench["metrics"]
         for metric, base_value in base_metrics.items():
             label = f"{name}.{metric}"
+            advisory = is_wall_time(metric)
             if metric not in cur_metrics:
-                regressions.append((label, "metric missing from current"))
+                if advisory:
+                    advisories.append(
+                        (label, "wall-time metric missing from current")
+                    )
+                else:
+                    regressions.append(
+                        (label, "metric missing from current")
+                    )
                 continue
             compared += 1
-            tol = metric_tolerance(metric, args.tolerance)
+            tol = (
+                WALL_TIME_TOLERANCE
+                if advisory
+                else metric_tolerance(metric, args.tolerance)
+            )
             status, detail = compare_metric(
                 metric, base_value, cur_metrics[metric], tol
             )
-            if status == "regressed":
+            if advisory and status != "ok":
+                # Direction-aware so the report reads right, but a
+                # wall-time move is never a gate failure.
+                advisories.append((label, detail))
+                status = "advisory"
+            elif status == "regressed":
                 regressions.append((label, detail))
             elif status == "improved":
                 improvements.append((label, detail))
@@ -207,11 +244,14 @@ def main():
 
     for label, detail in improvements:
         print(f"IMPROVED  {label}: {detail}")
+    for label, detail in advisories:
+        print(f"ADVISORY  {label}: {detail} (wall time; never gates)")
     for label, detail in regressions:
         print(f"REGRESSED {label}: {detail}")
     print(
         f"bench_compare: {compared} metrics compared, "
-        f"{len(improvements)} improved, {len(regressions)} regressed"
+        f"{len(improvements)} improved, "
+        f"{len(advisories)} advisory, {len(regressions)} regressed"
     )
     return 1 if regressions else 0
 

@@ -1,0 +1,335 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <iterator>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+namespace {
+
+/**
+ * One parallelFor invocation. Lives on the caller's stack; workers
+ * only touch it between taking a chunk and releasing the last
+ * reference under `m`, so the caller can destroy it as soon as
+ * `remaining` reaches zero (observed under `m`).
+ */
+struct Job
+{
+    const std::function<void(std::size_t)>* fn = nullptr;
+
+    /** Unfinished chunks; guarded by m so completion can be awaited. */
+    std::size_t remaining = 0;
+    std::mutex m;
+    std::condition_variable done_cv;
+
+    /** Set on the first exception; later indices are skipped. */
+    std::atomic<bool> cancelled{false};
+    /** First exception raised by fn; guarded by m. */
+    std::exception_ptr exception;
+};
+
+/** A contiguous index range of one job. */
+struct Chunk
+{
+    Job* job = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/** One worker slot's mutex-guarded deque. */
+struct Slot
+{
+    std::mutex m;
+    std::deque<Chunk> q;
+};
+
+/**
+ * Pool identity of the calling thread: which pool's worker it is
+ * (nullptr for external threads) and its slot index there. Used to
+ * route nested parallelFor chunks onto the worker's own deque.
+ */
+thread_local const void* tls_pool = nullptr;
+thread_local std::size_t tls_slot = 0;
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::size_t slots = 1;
+    /** Slot 0 belongs to external callers; workers own 1..slots-1. */
+    std::vector<Slot> deques;
+    std::vector<std::thread> workers;
+
+    /** Sleeping-worker coordination. */
+    std::mutex wake_m;
+    std::condition_variable wake_cv;
+    bool stop = false;
+    /** Queued (unclaimed) chunks across all deques. */
+    std::atomic<std::size_t> queued{0};
+
+    explicit Impl(std::size_t n) : slots(n), deques(n)
+    {
+        workers.reserve(slots - 1);
+        for (std::size_t s = 1; s < slots; ++s) {
+            workers.emplace_back([this, s] { workerLoop(s); });
+        }
+    }
+
+    ~Impl()
+    {
+        {
+            std::lock_guard<std::mutex> lk(wake_m);
+            stop = true;
+        }
+        wake_cv.notify_all();
+        for (std::thread& t : workers) {
+            t.join();
+        }
+    }
+
+    /**
+     * Pop from the slot's own front, else steal from others' backs.
+     *
+     * With `only` set, chunks of other jobs are left in place. A
+     * thread joining job J must never run an unrelated task on its
+     * stack: the join may sit inside a non-reentrant region (e.g.
+     * the std::call_once cell a cache is filling J under), and an
+     * outer task re-entering that region on the same thread
+     * deadlocks against itself. Idle workers (workerLoop) pass
+     * nullptr and take anything.
+     */
+    bool tryGet(std::size_t self, Chunk& out,
+                const Job* only = nullptr)
+    {
+        {
+            std::lock_guard<std::mutex> lk(deques[self].m);
+            std::deque<Chunk>& q = deques[self].q;
+            for (auto it = q.begin(); it != q.end(); ++it) {
+                if (only == nullptr || it->job == only) {
+                    out = *it;
+                    q.erase(it);
+                    queued.fetch_sub(1, std::memory_order_relaxed);
+                    return true;
+                }
+            }
+        }
+        for (std::size_t off = 1; off < slots; ++off) {
+            Slot& victim = deques[(self + off) % slots];
+            std::lock_guard<std::mutex> lk(victim.m);
+            std::deque<Chunk>& q = victim.q;
+            for (auto it = q.rbegin(); it != q.rend(); ++it) {
+                if (only == nullptr || it->job == only) {
+                    out = *it;
+                    q.erase(std::next(it).base());
+                    queued.fetch_sub(1, std::memory_order_relaxed);
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /** Run one chunk and retire it against its job. */
+    void execute(const Chunk& chunk)
+    {
+        Job* job = chunk.job;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            if (job->cancelled.load(std::memory_order_relaxed)) {
+                break;
+            }
+            try {
+                (*job->fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(job->m);
+                if (job->exception == nullptr) {
+                    job->exception = std::current_exception();
+                }
+                job->cancelled.store(true,
+                                     std::memory_order_relaxed);
+            }
+        }
+        // Retire under the job mutex: once `remaining` is observed
+        // as 0 (necessarily after this unlock), the caller may
+        // destroy the job, so nothing touches it afterwards.
+        std::lock_guard<std::mutex> lk(job->m);
+        if (--job->remaining == 0) {
+            job->done_cv.notify_all();
+        }
+    }
+
+    void workerLoop(std::size_t slot)
+    {
+        tls_pool = this;
+        tls_slot = slot;
+        for (;;) {
+            Chunk chunk;
+            if (tryGet(slot, chunk)) {
+                execute(chunk);
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(wake_m);
+            wake_cv.wait(lk, [this] {
+                return stop
+                       || queued.load(std::memory_order_relaxed) > 0;
+            });
+            if (stop) {
+                return;
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    num_slots_ =
+        num_threads == 0 ? configuredThreads() : num_threads;
+    if (num_slots_ > 1) {
+        impl_ = std::make_unique<Impl>(num_slots_);
+    }
+}
+
+ThreadPool::~ThreadPool() = default;
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0) {
+        return;
+    }
+    if (impl_ == nullptr || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    Impl& impl = *impl_;
+
+    Job job;
+    job.fn = &fn;
+
+    // Several chunks per slot so uneven per-index work balances via
+    // stealing; chunk boundaries never affect results (fn(i) runs
+    // exactly once per index regardless of placement).
+    const std::size_t target = num_slots_ * 4;
+    const std::size_t grain = (n + target - 1) / target;
+    const std::size_t num_chunks = (n + grain - 1) / grain;
+    job.remaining = num_chunks;
+
+    // A worker pushes onto its own deque (it pops from the front,
+    // idle workers steal from the back); external callers use the
+    // shared slot 0.
+    const std::size_t self =
+        tls_pool == impl_.get() ? tls_slot : 0;
+    {
+        std::lock_guard<std::mutex> lk(impl.deques[self].m);
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+            const std::size_t begin = c * grain;
+            impl.deques[self].q.push_back(
+                {&job, begin, std::min(n, begin + grain)});
+        }
+    }
+    impl.queued.fetch_add(num_chunks, std::memory_order_relaxed);
+    impl.wake_cv.notify_all();
+
+    // The caller contributes until its job retires. It only ever
+    // executes chunks of ITS OWN job (see tryGet): pulling a
+    // different task onto this stack while e.g. a call_once is
+    // active above us could re-enter that call_once and deadlock.
+    for (;;) {
+        Chunk chunk;
+        if (impl.tryGet(self, chunk, &job)) {
+            impl.execute(chunk);
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(job.m);
+        if (job.remaining == 0) {
+            break;
+        }
+        // Timed wait: chunks of this job may still be executing on
+        // other slots while new stealable work appears.
+        job.done_cv.wait_for(lk, std::chrono::microseconds(200));
+        if (job.remaining == 0) {
+            break;
+        }
+    }
+    if (job.exception != nullptr) {
+        std::rethrow_exception(job.exception);
+    }
+}
+
+std::size_t
+ThreadPool::currentSlot()
+{
+    return tls_slot;
+}
+
+namespace {
+
+std::mutex g_global_pool_m;
+std::unique_ptr<ThreadPool> g_global_pool;
+std::size_t g_thread_override = 0;
+
+/** ELSA_THREADS / hardware-concurrency default, clamped to >= 1. */
+std::size_t
+defaultThreads()
+{
+    if (const char* env = std::getenv("ELSA_THREADS")) {
+        char* end = nullptr;
+        const long value = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && value > 0) {
+            return static_cast<std::size_t>(value);
+        }
+        ELSA_LOG_WARN("ignoring invalid ELSA_THREADS='" << env
+                                                        << "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+} // namespace
+
+std::size_t
+ThreadPool::configuredThreads()
+{
+    {
+        std::lock_guard<std::mutex> lk(g_global_pool_m);
+        if (g_thread_override > 0) {
+            return g_thread_override;
+        }
+    }
+    return defaultThreads();
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(g_global_pool_m);
+    if (g_global_pool == nullptr) {
+        const std::size_t threads = g_thread_override > 0
+                                        ? g_thread_override
+                                        : defaultThreads();
+        g_global_pool = std::make_unique<ThreadPool>(threads);
+    }
+    return *g_global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(std::size_t n)
+{
+    std::lock_guard<std::mutex> lk(g_global_pool_m);
+    g_thread_override = n;
+    // Recreated lazily by the next global() call. The caller must
+    // ensure no global-pool job is in flight (see header).
+    g_global_pool.reset();
+}
+
+} // namespace elsa

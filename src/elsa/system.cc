@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "sim/pipeline_model.h"
 
@@ -35,13 +36,18 @@ ElsaSystem::attachObservability(obs::StatsRegistry* stats,
 const WorkloadEvaluation&
 ElsaSystem::fidelityAt(double p)
 {
-    auto it = fidelity_cache_.find(p);
-    if (it == fidelity_cache_.end()) {
-        it = fidelity_cache_
-                 .emplace(p, runner_.evaluate(p, config_.eval))
-                 .first;
+    // The mutex only guards the map structure; the (address-stable)
+    // cell is filled through its once_flag so concurrent callers of
+    // the same p block on call_once, not on each other's evaluate().
+    FidelityCell* cell = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(fidelity_m_);
+        cell = &fidelity_cache_[p];
     }
-    return it->second;
+    std::call_once(cell->once, [&] {
+        cell->value = runner_.evaluate(p, config_.eval);
+    });
+    return cell->value;
 }
 
 double
@@ -50,9 +56,17 @@ ElsaSystem::chooseP(ApproxMode mode)
     if (mode == ApproxMode::kBase) {
         return 0.0;
     }
+    // Warm the cache for the whole grid concurrently; the serial
+    // scan below then reads only cached values. WorkloadRunner::
+    // evaluate is const and derives its RNGs from (seed, p), so each
+    // grid point's evaluation is independent of every other.
+    const std::vector<double>& grid = WorkloadRunner::standardPGrid();
+    parallelFor(grid.size(),
+                [&](std::size_t i) { fidelityAt(grid[i]); });
+
     const double bound = accuracyLossBound(spec_.model, mode);
     double best = 0.0;
-    for (const double p : WorkloadRunner::standardPGrid()) {
+    for (const double p : grid) {
         if (fidelityAt(p).estimated_loss_pct <= bound) {
             best = std::max(best, p);
         }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -123,10 +124,19 @@ class ElsaSystem
     /**
      * Fidelity evaluation at one p (cached: repeated calls with the
      * same p reuse the result). Used for mode selection and Fig. 10.
+     * Safe to call from multiple threads: concurrent callers of the
+     * same p share one evaluation, and the returned reference stays
+     * valid for the system's lifetime.
      */
     const WorkloadEvaluation& fidelityAt(double p);
 
-    /** The p chosen for a mode (largest grid p within the bound). */
+    /**
+     * The p chosen for a mode (largest grid p within the bound).
+     * Prefetches the whole standard p grid through the thread pool
+     * before the serial scan -- the chosen p (and every cached
+     * evaluation) is identical at any thread count because each
+     * grid point's evaluation depends only on (p, seed).
+     */
     double chooseP(ApproxMode mode);
 
     /** Full report (simulator + baselines + energy) for one mode. */
@@ -139,11 +149,23 @@ class ElsaSystem
     /** Run the cycle simulator at hyperparameter p. */
     ModeReport simulateAtP(ApproxMode mode, double p);
 
+    /**
+     * One fidelity-cache cell. std::map nodes are address-stable, so
+     * a cell can be filled through its once_flag without holding
+     * fidelity_m_ (which only guards the map structure itself).
+     */
+    struct FidelityCell
+    {
+        std::once_flag once;
+        WorkloadEvaluation value;
+    };
+
     WorkloadSpec spec_;
     SystemConfig config_;
     std::uint64_t seed_;
     WorkloadRunner runner_;
-    std::map<double, WorkloadEvaluation> fidelity_cache_;
+    std::mutex fidelity_m_;
+    std::map<double, FidelityCell> fidelity_cache_;
 
     /** Observability sinks (non-owning; see attachObservability). */
     obs::StatsRegistry* stats_ = nullptr;

@@ -18,6 +18,34 @@ Histogram::Histogram(std::vector<double> edges)
     counts_.assign(edges_.size() - 1, 0);
 }
 
+Histogram::Histogram(const Histogram& other)
+{
+    std::lock_guard<std::mutex> lk(other.m_);
+    edges_ = other.edges_;
+    counts_ = other.counts_;
+    underflow_ = other.underflow_;
+    overflow_ = other.overflow_;
+    count_ = other.count_;
+    sum_ = other.sum_;
+}
+
+Histogram&
+Histogram::operator=(const Histogram& other)
+{
+    if (this == &other) {
+        return *this;
+    }
+    // Consistent-order double lock via scoped_lock (deadlock-free).
+    std::scoped_lock lk(m_, other.m_);
+    edges_ = other.edges_;
+    counts_ = other.counts_;
+    underflow_ = other.underflow_;
+    overflow_ = other.overflow_;
+    count_ = other.count_;
+    sum_ = other.sum_;
+    return *this;
+}
+
 Histogram
 Histogram::linear(double lo, double hi, std::size_t num_buckets)
 {
@@ -37,6 +65,7 @@ Histogram::linear(double lo, double hi, std::size_t num_buckets)
 void
 Histogram::add(double x)
 {
+    std::lock_guard<std::mutex> lk(m_);
     ++count_;
     sum_ += x;
     if (x < edges_.front()) {
@@ -57,6 +86,7 @@ Histogram::add(double x)
 std::size_t
 Histogram::bucketCount(std::size_t i) const
 {
+    std::lock_guard<std::mutex> lk(m_);
     ELSA_CHECK(i < counts_.size(), "histogram bucket " << i
                                                        << " out of range");
     return counts_[i];
@@ -65,6 +95,7 @@ Histogram::bucketCount(std::size_t i) const
 void
 Histogram::reset()
 {
+    std::lock_guard<std::mutex> lk(m_);
     std::fill(counts_.begin(), counts_.end(), 0);
     underflow_ = 0;
     overflow_ = 0;

@@ -13,16 +13,25 @@
  */
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace elsa::obs {
 
-/** Counting histogram with explicit, half-open buckets. */
+/**
+ * Counting histogram with explicit, half-open buckets. add() and the
+ * readers take a small internal lock, so concurrent recording from
+ * pool workers is safe (the reader sees a consistent snapshot).
+ */
 class Histogram
 {
   public:
     /** @param edges Ascending bucket edges; needs >= 2 entries. */
     explicit Histogram(std::vector<double> edges);
+
+    /** Copies edges and counts (the lock is never shared). */
+    Histogram(const Histogram& other);
+    Histogram& operator=(const Histogram& other);
 
     /** Evenly spaced buckets covering [lo, hi). */
     static Histogram linear(double lo, double hi,
@@ -32,7 +41,11 @@ class Histogram
     void add(double x);
 
     /** Observations recorded (including under/overflow). */
-    std::size_t count() const { return count_; }
+    std::size_t count() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return count_;
+    }
 
     /** Number of buckets (edges().size() - 1). */
     std::size_t numBuckets() const { return counts_.size(); }
@@ -41,20 +54,35 @@ class Histogram
     std::size_t bucketCount(std::size_t i) const;
 
     /** Observations below the first edge. */
-    std::size_t underflow() const { return underflow_; }
+    std::size_t underflow() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return underflow_;
+    }
 
     /** Observations at or above the last edge. */
-    std::size_t overflow() const { return overflow_; }
+    std::size_t overflow() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return overflow_;
+    }
 
+    /** Bucket edges; immutable after construction, so lock-free. */
     const std::vector<double>& edges() const { return edges_; }
 
     /** Sum of all observations (for mean reconstruction). */
-    double sum() const { return sum_; }
+    double sum() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return sum_;
+    }
 
     /** Clear all counts; the bucket edges are kept. */
     void reset();
 
   private:
+    /** Guards every count; edges_ are immutable post-construction. */
+    mutable std::mutex m_;
     std::vector<double> edges_;
     std::vector<std::size_t> counts_;
     std::size_t underflow_ = 0;

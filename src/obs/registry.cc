@@ -66,6 +66,7 @@ StatsRegistry::findOrCreate(const std::string& name, MetricKind kind)
 Counter&
 StatsRegistry::counter(const std::string& name)
 {
+    std::lock_guard<std::mutex> lk(m_);
     Entry& entry = findOrCreate(name, MetricKind::kCounter);
     if (entry.counter == nullptr) {
         entry.counter = std::make_unique<Counter>();
@@ -76,6 +77,7 @@ StatsRegistry::counter(const std::string& name)
 Distribution&
 StatsRegistry::distribution(const std::string& name)
 {
+    std::lock_guard<std::mutex> lk(m_);
     Entry& entry = findOrCreate(name, MetricKind::kDistribution);
     if (entry.distribution == nullptr) {
         entry.distribution = std::make_unique<Distribution>();
@@ -87,6 +89,7 @@ Histogram&
 StatsRegistry::histogram(const std::string& name,
                          const Histogram& prototype)
 {
+    std::lock_guard<std::mutex> lk(m_);
     Entry& entry = findOrCreate(name, MetricKind::kHistogram);
     if (entry.histogram == nullptr) {
         entry.histogram = std::make_unique<Histogram>(prototype);
@@ -98,6 +101,7 @@ StatsRegistry::histogram(const std::string& name,
 MetricKind
 StatsRegistry::kind(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lk(m_);
     const auto it = metrics_.find(name);
     ELSA_CHECK(it != metrics_.end(),
                "metric '" << name << "' is not registered");
@@ -107,12 +111,14 @@ StatsRegistry::kind(const std::string& name) const
 bool
 StatsRegistry::contains(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lk(m_);
     return metrics_.find(name) != metrics_.end();
 }
 
 std::vector<std::string>
 StatsRegistry::names() const
 {
+    std::lock_guard<std::mutex> lk(m_);
     std::vector<std::string> out;
     out.reserve(metrics_.size());
     for (const auto& [name, entry] : metrics_) {
@@ -125,6 +131,7 @@ StatsRegistry::names() const
 double
 StatsRegistry::counterValue(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lk(m_);
     const auto it = metrics_.find(name);
     ELSA_CHECK(it != metrics_.end(),
                "metric '" << name << "' is not registered");
@@ -138,6 +145,7 @@ StatsRegistry::counterValue(const std::string& name) const
 void
 StatsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lk(m_);
     for (auto& [name, entry] : metrics_) {
         (void)name;
         switch (entry.kind) {
@@ -153,12 +161,14 @@ StatsRegistry::reset()
 void
 StatsRegistry::clear()
 {
+    std::lock_guard<std::mutex> lk(m_);
     metrics_.clear();
 }
 
 void
 StatsRegistry::dumpJson(std::ostream& os, bool pretty) const
 {
+    std::lock_guard<std::mutex> lk(m_);
     JsonWriter w(os, pretty);
     w.beginObject();
     for (const auto& [name, entry] : metrics_) {
@@ -168,7 +178,7 @@ StatsRegistry::dumpJson(std::ostream& os, bool pretty) const
             w.value(entry.counter->get());
             break;
         case MetricKind::kDistribution: {
-            const RunningStat& stat = entry.distribution->stat();
+            const RunningStat stat = entry.distribution->stat();
             w.beginObject();
             w.kv("kind", "distribution");
             w.kv("count", stat.count());
@@ -225,6 +235,7 @@ csvRow(std::ostream& os, const std::string& name, const char* kind,
 void
 StatsRegistry::dumpCsv(std::ostream& os) const
 {
+    std::lock_guard<std::mutex> lk(m_);
     os << "name,kind,field,value\n";
     for (const auto& [name, entry] : metrics_) {
         switch (entry.kind) {
@@ -233,7 +244,7 @@ StatsRegistry::dumpCsv(std::ostream& os) const
                    entry.counter->get());
             break;
         case MetricKind::kDistribution: {
-            const RunningStat& stat = entry.distribution->stat();
+            const RunningStat stat = entry.distribution->stat();
             csvRow(os, name, "distribution", "count",
                    static_cast<double>(stat.count()));
             csvRow(os, name, "distribution", "mean", stat.mean());

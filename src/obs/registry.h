@@ -23,12 +23,23 @@
  * object; with a different kind it raises elsa::Error (name
  * collisions are bugs, following gem5's stats discipline).
  *
- * The registry is not thread-safe; the simulator is single-threaded.
+ * Thread-safety: registration (find-or-create), dumps, and every
+ * metric's increment path are safe under concurrent use -- counters
+ * are lock-free atomics, distributions and histograms take a small
+ * per-metric lock (see docs/PARALLELISM.md). Determinism of dumped
+ * values is the *caller's* contract: the simulator publishes its
+ * per-invocation results from one thread in invocation-index order
+ * (sim/array.cc), so floating-point accumulation order -- and
+ * therefore every dumped value -- is independent of the thread
+ * count. Only wall-clock host profiling (ELSA_PROF) feeds the
+ * registry from multiple threads at once.
  */
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -38,29 +49,55 @@
 
 namespace elsa::obs {
 
-/** Scalar metric. */
+/** Scalar metric; increments are lock-free and thread-safe. */
 class Counter
 {
   public:
-    void add(double delta) { value_ += delta; }
-    void increment() { value_ += 1.0; }
-    void set(double value) { value_ = value; }
-    double get() const { return value_; }
-    void reset() { value_ = 0.0; }
+    void add(double delta)
+    {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(
+            current, current + delta, std::memory_order_relaxed)) {
+        }
+    }
+    void increment() { add(1.0); }
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    double get() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { set(0.0); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
-/** RunningStat-backed distribution metric. */
+/** RunningStat-backed distribution metric; adds take a lock. */
 class Distribution
 {
   public:
-    void add(double x) { stat_.add(x); }
-    const RunningStat& stat() const { return stat_; }
-    void reset() { stat_ = RunningStat(); }
+    void add(double x)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stat_.add(x);
+    }
+    /** Snapshot of the accumulated statistic. */
+    RunningStat stat() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return stat_;
+    }
+    void reset()
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stat_ = RunningStat();
+    }
 
   private:
+    mutable std::mutex m_;
     RunningStat stat_;
 };
 
@@ -113,7 +150,11 @@ class StatsRegistry
     std::vector<std::string> names() const;
 
     /** Number of registered metrics. */
-    std::size_t size() const { return metrics_.size(); }
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return metrics_.size();
+    }
 
     /**
      * Counter value by name; fatal when the name is missing or not a
@@ -157,6 +198,8 @@ class StatsRegistry
 
     Entry& findOrCreate(const std::string& name, MetricKind kind);
 
+    /** Guards metrics_ (the map, not the metric values). */
+    mutable std::mutex m_;
     std::map<std::string, Entry> metrics_;
 };
 

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <fstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/json.h"
@@ -13,9 +14,41 @@ TraceWriter::TraceWriter(std::string path)
     ELSA_CHECK(!path_.empty(), "trace path must not be empty");
 }
 
+TraceWriter::TraceWriter(TraceWriter&& other) noexcept
+    : enabled_(other.enabled_),
+      path_(std::move(other.path_)),
+      events_(std::move(other.events_))
+{
+    other.enabled_ = false;
+    other.path_.clear();
+    other.events_.clear();
+}
+
+TraceWriter&
+TraceWriter::operator=(TraceWriter&& other) noexcept
+{
+    if (this != &other) {
+        enabled_ = other.enabled_;
+        path_ = std::move(other.path_);
+        events_ = std::move(other.events_);
+        other.enabled_ = false;
+        other.path_.clear();
+        other.events_.clear();
+    }
+    return *this;
+}
+
+TraceWriter
+TraceWriter::memoryBuffer()
+{
+    TraceWriter writer;
+    writer.enabled_ = true;
+    return writer;
+}
+
 TraceWriter::~TraceWriter()
 {
-    if (enabled_) {
+    if (enabled_ && !path_.empty()) {
         ELSA_LOG_WARN("trace writer for '"
                       << path_
                       << "' destroyed without close(); flushing");
@@ -155,12 +188,31 @@ TraceWriter::writeJson(std::ostream& os) const
 }
 
 void
+TraceWriter::appendFrom(const TraceWriter& other, bool skip_metadata)
+{
+    if (!enabled_) {
+        return;
+    }
+    for (const Event& e : other.events_) {
+        if (skip_metadata && e.phase == 'M') {
+            continue;
+        }
+        events_.push_back(e);
+    }
+}
+
+void
 TraceWriter::close()
 {
     if (!enabled_) {
         return;
     }
     enabled_ = false;
+    if (path_.empty()) {
+        // memoryBuffer() writer: nothing to serialize.
+        events_.clear();
+        return;
+    }
     std::ofstream out(path_);
     ELSA_CHECK(out.good(),
                "cannot open trace file '" << path_ << "' for writing");

@@ -21,6 +21,14 @@
  * is a no-op that costs one branch, so call sites can stay
  * unconditional. The writer buffers events and serializes on
  * close()/destruction.
+ *
+ * A writer is intentionally NOT internally synchronized: concurrent
+ * emitters would interleave events nondeterministically. The
+ * parallel simulator instead records each invocation into its own
+ * memoryBuffer() writer and merges the buffers into the attached
+ * writer in invocation-index order with appendFrom(), which makes
+ * the flushed event sequence identical to a serial run at any
+ * thread count (see docs/PARALLELISM.md).
  */
 
 #include <cstdint>
@@ -40,8 +48,20 @@ class TraceWriter
     /** Enabled writer serializing to the given file on close(). */
     explicit TraceWriter(std::string path);
 
+    /**
+     * Enabled writer that only buffers in memory: close() discards
+     * instead of serializing. Used as a per-invocation shard whose
+     * events are later appendFrom()-merged into a file-backed
+     * writer in a deterministic order.
+     */
+    static TraceWriter memoryBuffer();
+
     TraceWriter(const TraceWriter&) = delete;
     TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /** Moves the buffer; the source is left disabled and empty. */
+    TraceWriter(TraceWriter&& other) noexcept;
+    TraceWriter& operator=(TraceWriter&& other) noexcept;
 
     /** Serializes and closes if the writer is enabled and open. */
     ~TraceWriter();
@@ -81,9 +101,21 @@ class TraceWriter
                       std::uint32_t tid, std::uint64_t ts_cycles);
 
     /**
+     * Append another writer's buffered events to this one, in their
+     * recorded order. Metadata ('M') events are skipped when
+     * skip_metadata is set (the receiving writer emitted its own
+     * process/thread names on attach). No-op when this writer is
+     * disabled. Must be called from one thread at a time -- the
+     * parallel reduction appends shards serially in invocation
+     * order, which is what keeps the merged trace deterministic.
+     */
+    void appendFrom(const TraceWriter& other, bool skip_metadata);
+
+    /**
      * Serialize {"traceEvents": [...]} to the path and disable the
      * writer. Raises elsa::Error when the file cannot be written.
-     * No-op when already closed or never enabled.
+     * No-op when already closed or never enabled. A memoryBuffer()
+     * writer just disables and drops its events.
      */
     void close();
 

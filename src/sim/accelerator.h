@@ -134,6 +134,9 @@ class Accelerator
      */
     void attachTrace(obs::TraceWriter* trace, std::uint32_t pid = 0);
 
+    /** The pid label of the currently attached trace (last attach). */
+    std::uint32_t tracePid() const { return trace_pid_; }
+
     /**
      * Run one self-attention operation.
      *

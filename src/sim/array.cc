@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "obs/trace.h"
+#include "sim/report.h"
 
 namespace elsa {
 
@@ -23,8 +26,15 @@ AcceleratorArray::attachObservability(obs::StatsRegistry* stats,
                                       obs::TraceWriter* trace,
                                       const std::string& prefix)
 {
+    // The prototype accelerator keeps the sinks so the trace's
+    // process/thread-name metadata is emitted once, here; the batch
+    // runs themselves go through detached per-worker clones and the
+    // array publishes their results from the reduction (see run()).
     accelerator_.attachStats(stats, prefix);
     accelerator_.attachTrace(trace);
+    stats_ = stats;
+    trace_ = trace;
+    stats_prefix_ = prefix;
 }
 
 ArrayRunResult
@@ -35,21 +45,76 @@ AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
                "inputs/thresholds size mismatch");
     ArrayRunResult result;
     result.num_invocations = inputs.size();
+    const std::size_t n = inputs.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        ELSA_CHECK(inputs[i] != nullptr, "null input " << i);
+    }
 
-    // Greedy least-loaded scheduling; accelerators are identical so
-    // only the load vector matters.
+    const bool tracing = accelerator_.config().emit_trace
+                         && trace_ != nullptr && trace_->enabled();
+
+    // ---- Parallel phase: per-invocation simulation ----
+    // Invocations are independent, so they fan out across the pool.
+    // Each worker slot gets its own clone of the accelerator with
+    // the observability sinks detached: a clone's run() is a pure
+    // function of (input, threshold), which is what makes the fan-out
+    // safe and the results independent of the thread count. When
+    // tracing, every invocation records into its own memory buffer
+    // so the merge below can replay the serial event order.
+    ThreadPool& pool = ThreadPool::global();
+    std::vector<Accelerator> clones;
+    clones.reserve(pool.threads());
+    for (std::size_t s = 0; s < pool.threads(); ++s) {
+        clones.push_back(accelerator_);
+        clones.back().attachStats(nullptr);
+        clones.back().attachTrace(nullptr);
+    }
+
+    std::vector<RunResult> runs(n);
+    std::vector<obs::TraceWriter> trace_buffers;
+    if (tracing) {
+        trace_buffers.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            trace_buffers.push_back(obs::TraceWriter::memoryBuffer());
+        }
+    }
+    pool.parallelFor(n, [&](std::size_t i) {
+        Accelerator& accel = clones[ThreadPool::currentSlot()];
+        if (tracing) {
+            accel.attachTrace(&trace_buffers[i],
+                              accelerator_.tracePid());
+        }
+        runs[i] = accel.run(*inputs[i], thresholds[i]);
+        if (tracing) {
+            accel.attachTrace(nullptr);
+        }
+    });
+
+    // ---- Serial reduction, in invocation-index order ----
+    // Cycle totals, activity counters, the stall breakdown, stats
+    // publication, and the trace merge all happen here in index
+    // order, so every reported metric (and every floating-point
+    // accumulation behind it) is bit-identical to a serial run.
     std::vector<std::size_t> load(num_accelerators_, 0);
     double fraction_sum = 0.0;
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-        ELSA_CHECK(inputs[i] != nullptr, "null input " << i);
-        const RunResult run_result =
-            accelerator_.run(*inputs[i], thresholds[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+        const RunResult& run_result = runs[i];
         const std::size_t cycles = run_result.totalCycles();
         result.total_cycles += cycles;
         result.total_preprocess_cycles += run_result.preprocess_cycles;
         result.activity.merge(run_result.activity);
         result.stall_breakdown.merge(run_result.stall_breakdown);
         fraction_sum += run_result.candidateFraction();
+
+        if (stats_ != nullptr) {
+            publishRunStats(run_result, *stats_, stats_prefix_);
+        }
+        if (tracing) {
+            // Metadata was already emitted on attach; the shards'
+            // duplicate copies are skipped.
+            trace_->appendFrom(trace_buffers[i],
+                               /*skip_metadata=*/true);
+        }
 
         if (policy_ == SchedulingPolicy::kLeastLoaded) {
             auto least = std::min_element(load.begin(), load.end());

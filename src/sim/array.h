@@ -11,6 +11,14 @@
  * Self-attention operations of a batch are independent, so the array
  * schedules each invocation onto the least-loaded accelerator and
  * the batch completes at the makespan.
+ *
+ * The host simulation exploits the same independence: invocations
+ * fan out over the process-wide thread pool (common/parallel.h) and
+ * the per-invocation results are reduced in invocation-index order,
+ * so cycle counts, stall attribution, published stats, and merged
+ * traces are bit-identical to a serial run at any thread count (the
+ * determinism contract of docs/PARALLELISM.md, regression-tested by
+ * tests/parallel_determinism_test.cc).
  */
 
 #include <cstddef>
@@ -90,10 +98,10 @@ class AcceleratorArray
     const Accelerator& accelerator() const { return accelerator_; }
 
     /**
-     * Attach observability sinks to the simulated accelerator (see
-     * Accelerator::attachStats / attachTrace). The batch is timed on
-     * one representative accelerator instance, so its counters
-     * accumulate the whole batch under `prefix`.
+     * Attach observability sinks. The batch is timed on identical
+     * accelerator clones, so the counters accumulate the whole batch
+     * under `prefix`; publication happens during the ordered
+     * reduction of run(), never concurrently.
      */
     void attachObservability(obs::StatsRegistry* stats,
                              obs::TraceWriter* trace,
@@ -112,6 +120,11 @@ class AcceleratorArray
     std::size_t num_accelerators_;
     Accelerator accelerator_;
     SchedulingPolicy policy_;
+
+    /** Observability sinks (non-owning; see attachObservability). */
+    obs::StatsRegistry* stats_ = nullptr;
+    obs::TraceWriter* trace_ = nullptr;
+    std::string stats_prefix_ = "sim.accel0";
 };
 
 } // namespace elsa
