@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -46,6 +47,7 @@
 #include "common/logging.h"
 #include "elsa/system.h"
 #include "energy/area_power.h"
+#include "fault_sweep.h"
 #include "obs/json.h"
 #include "sim/report.h"
 #include "workload/model.h"
@@ -358,6 +360,18 @@ runBottleneck(SuiteContext& ctx, EntryLog& log)
     return manifest;
 }
 
+obs::RunManifest
+runFaultSweep(SuiteContext& ctx, EntryLog& log)
+{
+    // Deterministic (fixed workload/hash/fault seeds, single
+    // invocations), so the entry is identical at any thread count.
+    const FaultSweepResult sweep = runFaultResilienceSweep(ctx.quick);
+    log.add("%s", formatFaultSweepTable(sweep).c_str());
+    obs::RunManifest manifest = makeManifest("ext_fault_sweep", ctx);
+    addFaultSweepMetrics(manifest, sweep);
+    return manifest;
+}
+
 using SuiteFn = obs::RunManifest (*)(SuiteContext&, EntryLog&);
 
 struct SuiteEntry
@@ -385,6 +399,10 @@ const SuiteEntry kSuite[] = {
     {"bottleneck_attribution",
      "Stall-cause attribution: the limiting pipeline module",
      runBottleneck},
+    {"ext_fault_sweep",
+     "Extension: fidelity/recovery under SRAM bit flips, "
+     "BER x protection",
+     runFaultSweep},
 };
 
 std::vector<std::string>
@@ -467,8 +485,10 @@ assembleResults(
 } // namespace
 } // namespace elsa::bench
 
+namespace {
+
 int
-main(int argc, char** argv)
+runSuite(int argc, char** argv)
 {
     using namespace elsa;
     using namespace elsa::bench;
@@ -565,4 +585,20 @@ main(int argc, char** argv)
     std::printf("\nwrote %s (%zu benches)\n", out_path.c_str(),
                 results.size());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Configuration and I/O problems (bad flags, unwritable --out,
+    // inconsistent configs) surface as one actionable line, not an
+    // uncaught-exception abort.
+    try {
+        return runSuite(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

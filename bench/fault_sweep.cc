@@ -1,0 +1,182 @@
+#include "fault_sweep.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "attention/threshold.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "sim/accelerator.h"
+#include "workload/generator.h"
+#include "workload/model.h"
+
+namespace elsa::bench {
+
+std::vector<double>
+faultSweepBers(bool quick)
+{
+    if (quick) {
+        return {1e-4, 1e-3};
+    }
+    return {1e-5, 1e-4, 1e-3, 1e-2};
+}
+
+std::string
+berLabel(double ber)
+{
+    const long long exponent = std::llround(-std::log10(ber));
+    ELSA_CHECK(exponent > 0
+                   && std::abs(ber * std::pow(10.0, exponent) - 1.0)
+                          < 1e-9,
+               "BER " << ber << " is not a power of ten");
+    return "1em" + std::to_string(exponent);
+}
+
+FaultSweepResult
+runFaultResilienceSweep(bool quick)
+{
+    // One encoder-regime attention operation with a realistically
+    // learned threshold (p = 1, the paper's conservative mode): hash
+    // faults must be able to change candidate selection, which a
+    // select-everything threshold would hide.
+    const std::size_t n = quick ? 96 : 192;
+    const ModelConfig model = bertLarge();
+    QkvGenerator gen(model, 77);
+    const AttentionInput train = gen.generate(0, 0, n, 100);
+    const AttentionInput input = gen.generate(0, 0, n, 0);
+
+    ThresholdLearner learner(1.0);
+    learner.observe(train.query, train.key);
+
+    Rng rng(9);
+    const auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng, true));
+
+    SimConfig config = SimConfig::paperConfig();
+    // query_candidates (gated by collect_query_trace) feed
+    // measureFidelity; attribution exercises the extended stall
+    // conservation invariant (fault_retry) on every faulted run.
+    config.collect_query_trace = true;
+    config.attribute_stalls = true;
+    config.count_saturations = true;
+
+    FaultSweepResult result;
+    result.n = n;
+    result.threshold = learner.threshold();
+
+    {
+        const Accelerator accel(config, hasher, kThetaBias64);
+        const RunResult run = accel.run(input, result.threshold);
+        result.baseline =
+            measureFidelity(input, run.query_candidates, run.output);
+        result.baseline_cycles = run.totalCycles();
+    }
+
+    const ProtectionMode modes[] = {ProtectionMode::kNone,
+                                    ProtectionMode::kParityDetect,
+                                    ProtectionMode::kSecdedCorrect};
+    for (const ProtectionMode mode : modes) {
+        for (const double ber : faultSweepBers(quick)) {
+            SimConfig faulted = config;
+            faulted.fault.enabled = true;
+            faulted.fault.bit_error_rate = ber;
+            faulted.fault.protection = mode;
+            faulted.validate();
+
+            const Accelerator accel(faulted, hasher, kThetaBias64);
+            const RunResult run = accel.run(input, result.threshold);
+            ELSA_CHECK(run.fault.enabled,
+                       "faulted run reported no injection");
+            ELSA_CHECK(run.fault.counts.conserves(),
+                       "fault counts violate injected == silent + "
+                       "detected + corrected");
+
+            FaultSweepPoint point;
+            point.protection = mode;
+            point.bit_error_rate = ber;
+            point.label = std::string(protectionModeName(mode)) + "_"
+                          + berLabel(ber);
+            point.fidelity = measureFidelity(
+                input, run.query_candidates, run.output);
+            point.counts = run.fault.counts;
+            point.retry_stall_cycles = run.fault.retry_stall_cycles;
+            point.total_cycles = run.totalCycles();
+            result.points.push_back(std::move(point));
+        }
+    }
+    return result;
+}
+
+void
+addFaultSweepMetrics(obs::RunManifest& manifest,
+                     const FaultSweepResult& result)
+{
+    manifest.set("metrics", "sweep_n", result.n);
+    manifest.set("metrics", "threshold", result.threshold);
+    manifest.set("metrics", "mass_recall_nofault",
+                 result.baseline.mass_recall);
+    manifest.set("metrics", "output_error_nofault",
+                 result.baseline.output_relative_error);
+    manifest.set("metrics", "cycles_nofault", result.baseline_cycles);
+    for (const FaultSweepPoint& point : result.points) {
+        manifest.set("metrics", "mass_recall_" + point.label,
+                     point.fidelity.mass_recall);
+        manifest.set("metrics", "output_error_" + point.label,
+                     point.fidelity.output_relative_error);
+        manifest.set("metrics", "fault_injected_" + point.label,
+                     static_cast<std::size_t>(point.counts.injected));
+        manifest.set("metrics", "fault_silent_" + point.label,
+                     static_cast<std::size_t>(point.counts.silent));
+        manifest.set("metrics", "fault_detected_" + point.label,
+                     static_cast<std::size_t>(point.counts.detected));
+        manifest.set("metrics", "fault_corrected_" + point.label,
+                     static_cast<std::size_t>(point.counts.corrected));
+        manifest.set("metrics", "retry_stall_cycles_" + point.label,
+                     static_cast<std::size_t>(
+                         point.retry_stall_cycles));
+        manifest.set("metrics", "cycles_" + point.label,
+                     point.total_cycles);
+    }
+}
+
+std::string
+formatFaultSweepTable(const FaultSweepResult& result)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "  n = %zu, threshold = %.4f; fault-free: mass "
+                  "recall %.4f, output error %.4f, %zu cycles\n",
+                  result.n, result.threshold,
+                  result.baseline.mass_recall,
+                  result.baseline.output_relative_error,
+                  result.baseline_cycles);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  %-8s %-7s %9s %8s %8s %9s %11s %9s %9s\n",
+                  "prot", "ber", "injected", "silent", "detected",
+                  "corrected", "retry_cyc", "recall", "out_err");
+    out += line;
+    for (const FaultSweepPoint& point : result.points) {
+        std::snprintf(
+            line, sizeof line,
+            "  %-8s %-7.0e %9llu %8llu %8llu %9llu %11llu %9.4f "
+            "%9.4f\n",
+            protectionModeName(point.protection),
+            point.bit_error_rate,
+            static_cast<unsigned long long>(point.counts.injected),
+            static_cast<unsigned long long>(point.counts.silent),
+            static_cast<unsigned long long>(point.counts.detected),
+            static_cast<unsigned long long>(point.counts.corrected),
+            static_cast<unsigned long long>(point.retry_stall_cycles),
+            point.fidelity.mass_recall,
+            point.fidelity.output_relative_error);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace elsa::bench

@@ -75,39 +75,70 @@ TOLERANCE_OVERRIDES = {
 DEFAULT_TOLERANCE = 0.05
 
 
+# How to rebuild the file a comparison needs.  The committed quick
+# baseline is the common case; a current file is rebuilt by rerunning
+# the suite with --out pointed at it.
+BASELINE_REFRESH_COMMAND = (
+    "./build/bench/elsa_bench --quick --threads 1"
+    " --out bench/baselines/BENCH_RESULTS.quick.json"
+)
+
+
 def fail(message):
     print(f"bench_compare: error: {message}", file=sys.stderr)
     sys.exit(2)
 
 
-def load_results(path):
+def load_results(path, role):
+    """Load and schema-check one envelope.
+
+    Every failure is a single actionable line: the file, what is
+    wrong with it, and the command that produces a fresh one.
+    """
+    if role == "baseline":
+        hint = f"; refresh it: {BASELINE_REFRESH_COMMAND}"
+    else:
+        hint = (
+            "; regenerate it: ./build/bench/elsa_bench --quick"
+            f" --out {path}"
+        )
+
+    def bad(reason):
+        fail(f"{path}: {role} {reason}{hint}")
+
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        fail(f"{path}: {exc}")
+            text = fh.read()
+    except OSError as exc:
+        bad(f"is unreadable ({exc.strerror or exc})")
+    if not text.strip():
+        bad("is empty")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        bad(f"is not valid JSON (truncated or corrupt: {exc})")
     if not isinstance(doc, dict):
-        fail(f"{path}: top level must be an object")
+        bad("top level must be an object")
     if doc.get("schema_version") != SCHEMA_VERSION:
-        fail(
-            f"{path}: schema_version "
-            f"{doc.get('schema_version')!r} != {SCHEMA_VERSION}"
+        bad(
+            f"has schema_version {doc.get('schema_version')!r},"
+            f" expected {SCHEMA_VERSION}"
         )
     if doc.get("suite") != SUITE:
-        fail(f"{path}: suite {doc.get('suite')!r} != {SUITE!r}")
+        bad(f"has suite {doc.get('suite')!r}, expected {SUITE!r}")
     benches = doc.get("benches")
     if not isinstance(benches, dict) or not benches:
-        fail(f"{path}: 'benches' must be a non-empty object")
+        bad("has no 'benches' object")
     for name, bench in benches.items():
         if not isinstance(bench, dict):
-            fail(f"{path}: bench {name!r} is not an object")
+            bad(f"bench {name!r} is not an object")
         if bench.get("artifact") != name:
-            fail(
-                f"{path}: bench {name!r} artifact mismatch "
-                f"({bench.get('artifact')!r})"
+            bad(
+                f"bench {name!r} artifact mismatch"
+                f" ({bench.get('artifact')!r})"
             )
         if not isinstance(bench.get("metrics"), dict):
-            fail(f"{path}: bench {name!r} has no metrics section")
+            bad(f"bench {name!r} has no metrics section")
     return doc
 
 
@@ -187,8 +218,8 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_results(args.baseline)
-    current = load_results(args.current)
+    baseline = load_results(args.baseline, "baseline")
+    current = load_results(args.current, "current file")
 
     if baseline.get("quick") != current.get("quick"):
         fail(

@@ -16,9 +16,12 @@ emitted files against the schema documented in docs/OBSERVABILITY.md:
 
 The stall-attribution counters (<prefix>.stall.<module>.<cause>) are
 validated structurally (only known module/cause names) and
-arithmetically: per module the five cause counters must sum exactly
-to lane_cycles -- the same conservation invariant the simulator
-asserts internally.
+arithmetically: per module the cause counters must sum exactly to
+lane_cycles -- the same conservation invariant the simulator asserts
+internally.  The fault_retry cause is optional (published only when
+fault injection ran; see docs/ROBUSTNESS.md) and enters the sum when
+present.  Fault counters (<prefix>.fault.*), when present, must
+satisfy injected == silent + detected + corrected.
 
 Usage:
   check_metrics.py <path-to-quickstart-binary>
@@ -77,8 +80,26 @@ STALL_CAUSES = [
     "bank_conflict",
     "drained",
 ]
-STALL_FIELDS = {f"{cause}_cycles" for cause in STALL_CAUSES}
+# Published only when fault injection ran (SimConfig::fault); a
+# fault-free stats dump must stay byte-identical to one produced by a
+# build without the fault subsystem, so absence is not an error.
+OPTIONAL_STALL_CAUSES = [
+    "fault_retry",
+]
+STALL_FIELDS = {f"{cause}_cycles"
+                for cause in STALL_CAUSES + OPTIONAL_STALL_CAUSES}
 STALL_FIELDS.add("lane_cycles")
+
+# Fault-injection bookkeeping counters (<prefix>.fault.<name>, see
+# fault/fault.h); optional as a group, all-or-nothing when present.
+FAULT_COUNTERS = [
+    "injected",
+    "silent",
+    "detected",
+    "corrected",
+    "retry_events",
+    "retry_stall_cycles",
+]
 
 failures = []
 
@@ -135,6 +156,7 @@ def check_stats(stats):
           "stats: no host.<scope>.seconds profiling distributions "
           "(is ELSA_PROF set?)")
     check_stall_counters(stats, "sim.accel0")
+    check_fault_counters(stats, "sim.accel0")
 
 
 def check_stall_counters(stats, prefix):
@@ -176,10 +198,48 @@ def check_stall_counters(stats, prefix):
                   f".{cause}_cycles")
             if isinstance(value, (int, float)):
                 cause_sum += value
+        for cause in OPTIONAL_STALL_CAUSES:
+            value = stats.get(f"{stall_prefix}{module}"
+                              f".{cause}_cycles")
+            if value is not None:
+                check(isinstance(value, (int, float)) and value >= 0,
+                      f"stats: negative {stall_prefix}{module}"
+                      f".{cause}_cycles")
+                if isinstance(value, (int, float)):
+                    cause_sum += value
         if isinstance(lane, (int, float)):
             check(cause_sum == lane,
                   f"stats: {module}: cause sum {cause_sum} != "
                   f"lane_cycles {lane} (conservation violated)")
+
+
+def check_fault_counters(stats, prefix):
+    """Validate the optional <prefix>.fault.* counters: when fault
+    injection ran, all six are published together and satisfy the
+    conservation invariant injected == silent + detected +
+    corrected."""
+    names = {f"{prefix}.fault.{counter}": counter
+             for counter in FAULT_COUNTERS}
+    present = {counter: stats[name]
+               for name, counter in names.items() if name in stats}
+    stray = [name for name in stats
+             if name.startswith(f"{prefix}.fault.")
+             and name not in names]
+    check(not stray, f"stats: unknown fault counters {stray}")
+    if not present:
+        return  # Fault injection never ran: nothing to validate.
+    check(set(present) == set(FAULT_COUNTERS),
+          f"stats: partial fault counter set {sorted(present)}, "
+          f"expected all of {sorted(FAULT_COUNTERS)}")
+    for counter, value in present.items():
+        check(isinstance(value, (int, float)) and value >= 0,
+              f"stats: {prefix}.fault.{counter} is not a "
+              f"non-negative number")
+    if set(present) == set(FAULT_COUNTERS):
+        check(present["injected"] == present["silent"]
+              + present["detected"] + present["corrected"],
+              f"stats: fault counters violate injected == silent + "
+              f"detected + corrected ({present})")
 
 
 def check_stats_csv(path):
@@ -314,6 +374,27 @@ def check_bench_results(path):
                 check(isinstance(value, (int, float, str, bool)),
                       f"bench-results: {name}.{metric}: value is "
                       f"not a scalar")
+            # Fault-sweep entries carry the classification invariant
+            # in their metric names: for every grid point,
+            # fault_injected_<label> == fault_silent_<label> +
+            # fault_detected_<label> + fault_corrected_<label>.
+            for metric, value in metrics.items():
+                if not metric.startswith("fault_injected_"):
+                    continue
+                label = metric[len("fault_injected_"):]
+                parts = {kind: metrics.get(f"fault_{kind}_{label}")
+                         for kind in ("silent", "detected",
+                                      "corrected")}
+                check(all(isinstance(p, (int, float))
+                          for p in parts.values()),
+                      f"bench-results: {name}: {metric} lacks "
+                      f"matching silent/detected/corrected metrics")
+                if all(isinstance(p, (int, float))
+                       for p in parts.values()):
+                    check(value == sum(parts.values()),
+                          f"bench-results: {name}: fault counters "
+                          f"for {label!r} violate injected == "
+                          f"silent + detected + corrected")
 
 
 def main():

@@ -52,7 +52,10 @@ ArgParser::getInt(const std::string& flag, std::int64_t fallback) const
     }
     char* end = nullptr;
     const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
-    ELSA_CHECK(end != nullptr && *end == '\0',
+    // end == c_str() means nothing was consumed (empty string or no
+    // leading digits); strtoll would otherwise yield a silent 0.
+    ELSA_CHECK(end != it->second.c_str() && end != nullptr
+                   && *end == '\0',
                "flag --" << flag << " expects an integer, got '"
                          << it->second << "'");
     return parsed;
@@ -67,7 +70,8 @@ ArgParser::getDouble(const std::string& flag, double fallback) const
     }
     char* end = nullptr;
     const double parsed = std::strtod(it->second.c_str(), &end);
-    ELSA_CHECK(end != nullptr && *end == '\0',
+    ELSA_CHECK(end != it->second.c_str() && end != nullptr
+                   && *end == '\0',
                "flag --" << flag << " expects a number, got '"
                          << it->second << "'");
     return parsed;

@@ -1,0 +1,326 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "lsh/bitvector.h"
+
+namespace elsa {
+
+const char*
+protectionModeName(ProtectionMode mode)
+{
+    switch (mode) {
+      case ProtectionMode::kNone:
+        return "none";
+      case ProtectionMode::kParityDetect:
+        return "parity";
+      case ProtectionMode::kSecdedCorrect:
+        return "secded";
+    }
+    ELSA_PANIC("unknown ProtectionMode " << static_cast<int>(mode));
+}
+
+ProtectionMode
+protectionModeFromName(const std::string& name)
+{
+    if (name == "none") {
+        return ProtectionMode::kNone;
+    }
+    if (name == "parity") {
+        return ProtectionMode::kParityDetect;
+    }
+    if (name == "secded") {
+        return ProtectionMode::kSecdedCorrect;
+    }
+    ELSA_FATAL("unknown protection mode '"
+               << name << "' (expected none, parity, or secded)");
+}
+
+void
+FaultConfig::validate() const
+{
+    ELSA_CHECK(std::isfinite(bit_error_rate) && bit_error_rate >= 0.0
+                   && bit_error_rate <= 1.0,
+               "fault.bit_error_rate must be within [0, 1], got "
+                   << bit_error_rate);
+    ELSA_CHECK(retry_cycles > 0,
+               "fault.retry_cycles must be positive, got " << retry_cycles);
+    const int p = static_cast<int>(protection);
+    ELSA_CHECK(p >= 0 && p <= static_cast<int>(ProtectionMode::kSecdedCorrect),
+               "fault.protection holds an invalid ProtectionMode value " << p);
+}
+
+const std::vector<FaultTarget>&
+allFaultTargets()
+{
+    static const std::vector<FaultTarget> targets = {
+        FaultTarget::kKeyHashMemory,
+        FaultTarget::kKeyNormMemory,
+        FaultTarget::kKeyValueMemory,
+        FaultTarget::kLutTables,
+    };
+    return targets;
+}
+
+const char*
+faultTargetName(FaultTarget target)
+{
+    switch (target) {
+      case FaultTarget::kKeyHashMemory:
+        return "key_hash_memory";
+      case FaultTarget::kKeyNormMemory:
+        return "key_norm_memory";
+      case FaultTarget::kKeyValueMemory:
+        return "key_value_memory";
+      case FaultTarget::kLutTables:
+        return "lut_tables";
+    }
+    ELSA_PANIC("unknown FaultTarget " << static_cast<int>(target));
+}
+
+std::size_t
+FaultGeometry::words(FaultTarget target) const
+{
+    switch (target) {
+      case FaultTarget::kKeyHashMemory:
+        return n;
+      case FaultTarget::kKeyNormMemory:
+        return n;
+      case FaultTarget::kKeyValueMemory:
+        // Key matrix plus value matrix, one S5.3 element per word.
+        return 2 * n * d;
+      case FaultTarget::kLutTables:
+        return lut_words;
+    }
+    ELSA_PANIC("unknown FaultTarget " << static_cast<int>(target));
+}
+
+std::size_t
+FaultGeometry::bitsPerWord(FaultTarget target) const
+{
+    switch (target) {
+      case FaultTarget::kKeyHashMemory:
+        return k;
+      case FaultTarget::kKeyNormMemory:
+        return 8; // S4.3 key norms.
+      case FaultTarget::kKeyValueMemory:
+        return 9; // S5.3 elements.
+      case FaultTarget::kLutTables:
+        return 5; // Mantissa fraction bits of one LUT entry.
+    }
+    ELSA_PANIC("unknown FaultTarget " << static_cast<int>(target));
+}
+
+std::size_t
+FaultGeometry::totalBits() const
+{
+    std::size_t total = 0;
+    for (FaultTarget target : allFaultTargets()) {
+        total += words(target) * bitsPerWord(target);
+    }
+    return total;
+}
+
+void
+FaultCounts::merge(const FaultCounts& other)
+{
+    injected += other.injected;
+    silent += other.silent;
+    detected += other.detected;
+    corrected += other.corrected;
+    retry_events += other.retry_events;
+    for (std::size_t i = 0; i < kNumFaultTargets; ++i) {
+        injected_per_target[i] += other.injected_per_target[i];
+    }
+}
+
+FaultOutcome
+classifyWordFault(ProtectionMode protection, std::size_t num_flips)
+{
+    ELSA_ASSERT(num_flips > 0, "a word fault needs at least one flip");
+    switch (protection) {
+      case ProtectionMode::kNone:
+        return FaultOutcome::kSilent;
+      case ProtectionMode::kParityDetect:
+        // A single parity bit sees the XOR of all data bits: an odd
+        // number of flips breaks parity (detected), an even number
+        // restores it (silent corruption).
+        return (num_flips % 2 == 1) ? FaultOutcome::kDetected
+                                    : FaultOutcome::kSilent;
+      case ProtectionMode::kSecdedCorrect:
+        // SECDED corrects one flip, detects-but-cannot-correct two,
+        // and aliases three or more (silent, possibly miscorrected).
+        if (num_flips == 1) {
+            return FaultOutcome::kCorrected;
+        }
+        if (num_flips == 2) {
+            return FaultOutcome::kDetected;
+        }
+        return FaultOutcome::kSilent;
+    }
+    ELSA_PANIC("unknown ProtectionMode " << static_cast<int>(protection));
+}
+
+namespace {
+
+/**
+ * Sample ascending flip positions over [0, total_bits) where each bit
+ * flips independently with probability p. Geometric gap sampling: the
+ * distance to the next flipped bit is Geometric(p), so cost scales
+ * with the number of flips rather than the number of bits.
+ */
+std::vector<std::size_t>
+samplePositions(Rng& rng, std::size_t total_bits, double p)
+{
+    std::vector<std::size_t> positions;
+    if (total_bits == 0 || p <= 0.0) {
+        return positions;
+    }
+    if (p >= 1.0) {
+        positions.resize(total_bits);
+        for (std::size_t i = 0; i < total_bits; ++i) {
+            positions[i] = i;
+        }
+        return positions;
+    }
+    const double log_q = std::log1p(-p);
+    std::size_t pos = 0;
+    while (true) {
+        // uniform() is in [0, 1); 1-u is in (0, 1] so the log is finite.
+        const double u = rng.uniform();
+        const double gap = std::floor(std::log(1.0 - u) / log_q);
+        if (gap >= static_cast<double>(total_bits)) {
+            break; // Also covers inf; avoids overflow in the cast.
+        }
+        pos += static_cast<std::size_t>(gap);
+        if (pos >= total_bits) {
+            break;
+        }
+        positions.push_back(pos);
+        ++pos;
+    }
+    return positions;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::build(const FaultConfig& config, const FaultGeometry& geometry)
+{
+    config.validate();
+    FaultPlan plan;
+    if (!config.enabled || config.bit_error_rate <= 0.0) {
+        return plan;
+    }
+    const Rng root(config.seed);
+    for (FaultTarget target : allFaultTargets()) {
+        if (target == FaultTarget::kLutTables && !config.inject_lut) {
+            continue;
+        }
+        const std::size_t bits_per_word = geometry.bitsPerWord(target);
+        const std::size_t total_bits = geometry.words(target) * bits_per_word;
+        // One independent stream per target: the draw sequence of one
+        // memory never shifts when another memory's geometry changes.
+        Rng rng = root.fork(static_cast<std::uint64_t>(target));
+        const std::vector<std::size_t> positions =
+            samplePositions(rng, total_bits, config.bit_error_rate);
+        const std::size_t target_index = static_cast<std::size_t>(target);
+        std::size_t i = 0;
+        while (i < positions.size()) {
+            const std::uint32_t word =
+                static_cast<std::uint32_t>(positions[i] / bits_per_word);
+            WordFault fault;
+            fault.target = target;
+            fault.word = word;
+            while (i < positions.size()
+                   && positions[i] / bits_per_word == word) {
+                fault.bits.push_back(
+                    static_cast<std::uint8_t>(positions[i] % bits_per_word));
+                ++i;
+            }
+            fault.outcome =
+                classifyWordFault(config.protection, fault.bits.size());
+            const std::uint64_t flips = fault.bits.size();
+            plan.counts_.injected += flips;
+            plan.counts_.injected_per_target[target_index] += flips;
+            switch (fault.outcome) {
+              case FaultOutcome::kSilent:
+                plan.counts_.silent += flips;
+                break;
+              case FaultOutcome::kDetected:
+                plan.counts_.detected += flips;
+                plan.counts_.retry_events += 1;
+                break;
+              case FaultOutcome::kCorrected:
+                plan.counts_.corrected += flips;
+                break;
+            }
+            plan.faults_.push_back(std::move(fault));
+        }
+    }
+    ELSA_ASSERT(plan.counts_.conserves(),
+                "fault classification lost flips: injected="
+                    << plan.counts_.injected);
+    return plan;
+}
+
+void
+FaultReport::merge(const FaultReport& other)
+{
+    enabled = enabled || other.enabled;
+    counts.merge(other.counts);
+    retry_stall_cycles += other.retry_stall_cycles;
+}
+
+double
+flipFixedPointBit(double value, int int_bits, int frac_bits, int bit)
+{
+    const int width = 1 + int_bits + frac_bits;
+    ELSA_ASSERT(bit >= 0 && bit < width,
+                "bit " << bit << " outside " << width << "-bit word");
+    const double scale = static_cast<double>(1LL << frac_bits);
+    const long long raw = std::llround(value * scale);
+    const long long mask = (1LL << width) - 1;
+    long long stored = raw & mask;
+    stored ^= 1LL << bit;
+    // Sign-extend the width-bit two's-complement pattern.
+    if (stored & (1LL << (width - 1))) {
+        stored -= 1LL << width;
+    }
+    return static_cast<double>(stored) / scale;
+}
+
+double
+flipLutFractionBit(double value, int bit)
+{
+    ELSA_ASSERT(bit >= 0 && bit < 5, "LUT fraction bit " << bit
+                                         << " outside the 5-bit mantissa");
+    ELSA_ASSERT(std::isfinite(value) && value != 0.0,
+                "LUT entries are finite and nonzero, got " << value);
+    const double sign = value < 0.0 ? -1.0 : 1.0;
+    int exponent = 0;
+    // frexp yields mantissa in [0.5, 1); renormalize to [1, 2).
+    const double mantissa = 2.0 * std::frexp(std::fabs(value), &exponent);
+    exponent -= 1;
+    // Entries carry exactly 5 fraction bits (units.cc roundMantissa),
+    // so the scaled fraction is integral.
+    long long fraction = std::llround((mantissa - 1.0) * 32.0);
+    ELSA_ASSERT(fraction >= 0 && fraction < 32,
+                "value " << value << " is not a 5-fraction-bit mantissa");
+    fraction ^= 1LL << bit;
+    return sign
+           * std::ldexp(1.0 + static_cast<double>(fraction) / 32.0, exponent);
+}
+
+void
+flipHashBit(HashValue& hash, std::size_t bit)
+{
+    ELSA_ASSERT(bit < hash.bits(),
+                "bit " << bit << " outside " << hash.bits() << "-bit hash");
+    hash.setBit(bit, !hash.bit(bit));
+}
+
+} // namespace elsa

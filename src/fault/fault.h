@@ -1,0 +1,274 @@
+#ifndef ELSA_FAULT_FAULT_H_
+#define ELSA_FAULT_FAULT_H_
+
+/**
+ * @file
+ * Deterministic fault-injection and recovery model for the simulated
+ * ELSA accelerator (see docs/ROBUSTNESS.md).
+ *
+ * The paper's accelerator stores its working set in banked SRAMs
+ * (Section IV-B/C) and computes through an aggressively quantized
+ * datapath (Section IV-E); the baseline simulator models both as
+ * perfect. This subsystem makes hardware error representable:
+ *
+ *  - a FaultPlan samples bit flips at a configurable bit-error rate
+ *    into the simulated memories (key hash memory, key norm memory,
+ *    key/value banks, and the exponent/reciprocal LUT tables of
+ *    src/fixed/units.cc), deterministically from a seed via
+ *    common/rng -- the plan depends only on (config, geometry), so
+ *    runs are bit-reproducible at any thread count (the contract of
+ *    docs/PARALLELISM.md);
+ *  - a protection model (none / parity-detect / SECDED-correct)
+ *    classifies every flipped word as silent (corrupt data flows
+ *    through), detected (a modeled re-fetch repairs the word and
+ *    charges stall cycles, surfaced as the `fault_retry` stall
+ *    cause), or corrected (repaired in line, no timing cost);
+ *  - FaultCounts carries the bookkeeping under the hard conservation
+ *    invariant  injected == silent + detected + corrected  (checked
+ *    by tests/fault_test.cc and scripts/check_metrics.py).
+ *
+ * Everything here is pure bookkeeping over a sampled plan; applying
+ * the silent flips to simulator state is the simulator's job
+ * (sim/accelerator.cc), using the bit-flip helpers at the bottom of
+ * this header so value perturbation stays bit-faithful to the
+ * hardware number formats.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elsa {
+
+class HashValue;
+
+/** SRAM/LUT protection scheme modeled for every fault target. */
+enum class ProtectionMode
+{
+    /** No protection: every flip silently corrupts data. */
+    kNone = 0,
+    /** Per-word parity bit: detects odd flip counts, corrects none. */
+    kParityDetect,
+    /** SECDED ECC: corrects single flips, detects double flips. */
+    kSecdedCorrect,
+};
+
+/** Stable name ("none", "parity", "secded"). */
+const char* protectionModeName(ProtectionMode mode);
+
+/** Inverse of protectionModeName; raises elsa::Error on unknown. */
+ProtectionMode protectionModeFromName(const std::string& name);
+
+/** Fault-injection section of SimConfig. Off by default: with
+ *  enabled == false the simulator's outputs are byte-identical to a
+ *  build without the fault subsystem (regression-tested). */
+struct FaultConfig
+{
+    /** Master switch; nothing below matters while false. */
+    bool enabled = false;
+
+    /** Per-bit flip probability per run, in [0, 1]. */
+    double bit_error_rate = 0.0;
+
+    /** Protection scheme applied to every injected memory. */
+    ProtectionMode protection = ProtectionMode::kNone;
+
+    /** Seed of the fault plan's private rng stream. */
+    std::uint64_t seed = 0xe15afa017ULL;
+
+    /** Stall cycles charged per detected-fault re-fetch. */
+    std::size_t retry_cycles = 20;
+
+    /** Include the exponent/reciprocal LUT tables as targets. */
+    bool inject_lut = true;
+
+    /** Raise elsa::Error (naming the offending field) when invalid. */
+    void validate() const;
+};
+
+/** The simulated memories faults are injected into. */
+enum class FaultTarget
+{
+    kKeyHashMemory = 0,
+    kKeyNormMemory,
+    kKeyValueMemory,
+    kLutTables,
+};
+
+inline constexpr std::size_t kNumFaultTargets = 4;
+
+/** All targets, in enum order. */
+const std::vector<FaultTarget>& allFaultTargets();
+
+/** Stable metric-path segment ("key_hash_memory", ...). */
+const char* faultTargetName(FaultTarget target);
+
+/**
+ * Word/bit geometry of the injectable memories for one run. A "word"
+ * is the protection granularity (one parity/SECDED codeword):
+ * one k-bit hash, one 8-bit norm, one 9-bit S5.3 key/value element,
+ * or one LUT entry (its 5 mantissa fraction bits).
+ */
+struct FaultGeometry
+{
+    /** Sequence length n (rows of the hash/norm/key/value memories). */
+    std::size_t n = 0;
+
+    /** Hash width k in bits. */
+    std::size_t k = 64;
+
+    /** Embedding dimension d. */
+    std::size_t d = 64;
+
+    /** LUT entries exposed as fault targets (exp + reciprocal). */
+    std::size_t lut_words = 0;
+
+    /** Words of one target. */
+    std::size_t words(FaultTarget target) const;
+
+    /** Protected bits per word of one target. */
+    std::size_t bitsPerWord(FaultTarget target) const;
+
+    /** Total injectable bits over all targets. */
+    std::size_t totalBits() const;
+};
+
+/** How the protection model resolved one faulted word. */
+enum class FaultOutcome
+{
+    /** Undetected: the flipped bits corrupt the stored value. */
+    kSilent = 0,
+    /** Detected but uncorrectable: a re-fetch repairs the word and
+     *  charges FaultConfig::retry_cycles of pipeline stall. */
+    kDetected,
+    /** Corrected in line (SECDED single-bit); no timing cost. */
+    kCorrected,
+};
+
+/** One faulted word: where, which bits, and how it resolved. */
+struct WordFault
+{
+    FaultTarget target = FaultTarget::kKeyHashMemory;
+
+    /** Word index within the target (see FaultGeometry). */
+    std::uint32_t word = 0;
+
+    /** Flipped bit positions within the word, ascending. */
+    std::vector<std::uint8_t> bits;
+
+    FaultOutcome outcome = FaultOutcome::kSilent;
+};
+
+/** Aggregate fault bookkeeping of one plan (unit: bit flips, except
+ *  the word-granular retry_events). */
+struct FaultCounts
+{
+    /** Total injected bit flips. */
+    std::uint64_t injected = 0;
+
+    /** Flips that corrupt data (== injected - detected - corrected). */
+    std::uint64_t silent = 0;
+
+    /** Flips repaired through a modeled re-fetch. */
+    std::uint64_t detected = 0;
+
+    /** Flips corrected in line by SECDED. */
+    std::uint64_t corrected = 0;
+
+    /** Words whose detection triggered a re-fetch. */
+    std::uint64_t retry_events = 0;
+
+    /** Injected flips per target, indexed by FaultTarget. */
+    std::uint64_t injected_per_target[kNumFaultTargets] = {};
+
+    /** The conservation invariant of the classification. */
+    bool conserves() const
+    {
+        return injected == silent + detected + corrected;
+    }
+
+    void merge(const FaultCounts& other);
+};
+
+/**
+ * Classify one word's flip count under a protection mode:
+ * none -> silent; parity -> detected when odd, silent when even;
+ * SECDED -> corrected (1), detected (2), silent/miscorrected (>= 3).
+ */
+FaultOutcome classifyWordFault(ProtectionMode protection,
+                               std::size_t num_flips);
+
+/**
+ * The deterministic set of bit flips of one run. Built purely from
+ * (FaultConfig, FaultGeometry): two plans with equal inputs are
+ * equal, regardless of thread count or call site.
+ */
+class FaultPlan
+{
+  public:
+    /** Empty plan (fault injection off). */
+    FaultPlan() = default;
+
+    /**
+     * Sample and classify a plan. Flip positions are drawn with
+     * geometric gap sampling over each target's flat bit space (cost
+     * O(#flips), not O(#bits)) from an Rng forked per target off
+     * config.seed.
+     */
+    static FaultPlan build(const FaultConfig& config,
+                           const FaultGeometry& geometry);
+
+    /** Faulted words in (target, word) order. */
+    const std::vector<WordFault>& faults() const { return faults_; }
+
+    const FaultCounts& counts() const { return counts_; }
+
+    /** Total re-fetch stall cycles this plan charges. */
+    std::uint64_t retryStallCycles(const FaultConfig& config) const
+    {
+        return counts_.retry_events
+               * static_cast<std::uint64_t>(config.retry_cycles);
+    }
+
+  private:
+    std::vector<WordFault> faults_;
+    FaultCounts counts_;
+};
+
+/** Per-run fault summary carried in RunResult. */
+struct FaultReport
+{
+    /** True when injection ran (FaultConfig::enabled && BER > 0). */
+    bool enabled = false;
+
+    FaultCounts counts;
+
+    /** Pipeline stall cycles charged for detected-fault re-fetches
+     *  (included in RunResult::execute_cycles). */
+    std::uint64_t retry_stall_cycles = 0;
+
+    void merge(const FaultReport& other);
+};
+
+// --- Bit-faithful value perturbation helpers -------------------------
+
+/**
+ * Flip bit `bit` of a fixed-point value's two's-complement storage
+ * (width 1 + int_bits + frac_bits, bit 0 = LSB of the fraction) and
+ * return the perturbed real value. The result is always within the
+ * format's range, so re-quantization cannot mask the flip.
+ */
+double flipFixedPointBit(double value, int int_bits, int frac_bits,
+                         int bit);
+
+/** Flip bit `bit` (0..4) of the 5-fraction-bit mantissa a LUT entry
+ *  is stored with, preserving sign and exponent. */
+double flipLutFractionBit(double value, int bit);
+
+/** Flip one bit of a packed hash value in place. */
+void flipHashBit(HashValue& hash, std::size_t bit);
+
+} // namespace elsa
+
+#endif // ELSA_FAULT_FAULT_H_

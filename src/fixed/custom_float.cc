@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "fixed/saturation.h"
 
 namespace elsa {
 
@@ -27,12 +28,18 @@ double
 quantizeToCustomFloat(double value, const CustomFloatFormat& format)
 {
     if (value == 0.0 || !std::isfinite(value)) {
-        return std::isfinite(value)
-                   ? 0.0
-                   : std::copysign(format.maxMagnitude(), value);
+        if (!std::isfinite(value)) {
+            noteCustomFloatSaturation();
+            return std::copysign(format.maxMagnitude(), value);
+        }
+        return 0.0;
     }
     const double magnitude = std::abs(value);
     if (magnitude >= format.maxMagnitude()) {
+        // Exactly maxMagnitude is representable, not clipped.
+        if (magnitude > format.maxMagnitude()) {
+            noteCustomFloatSaturation();
+        }
         return std::copysign(format.maxMagnitude(), value);
     }
     if (magnitude < format.minNormal()) {

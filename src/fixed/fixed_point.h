@@ -22,6 +22,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "fixed/saturation.h"
+
 namespace elsa {
 
 /**
@@ -51,21 +53,31 @@ class FixedPoint
     /** Zero. */
     FixedPoint() = default;
 
-    /** Quantize a real value: round to nearest, saturate to range. */
+    /** Quantize a real value: round to nearest, saturate to range.
+     *  Saturations report through the fixed/saturation.h hook. */
     static FixedPoint
     fromReal(double value)
     {
         const double scaled = value * static_cast<double>(kScale);
         double rounded = std::nearbyint(scaled);
-        rounded = std::clamp(rounded, static_cast<double>(kRawMin),
-                             static_cast<double>(kRawMax));
+        if (rounded < static_cast<double>(kRawMin)) {
+            rounded = static_cast<double>(kRawMin);
+            noteFixedSaturation();
+        } else if (rounded > static_cast<double>(kRawMax)) {
+            rounded = static_cast<double>(kRawMax);
+            noteFixedSaturation();
+        }
         return fromRaw(static_cast<std::int32_t>(rounded));
     }
 
-    /** Build from a raw integer count of 2^-FracBits steps. */
+    /** Build from a raw integer count of 2^-FracBits steps.
+     *  Saturations report through the fixed/saturation.h hook. */
     static FixedPoint
     fromRaw(std::int32_t raw)
     {
+        if (raw < kRawMin || raw > kRawMax) {
+            noteFixedSaturation();
+        }
         FixedPoint fp;
         fp.raw_ = std::clamp(raw, kRawMin, kRawMax);
         return fp;

@@ -1,0 +1,106 @@
+#ifndef ELSA_FIXED_SATURATION_H_
+#define ELSA_FIXED_SATURATION_H_
+
+/**
+ * @file
+ * Observability hook for silent datapath saturation.
+ *
+ * FixedPoint::fromReal / fromRaw clamp to the format's range and
+ * quantizeToCustomFloat saturates at the format's largest magnitude
+ * -- exactly what the hardware does, and exactly the kind of numeric
+ * clipping that is invisible in the output until accuracy quietly
+ * degrades. This hook makes those events countable without touching
+ * the number formats' semantics or their hot-path cost:
+ *
+ *  - a thread-local `SaturationCounters*` is consulted at every
+ *    saturating quantization; detached (the default) the hook is one
+ *    thread-local pointer test, and nothing is ever counted;
+ *  - SaturationScope attaches a counter struct for the lifetime of a
+ *    C++ scope (the simulator attaches one per run when
+ *    SimConfig::count_saturations is set, and publishes the totals as
+ *    the `fixed.saturations` / `cfloat.saturations` stats counters).
+ *
+ * Thread-locality keeps the hook race-free and deterministic under
+ * the parallel array/system fan-outs: each worker thread counts the
+ * saturations of the runs it executes, and the per-run totals are
+ * merged through the same ordered reduction as every other result
+ * field (docs/PARALLELISM.md).
+ */
+
+#include <cstdint>
+
+namespace elsa {
+
+/** Saturation totals of one attachment scope. */
+struct SaturationCounters
+{
+    /** FixedPoint range clamps (fromReal and fromRaw). */
+    std::uint64_t fixed = 0;
+
+    /** CustomFloat magnitude saturations (incl. non-finite inputs). */
+    std::uint64_t cfloat = 0;
+};
+
+namespace saturation_detail {
+
+/** The attached counters of this thread; null = counting disabled.
+ *  Function-local so the thread_local is constant-initialized in the
+ *  same comdat as its accessor -- a namespace-scope extern
+ *  thread_local would be reached through the Itanium TLS wrapper,
+ *  which GCC resolves to a null address across TUs under UBSan. */
+inline SaturationCounters*&
+attachedCounters()
+{
+    static thread_local SaturationCounters* tls_counters = nullptr;
+    return tls_counters;
+}
+
+} // namespace saturation_detail
+
+/** Record one fixed-point saturation (no-op when detached). */
+inline void
+noteFixedSaturation()
+{
+    if (SaturationCounters* c = saturation_detail::attachedCounters()) {
+        ++c->fixed;
+    }
+}
+
+/** Record one custom-float saturation (no-op when detached). */
+inline void
+noteCustomFloatSaturation()
+{
+    if (SaturationCounters* c = saturation_detail::attachedCounters()) {
+        ++c->cfloat;
+    }
+}
+
+/**
+ * RAII attachment of a SaturationCounters to the current thread.
+ * Scopes nest: the previous attachment (if any) is restored on exit,
+ * and only the innermost scope counts.
+ */
+class SaturationScope
+{
+  public:
+    explicit SaturationScope(SaturationCounters* counters)
+        : previous_(saturation_detail::attachedCounters())
+    {
+        saturation_detail::attachedCounters() = counters;
+    }
+
+    ~SaturationScope()
+    {
+        saturation_detail::attachedCounters() = previous_;
+    }
+
+    SaturationScope(const SaturationScope&) = delete;
+    SaturationScope& operator=(const SaturationScope&) = delete;
+
+  private:
+    SaturationCounters* previous_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_FIXED_SATURATION_H_

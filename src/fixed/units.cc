@@ -45,6 +45,14 @@ ExpUnit::lutEntry(int index) const
     return lut_[index];
 }
 
+void
+ExpUnit::corruptEntry(int index, double value)
+{
+    ELSA_CHECK(index >= 0 && index < kLutSize,
+               "exp LUT index out of range: " << index);
+    lut_[index] = value;
+}
+
 double
 ExpUnit::compute(double x) const
 {
@@ -82,6 +90,14 @@ ReciprocalUnit::lutEntry(int index) const
     ELSA_CHECK(index >= 0 && index < kLutSize,
                "reciprocal LUT index out of range: " << index);
     return lut_[index];
+}
+
+void
+ReciprocalUnit::corruptEntry(int index, double value)
+{
+    ELSA_CHECK(index >= 0 && index < kLutSize,
+               "reciprocal LUT index out of range: " << index);
+    lut_[index] = value;
 }
 
 double

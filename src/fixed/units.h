@@ -46,6 +46,14 @@ class ExpUnit
     /** Raw LUT entry i = round(2^(i/32)) in 5-fraction-bit precision. */
     double lutEntry(int index) const;
 
+    /**
+     * Overwrite one LUT entry. Fault-injection support (src/fault):
+     * models a bit flip in the hardware table's SRAM. Never called on
+     * the pristine unit a simulator owns -- the injector corrupts a
+     * private copy per run.
+     */
+    void corruptEntry(int index, double value);
+
   private:
     std::array<double, kLutSize> lut_;
 };
@@ -66,6 +74,9 @@ class ReciprocalUnit
 
     /** Raw LUT entry for mantissa (1 + i/32). */
     double lutEntry(int index) const;
+
+    /** Overwrite one LUT entry (fault injection; see ExpUnit). */
+    void corruptEntry(int index, double value);
 
   private:
     std::array<double, kLutSize> lut_;

@@ -1,9 +1,13 @@
 #include "sim/accelerator.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "common/bits.h"
+#include "fault/fault.h"
+#include "fixed/saturation.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/candidate_stage.h"
@@ -52,6 +56,95 @@ struct BankAttribution
     std::uint64_t conflict = 0;
     std::uint64_t drained = 0;
 };
+
+/**
+ * Apply a plan's silent faults to the preprocessed state. Detected
+ * words are repaired by the modeled re-fetch (their cost is charged
+ * as fault_retry stall cycles) and corrected words are repaired in
+ * line, so only silent faults perturb values. LUT faults corrupt
+ * per-run copies of the units; the model's pristine units are never
+ * touched (Accelerator::run is const and shared across threads).
+ */
+void
+applySilentFaults(const FaultPlan& plan, FunctionalContext& ctx,
+                  const FunctionalModel& functional)
+{
+    const std::size_t n = ctx.input.n();
+    const std::size_t d = ctx.input.d();
+    std::shared_ptr<ExpUnit> exp_copy;
+    std::shared_ptr<ReciprocalUnit> recip_copy;
+    for (const WordFault& fault : plan.faults()) {
+        if (fault.outcome != FaultOutcome::kSilent) {
+            continue;
+        }
+        switch (fault.target) {
+        case FaultTarget::kKeyHashMemory: {
+            ELSA_ASSERT(fault.word < n, "hash fault word out of range");
+            for (const std::uint8_t bit : fault.bits) {
+                flipHashBit(ctx.key_hashes[fault.word], bit);
+            }
+            break;
+        }
+        case FaultTarget::kKeyNormMemory: {
+            ELSA_ASSERT(fault.word < n, "norm fault word out of range");
+            double norm = ctx.key_norms[fault.word];
+            for (const std::uint8_t bit : fault.bits) {
+                norm = flipFixedPointBit(norm, 4, 3, bit);
+            }
+            // max_norm stays pristine: the hardware computes it into a
+            // register as norms stream in, before SRAM faults strike.
+            ctx.key_norms[fault.word] = norm;
+            break;
+        }
+        case FaultTarget::kKeyValueMemory: {
+            // Words [0, n*d) are the key matrix, [n*d, 2*n*d) the
+            // value matrix, row-major, one S5.3 element per word.
+            ELSA_ASSERT(fault.word < 2 * n * d,
+                        "key/value fault word out of range");
+            const std::size_t element = fault.word % (n * d);
+            Matrix& m = fault.word < n * d ? ctx.input.key
+                                           : ctx.input.value;
+            float* row = m.row(element / d);
+            double value = static_cast<double>(row[element % d]);
+            for (const std::uint8_t bit : fault.bits) {
+                value = flipFixedPointBit(value, 5, 3, bit);
+            }
+            row[element % d] = static_cast<float>(value);
+            break;
+        }
+        case FaultTarget::kLutTables: {
+            // Words [0, 32) are the exp LUT, [32, 64) the reciprocal
+            // LUT; corrupt a lazily-made copy of the affected unit.
+            const int word = static_cast<int>(fault.word);
+            if (word < ExpUnit::kLutSize) {
+                if (!exp_copy) {
+                    exp_copy = std::make_shared<ExpUnit>(
+                        functional.expUnit());
+                }
+                double entry = exp_copy->lutEntry(word);
+                for (const std::uint8_t bit : fault.bits) {
+                    entry = flipLutFractionBit(entry, bit);
+                }
+                exp_copy->corruptEntry(word, entry);
+            } else {
+                const int index = word - ExpUnit::kLutSize;
+                if (!recip_copy) {
+                    recip_copy = std::make_shared<ReciprocalUnit>(
+                        functional.reciprocalUnit());
+                }
+                double entry = recip_copy->lutEntry(index);
+                for (const std::uint8_t bit : fault.bits) {
+                    entry = flipLutFractionBit(entry, bit);
+                }
+                recip_copy->corruptEntry(index, entry);
+            }
+            break;
+        }
+        }
+    }
+    ctx.faulted_exp = std::move(exp_copy);
+    ctx.faulted_recip = std::move(recip_copy);
+}
 
 } // namespace
 
@@ -122,14 +215,46 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     RunResult result;
     result.output = Matrix(n, d);
     result.candidates_per_query.resize(n);
+    if (config_.collect_query_trace) {
+        result.query_candidates.resize(n);
+    }
 
     // Pipeline tracing is opt-in twice over (config flag + attached
     // writer) and, when off, costs exactly this branch per run.
     const bool tracing =
         config_.emit_trace && trace_ != nullptr && trace_->enabled();
 
+    // Datapath saturation counting (fixed/saturation.h): a counter
+    // struct is attached to this thread for the run's duration; with
+    // the flag off the hook stays detached and counts nothing.
+    SaturationCounters saturation;
+    std::optional<SaturationScope> saturation_scope;
+    if (config_.count_saturations) {
+        saturation_scope.emplace(&saturation);
+    }
+
     // ---- Preprocessing phase (Section IV-C (2)) ----
-    const FunctionalContext ctx = functional_.preprocess(input);
+    FunctionalContext ctx = functional_.preprocess(input);
+
+    // ---- Fault injection (fault/fault.h, docs/ROBUSTNESS.md) ----
+    // The plan depends only on (config, geometry), never on execution
+    // order, so faulted runs are bit-reproducible at any thread
+    // count. Faults strike the SRAMs after preprocessing fills them.
+    if (config_.fault.enabled && config_.fault.bit_error_rate > 0.0) {
+        FaultGeometry geometry;
+        geometry.n = n;
+        geometry.k = config_.k;
+        geometry.d = config_.d;
+        geometry.lut_words =
+            ExpUnit::kLutSize + ReciprocalUnit::kLutSize;
+        const FaultPlan plan =
+            FaultPlan::build(config_.fault, geometry);
+        applySilentFaults(plan, ctx, functional_);
+        result.fault.enabled = true;
+        result.fault.counts = plan.counts();
+        result.fault.retry_stall_cycles =
+            plan.retryStallCycles(config_.fault);
+    }
     const std::size_t hash_per_vec = hashCyclesPerVector(config_);
     result.preprocess_cycles = preprocessingCycles(config_, n);
 
@@ -272,6 +397,13 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             total_candidates = 1;
         }
         result.candidates_per_query[i] = total_candidates;
+        if (config_.collect_query_trace) {
+            std::vector<std::uint32_t>& ids = result.query_candidates[i];
+            for (std::size_t b = 0; b < pa; ++b) {
+                ids.insert(ids.end(), bank_grants[b].begin(),
+                           bank_grants[b].end());
+            }
+        }
 
         // Pipeline interval of this query (Fig. 9): the banked scan
         // plus attention drain, the (overlapped) hash of the next
@@ -443,6 +575,14 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     // Tail: the last query's output division drains after the loop.
     result.execute_cycles = exec_cycles + division_cycles;
 
+    // Detected faults freeze the whole pipeline while their words are
+    // re-fetched: one global bubble of retry_events x retry_cycles,
+    // conservatively serialized (no overlap with useful work), and
+    // charged to every module as fault_retry lane cycles below. Zero
+    // whenever SimConfig::fault is disabled.
+    const std::uint64_t retry_bubble = result.fault.retry_stall_cycles;
+    result.execute_cycles += static_cast<std::size_t>(retry_bubble);
+
     if (attribute) {
         // Everything but the divider has finished when the tail
         // starts.
@@ -458,11 +598,25 @@ Accelerator::run(const AttentionInput& input, double threshold) const
                    static_cast<std::uint64_t>(pa) * tail);
         causes.add(AttributedModule::kAttention, StallCause::kDrained,
                    static_cast<std::uint64_t>(pa) * tail);
+        if (retry_bubble > 0) {
+            for (const AttributedModule module :
+                 allAttributedModules()) {
+                causes.add(module, StallCause::kFaultRetry,
+                           attributedModuleLanes(module, config_)
+                               * retry_bubble);
+            }
+        }
         // The hard conservation invariant of sim/stall.h; also
         // enforced (in every build type) by the attribution tests.
         ELSA_DASSERT(causes.conserves(result.totalCycles(), config_),
                      "stall-cause lane cycles do not sum to "
                          << result.totalCycles() << " total cycles");
+    }
+
+    if (config_.count_saturations) {
+        result.saturations_counted = true;
+        result.fixed_saturations = saturation.fixed;
+        result.cfloat_saturations = saturation.cfloat;
     }
 
     // Publish to the attached registry after the timing is final, so

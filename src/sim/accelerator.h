@@ -95,6 +95,30 @@ struct RunResult
     /** Per-query records; empty unless collect_query_trace is set. */
     std::vector<QueryTraceRecord> query_trace;
 
+    /**
+     * Per-query granted candidate key ids (all banks, grant order
+     * within each bank); empty unless collect_query_trace is set.
+     * Feeds measureFidelity() in resilience/accuracy experiments.
+     */
+    std::vector<std::vector<std::uint32_t>> query_candidates;
+
+    /**
+     * Fault-injection summary of this run; enabled == false (and all
+     * counts zero) unless SimConfig::fault actually injected. See
+     * fault/fault.h.
+     */
+    FaultReport fault;
+
+    /** True when SimConfig::count_saturations filled the two counts
+     *  below. */
+    bool saturations_counted = false;
+
+    /** FixedPoint range clamps during this run. */
+    std::uint64_t fixed_saturations = 0;
+
+    /** CustomFloat magnitude saturations during this run. */
+    std::uint64_t cfloat_saturations = 0;
+
     /** Mean candidates per query / n. */
     double candidateFraction() const;
 };

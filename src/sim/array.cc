@@ -104,6 +104,9 @@ AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
         result.total_preprocess_cycles += run_result.preprocess_cycles;
         result.activity.merge(run_result.activity);
         result.stall_breakdown.merge(run_result.stall_breakdown);
+        result.fault.merge(run_result.fault);
+        result.fixed_saturations += run_result.fixed_saturations;
+        result.cfloat_saturations += run_result.cfloat_saturations;
         fraction_sum += run_result.candidateFraction();
 
         if (stats_ != nullptr) {

@@ -55,6 +55,20 @@ struct ArrayRunResult
      */
     StallBreakdown stall_breakdown;
 
+    /**
+     * Merged fault-injection summary of all invocations
+     * (fault/fault.h); enabled == false with all-zero counts unless
+     * SimConfig::fault injected.
+     */
+    FaultReport fault;
+
+    /** Summed FixedPoint saturations; zero unless
+     *  SimConfig::count_saturations is set. */
+    std::uint64_t fixed_saturations = 0;
+
+    /** Summed CustomFloat saturations (same gating). */
+    std::uint64_t cfloat_saturations = 0;
+
     /** Mean candidate fraction over invocations. */
     double mean_candidate_fraction = 0.0;
 

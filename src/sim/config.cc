@@ -9,12 +9,24 @@ namespace elsa {
 void
 SimConfig::validate() const
 {
-    ELSA_CHECK(d > 0 && k > 0, "d and k must be positive");
-    ELSA_CHECK(pa > 0 && pc > 0, "P_a and P_c must be positive");
-    ELSA_CHECK(mh > 0 && mo > 0, "m_h and m_o must be positive");
-    ELSA_CHECK(num_hash_factors >= 1, "need >= 1 hash factor");
-    ELSA_CHECK(queue_depth >= 1, "queue depth must be >= 1");
-    ELSA_CHECK(frequency_ghz > 0.0, "frequency must be positive");
+    ELSA_CHECK(d > 0, "d must be positive");
+    ELSA_CHECK(k > 0, "k must be positive");
+    ELSA_CHECK(pa > 0, "pa must be positive");
+    ELSA_CHECK(pc > 0, "pc must be positive");
+    ELSA_CHECK(mh > 0, "mh must be positive");
+    ELSA_CHECK(mo > 0, "mo must be positive");
+    ELSA_CHECK(num_hash_factors >= 1, "num_hash_factors must be >= 1");
+    ELSA_CHECK(queue_depth >= 1, "queue_depth must be >= 1");
+    ELSA_CHECK(std::isfinite(frequency_ghz) && frequency_ghz > 0.0,
+               "frequency_ghz must be positive and finite, got "
+                   << frequency_ghz);
+    fault.validate();
+    // Fault injection perturbs the stored hardware number formats
+    // (S5.3 / S4.3 / LUT mantissas), which only exist when the
+    // functional model applies them.
+    ELSA_CHECK(!fault.enabled || model_quantization,
+               "fault.enabled requires model_quantization: bit flips are "
+               "defined on the quantized storage formats");
     // d must be a perfect num_hash_factors-th power for the
     // Kronecker-structured hash matrices.
     const double root = std::pow(static_cast<double>(d),

@@ -14,6 +14,8 @@
 
 #include <cstddef>
 
+#include "fault/fault.h"
+
 namespace elsa {
 
 /** Parameters of one simulated ELSA accelerator. */
@@ -87,7 +89,26 @@ struct SimConfig
      */
     bool model_quantization = true;
 
-    /** Raise elsa::Error unless the configuration is consistent. */
+    /**
+     * Count saturating quantizations (FixedPoint clamps and
+     * CustomFloat overflow) of the functional model into
+     * RunResult::fixed_saturations / cfloat_saturations and the
+     * `fixed.saturations` / `cfloat.saturations` stats counters.
+     * The hook behind it (fixed/saturation.h) costs one thread-local
+     * pointer test per quantization when disabled.
+     */
+    bool count_saturations = false;
+
+    /**
+     * Deterministic fault injection into the simulated memories and
+     * LUT tables; see fault/fault.h and docs/ROBUSTNESS.md. Disabled
+     * by default, and with it disabled results are byte-identical to
+     * a build without the fault subsystem.
+     */
+    FaultConfig fault;
+
+    /** Raise elsa::Error unless the configuration is consistent;
+     *  every message names the offending field. */
     void validate() const;
 
     /** The paper's synthesis/evaluation configuration. */

@@ -44,10 +44,9 @@ FunctionalModel::FunctionalModel(SimConfig config,
 }
 
 double
-FunctionalModel::expStage(double x) const
+FunctionalModel::expStage(double x, const ExpUnit& unit) const
 {
-    return config_.model_quantization ? exp_unit_.compute(x)
-                                      : std::exp(x);
+    return config_.model_quantization ? unit.compute(x) : std::exp(x);
 }
 
 double
@@ -145,6 +144,13 @@ FunctionalModel::computeQueryOutput(
     QueryOutput result;
     result.row.assign(d, 0.0f);
 
+    // Fault injection may hand this run corrupted copies of the LUT
+    // units; with no faults the pristine members are used.
+    const ExpUnit& exp_unit =
+        ctx.faulted_exp ? *ctx.faulted_exp : exp_unit_;
+    const ReciprocalUnit& recip_unit =
+        ctx.faulted_recip ? *ctx.faulted_recip : recip_unit_;
+
     // Each bank accumulates a partial weighted sum and a partial
     // sum-of-exponents (Fig. 8); the output division module then
     // reduces the partials and multiplies by the reciprocal.
@@ -158,7 +164,7 @@ FunctionalModel::computeQueryOutput(
                        "grant key id out of range");
             const double score =
                 dot(q, ctx.input.key.row(key_id), d);
-            const double e = expStage(score);
+            const double e = expStage(score, exp_unit);
             bank_sum_exp = cfq(bank_sum_exp + e);
             const float* v = ctx.input.value.row(key_id);
             for (std::size_t c = 0; c < d; ++c) {
@@ -176,7 +182,7 @@ FunctionalModel::computeQueryOutput(
                "query " << query_id << " accumulated zero probability "
                "mass; candidate lists must be non-empty");
     const double reciprocal = config_.model_quantization
-                                  ? recip_unit_.compute(total_sum_exp)
+                                  ? recip_unit.compute(total_sum_exp)
                                   : 1.0 / total_sum_exp;
     for (std::size_t c = 0; c < d; ++c) {
         double out = cfq(total_acc[c] * reciprocal);

@@ -51,6 +51,14 @@ struct FunctionalContext
 
     /** Query hashes (computed one query ahead in hardware). */
     std::vector<HashValue> query_hashes;
+
+    /**
+     * Fault-injected LUT units overriding the model's pristine ones
+     * for this run (src/fault); null = use the pristine unit. Only
+     * the simulator's fault injector ever sets these.
+     */
+    std::shared_ptr<const ExpUnit> faulted_exp;
+    std::shared_ptr<const ReciprocalUnit> faulted_recip;
 };
 
 /** Result of computing one query's output row. */
@@ -73,6 +81,10 @@ class FunctionalModel
 
     const SimConfig& config() const { return config_; }
     const CosineLut& cosineLut() const { return cos_lut_; }
+
+    /** The pristine LUT units (cloned by the fault injector). */
+    const ExpUnit& expUnit() const { return exp_unit_; }
+    const ReciprocalUnit& reciprocalUnit() const { return recip_unit_; }
 
     /** Preprocessing phase: quantize inputs, hash keys, compute norms. */
     FunctionalContext preprocess(const AttentionInput& input) const;
@@ -113,8 +125,10 @@ class FunctionalModel
         const std::vector<std::vector<std::uint32_t>>& bank_grants) const;
 
   private:
-    /** e^x through the LUT unit (or exactly, without quantization). */
-    double expStage(double x) const;
+    /** e^x through the given LUT unit (or exactly, without
+     *  quantization); the unit is the pristine exp_unit_ or a
+     *  fault-injected copy from the context. */
+    double expStage(double x, const ExpUnit& unit) const;
 
     /** Custom-float re-quantization (identity without quantization). */
     double cfq(double x) const;

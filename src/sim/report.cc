@@ -63,6 +63,14 @@ publishRunStats(const RunResult& result, obs::StatsRegistry& registry,
     if (!result.stall_breakdown.empty()) {
         for (const AttributedModule module : allAttributedModules()) {
             for (const StallCause cause : allStallCauses()) {
+                // fault_retry exists only when fault injection ran:
+                // with SimConfig::fault disabled the dump stays
+                // byte-identical to a build without the fault layer
+                // (check_metrics.py treats the counter as optional).
+                if (cause == StallCause::kFaultRetry
+                    && !result.fault.enabled) {
+                    continue;
+                }
                 registry
                     .counter(stallCounterName(
                         prefix, module, stallCauseMetricName(cause)))
@@ -75,6 +83,30 @@ publishRunStats(const RunResult& result, obs::StatsRegistry& registry,
                 .add(static_cast<double>(
                     result.stall_breakdown.laneCycles(module)));
         }
+    }
+
+    // Fault and saturation counters are published only when their
+    // features ran, so default-config dumps carry no trace of them.
+    if (result.fault.enabled) {
+        const FaultCounts& counts = result.fault.counts;
+        registry.counter(prefix + ".fault.injected")
+            .add(static_cast<double>(counts.injected));
+        registry.counter(prefix + ".fault.silent")
+            .add(static_cast<double>(counts.silent));
+        registry.counter(prefix + ".fault.detected")
+            .add(static_cast<double>(counts.detected));
+        registry.counter(prefix + ".fault.corrected")
+            .add(static_cast<double>(counts.corrected));
+        registry.counter(prefix + ".fault.retry_events")
+            .add(static_cast<double>(counts.retry_events));
+        registry.counter(prefix + ".fault.retry_stall_cycles")
+            .add(static_cast<double>(result.fault.retry_stall_cycles));
+    }
+    if (result.saturations_counted) {
+        registry.counter(prefix + ".fixed.saturations")
+            .add(static_cast<double>(result.fixed_saturations));
+        registry.counter(prefix + ".cfloat.saturations")
+            .add(static_cast<double>(result.cfloat_saturations));
     }
 
     if (!result.query_trace.empty()) {

@@ -10,7 +10,7 @@ allStallCauses()
     static const std::array<StallCause, kNumStallCauses> causes = {
         StallCause::kBusy,         StallCause::kStarved,
         StallCause::kBackpressured, StallCause::kBankConflict,
-        StallCause::kDrained,
+        StallCause::kDrained,       StallCause::kFaultRetry,
     };
     return causes;
 }
@@ -29,6 +29,8 @@ stallCauseName(StallCause cause)
         return "bank conflict";
     case StallCause::kDrained:
         return "drained";
+    case StallCause::kFaultRetry:
+        return "fault retry";
     }
     ELSA_PANIC("unknown StallCause "
                << static_cast<int>(cause));
@@ -48,6 +50,8 @@ stallCauseMetricName(StallCause cause)
         return "bank_conflict_cycles";
     case StallCause::kDrained:
         return "drained_cycles";
+    case StallCause::kFaultRetry:
+        return "fault_retry_cycles";
     }
     ELSA_PANIC("unknown StallCause "
                << static_cast<int>(cause));

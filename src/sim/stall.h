@@ -26,7 +26,11 @@
  *                  module after preprocessing, everything during the
  *                  final output-division tail, a candidate module
  *                  that scanned all of its keys while the bank's
- *                  queues drain out).
+ *                  queues drain out);
+ *   fault_retry    the pipeline frozen while a detected memory fault
+ *                  is repaired by a modeled re-fetch (fault/fault.h);
+ *                  identically zero unless SimConfig::fault is
+ *                  enabled.
  *
  * Accounting is in *lane cycles*: a module class with L lanes (e.g.
  * P_a x P_c candidate selection modules) accumulates exactly
@@ -34,7 +38,7 @@
  * invariant
  *
  *   busy + starved + backpressured + bank_conflict + drained
- *     == lanes x total_cycles                      (per module class)
+ *     + fault_retry == lanes x total_cycles        (per module class)
  *
  * holds exactly (checked by ELSA_DASSERT in debug builds and by the
  * stall-attribution tests in all builds). Attribution is pure
@@ -51,7 +55,7 @@
 
 namespace elsa {
 
-/** Per-lane-cycle state; kBusy plus the four idle causes. */
+/** Per-lane-cycle state; kBusy plus the five idle causes. */
 enum class StallCause
 {
     kBusy = 0,
@@ -59,9 +63,16 @@ enum class StallCause
     kBackpressured,
     kBankConflict,
     kDrained,
+    /**
+     * The pipeline frozen while a detected memory fault is repaired
+     * by a modeled re-fetch (fault/fault.h, FaultOutcome::kDetected).
+     * Zero whenever SimConfig::fault is disabled; the conservation
+     * invariant below holds with this cause included either way.
+     */
+    kFaultRetry,
 };
 
-inline constexpr std::size_t kNumStallCauses = 5;
+inline constexpr std::size_t kNumStallCauses = 6;
 
 /** All states, in enum order. */
 const std::array<StallCause, kNumStallCauses>& allStallCauses();

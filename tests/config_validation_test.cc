@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Negative-path coverage of configuration validation: every
+ * inconsistent SimConfig / FaultConfig combination is rejected by
+ * validate() with an elsa::Error whose message names the offending
+ * field, so a misconfigured run dies with an actionable one-liner
+ * instead of corrupting a simulation.
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "fault/fault.h"
+#include "sim/config.h"
+
+namespace elsa {
+namespace {
+
+/** Run fn, require an elsa::Error, and return its message. */
+template <typename Fn>
+std::string
+errorMessage(Fn&& fn)
+{
+    try {
+        fn();
+    } catch (const Error& e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected elsa::Error, got no exception";
+    return {};
+}
+
+TEST(ConfigValidationTest, DefaultAndPaperConfigsAreValid)
+{
+    EXPECT_NO_THROW(SimConfig{}.validate());
+    EXPECT_NO_THROW(SimConfig::paperConfig().validate());
+}
+
+TEST(ConfigValidationTest, EachInvalidFieldIsNamedInTheError)
+{
+    struct Case
+    {
+        const char* field; // Must appear in the error message.
+        void (*corrupt)(SimConfig&);
+    };
+    const Case cases[] = {
+        {"d", [](SimConfig& c) { c.d = 0; }},
+        {"k", [](SimConfig& c) { c.k = 0; }},
+        {"pa", [](SimConfig& c) { c.pa = 0; }},
+        {"pc", [](SimConfig& c) { c.pc = 0; }},
+        {"mh", [](SimConfig& c) { c.mh = 0; }},
+        {"mo", [](SimConfig& c) { c.mo = 0; }},
+        {"num_hash_factors",
+         [](SimConfig& c) { c.num_hash_factors = 0; }},
+        {"queue_depth", [](SimConfig& c) { c.queue_depth = 0; }},
+        {"frequency_ghz",
+         [](SimConfig& c) { c.frequency_ghz = 0.0; }},
+        {"frequency_ghz",
+         [](SimConfig& c) {
+             c.frequency_ghz =
+                 std::numeric_limits<double>::quiet_NaN();
+         }},
+        {"frequency_ghz",
+         [](SimConfig& c) {
+             c.frequency_ghz =
+                 std::numeric_limits<double>::infinity();
+         }},
+    };
+    for (const Case& test_case : cases) {
+        SimConfig config;
+        test_case.corrupt(config);
+        const std::string message =
+            errorMessage([&] { config.validate(); });
+        EXPECT_NE(message.find(test_case.field), std::string::npos)
+            << "error for field '" << test_case.field
+            << "' does not name it: " << message;
+    }
+}
+
+TEST(ConfigValidationTest, RejectsNonKroneckerDimension)
+{
+    SimConfig config;
+    config.d = 60; // Not a perfect cube (num_hash_factors = 3).
+    const std::string message =
+        errorMessage([&] { config.validate(); });
+    EXPECT_NE(message.find("d = 60"), std::string::npos) << message;
+    EXPECT_NE(message.find("Kronecker"), std::string::npos) << message;
+}
+
+TEST(ConfigValidationTest, EachInvalidFaultFieldIsNamed)
+{
+    struct Case
+    {
+        const char* field;
+        void (*corrupt)(FaultConfig&);
+    };
+    const Case cases[] = {
+        {"fault.bit_error_rate",
+         [](FaultConfig& f) { f.bit_error_rate = -0.5; }},
+        {"fault.bit_error_rate",
+         [](FaultConfig& f) { f.bit_error_rate = 1.5; }},
+        {"fault.bit_error_rate",
+         [](FaultConfig& f) {
+             f.bit_error_rate =
+                 std::numeric_limits<double>::quiet_NaN();
+         }},
+        {"fault.retry_cycles",
+         [](FaultConfig& f) { f.retry_cycles = 0; }},
+        {"fault.protection",
+         [](FaultConfig& f) {
+             f.protection = static_cast<ProtectionMode>(42);
+         }},
+    };
+    for (const Case& test_case : cases) {
+        // Both directly and through the SimConfig it is embedded in.
+        FaultConfig fault;
+        test_case.corrupt(fault);
+        const std::string direct =
+            errorMessage([&] { fault.validate(); });
+        EXPECT_NE(direct.find(test_case.field), std::string::npos)
+            << "error for field '" << test_case.field
+            << "' does not name it: " << direct;
+
+        SimConfig config;
+        config.fault = fault;
+        const std::string nested =
+            errorMessage([&] { config.validate(); });
+        EXPECT_NE(nested.find(test_case.field), std::string::npos)
+            << nested;
+    }
+}
+
+TEST(ConfigValidationTest, FaultInjectionRequiresQuantization)
+{
+    SimConfig config;
+    config.fault.enabled = true;
+    config.model_quantization = false;
+    const std::string message =
+        errorMessage([&] { config.validate(); });
+    EXPECT_NE(message.find("fault.enabled"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("model_quantization"), std::string::npos)
+        << message;
+
+    // The same combination is fine once quantization is on.
+    config.model_quantization = true;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ConfigValidationTest, ProtectionModeNamesRoundTrip)
+{
+    for (const ProtectionMode mode :
+         {ProtectionMode::kNone, ProtectionMode::kParityDetect,
+          ProtectionMode::kSecdedCorrect}) {
+        EXPECT_EQ(protectionModeFromName(protectionModeName(mode)),
+                  mode);
+    }
+    const std::string message = errorMessage(
+        [] { protectionModeFromName("hamming"); });
+    EXPECT_NE(message.find("hamming"), std::string::npos) << message;
+}
+
+} // namespace
+} // namespace elsa

@@ -111,5 +111,44 @@ TEST(ArgParserTest, RejectsUnknownFlagsAndBadValues)
     EXPECT_THROW(ArgParser(2, not_flag, {"inputs"}), Error);
 }
 
+/** Every malformed-argument error names the flag it rejects. */
+TEST(ArgParserTest, MalformedValueErrorsNameTheFlag)
+{
+    const auto message = [](auto&& fn) -> std::string {
+        try {
+            fn();
+        } catch (const Error& e) {
+            return e.what();
+        }
+        ADD_FAILURE() << "expected elsa::Error";
+        return {};
+    };
+
+    // Integer with trailing garbage.
+    const char* trailing[] = {"prog", "--inputs", "12x"};
+    ArgParser trailing_args(3, trailing, {"inputs"});
+    EXPECT_NE(message([&] { trailing_args.getInt("inputs", 0); })
+                  .find("--inputs"),
+              std::string::npos);
+
+    // Non-numeric double, equals form.
+    const char* bad_double[] = {"prog", "--p=fast"};
+    ArgParser double_args(2, bad_double, {"p"});
+    EXPECT_NE(message([&] { double_args.getDouble("p", 0.0); })
+                  .find("--p"),
+              std::string::npos);
+
+    // Unknown flag in equals form is caught at parse time.
+    const char* unknown_eq[] = {"prog", "--oops=3"};
+    EXPECT_NE(message([&] { ArgParser(2, unknown_eq, {"inputs"}); })
+                  .find("--oops"),
+              std::string::npos);
+
+    // Empty value from "--inputs=" is not an integer.
+    const char* empty_value[] = {"prog", "--inputs="};
+    ArgParser empty_args(2, empty_value, {"inputs"});
+    EXPECT_THROW((void)empty_args.getInt("inputs", 0), Error);
+}
+
 } // namespace
 } // namespace elsa

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests of the deterministic fault-injection subsystem
+ * (fault/fault.h, docs/ROBUSTNESS.md):
+ *
+ *  - FaultPlan determinism and the classification conservation
+ *    invariant (injected == silent + detected + corrected);
+ *  - the protection models' classification table;
+ *  - bit-faithful value perturbation helpers;
+ *  - byte-identical simulator results with injection disabled, and
+ *    no fault/saturation counters in the stats dump;
+ *  - the retry timing model (parity pays exactly the modeled
+ *    re-fetch bubble, SECDED repairs for free);
+ *  - the extended stall-conservation invariant with fault_retry;
+ *  - thread-count invariance of a faulted batch;
+ *  - the silent-saturation counters (zero on a nominal workload,
+ *    counting verified at the unit level).
+ */
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+#include "fixed/custom_float.h"
+#include "fixed/fixed_point.h"
+#include "fixed/saturation.h"
+#include "lsh/bitvector.h"
+#include "lsh/calibration.h"
+#include "lsh/srp.h"
+#include "obs/registry.h"
+#include "sim/accelerator.h"
+#include "sim/array.h"
+#include "workload/generator.h"
+#include "workload/model.h"
+
+namespace elsa {
+namespace {
+
+FaultGeometry
+testGeometry(std::size_t n = 64)
+{
+    FaultGeometry geometry;
+    geometry.n = n;
+    geometry.k = 64;
+    geometry.d = 64;
+    geometry.lut_words = 64;
+    return geometry;
+}
+
+FaultConfig
+testFaultConfig(double ber, ProtectionMode protection)
+{
+    FaultConfig config;
+    config.enabled = true;
+    config.bit_error_rate = ber;
+    config.protection = protection;
+    return config;
+}
+
+AttentionInput
+testInput(std::size_t n, std::uint32_t input_id)
+{
+    QkvGenerator gen(bertLarge(), 77);
+    return gen.generate(0, 0, n, input_id);
+}
+
+std::shared_ptr<const KroneckerSrpHasher>
+testHasher()
+{
+    Rng rng(9);
+    return std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng, true));
+}
+
+// ---- FaultPlan -----------------------------------------------------
+
+TEST(FaultPlanTest, IsDeterministicAndConserves)
+{
+    const FaultConfig config =
+        testFaultConfig(1e-3, ProtectionMode::kParityDetect);
+    const FaultGeometry geometry = testGeometry();
+    const FaultPlan a = FaultPlan::build(config, geometry);
+    const FaultPlan b = FaultPlan::build(config, geometry);
+
+    ASSERT_EQ(a.faults().size(), b.faults().size());
+    for (std::size_t i = 0; i < a.faults().size(); ++i) {
+        EXPECT_EQ(a.faults()[i].target, b.faults()[i].target);
+        EXPECT_EQ(a.faults()[i].word, b.faults()[i].word);
+        EXPECT_EQ(a.faults()[i].bits, b.faults()[i].bits);
+        EXPECT_EQ(a.faults()[i].outcome, b.faults()[i].outcome);
+    }
+
+    const FaultCounts& counts = a.counts();
+    EXPECT_GT(counts.injected, 0u);
+    EXPECT_TRUE(counts.conserves());
+    std::uint64_t per_target_sum = 0;
+    for (std::size_t t = 0; t < kNumFaultTargets; ++t) {
+        per_target_sum += counts.injected_per_target[t];
+    }
+    EXPECT_EQ(per_target_sum, counts.injected);
+    EXPECT_EQ(a.retryStallCycles(config),
+              counts.retry_events
+                  * static_cast<std::uint64_t>(config.retry_cycles));
+}
+
+TEST(FaultPlanTest, DifferentSeedsGiveDifferentPlans)
+{
+    FaultConfig config =
+        testFaultConfig(1e-3, ProtectionMode::kNone);
+    const FaultPlan a = FaultPlan::build(config, testGeometry());
+    config.seed ^= 0x1234;
+    const FaultPlan b = FaultPlan::build(config, testGeometry());
+    // Equal-length plans at the same BER are possible; equal
+    // positions throughout are (astronomically) not.
+    bool identical = a.faults().size() == b.faults().size();
+    if (identical) {
+        for (std::size_t i = 0; i < a.faults().size(); ++i) {
+            identical = identical
+                        && a.faults()[i].word == b.faults()[i].word
+                        && a.faults()[i].bits == b.faults()[i].bits;
+        }
+    }
+    EXPECT_FALSE(identical);
+}
+
+TEST(FaultPlanTest, ZeroRateAndUnitRateExtremes)
+{
+    const FaultGeometry geometry = testGeometry(8);
+    const FaultPlan none = FaultPlan::build(
+        testFaultConfig(0.0, ProtectionMode::kNone), geometry);
+    EXPECT_TRUE(none.faults().empty());
+    EXPECT_EQ(none.counts().injected, 0u);
+
+    const FaultPlan all = FaultPlan::build(
+        testFaultConfig(1.0, ProtectionMode::kNone), geometry);
+    EXPECT_EQ(all.counts().injected, geometry.totalBits());
+}
+
+TEST(FaultPlanTest, RespectsInjectLutSwitch)
+{
+    FaultConfig config = testFaultConfig(1.0, ProtectionMode::kNone);
+    config.inject_lut = false;
+    const FaultGeometry geometry = testGeometry(8);
+    const FaultPlan plan = FaultPlan::build(config, geometry);
+    const std::size_t lut = static_cast<std::size_t>(
+        FaultTarget::kLutTables);
+    EXPECT_EQ(plan.counts().injected_per_target[lut], 0u);
+    EXPECT_EQ(plan.counts().injected,
+              geometry.totalBits()
+                  - geometry.words(FaultTarget::kLutTables)
+                        * geometry.bitsPerWord(
+                            FaultTarget::kLutTables));
+}
+
+// ---- Protection classification -------------------------------------
+
+TEST(FaultClassifyTest, MatchesTheProtectionTable)
+{
+    using enum FaultOutcome;
+    // No protection: everything is silent.
+    for (std::size_t flips = 1; flips <= 4; ++flips) {
+        EXPECT_EQ(classifyWordFault(ProtectionMode::kNone, flips),
+                  kSilent);
+    }
+    // Parity: odd weights detected, even weights slip through.
+    EXPECT_EQ(classifyWordFault(ProtectionMode::kParityDetect, 1),
+              kDetected);
+    EXPECT_EQ(classifyWordFault(ProtectionMode::kParityDetect, 2),
+              kSilent);
+    EXPECT_EQ(classifyWordFault(ProtectionMode::kParityDetect, 3),
+              kDetected);
+    EXPECT_EQ(classifyWordFault(ProtectionMode::kParityDetect, 4),
+              kSilent);
+    // SECDED: correct one, detect two, miscorrect beyond.
+    EXPECT_EQ(classifyWordFault(ProtectionMode::kSecdedCorrect, 1),
+              kCorrected);
+    EXPECT_EQ(classifyWordFault(ProtectionMode::kSecdedCorrect, 2),
+              kDetected);
+    EXPECT_EQ(classifyWordFault(ProtectionMode::kSecdedCorrect, 3),
+              kSilent);
+}
+
+// ---- Bit-flip helpers ----------------------------------------------
+
+TEST(FaultFlipTest, FixedPointFlipIsAnInRangeInvolution)
+{
+    for (const double value : {0.0, 1.25, -3.875, 31.875, -32.0}) {
+        for (int bit = 0; bit < 9; ++bit) {
+            const double flipped =
+                flipFixedPointBit(value, 5, 3, bit);
+            EXPECT_NE(flipped, value);
+            EXPECT_LE(flipped, InputFixed::maxReal());
+            EXPECT_GE(flipped, InputFixed::minReal());
+            // Flipping the same bit again restores the value.
+            EXPECT_EQ(flipFixedPointBit(flipped, 5, 3, bit), value);
+        }
+    }
+    // Sign-bit flip of zero lands at the format minimum.
+    EXPECT_EQ(flipFixedPointBit(0.0, 5, 3, 8),
+              InputFixed::minReal());
+}
+
+TEST(FaultFlipTest, LutFractionFlipIsAnInvolution)
+{
+    // LUT entries are nonzero with exactly 5 mantissa fraction bits
+    // (units.cc roundMantissa); these mirror that population.
+    for (const double value : {1.0, 0.71875, 0.03125, 2.5}) {
+        for (int bit = 0; bit < 5; ++bit) {
+            const double flipped = flipLutFractionBit(value, bit);
+            EXPECT_EQ(flipLutFractionBit(flipped, bit), value)
+                << "value " << value << " bit " << bit;
+        }
+    }
+    // Values outside that population are an internal-invariant break.
+    EXPECT_THROW((void)flipLutFractionBit(0.0, 3), Error);
+    EXPECT_THROW((void)flipLutFractionBit(0.0312, 3), Error);
+}
+
+TEST(FaultFlipTest, HashFlipTogglesExactlyOneBit)
+{
+    HashValue hash(64);
+    hash.setBit(3, true);
+    flipHashBit(hash, 3);
+    EXPECT_FALSE(hash.bit(3));
+    flipHashBit(hash, 3);
+    EXPECT_TRUE(hash.bit(3));
+    flipHashBit(hash, 60);
+    EXPECT_TRUE(hash.bit(60));
+}
+
+// ---- Simulator integration -----------------------------------------
+
+/** Two runs must agree on every output byte and every cycle. */
+void
+expectIdenticalRuns(const RunResult& a, const RunResult& b)
+{
+    ASSERT_EQ(a.output.rows(), b.output.rows());
+    ASSERT_EQ(a.output.cols(), b.output.cols());
+    EXPECT_EQ(std::memcmp(a.output.data(), b.output.data(),
+                          a.output.rows() * a.output.cols()
+                              * sizeof(float)),
+              0);
+    EXPECT_EQ(a.preprocess_cycles, b.preprocess_cycles);
+    EXPECT_EQ(a.execute_cycles, b.execute_cycles);
+    EXPECT_EQ(a.candidates_per_query, b.candidates_per_query);
+}
+
+TEST(FaultSimTest, DisabledInjectionIsByteIdentical)
+{
+    const std::size_t n = 48;
+    const AttentionInput input = testInput(n, 0);
+    const auto hasher = testHasher();
+
+    SimConfig pristine = SimConfig::paperConfig();
+    pristine.attribute_stalls = true;
+
+    // Same config with every fault knob turned but the master switch
+    // off: results must be byte-identical to the pristine config.
+    SimConfig armed = pristine;
+    armed.fault.bit_error_rate = 0.25;
+    armed.fault.protection = ProtectionMode::kParityDetect;
+    armed.fault.seed = 1;
+    armed.fault.enabled = false;
+
+    const Accelerator a(pristine, hasher, kThetaBias64);
+    const Accelerator b(armed, hasher, kThetaBias64);
+    const RunResult run_a = a.run(input, 0.25);
+    const RunResult run_b = b.run(input, 0.25);
+    expectIdenticalRuns(run_a, run_b);
+    EXPECT_FALSE(run_a.fault.enabled);
+    EXPECT_EQ(run_b.fault.counts.injected, 0u);
+
+    // No fault / saturation / fault_retry counters may appear in the
+    // stats dump of a fault-free run (byte-identity of the dump).
+    obs::StatsRegistry registry;
+    Accelerator published(pristine, hasher, kThetaBias64);
+    published.attachStats(&registry, "sim.accel0");
+    (void)published.run(input, 0.25);
+    EXPECT_THROW((void)registry.counterValue("sim.accel0.fault.injected"),
+                 Error);
+    EXPECT_THROW((void)registry.counterValue("sim.accel0.fixed.saturations"),
+                 Error);
+    EXPECT_THROW((void)registry.counterValue(
+                     "sim.accel0.stall.hash_computation."
+                     "fault_retry_cycles"),
+                 Error);
+}
+
+TEST(FaultSimTest, ParityPaysExactlyTheRetryBubble)
+{
+    const std::size_t n = 48;
+    const AttentionInput input = testInput(n, 1);
+    const auto hasher = testHasher();
+
+    SimConfig config = SimConfig::paperConfig();
+    const Accelerator pristine(config, hasher, kThetaBias64);
+    const RunResult base = pristine.run(input, 0.25);
+
+    // Parity detects every fault in this regime (single-bit words at
+    // low BER), so data stays pristine: identical output, identical
+    // timing plus exactly retry_events x retry_cycles of bubble.
+    config.fault = testFaultConfig(1e-3,
+                                   ProtectionMode::kParityDetect);
+    const Accelerator parity(config, hasher, kThetaBias64);
+    const RunResult guarded = parity.run(input, 0.25);
+    ASSERT_TRUE(guarded.fault.enabled);
+    ASSERT_GT(guarded.fault.counts.injected, 0u);
+    EXPECT_EQ(guarded.fault.counts.silent, 0u);
+    EXPECT_EQ(std::memcmp(base.output.data(), guarded.output.data(),
+                          base.output.rows() * base.output.cols()
+                              * sizeof(float)),
+              0);
+    EXPECT_EQ(guarded.execute_cycles,
+              base.execute_cycles
+                  + guarded.fault.retry_stall_cycles);
+    EXPECT_EQ(guarded.fault.retry_stall_cycles,
+              guarded.fault.counts.retry_events
+                  * config.fault.retry_cycles);
+
+    // SECDED corrects the same plan in line: pristine data, no cost.
+    config.fault.protection = ProtectionMode::kSecdedCorrect;
+    const Accelerator secded(config, hasher, kThetaBias64);
+    const RunResult corrected = secded.run(input, 0.25);
+    EXPECT_EQ(corrected.fault.counts.silent, 0u);
+    EXPECT_EQ(corrected.fault.counts.detected, 0u);
+    EXPECT_EQ(corrected.fault.retry_stall_cycles, 0u);
+    expectIdenticalRuns(base, corrected);
+}
+
+TEST(FaultSimTest, UnprotectedFlipsPerturbTheOutput)
+{
+    const std::size_t n = 48;
+    const AttentionInput input = testInput(n, 2);
+    const auto hasher = testHasher();
+
+    SimConfig config = SimConfig::paperConfig();
+    const Accelerator pristine(config, hasher, kThetaBias64);
+    const RunResult base = pristine.run(input, 0.25);
+
+    config.fault = testFaultConfig(1e-3, ProtectionMode::kNone);
+    const Accelerator faulty(config, hasher, kThetaBias64);
+    const RunResult run = faulty.run(input, 0.25);
+    ASSERT_GT(run.fault.counts.silent, 0u);
+    EXPECT_NE(std::memcmp(base.output.data(), run.output.data(),
+                          base.output.rows() * base.output.cols()
+                              * sizeof(float)),
+              0);
+}
+
+TEST(FaultSimTest, StallConservationHoldsWithFaultRetry)
+{
+    const std::size_t n = 40;
+    const AttentionInput input = testInput(n, 3);
+    const auto hasher = testHasher();
+
+    SimConfig config = SimConfig::paperConfig();
+    config.attribute_stalls = true;
+    config.fault = testFaultConfig(1e-3,
+                                   ProtectionMode::kParityDetect);
+    const Accelerator accel(config, hasher, kThetaBias64);
+    const RunResult run = accel.run(input, 0.25);
+    ASSERT_GT(run.fault.counts.retry_events, 0u);
+    EXPECT_TRUE(
+        run.stall_breakdown.conserves(run.totalCycles(), config));
+    // The bubble freezes the whole pipeline: every module class
+    // carries lanes x bubble of fault_retry lane cycles.
+    for (const AttributedModule module : allAttributedModules()) {
+        EXPECT_EQ(run.stall_breakdown.get(module,
+                                          StallCause::kFaultRetry),
+                  attributedModuleLanes(module, config)
+                      * run.fault.retry_stall_cycles);
+    }
+}
+
+TEST(FaultSimTest, BatchResultsAreThreadCountInvariant)
+{
+    const std::size_t n = 32;
+    const auto hasher = testHasher();
+    std::vector<AttentionInput> inputs;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        inputs.push_back(testInput(n, i));
+    }
+    std::vector<const AttentionInput*> input_ptrs;
+    for (const AttentionInput& input : inputs) {
+        input_ptrs.push_back(&input);
+    }
+    const std::vector<double> thresholds(inputs.size(), 0.25);
+
+    SimConfig config = SimConfig::paperConfig();
+    config.attribute_stalls = true;
+    config.count_saturations = true;
+    config.fault = testFaultConfig(1e-3,
+                                   ProtectionMode::kParityDetect);
+
+    std::vector<ArrayRunResult> results;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        const AcceleratorArray array(config, 12, hasher,
+                                     kThetaBias64);
+        results.push_back(array.run(input_ptrs, thresholds));
+    }
+    ThreadPool::setGlobalThreads(1);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].total_cycles, results[0].total_cycles);
+        EXPECT_EQ(results[i].makespan_cycles,
+                  results[0].makespan_cycles);
+        EXPECT_EQ(results[i].fault.counts.injected,
+                  results[0].fault.counts.injected);
+        EXPECT_EQ(results[i].fault.counts.silent,
+                  results[0].fault.counts.silent);
+        EXPECT_EQ(results[i].fault.counts.detected,
+                  results[0].fault.counts.detected);
+        EXPECT_EQ(results[i].fault.counts.corrected,
+                  results[0].fault.counts.corrected);
+        EXPECT_EQ(results[i].fault.retry_stall_cycles,
+                  results[0].fault.retry_stall_cycles);
+        EXPECT_EQ(results[i].fixed_saturations,
+                  results[0].fixed_saturations);
+        EXPECT_EQ(results[i].cfloat_saturations,
+                  results[0].cfloat_saturations);
+    }
+    EXPECT_GT(results[0].fault.counts.injected, 0u);
+}
+
+// ---- Saturation counters -------------------------------------------
+
+TEST(SaturationTest, NominalWorkloadSaturatesNowhere)
+{
+    // The quantization ranges were sized for the workload regime
+    // (S5.3 inputs, S4.3 norms): a nominal BERT-style run must not
+    // clip anywhere, and this pins that down.
+    const AttentionInput input = testInput(64, 0);
+    SimConfig config = SimConfig::paperConfig();
+    config.count_saturations = true;
+    const Accelerator accel(config, testHasher(), kThetaBias64);
+    const RunResult run = accel.run(input, 0.25);
+    EXPECT_TRUE(run.saturations_counted);
+    EXPECT_EQ(run.fixed_saturations, 0u);
+    EXPECT_EQ(run.cfloat_saturations, 0u);
+}
+
+TEST(SaturationTest, HookCountsClampsAndOverflows)
+{
+    SaturationCounters counters;
+    {
+        SaturationScope scope(&counters);
+        (void)InputFixed::fromReal(1000.0);  // Clamps to maxReal.
+        (void)InputFixed::fromReal(-1000.0); // Clamps to minReal.
+        (void)InputFixed::fromReal(1.5);     // In range: no count.
+        (void)InputFixed::fromRaw(InputFixed::kRawMax + 1);
+        (void)quantizeToCustomFloat(1e300);
+        (void)quantizeToCustomFloat(
+            std::numeric_limits<double>::infinity());
+        (void)quantizeToCustomFloat(0.5); // Representable: no count.
+    }
+    EXPECT_EQ(counters.fixed, 3u);
+    EXPECT_EQ(counters.cfloat, 2u);
+
+    // Detached again: nothing counts.
+    (void)InputFixed::fromReal(1000.0);
+    EXPECT_EQ(counters.fixed, 3u);
+}
+
+} // namespace
+} // namespace elsa
