@@ -1,6 +1,7 @@
 #include "common/args.h"
 
 #include <cstdlib>
+#include <string_view>
 
 #include "common/logging.h"
 
@@ -11,7 +12,7 @@ ArgParser::ArgParser(int argc, const char* const* argv,
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        ELSA_CHECK(arg.rfind("--", 0) == 0,
+        ELSA_CHECK(arg.starts_with("--"),
                    "expected --flag, got: " << arg);
         arg = arg.substr(2);
         std::string value = "1"; // Boolean switch default.
@@ -20,7 +21,8 @@ ArgParser::ArgParser(int argc, const char* const* argv,
             value = arg.substr(eq + 1);
             arg = arg.substr(0, eq);
         } else if (i + 1 < argc
-                   && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                   && !std::string_view(argv[i + 1]).starts_with(
+                       "--")) {
             value = argv[++i];
         }
         ELSA_CHECK(known_flags.count(arg) == 1,

@@ -37,6 +37,7 @@ LogLevel&
 currentLevel()
 {
     static LogLevel level = [] {
+        // elsa-lint: allow(no-wallclock): ELSA_LOG_LEVEL selects stderr verbosity only; log output is not part of any result or metric
         const char* env = std::getenv("ELSA_LOG_LEVEL");
         return env != nullptr ? parseLogLevel(env) : LogLevel::kWarn;
     }();

@@ -282,6 +282,7 @@ std::size_t g_thread_override = 0;
 std::size_t
 defaultThreads()
 {
+    // elsa-lint: allow(no-wallclock): ELSA_THREADS picks the worker count, which never changes results (docs/PARALLELISM.md determinism contract)
     if (const char* env = std::getenv("ELSA_THREADS")) {
         char* end = nullptr;
         const long value = std::strtol(env, &end, 10);

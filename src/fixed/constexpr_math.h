@@ -1,0 +1,126 @@
+#ifndef ELSA_FIXED_CONSTEXPR_MATH_H_
+#define ELSA_FIXED_CONSTEXPR_MATH_H_
+
+/**
+ * @file
+ * Constant-evaluation-capable math for the number formats.
+ *
+ * FixedPoint and CustomFloat are constexpr so compile-time tests can
+ * pin Q-format widths, rounding behaviour, and saturation bounds in
+ * static_assert (tests/fixed_test.cc). The libm calls the formats
+ * previously made (nearbyint, ldexp, frexp, copysign) are not
+ * constexpr in C++20, so each helper here branches on
+ * std::is_constant_evaluated(): during constant evaluation it runs
+ * an exact pure-C++ equivalent; at run time it calls the very std
+ * function the formats called before, keeping the runtime datapath
+ * bit-identical to earlier releases. Every operation involved is
+ * exact (scaling by powers of two, comparisons, the 2^52 rounding
+ * trick), so the two paths cannot diverge on any finite input; the
+ * cross-path agreement is additionally pinned by runtime tests.
+ */
+
+#include <cmath>
+#include <type_traits>
+
+namespace elsa::fixed_detail {
+
+/** Largest finite double; for the constant-evaluable isFinite. */
+inline constexpr double kDoubleMax = 1.7976931348623157e308;
+
+/** std::isfinite, usable in constant evaluation. */
+constexpr bool
+isFinite(double x)
+{
+    if (std::is_constant_evaluated()) {
+        return x == x && x <= kDoubleMax && x >= -kDoubleMax;
+    }
+    return std::isfinite(x);
+}
+
+/** std::fabs, usable in constant evaluation. */
+constexpr double
+absValue(double x)
+{
+    if (std::is_constant_evaluated()) {
+        return x < 0.0 ? -x : x;
+    }
+    return std::fabs(x);
+}
+
+/**
+ * std::copysign, usable in constant evaluation. The compile-time
+ * branch cannot inspect the sign bit of NaN or -0.0 and treats both
+ * as positive; every call site passes a finite nonzero sign or is
+ * runtime-only on such inputs.
+ */
+constexpr double
+copySign(double magnitude, double sign)
+{
+    if (std::is_constant_evaluated()) {
+        return sign < 0.0 ? -magnitude : magnitude;
+    }
+    return std::copysign(magnitude, sign);
+}
+
+/** std::ldexp (x * 2^e), usable in constant evaluation. Exact: a
+ *  power-of-two scale changes only the exponent field. */
+constexpr double
+scaleByPow2(double x, int e)
+{
+    if (std::is_constant_evaluated()) {
+        while (e > 0) {
+            x *= 2.0;
+            --e;
+        }
+        while (e < 0) {
+            x *= 0.5;
+            ++e;
+        }
+        return x;
+    }
+    return std::ldexp(x, e);
+}
+
+/**
+ * std::frexp for a positive finite normal magnitude, usable in
+ * constant evaluation: returns the fraction in [0.5, 1) and stores
+ * the binary exponent so that magnitude == fraction * 2^exponent.
+ */
+constexpr double
+normalizedFraction(double magnitude, int& exponent)
+{
+    if (std::is_constant_evaluated()) {
+        exponent = 0;
+        while (magnitude >= 1.0) {
+            magnitude *= 0.5;
+            ++exponent;
+        }
+        while (magnitude < 0.5) {
+            magnitude *= 2.0;
+            --exponent;
+        }
+        return magnitude;
+    }
+    return std::frexp(magnitude, &exponent);
+}
+
+/**
+ * Round to nearest integer, ties to even -- the semantics of
+ * std::nearbyint in the default rounding mode. Used unconditionally
+ * at run time too: the 2^52 add/subtract trick rides the FPU's own
+ * ties-to-even rounding, so it is identical to nearbyint by
+ * construction (and cheaper than the libm call).
+ */
+constexpr double
+roundTiesToEven(double x)
+{
+    constexpr double kTwo52 = 4503599627370496.0; // 2^52
+    if (!(x < kTwo52 && x > -kTwo52)) {
+        return x; // already integral (or NaN/inf): nothing to round
+    }
+    return x >= 0.0 ? (x + kTwo52) - kTwo52 : (x - kTwo52) + kTwo52;
+}
+
+} // namespace elsa::fixed_detail
+
+#endif // ELSA_FIXED_CONSTEXPR_MATH_H_

@@ -12,9 +12,17 @@
  * the huge dynamic range of e^x. CustomFloat models the format's
  * quantization: values round to the nearest representable number and
  * saturate at the format's limits.
+ *
+ * The format is constexpr end to end: compile-time tests pin the bias,
+ * the saturation magnitude, the subnormal flush, and the rounding
+ * behaviour in static_assert (tests/fixed_test.cc). The runtime path
+ * is bit-identical to the previous out-of-line implementation -- the
+ * fixed_detail helpers fall through to the same libm calls outside
+ * constant evaluation.
  */
 
-#include <cstdint>
+#include "fixed/constexpr_math.h"
+#include "fixed/saturation.h"
 
 namespace elsa {
 
@@ -25,17 +33,71 @@ struct CustomFloatFormat
     int fraction_bits = 5;
 
     /** Exponent bias; follows the IEEE convention 2^(E-1) - 1. */
-    int bias() const { return (1 << (exponent_bits - 1)) - 1; }
+    constexpr int bias() const { return (1 << (exponent_bits - 1)) - 1; }
 
     /** Largest finite representable magnitude. */
-    double maxMagnitude() const;
+    constexpr double
+    maxMagnitude() const
+    {
+        // Largest exponent (all-ones reserved would be the IEEE
+        // convention; the ELSA unit does not need infinities, so we
+        // use the full range).
+        const int max_exp = (1 << exponent_bits) - 1 - bias();
+        const double max_mantissa =
+            2.0 - fixed_detail::scaleByPow2(1.0, -fraction_bits);
+        return fixed_detail::scaleByPow2(max_mantissa, max_exp);
+    }
 
     /** Smallest positive normal magnitude. */
-    double minNormal() const;
+    constexpr double
+    minNormal() const
+    {
+        return fixed_detail::scaleByPow2(1.0, -bias());
+    }
 };
 
 /** The format used by the ELSA pipeline: 1 sign / 10 exponent / 5 frac. */
 inline constexpr CustomFloatFormat kElsaFloatFormat{10, 5};
+
+/**
+ * Quantize a double to the given custom float format (round to
+ * nearest, saturate to the largest finite value, flush subnormals
+ * to zero, preserve sign).
+ */
+constexpr double
+quantizeToCustomFloat(double value,
+                      const CustomFloatFormat& format = kElsaFloatFormat)
+{
+    if (value == 0.0 || !fixed_detail::isFinite(value)) {
+        if (!fixed_detail::isFinite(value)) {
+            noteCustomFloatSaturation();
+            return fixed_detail::copySign(format.maxMagnitude(), value);
+        }
+        return 0.0;
+    }
+    const double magnitude = fixed_detail::absValue(value);
+    if (magnitude >= format.maxMagnitude()) {
+        // Exactly maxMagnitude is representable, not clipped.
+        if (magnitude > format.maxMagnitude()) {
+            noteCustomFloatSaturation();
+        }
+        return fixed_detail::copySign(format.maxMagnitude(), value);
+    }
+    if (magnitude < format.minNormal()) {
+        // Flush to zero; the ELSA pipeline has no subnormal support.
+        return 0.0;
+    }
+    int exp = 0;
+    const double mantissa =
+        fixed_detail::normalizedFraction(magnitude, exp); // in [0.5, 1)
+    // Normalize mantissa to [1, 2) with exponent exp - 1.
+    const double m = mantissa * 2.0;
+    const double scale = fixed_detail::scaleByPow2(1.0, format.fraction_bits);
+    const double rounded =
+        fixed_detail::roundTiesToEven((m - 1.0) * scale) / scale + 1.0;
+    return fixed_detail::copySign(fixed_detail::scaleByPow2(rounded, exp - 1),
+                                  value);
+}
 
 /**
  * A value held in a custom float format.
@@ -51,34 +113,38 @@ class CustomFloat
     CustomFloat() = default;
 
     /** Quantize a real value into the given format. */
-    static CustomFloat fromReal(double value,
-                                const CustomFloatFormat& format
-                                = kElsaFloatFormat);
+    static constexpr CustomFloat
+    fromReal(double value, const CustomFloatFormat& format = kElsaFloatFormat)
+    {
+        CustomFloat cf;
+        cf.format_ = format;
+        cf.value_ = quantizeToCustomFloat(value, format);
+        return cf;
+    }
 
     /** The represented (already quantized) value. */
-    double toReal() const { return value_; }
+    constexpr double toReal() const { return value_; }
 
     /** Sum with re-quantization, as the accumulator hardware performs. */
-    CustomFloat add(const CustomFloat& other) const;
+    constexpr CustomFloat
+    add(const CustomFloat& other) const
+    {
+        return fromReal(value_ + other.value_, format_);
+    }
 
     /** Product with re-quantization. */
-    CustomFloat mul(const CustomFloat& other) const;
+    constexpr CustomFloat
+    mul(const CustomFloat& other) const
+    {
+        return fromReal(value_ * other.value_, format_);
+    }
 
-    const CustomFloatFormat& format() const { return format_; }
+    constexpr const CustomFloatFormat& format() const { return format_; }
 
   private:
     double value_ = 0.0;
     CustomFloatFormat format_ = kElsaFloatFormat;
 };
-
-/**
- * Quantize a double to the given custom float format (round to
- * nearest, saturate to the largest finite value, flush subnormals
- * to zero, preserve sign).
- */
-double quantizeToCustomFloat(double value,
-                             const CustomFloatFormat& format
-                             = kElsaFloatFormat);
 
 } // namespace elsa
 

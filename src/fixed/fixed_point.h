@@ -16,12 +16,17 @@
  * rounds to nearest on conversion from float. Arithmetic between
  * values of the same format is exact in the underlying integers, which
  * matches what the hardware multipliers and adders do.
+ *
+ * The whole type is constexpr: compile-time tests pin the Q-format
+ * widths, the ties-to-even rounding, and the saturation bounds in
+ * static_assert (tests/fixed_test.cc), so a drive-by change to the
+ * datapath model fails the build before it can skew a single metric.
  */
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
 
+#include "fixed/constexpr_math.h"
 #include "fixed/saturation.h"
 
 namespace elsa {
@@ -53,13 +58,14 @@ class FixedPoint
     /** Zero. */
     FixedPoint() = default;
 
-    /** Quantize a real value: round to nearest, saturate to range.
-     *  Saturations report through the fixed/saturation.h hook. */
-    static FixedPoint
+    /** Quantize a real value: round to nearest (ties to even),
+     *  saturate to range. Saturations report through the
+     *  fixed/saturation.h hook. */
+    static constexpr FixedPoint
     fromReal(double value)
     {
         const double scaled = value * static_cast<double>(kScale);
-        double rounded = std::nearbyint(scaled);
+        double rounded = fixed_detail::roundTiesToEven(scaled);
         if (rounded < static_cast<double>(kRawMin)) {
             rounded = static_cast<double>(kRawMin);
             noteFixedSaturation();
@@ -72,7 +78,7 @@ class FixedPoint
 
     /** Build from a raw integer count of 2^-FracBits steps.
      *  Saturations report through the fixed/saturation.h hook. */
-    static FixedPoint
+    static constexpr FixedPoint
     fromRaw(std::int32_t raw)
     {
         if (raw < kRawMin || raw > kRawMax) {
@@ -84,10 +90,10 @@ class FixedPoint
     }
 
     /** Raw integer value. */
-    std::int32_t raw() const { return raw_; }
+    constexpr std::int32_t raw() const { return raw_; }
 
     /** Real value this fixed-point number represents. */
-    double
+    constexpr double
     toReal() const
     {
         return static_cast<double>(raw_) / static_cast<double>(kScale);
@@ -127,7 +133,7 @@ using HashMatrixFixed = FixedPoint<0, 5>;
  * Convenience for modeling a datapath stage's rounding behaviour.
  */
 template <int IntBits, int FracBits>
-inline double
+constexpr double
 quantize(double value)
 {
     return FixedPoint<IntBits, FracBits>::fromReal(value).toReal();

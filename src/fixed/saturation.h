@@ -28,6 +28,7 @@
  */
 
 #include <cstdint>
+#include <type_traits>
 
 namespace elsa {
 
@@ -57,19 +58,27 @@ attachedCounters()
 
 } // namespace saturation_detail
 
-/** Record one fixed-point saturation (no-op when detached). */
-inline void
+/** Record one fixed-point saturation (no-op when detached; no-op in
+ *  constant evaluation, where no scope can be attached). */
+constexpr void
 noteFixedSaturation()
 {
+    if (std::is_constant_evaluated()) {
+        return;
+    }
     if (SaturationCounters* c = saturation_detail::attachedCounters()) {
         ++c->fixed;
     }
 }
 
-/** Record one custom-float saturation (no-op when detached). */
-inline void
+/** Record one custom-float saturation (no-op when detached; no-op in
+ *  constant evaluation, where no scope can be attached). */
+constexpr void
 noteCustomFloatSaturation()
 {
+    if (std::is_constant_evaluated()) {
+        return;
+    }
     if (SaturationCounters* c = saturation_detail::attachedCounters()) {
         ++c->cfloat;
     }

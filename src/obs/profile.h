@@ -41,6 +41,7 @@ class ScopedTimer
         : scope_(scope), active_(profilingEnabled())
     {
         if (active_) {
+            // elsa-lint: allow(no-wallclock): host profiling measures real elapsed time by definition; feeds only host.* metrics, never simulated results
             start_ = std::chrono::steady_clock::now();
         }
     }

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -17,6 +19,68 @@
 
 namespace elsa {
 namespace {
+
+// ---------------------------------------------------------------------
+// Compile-time pins. The number formats are constexpr, so the Q-format
+// widths, the ties-to-even rounding, and the saturation bounds are
+// asserted at compile time: a change to any of them fails the build
+// here before it can skew a simulation result. Runtime tests below
+// additionally pin that constant evaluation and runtime agree.
+// ---------------------------------------------------------------------
+
+// S5.3 input format: 9 bits total, scale 8, raw range [-256, 255].
+static_assert(InputFixed::kTotalBits == 9);
+static_assert(InputFixed::kScale == 8);
+static_assert(InputFixed::kRawMax == 255);
+static_assert(InputFixed::kRawMin == -256);
+static_assert(InputFixed::step() == 0.125);
+static_assert(InputFixed::maxReal() == 31.875);
+static_assert(InputFixed::minReal() == -32.0);
+
+// S0.5 hash-matrix format: 6 bits total, scale 32.
+static_assert(HashMatrixFixed::kTotalBits == 6);
+static_assert(HashMatrixFixed::kScale == 32);
+static_assert(HashMatrixFixed::kRawMax == 31);
+static_assert(HashMatrixFixed::kRawMin == -32);
+
+// Rounding is to nearest with ties to even: 1.0625 scales to raw 8.5
+// (rounds down to even 8) while 1.1875 scales to raw 9.5 (rounds up
+// to even 10).
+static_assert(InputFixed::fromReal(1.0625).raw() == 8);
+static_assert(InputFixed::fromReal(1.1875).raw() == 10);
+static_assert(InputFixed::fromReal(1.06).toReal() == 1.0);
+static_assert(InputFixed::fromReal(1.07).toReal() == 1.125);
+static_assert(quantize<5, 3>(1.06) == 1.0);
+
+// Saturation clamps to the raw range in both fromReal and fromRaw.
+static_assert(InputFixed::fromReal(100.0).raw() == InputFixed::kRawMax);
+static_assert(InputFixed::fromReal(-100.0).raw() == InputFixed::kRawMin);
+static_assert(InputFixed::fromRaw(1000).raw() == 255);
+static_assert(InputFixed::fromRaw(-1000).raw() == -256);
+
+// Custom float: 10 exponent bits -> bias 511; round-to-nearest-even
+// at 5 fraction bits; saturate at maxMagnitude; flush below
+// minNormal.
+static_assert(kElsaFloatFormat.bias() == 511);
+static_assert(kElsaFloatFormat.maxMagnitude() > 1e150);
+static_assert(kElsaFloatFormat.minNormal() < 1e-150);
+static_assert(quantizeToCustomFloat(1.5) == 1.5);
+static_assert(quantizeToCustomFloat(1.0 + 1.0 / 64.0) == 1.0);
+static_assert(quantizeToCustomFloat(1.0 + 3.0 / 64.0) == 1.0 + 1.0 / 16.0);
+static_assert(quantizeToCustomFloat(kElsaFloatFormat.maxMagnitude() * 4.0)
+              == kElsaFloatFormat.maxMagnitude());
+static_assert(quantizeToCustomFloat(-kElsaFloatFormat.maxMagnitude() * 4.0)
+              == -kElsaFloatFormat.maxMagnitude());
+static_assert(quantizeToCustomFloat(kElsaFloatFormat.minNormal() / 4.0)
+              == 0.0);
+static_assert(CustomFloat::fromReal(1.0)
+                  .add(CustomFloat::fromReal(1.0 / 64.0))
+                  .toReal()
+              == 1.0);
+static_assert(CustomFloat::fromReal(1.5)
+                  .mul(CustomFloat::fromReal(2.0))
+                  .toReal()
+              == 3.0);
 
 TEST(FixedPointTest, InputFormatProperties)
 {
@@ -111,6 +175,50 @@ TEST(CustomFloatTest, ArithmeticRequantizes)
     // rounds back to 1.0 (round-to-nearest-even at the half step).
     EXPECT_DOUBLE_EQ(a.add(b).toReal(), 1.0);
     EXPECT_DOUBLE_EQ(a.mul(CustomFloat::fromReal(2.0)).toReal(), 2.0);
+}
+
+TEST(CustomFloatTest, CompileTimeAgreesWithRuntime)
+{
+    // The constexpr implementations branch on is_constant_evaluated():
+    // the compile-time path is pure C++, the runtime path is the libm
+    // calls the formats have always made. Both are exact, so they
+    // must agree bit for bit; pin that on values that exercise the
+    // rounding, saturation, and flush branches.
+    static constexpr std::array<double, 15> kInputs = {
+        0.0,    1.0,    1.5,  1.0 + 1.0 / 64.0, 1.0 + 3.0 / 64.0,
+        -3.25,  1024.0, 1e-200, -1e-200,        1e200,
+        -1e200, 1e160,  0.3,  -0.7,             123456.789,
+    };
+    // Materialized during constant evaluation: these take the pure
+    // compile-time branches of the fixed_detail helpers.
+    static constexpr std::array<double, kInputs.size()> kCompileTime = [] {
+        std::array<double, kInputs.size()> out{};
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            out[i] = quantizeToCustomFloat(kInputs[i]);
+        }
+        return out;
+    }();
+    for (std::size_t i = 0; i < kInputs.size(); ++i) {
+        volatile double rt_in = kInputs[i]; // force the runtime path
+        EXPECT_DOUBLE_EQ(quantizeToCustomFloat(rt_in), kCompileTime[i])
+            << "x = " << kInputs[i];
+    }
+
+    static constexpr std::array<double, 8> kFixedInputs = {
+        0.0, 1.0625, 1.1875, 1.06, 1.07, 100.0, -100.0, -0.06};
+    static constexpr std::array<std::int32_t, kFixedInputs.size()>
+        kFixedRaw = [] {
+        std::array<std::int32_t, kFixedInputs.size()> out{};
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            out[i] = InputFixed::fromReal(kFixedInputs[i]).raw();
+        }
+        return out;
+    }();
+    for (std::size_t i = 0; i < kFixedInputs.size(); ++i) {
+        volatile double rt_in = kFixedInputs[i];
+        EXPECT_EQ(InputFixed::fromReal(rt_in).raw(), kFixedRaw[i])
+            << "x = " << kFixedInputs[i];
+    }
 }
 
 TEST(ExpUnitTest, LutContentsArePowersOfTwo)

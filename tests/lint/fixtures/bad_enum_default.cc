@@ -1,0 +1,34 @@
+// elsa-lint-pretend: src/sim/bad_enum_default.cc
+// Known-bad fixture: a `default:` label in a switch over a project
+// enum. A nested switch over a plain int must stay exempt, as must
+// the char switch at the bottom.
+#include "sim/stall.h"
+
+namespace elsa {
+
+const char*
+badStallName(StallCause cause, int flavor)
+{
+    switch (cause) {
+      case StallCause::kBusy:
+        switch (flavor) {
+          case 0: return "busy0";
+          default: return "busyN"; // nested non-enum switch: exempt
+        }
+      case StallCause::kStarved:
+        return "starved";
+      default:                                               // BAD
+        return "other";
+    }
+}
+
+char
+charSwitchIsExempt(char c)
+{
+    switch (c) {
+      case 'a': return 'A';
+      default: return c;
+    }
+}
+
+} // namespace elsa

@@ -1,0 +1,25 @@
+// elsa-lint-pretend: src/attention/bad_fixed_raw.cc
+// Known-bad fixture: raw fixed-point access outside src/fixed/ and
+// conversion declarations that would make quantization implicit.
+#include "fixed/fixed_point.h"
+
+namespace elsa {
+
+class LeakyWrapper
+{
+  public:
+    operator double() const { return value_.toReal(); }      // BAD
+
+  private:
+    InputFixed value_;
+};
+
+std::int32_t
+badDatapath(InputFixed a, InputFixed b)
+{
+    const std::int32_t product = a.raw() * b.raw();          // BAD
+    InputFixed rebuilt = InputFixed::fromRaw(product >> 3);  // BAD
+    return rebuilt.raw();                                    // BAD
+}
+
+} // namespace elsa

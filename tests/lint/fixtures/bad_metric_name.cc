@@ -1,0 +1,18 @@
+// elsa-lint-pretend: src/sim/bad_metric_name.cc
+// Known-bad fixture: metric names that violate the [a-z0-9_.] grammar,
+// are undocumented, or are registered at more than one site.
+#include "obs/registry.h"
+
+namespace elsa {
+
+void
+badMetrics(obs::StatsRegistry& registry, const std::string& prefix)
+{
+    registry.counter(prefix + ".Bad.CamelCase").increment();     // BAD
+    registry.counter(prefix + ".kebab-case").increment();        // BAD
+    registry.counter(prefix + ".not.documented.metric").add(1);  // BAD
+    registry.counter(prefix + ".cycles.total").add(1);
+    registry.counter(prefix + ".cycles.total").add(2);           // BAD
+}
+
+} // namespace elsa

@@ -1,0 +1,29 @@
+// elsa-lint-pretend: src/sim/bad_suppression.cc
+// Known-bad fixture: suppression bookkeeping. A reasonless allow, an
+// unknown rule id, an allow that suppresses nothing, and a malformed
+// directive must each be findings; the reasoned allow works.
+#include <cstdlib>
+
+namespace elsa {
+
+const char*
+badSuppressions()
+{
+    // elsa-lint: allow(no-wallclock)
+    const char* a = std::getenv("NO_REASON_GIVEN");
+
+    // elsa-lint: allow(no-such-rule): rule id typo must be caught
+    const char* b = std::getenv("UNKNOWN_RULE");
+
+    // elsa-lint: allow(no-unordered-container): suppresses nothing here
+    const char* c = "unused allowance above";
+
+    // elsa-lint: allow no-wallclock -- malformed, missing parens
+    const char* d = std::getenv("MALFORMED_DIRECTIVE");
+
+    // elsa-lint: allow(no-wallclock): fixture demo of a valid reasoned suppression
+    const char* e = std::getenv("PROPERLY_SUPPRESSED");
+    return a && b && c && d && e ? "y" : "n";
+}
+
+} // namespace elsa

@@ -1,0 +1,24 @@
+// elsa-lint-pretend: src/fault/bad_unordered.cc
+// Known-bad fixture: hash containers in result-affecting code, where
+// iteration order could leak into metrics or traces.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace elsa {
+
+int
+badAggregate()
+{
+    std::unordered_map<std::string, int> per_module;
+    std::unordered_set<int> seen;
+    per_module["attention"] = 1;
+    seen.insert(7);
+    int sum = 0;
+    for (const auto& [name, count] : per_module) {
+        sum += static_cast<int>(name.size()) + count;
+    }
+    return sum + static_cast<int>(seen.size());
+}
+
+} // namespace elsa

@@ -1,0 +1,26 @@
+// elsa-lint-pretend: src/sim/bad_wallclock.cc
+// Known-bad fixture: every banned nondeterminism source in result-
+// affecting code. Each marked line must raise no-wallclock.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace elsa {
+
+double
+badSeed()
+{
+    auto t0 = std::chrono::steady_clock::now();              // BAD
+    auto t1 = std::chrono::high_resolution_clock::now();     // BAD
+    std::time_t stamp = time(nullptr);                       // BAD
+    int r = std::rand();                                     // BAD
+    std::random_device entropy;                              // BAD
+    const char* env = std::getenv("ELSA_SECRET_KNOB");       // BAD
+    (void)t0;
+    (void)t1;
+    (void)env;
+    return static_cast<double>(stamp) + r + entropy();
+}
+
+} // namespace elsa

@@ -1,0 +1,39 @@
+// elsa-lint-pretend: src/sim/good_clean.cc
+// Known-good fixture: deterministic code using the sanctioned
+// patterns. Must produce zero findings, pinning the false-positive
+// floor of every rule.
+#include <map>
+#include <string>
+
+#include "fixed/fixed_point.h"
+#include "obs/registry.h"
+#include "sim/stall.h"
+
+namespace elsa {
+
+const char*
+goodStallName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::kBusy: return "busy";
+      case StallCause::kStarved: return "starved";
+      case StallCause::kBackpressured: return "backpressured";
+      case StallCause::kBankConflict: return "bank_conflict";
+      case StallCause::kDrained: return "drained";
+      case StallCause::kFaultRetry: return "fault_retry";
+    }
+    return "unreachable";
+}
+
+double
+goodDatapath(obs::StatsRegistry& registry, const std::string& prefix,
+             double x)
+{
+    std::map<std::string, int> ordered; // deterministic iteration
+    ordered["queries"] = 1;
+    registry.counter(prefix + ".cycles.total").add(1.0);
+    const InputFixed q = InputFixed::fromReal(x);
+    return q.toReal() + static_cast<double>(ordered.size());
+}
+
+} // namespace elsa

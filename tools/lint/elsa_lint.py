@@ -1,0 +1,753 @@
+#!/usr/bin/env python3
+"""elsa-lint: project-specific static analysis for the ELSA repo.
+
+The repo promises invariants that unit tests can only sample:
+bit-identical results at any thread count, exact stall/fault counter
+conservation, a datapath model that never leaks unquantized doubles.
+This pass pins the *source-level* half of those promises -- the
+patterns that, when they appear at all, break an invariant somewhere
+downstream -- so violations fail at lint time instead of surfacing as
+a flaky metric diff months later.
+
+Design constraints:
+
+ - dependency-free: Python 3 stdlib only, no compiler, no pip;
+ - deterministic: output ordering is (path, line, column, rule);
+ - token/AST-lite: a small C++ lexer strips comments and string
+   literals so rules match code, not prose, plus balanced-delimiter
+   scanning for call arguments and switch bodies;
+ - suppressable, with receipts: `// elsa-lint: allow(<rule>): <why>`
+   on the offending line (or alone on the line above) silences one
+   rule at one site.  A missing reason, an unknown rule id, or a
+   suppression that never fires is itself a finding, so the
+   suppression list cannot rot.
+
+Rules are documented in docs/STATIC_ANALYSIS.md.  Run:
+
+    python3 tools/lint/elsa_lint.py --root . src
+    python3 tools/lint/elsa_lint.py --root . --self-test tests/lint
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------
+# Lexing: blank out comments and literal contents, keep positions.
+# --------------------------------------------------------------------
+
+
+class Comment:
+    __slots__ = ("line", "text", "trailing")
+
+    def __init__(self, line, text, trailing):
+        self.line = line          # 1-based line of the `//`
+        self.text = text          # comment text without the `//`
+        self.trailing = trailing  # code precedes it on the same line
+
+
+class StringLiteral:
+    __slots__ = ("line", "offset", "value")
+
+    def __init__(self, line, offset, value):
+        self.line = line      # 1-based
+        self.offset = offset  # offset of the opening quote in the file
+        self.value = value    # unescaped-enough: raw chars between quotes
+
+
+def lex(text):
+    """Return (code, literals, comments).
+
+    `code` is the input with comment bodies and string/char literal
+    contents replaced by spaces (newlines kept), so offsets and line
+    numbers in `code` match the original exactly.
+    """
+    n = len(text)
+    out = list(text)
+    literals = []
+    comments = []
+    i = 0
+    line = 1
+    line_has_code = False
+
+    def blank(j):
+        if out[j] != "\n":
+            out[j] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            line += 1
+            line_has_code = False
+            i += 1
+            continue
+        if c == "/" and nxt == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                j += 1
+            comments.append(
+                Comment(line, text[i + 2 : j], line_has_code))
+            for k in range(i, j):
+                blank(k)
+            i = j
+            continue
+        if c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            for k in range(i, j):
+                blank(k)
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == '"':
+            # Raw string literal?  `R"delim( ... )delim"`.
+            if text[i - 1 : i] == "R" and (
+                i < 2 or not text[i - 2].isalnum()
+            ):
+                m = re.match(r'R"([^ ()\\\n]{0,16})\(', text[i - 1 :])
+                if m:
+                    delim = m.group(1)
+                    close = ")" + delim + '"'
+                    j = text.find(close, i + len(m.group(0)) - 1)
+                    j = n if j < 0 else j + len(close)
+                    literals.append(
+                        StringLiteral(
+                            line, i,
+                            text[i + len(m.group(0)) - 1 : j - len(close)],
+                        ))
+                    for k in range(i + 1, j - 1):
+                        blank(k)
+                    line += text.count("\n", i, j)
+                    i = j
+                    line_has_code = True
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            literals.append(StringLiteral(line, i, text[i + 1 : j]))
+            for k in range(i + 1, j):
+                blank(k)
+            i = min(j + 1, n)
+            line_has_code = True
+            continue
+        if c == "'":
+            # C++14 digit separator: 1'000'000 is a number, not a char.
+            if i > 0 and text[i - 1].isdigit() and nxt.isdigit():
+                i += 1
+                continue
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            for k in range(i + 1, j):
+                blank(k)
+            i = min(j + 1, n)
+            line_has_code = True
+            continue
+        if not c.isspace():
+            line_has_code = True
+        i += 1
+    return "".join(out), literals, comments
+
+
+# --------------------------------------------------------------------
+# Findings and suppressions.
+# --------------------------------------------------------------------
+
+
+class Finding:
+    __slots__ = ("path", "line", "col", "rule", "message")
+
+    def __init__(self, path, line, col, rule, message):
+        self.path = path
+        self.line = line
+        self.col = col
+        self.rule = rule
+        self.message = message
+
+    def render(self):
+        return "%s:%d: [%s] %s" % (
+            self.path, self.line, self.rule, self.message)
+
+
+SUPPRESS_RE = re.compile(
+    r"elsa-lint:\s*allow\(\s*([A-Za-z0-9_,\s-]*)\s*\)\s*(?::\s*(\S.*))?")
+
+
+class Suppression:
+    __slots__ = ("line", "rules", "reason", "target_line", "used")
+
+    def __init__(self, line, rules, reason, target_line):
+        self.line = line
+        self.rules = rules
+        self.reason = reason
+        self.target_line = target_line  # line the allowance applies to
+        self.used = False
+
+
+def parse_suppressions(src):
+    """Suppressions plus the meta-findings they themselves raise."""
+    sups = []
+    metas = []
+    known = {r.rule_id for r in RULES} | set(META_RULES)
+    for comment in src.comments:
+        m = SUPPRESS_RE.search(comment.text)
+        if not m:
+            if "elsa-lint:" in comment.text:
+                metas.append(Finding(
+                    src.display_path, comment.line, 1,
+                    "suppression-syntax",
+                    "unparsable elsa-lint directive; want "
+                    "`elsa-lint: allow(<rule>): <reason>`"))
+            continue
+        rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
+        reason = (m.group(2) or "").strip()
+        target = comment.line if comment.trailing else comment.line + 1
+        if not rules:
+            metas.append(Finding(
+                src.display_path, comment.line, 1, "suppression-syntax",
+                "allow() names no rule"))
+            continue
+        for rule in rules:
+            if rule not in known:
+                metas.append(Finding(
+                    src.display_path, comment.line, 1,
+                    "suppression-unknown-rule",
+                    "allow(%s) names no known rule" % rule))
+        if not reason:
+            metas.append(Finding(
+                src.display_path, comment.line, 1,
+                "suppression-missing-reason",
+                "allow(%s) carries no reason; every suppression "
+                "must say why the site is exempt" % ",".join(rules)))
+        sups.append(Suppression(comment.line, rules, reason, target))
+    return sups, metas
+
+
+# --------------------------------------------------------------------
+# Per-file context.
+# --------------------------------------------------------------------
+
+PRETEND_RE = re.compile(r"elsa-lint-pretend:\s*(\S+)")
+
+
+class SourceFile:
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.text = text
+        self.code, self.literals, self.comments = lex(text)
+        self.code_lines = self.code.split("\n")
+        # Fixtures under tests/lint/ impersonate a src/ path so the
+        # scoping logic (src/fixed/ exemptions etc.) can be tested.
+        self.rel = rel
+        for comment in self.comments:
+            m = PRETEND_RE.search(comment.text)
+            if m:
+                self.rel = m.group(1)
+                break
+        self.display_path = rel
+
+    def in_dir(self, prefix):
+        return self.rel.startswith(prefix)
+
+
+def line_offsets(code):
+    offsets = [0]
+    for i, c in enumerate(code):
+        if c == "\n":
+            offsets.append(i + 1)
+    return offsets
+
+
+def offset_to_line(offsets, pos):
+    lo, hi = 0, len(offsets) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if offsets[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def match_balanced(code, open_pos, open_ch="(", close_ch=")"):
+    """Offset one past the delimiter matching code[open_pos]."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+# --------------------------------------------------------------------
+# Rule framework.
+# --------------------------------------------------------------------
+
+
+class Rule:
+    rule_id = ""
+    description = ""
+
+    def check(self, src, ctx):
+        raise NotImplementedError
+
+
+META_RULES = (
+    "suppression-syntax",
+    "suppression-unknown-rule",
+    "suppression-missing-reason",
+    "suppression-unused",
+)
+
+
+def finding(src, line, col, rule, message):
+    return Finding(src.display_path, line, col, rule, message)
+
+
+def scan_lines(src, pattern, rule, message):
+    for lineno, code_line in enumerate(src.code_lines, start=1):
+        for m in pattern.finditer(code_line):
+            yield finding(src, lineno, m.start() + 1, rule,
+                          message % {"match": m.group(0).strip()})
+
+
+# ---- determinism ----------------------------------------------------
+
+
+class NoWallclockRule(Rule):
+    rule_id = "no-wallclock"
+    description = (
+        "wall-clock, PRNG-seeding, and environment reads are banned in "
+        "src/: simulated results must be a pure function of the config "
+        "(docs/PARALLELISM.md determinism contract)")
+
+    PATTERN = re.compile(
+        r"(?:\b\w*clock\s*::\s*now\s*\("
+        r"|\bstd::time\b|(?<![\w:.])time\s*\("
+        r"|\blocaltime\s*\(|\bgmtime\s*\(|\bgettimeofday\s*\("
+        r"|\bclock_gettime\s*\("
+        r"|\bstd::rand\b|(?<![\w:.])s?rand\s*\("
+        r"|\brandom_device\b"
+        r"|\bgetenv\s*\()")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        yield from scan_lines(
+            src, self.PATTERN, self.rule_id,
+            "nondeterministic source `%(match)s` in src/; results "
+            "must depend only on SimConfig (suppress with a reason "
+            "if this site is genuinely observability-only)")
+
+
+class NoUnorderedContainerRule(Rule):
+    rule_id = "no-unordered-container"
+    description = (
+        "std::unordered_{map,set} are banned in src/: their iteration "
+        "order is implementation-defined and can leak into metrics, "
+        "traces, and reduction order")
+
+    PATTERN = re.compile(
+        r"(?:\bstd::unordered_(?:multi)?(?:map|set)\b"
+        r"|#\s*include\s*<unordered_(?:map|set)>)")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        yield from scan_lines(
+            src, self.PATTERN, self.rule_id,
+            "`%(match)s` has implementation-defined iteration order; "
+            "use std::map / std::vector + sort so dumps stay "
+            "bit-identical across platforms and thread counts")
+
+
+# ---- metrics hygiene ------------------------------------------------
+
+
+METRIC_CALL_RE = re.compile(
+    r"\.\s*(counter|distribution|histogram|counterValue)\s*\(")
+METRIC_SEGMENT_RE = re.compile(r"[a-z0-9_]+\Z")
+
+
+class MetricNameRule(Rule):
+    """Grammar + documentation + single-registration for metric names.
+
+    Metric names are built as `prefix + ".suffix"`, so the literals at
+    a registry call site are *fragments*.  Each fragment must follow
+    the [a-z0-9_.] grammar; each dotted fragment (a full metric tail
+    such as ".cycles.total") must appear in the metric tables of
+    docs/OBSERVABILITY.md and be registered at exactly one site.
+    """
+
+    rule_id = "metric-name"
+    description = (
+        "string literals at StatsRegistry call sites must follow the "
+        "[a-z0-9_.] grammar, be documented in docs/OBSERVABILITY.md, "
+        "and be registered exactly once")
+
+    REGISTERING = {"counter", "distribution", "histogram"}
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        offsets = line_offsets(src.code)
+        for m in METRIC_CALL_RE.finditer(src.code):
+            method = m.group(1)
+            open_pos = src.code.index("(", m.end() - 1)
+            close_pos = match_balanced(src.code, open_pos)
+            for lit in src.literals:
+                if not (open_pos < lit.offset < close_pos):
+                    continue
+                line = offset_to_line(offsets, lit.offset)
+                yield from self.check_literal(
+                    src, ctx, method, lit, line)
+
+    def check_literal(self, src, ctx, method, lit, line):
+        value = lit.value
+        stripped = value.strip(".")
+        if stripped == "":
+            if value != ".":
+                yield finding(
+                    src, line, 1, self.rule_id,
+                    "metric fragment '%s' is empty separators" % value)
+            return
+        for segment in stripped.split("."):
+            if not METRIC_SEGMENT_RE.match(segment):
+                yield finding(
+                    src, line, 1, self.rule_id,
+                    "metric fragment '%s' violates the [a-z0-9_.] "
+                    "grammar (segment '%s'); lowercase dotted paths "
+                    "only, see docs/OBSERVABILITY.md" % (value, segment))
+                return
+        if "." not in stripped:
+            return  # single-segment fragment of a computed name
+        if ctx.doc_text is not None and stripped not in ctx.doc_text:
+            yield finding(
+                src, line, 1, self.rule_id,
+                "metric '%s' is not documented in "
+                "docs/OBSERVABILITY.md; add it to the metric table "
+                "or fix the name" % stripped)
+        if method in self.REGISTERING:
+            site = (src.display_path, line)
+            first = ctx.metric_sites.setdefault(stripped, site)
+            if first != site:
+                yield finding(
+                    src, line, 1, self.rule_id,
+                    "metric '%s' already registered at %s:%d; declare "
+                    "each metric at exactly one site so kind and "
+                    "semantics have one owner" % (stripped, *first))
+
+
+# ---- enum exhaustiveness --------------------------------------------
+
+
+ENUM_DECL_RE = re.compile(r"\benum\s+(?:class|struct)\s+(\w+)")
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+CASE_RE = re.compile(r"\bcase\s+((?:\w+\s*::\s*)+)\w+\s*:")
+DEFAULT_RE = re.compile(r"\bdefault\s*:")
+
+
+class EnumSwitchDefaultRule(Rule):
+    rule_id = "enum-switch-default"
+    description = (
+        "switches over project enums must not carry a `default:` "
+        "label: adding an enumerator (a seventh StallCause, a new "
+        "fault Protection) must be a -Wswitch compile error at every "
+        "dispatch site, not a silent misattribution")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        offsets = line_offsets(src.code)
+        yield from self.scan(src, ctx, src.code, 0, offsets)
+
+    def scan(self, src, ctx, code, base, offsets):
+        for m in SWITCH_RE.finditer(code):
+            open_paren = code.index("(", m.start())
+            after_cond = match_balanced(code, open_paren)
+            brace = code.find("{", after_cond)
+            if brace < 0:
+                continue
+            end = match_balanced(code, brace, "{", "}")
+            body = code[brace + 1 : end - 1]
+            yield from self.check_switch(
+                src, ctx, body, base + brace + 1, offsets)
+
+    def check_switch(self, src, ctx, body, base, offsets):
+        # Blank nested switch statements so their labels don't bleed
+        # into this switch's analysis (each nest is scanned on its own).
+        flat = body
+        for m in SWITCH_RE.finditer(body):
+            open_paren = body.index("(", m.start())
+            after_cond = match_balanced(body, open_paren)
+            brace = body.find("{", after_cond)
+            if brace < 0:
+                continue
+            end = match_balanced(body, brace, "{", "}")
+            flat = flat[:brace] + " " * (end - brace) + flat[end:]
+            yield from self.check_switch(
+                src, ctx, body[brace + 1 : end - 1],
+                base + brace + 1, offsets)
+        enum_names = set()
+        for m in CASE_RE.finditer(flat):
+            qualifier = [p for p in re.split(
+                r"\s*::\s*", m.group(1)) if p]
+            if qualifier and qualifier[-1] in ctx.project_enums:
+                enum_names.add(qualifier[-1])
+        if not enum_names:
+            return
+        for m in DEFAULT_RE.finditer(flat):
+            line = offset_to_line(offsets, base + m.start())
+            yield finding(
+                src, line, 1, self.rule_id,
+                "`default:` in a switch over project enum %s hides "
+                "missing enumerators from -Wswitch; enumerate every "
+                "case and panic after the switch instead"
+                % "/".join(sorted(enum_names)))
+
+
+# ---- fixed-point hygiene --------------------------------------------
+
+
+class FixedPointEscapeRule(Rule):
+    rule_id = "fixedpoint-raw-escape"
+    description = (
+        "raw fixed-point access (.raw()/fromRaw) outside src/fixed/ "
+        "and double conversion operators anywhere: the Section IV-E "
+        "datapath model is honest only if quantization happens through "
+        "the format types' fromReal/toReal boundaries")
+
+    RAW_PATTERN = re.compile(r"(?:\.\s*raw\s*\(|\bfromRaw\s*\()")
+    CONV_PATTERN = re.compile(
+        r"(?:\boperator\s+(?:double|float)\b"
+        r"|(?<!explicit\s)(?<!\w)(?:FixedPoint|CustomFloat)\s*\(\s*"
+        r"(?:double|float)\b)")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        if not src.in_dir("src/fixed/"):
+            yield from scan_lines(
+                src, self.RAW_PATTERN, self.rule_id,
+                "raw fixed-point access `%(match)s` outside "
+                "src/fixed/; model datapath behaviour via "
+                "fromReal/toReal/quantize<> so rounding and "
+                "saturation stay inside the format types")
+        yield from scan_lines(
+            src, self.CONV_PATTERN, self.rule_id,
+            "`%(match)s` enables implicit double<->fixed conversion; "
+            "conversions must stay explicit (fromReal/toReal) so "
+            "quantization points are visible in the code")
+
+
+RULES = [
+    NoWallclockRule(),
+    NoUnorderedContainerRule(),
+    MetricNameRule(),
+    EnumSwitchDefaultRule(),
+    FixedPointEscapeRule(),
+]
+
+
+# --------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------
+
+
+class Context:
+    def __init__(self, project_enums, doc_text):
+        self.project_enums = project_enums
+        self.doc_text = doc_text
+        self.metric_sites = {}
+
+
+CXX_SUFFIXES = (".cc", ".h")
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        absolute = os.path.join(root, p)
+        if os.path.isfile(absolute):
+            files.append((absolute, p.replace(os.sep, "/")))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_SUFFIXES):
+                    full = os.path.join(dirpath, name)
+                    rel = os.path.relpath(full, root)
+                    files.append((full, rel.replace(os.sep, "/")))
+    return files
+
+
+def discover_enums(sources):
+    enums = set()
+    for src in sources:
+        for m in ENUM_DECL_RE.finditer(src.code):
+            enums.add(m.group(1))
+    return enums
+
+
+def lint_sources(sources, ctx):
+    all_findings = []
+    for src in sources:
+        sups, metas = parse_suppressions(src)
+        raw = []
+        for rule in RULES:
+            raw.extend(rule.check(src, ctx))
+        kept = []
+        for f in raw:
+            suppressed = False
+            for sup in sups:
+                if f.line == sup.target_line and f.rule in sup.rules:
+                    sup.used = True
+                    suppressed = True
+            if not suppressed:
+                kept.append(f)
+        for sup in sups:
+            if not sup.used:
+                metas.append(finding(
+                    src, sup.line, 1, "suppression-unused",
+                    "allow(%s) suppresses nothing on line %d; remove "
+                    "it so the allow-list mirrors reality"
+                    % (",".join(sup.rules), sup.target_line)))
+        all_findings.extend(kept)
+        all_findings.extend(metas)
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return all_findings
+
+
+def build_context(root, sources):
+    # Project enums are discovered from the real headers even when only
+    # a subset of files is linted, so fixtures see the true enum set.
+    headers = collect_files(root, ["src"])
+    header_sources = [
+        SourceFile(p, rel, read_text(p)) for p, rel in headers
+        if p.endswith(".h")
+    ]
+    enums = discover_enums(header_sources + list(sources))
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    doc_text = read_text(doc_path) if os.path.exists(doc_path) else None
+    return Context(enums, doc_text)
+
+
+def read_text(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def run_lint(root, paths):
+    sources = [
+        SourceFile(p, rel, read_text(p))
+        for p, rel in collect_files(root, paths)
+    ]
+    ctx = build_context(root, sources)
+    return lint_sources(sources, ctx)
+
+
+# --------------------------------------------------------------------
+# Self-test: every fixture must produce exactly its golden findings.
+# --------------------------------------------------------------------
+
+
+def self_test(root, fixture_dir):
+    fixtures = os.path.join(root, fixture_dir, "fixtures")
+    expected_dir = os.path.join(root, fixture_dir, "expected")
+    names = sorted(
+        n for n in os.listdir(fixtures) if n.endswith(CXX_SUFFIXES))
+    if not names:
+        print("elsa-lint self-test: no fixtures in %s" % fixtures)
+        return 2
+    failures = 0
+    fired_rules = set()
+    for name in names:
+        path = os.path.join(fixtures, name)
+        src = SourceFile(path, fixture_dir + "/fixtures/" + name,
+                         read_text(path))
+        ctx = build_context(root, [src])
+        got = [
+            "%d: %s" % (f.line, f.rule)
+            for f in lint_sources([src], ctx)
+        ]
+        fired_rules.update(line.split(": ", 1)[1] for line in got)
+        golden_path = os.path.join(
+            expected_dir, os.path.splitext(name)[0] + ".expected")
+        want = []
+        if os.path.exists(golden_path):
+            want = [
+                line.strip()
+                for line in read_text(golden_path).splitlines()
+                if line.strip() and not line.startswith("#")
+            ]
+        if got != want:
+            failures += 1
+            print("FAIL %s" % name)
+            print("  expected: %s" % (want or "(nothing)"))
+            print("  got:      %s" % (got or "(nothing)"))
+        else:
+            print("ok   %s (%d findings)" % (name, len(got)))
+    # A rule with no firing fixture could break silently; refuse.
+    silent = {r.rule_id for r in RULES} - fired_rules
+    meta_silent = set(META_RULES) - fired_rules
+    for rule in sorted(silent | meta_silent):
+        failures += 1
+        print("FAIL rule '%s' fires on no fixture; add a known-bad "
+              "snippet so a broken rule cannot pass silently" % rule)
+    if failures:
+        print("elsa-lint self-test: %d failure(s)" % failures)
+        return 1
+    print("elsa-lint self-test: all %d fixtures ok, all %d rules "
+          "covered" % (len(names), len(RULES) + len(META_RULES)))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="ELSA project-specific static analysis")
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root (default: cwd)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print rule ids and descriptions")
+    parser.add_argument(
+        "--self-test", metavar="DIR",
+        help="run the fixture self-tests under DIR (tests/lint)")
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint, relative to --root "
+             "(default: src)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print("%-24s %s" % (rule.rule_id, rule.description))
+        for rule in META_RULES:
+            print("%-24s (suppression bookkeeping)" % rule)
+        return 0
+    if args.self_test:
+        return self_test(args.root, args.self_test)
+
+    findings = run_lint(args.root, args.paths or ["src"])
+    for f in findings:
+        print(f.render())
+    if findings:
+        print("elsa-lint: %d finding(s)" % len(findings))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
