@@ -12,6 +12,12 @@
  *   elsa_bench --quick --out BENCH_RESULTS.json
  *   elsa_bench --bench fig11a_throughput,bottleneck_attribution
  *   elsa_bench --quick --threads 8
+ *   elsa_bench --quick --report report_dir
+ *
+ * --report <dir> additionally dumps an observability bundle (stats,
+ * cycle-domain telemetry, manifest) from one representative
+ * instrumented run; scripts/make_report.py turns it into a
+ * self-contained HTML report.
  *
  * --quick shrinks the workload set and evaluation depth so the suite
  * finishes in seconds (the CTest / CI smoke configuration; the
@@ -32,6 +38,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -45,11 +52,14 @@
 #include "bench_common.h"
 #include "common/args.h"
 #include "common/logging.h"
+#include "elsa/elsa.h"
 #include "elsa/system.h"
 #include "energy/area_power.h"
 #include "fault_sweep.h"
 #include "obs/json.h"
+#include "obs/registry.h"
 #include "sim/report.h"
+#include "workload/generator.h"
 #include "workload/model.h"
 
 namespace elsa::bench {
@@ -482,6 +492,100 @@ assembleResults(
     return out;
 }
 
+/**
+ * --report <dir>: one representative instrumented accelerator run
+ * (stall attribution, per-query trace, and cycle-domain telemetry
+ * all on) dumped as an observability bundle -- stats.json,
+ * stats.csv, telemetry.json, manifest.json -- in the same schema as
+ * `quickstart --obs-dir` (docs/OBSERVABILITY.md), so
+ * scripts/make_report.py can render it into one self-contained HTML
+ * run report. Deterministic: fixed seeds, single invocation.
+ */
+void
+writeReportBundle(const SuiteContext& ctx, const std::string& dir)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+
+    const WorkloadSpec& spec = ctx.workloads.front();
+    const std::size_t n = ctx.quick ? 128 : 256;
+    const QkvGenerator generator(spec.model, /*master_seed=*/7);
+    const AttentionInput input =
+        generator.generate(/*layer=*/0, /*head=*/0, n,
+                           /*input_id=*/0);
+
+    Elsa engine(spec.model.head_dim);
+    const double threshold =
+        engine.learnThreshold(input.query, input.key, /*p=*/2.0);
+
+    SimConfig config = ctx.config.sim;
+    config.collect_query_trace = true;
+    config.attribute_stalls = true;
+    config.telemetry.enabled = true;
+
+    obs::StatsRegistry registry;
+    Accelerator accel(config, engine.hasher(), engine.thetaBias());
+    accel.attachStats(&registry, "sim.accel0");
+    const RunResult result = accel.run(input, threshold);
+
+    {
+        std::ofstream stats_json(dir + "/stats.json");
+        registry.dumpJson(stats_json);
+        std::ofstream stats_csv(dir + "/stats.csv");
+        registry.dumpCsv(stats_csv);
+    }
+    ELSA_CHECK(result.telemetry != nullptr,
+               "telemetry-enabled run produced no time series");
+    {
+        std::ofstream telemetry_json(dir + "/telemetry.json");
+        writeTelemetryJson(telemetry_json, *result.telemetry,
+                           registry, "sim.accel0", config,
+                           &result.query_trace);
+    }
+
+    obs::RunManifest manifest("bench_report");
+    manifest.addBuildInfo();
+    manifest.set("config", "workload", spec.label());
+    manifest.set("config", "d", config.d);
+    manifest.set("config", "k", config.k);
+    manifest.set("config", "pa", config.pa);
+    manifest.set("config", "pc", config.pc);
+    manifest.set("config", "n", input.n());
+    manifest.set("config", "threshold", threshold);
+    manifest.set("config", "quick", ctx.quick);
+    manifest.set("metrics", "total_cycles", result.totalCycles());
+    manifest.set("metrics", "preprocess_cycles",
+                 result.preprocess_cycles);
+    manifest.set("metrics", "execute_cycles", result.execute_cycles);
+    manifest.set("metrics", "candidate_fraction",
+                 result.candidateFraction());
+    manifest.set("metrics", "fallbacks", result.empty_selections);
+    const UtilizationReport util = computeUtilization(result);
+    for (const HwModule module : allHwModules()) {
+        manifest.set("utilization", hwModuleMetricName(module),
+                     util.get(module));
+    }
+    const BottleneckReport bottleneck = computeBottleneck(result);
+    manifest.set("bottleneck", "limiting_module",
+                 attributedModuleMetricName(bottleneck.limiting));
+    manifest.set("bottleneck", "busy_fraction",
+                 bottleneck.busy_fraction);
+    manifest.set("bottleneck", "headroom", bottleneck.headroom);
+    for (const AttributedModule module : allAttributedModules()) {
+        manifest.set("bottleneck",
+                     std::string("busy_fraction_")
+                         + attributedModuleMetricName(module),
+                     bottleneck.module_busy_fraction[static_cast<
+                         std::size_t>(module)]);
+    }
+    manifest.writeFile(dir + "/manifest.json");
+
+    std::printf("\nreport bundle: %s/{stats.json, stats.csv, "
+                "telemetry.json, manifest.json}\n"
+                "render with: python3 scripts/make_report.py %s\n",
+                dir.c_str(), dir.c_str());
+}
+
 } // namespace
 } // namespace elsa::bench
 
@@ -494,7 +598,7 @@ runSuite(int argc, char** argv)
     using namespace elsa::bench;
     const ArgParser args(argc, argv,
                          {"quick", "bench", "list", "out",
-                          "threads"});
+                          "threads", "report"});
 
     if (args.has("list")) {
         for (const SuiteEntry& entry : kSuite) {
@@ -584,6 +688,9 @@ runSuite(int argc, char** argv)
     }
     std::printf("\nwrote %s (%zu benches)\n", out_path.c_str(),
                 results.size());
+    if (args.has("report")) {
+        writeReportBundle(ctx, args.get("report"));
+    }
     return 0;
 }
 

@@ -12,12 +12,14 @@
  * With --obs-dir <dir> it additionally demonstrates the
  * observability layer: one cycle-level simulator run with stats and
  * pipeline tracing enabled, dumping
- *   <dir>/stats.json    stats registry (per-module active cycles...)
- *   <dir>/stats.csv     the same registry, flat CSV
- *   <dir>/trace.json    Chrome trace_event JSON (open in Perfetto)
- *   <dir>/manifest.json run manifest (build, config, utilization)
+ *   <dir>/stats.json     stats registry (per-module active cycles...)
+ *   <dir>/stats.csv      the same registry, flat CSV
+ *   <dir>/trace.json     Chrome trace_event JSON (open in Perfetto)
+ *   <dir>/telemetry.json binned cycle-domain time series + digests
+ *   <dir>/manifest.json  run manifest (build, config, utilization)
  * scripts/check_metrics.py validates these against the schema in
- * docs/OBSERVABILITY.md.
+ * docs/OBSERVABILITY.md, and scripts/make_report.py renders the
+ * whole bundle as one self-contained HTML report.
  */
 
 #include <cstdio>
@@ -58,6 +60,7 @@ runObservabilityDemo(const elsa::Elsa& engine,
     config.collect_query_trace = true;
     config.emit_trace = true;
     config.attribute_stalls = true;
+    config.telemetry.enabled = true;
 
     obs::StatsRegistry& registry = obs::globalRegistry();
     obs::TraceWriter trace(dir + "/trace.json");
@@ -73,6 +76,13 @@ runObservabilityDemo(const elsa::Elsa& engine,
         registry.dumpJson(stats_json);
         std::ofstream stats_csv(dir + "/stats.csv");
         registry.dumpCsv(stats_csv);
+    }
+
+    if (result.telemetry != nullptr) {
+        std::ofstream telemetry_json(dir + "/telemetry.json");
+        writeTelemetryJson(telemetry_json, *result.telemetry,
+                           registry, "sim.accel0", config,
+                           &result.query_trace);
     }
 
     obs::RunManifest manifest("quickstart");
@@ -117,10 +127,13 @@ runObservabilityDemo(const elsa::Elsa& engine,
                 "(SimConfig::attribute_stalls):\n%s",
                 formatBottleneckReport(bottleneck).c_str());
     std::printf("\nObservability dump: %s/{stats.json, stats.csv, "
-                "trace.json, manifest.json}\n",
+                "trace.json, telemetry.json, manifest.json}\n",
                 dir.c_str());
     std::printf("Open %s/trace.json in https://ui.perfetto.dev or "
                 "chrome://tracing.\n",
+                dir.c_str());
+    std::printf("Render an HTML run report with: "
+                "python3 scripts/make_report.py %s\n",
                 dir.c_str());
 }
 

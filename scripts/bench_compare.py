@@ -167,21 +167,24 @@ def direction(name):
 
 
 def compare_metric(label, base, cur, tolerance):
-    """Return (status, detail); status in ok/improved/regressed."""
+    """Return (status, detail, rel); status in ok/improved/regressed;
+    rel is the relative delta, or None for exact/non-numeric
+    comparisons."""
     if isinstance(base, (str, bool)) or isinstance(cur, (str, bool)):
         if base == cur:
-            return "ok", f"{base!r}"
-        return "regressed", f"{base!r} -> {cur!r} (must match)"
+            return "ok", f"{base!r}", None
+        return "regressed", f"{base!r} -> {cur!r} (must match)", None
 
     if any(needle in label for needle in EXACT):
         if base == cur:
-            return "ok", f"{base}"
-        return "regressed", f"{base} -> {cur} (must match exactly)"
+            return "ok", f"{base}", None
+        return ("regressed", f"{base} -> {cur} (must match exactly)",
+                None)
 
     base = float(base)
     cur = float(cur)
     if base == cur:
-        return "ok", f"{base:g}"
+        return "ok", f"{base:g}", 0.0
     denom = abs(base) if base != 0.0 else 1.0
     rel = (cur - base) / denom
     detail = f"{base:g} -> {cur:g} ({rel:+.2%})"
@@ -192,10 +195,35 @@ def compare_metric(label, base, cur, tolerance):
         else rel * sign < -tolerance
     )
     if worse:
-        return "regressed", detail + f", tolerance {tolerance:.0%}"
+        return ("regressed", detail + f", tolerance {tolerance:.0%}",
+                rel)
     if sign != 0 and rel * sign > tolerance:
-        return "improved", detail
-    return "ok", detail
+        return "improved", detail, rel
+    return "ok", detail, rel
+
+
+def print_summary_table(summary):
+    """Per-bench delta rollup, printed on success and failure alike:
+    metric count, improved/advisory/regressed tallies, and the
+    largest gated relative delta with the metric it came from."""
+    name_width = max([len(name) for name in summary] + [len("bench")])
+    header = (
+        f"{'bench':<{name_width}}  {'cmp':>4} {'imp':>4} "
+        f"{'adv':>4} {'reg':>4}  {'max delta':>10}  metric"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, row in sorted(summary.items()):
+        if row["max_rel"] is None:
+            delta = "-"
+        else:
+            delta = f"{row['max_rel']:+.2%}"
+        print(
+            f"{name:<{name_width}}  {row['compared']:>4} "
+            f"{row['improved']:>4} {row['advisory']:>4} "
+            f"{row['regressed']:>4}  {delta:>10}  "
+            f"{row['max_metric']}"
+        )
 
 
 def main():
@@ -232,10 +260,20 @@ def main():
     improvements = []
     advisories = []
     compared = 0
+    # Per-bench rollup, printed as a summary table even when every
+    # metric is within tolerance (so a green run still shows how far
+    # each entry drifted).
+    summary = {}
     for name, base_bench in sorted(baseline["benches"].items()):
+        row = summary.setdefault(
+            name,
+            {"compared": 0, "improved": 0, "regressed": 0,
+             "advisory": 0, "max_rel": None, "max_metric": "-"},
+        )
         cur_bench = current["benches"].get(name)
         if cur_bench is None:
             regressions.append((f"{name}", "bench missing from current"))
+            row["regressed"] += 1
             continue
         base_metrics = base_bench["metrics"]
         cur_metrics = cur_bench["metrics"]
@@ -247,18 +285,21 @@ def main():
                     advisories.append(
                         (label, "wall-time metric missing from current")
                     )
+                    row["advisory"] += 1
                 else:
                     regressions.append(
                         (label, "metric missing from current")
                     )
+                    row["regressed"] += 1
                 continue
             compared += 1
+            row["compared"] += 1
             tol = (
                 WALL_TIME_TOLERANCE
                 if advisory
                 else metric_tolerance(metric, args.tolerance)
             )
-            status, detail = compare_metric(
+            status, detail, rel = compare_metric(
                 metric, base_value, cur_metrics[metric], tol
             )
             if advisory and status != "ok":
@@ -266,13 +307,22 @@ def main():
                 # wall-time move is never a gate failure.
                 advisories.append((label, detail))
                 status = "advisory"
+                row["advisory"] += 1
             elif status == "regressed":
                 regressions.append((label, detail))
+                row["regressed"] += 1
             elif status == "improved":
                 improvements.append((label, detail))
+                row["improved"] += 1
+            if (rel is not None and not advisory
+                    and (row["max_rel"] is None
+                         or abs(rel) > abs(row["max_rel"]))):
+                row["max_rel"] = rel
+                row["max_metric"] = metric
             if args.list_metrics:
                 print(f"  {status:>9}  {label}: {detail}")
 
+    print_summary_table(summary)
     for label, detail in improvements:
         print(f"IMPROVED  {label}: {detail}")
     for label, detail in advisories:

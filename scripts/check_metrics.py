@@ -2,17 +2,21 @@
 """End-to-end validation of the observability artifacts.
 
 Runs the quickstart binary with --obs-dir (stats + tracing + host
-profiling enabled) in a temporary directory and validates the four
+profiling enabled) in a temporary directory and validates the five
 emitted files against the schema documented in docs/OBSERVABILITY.md:
 
-  stats.json    - metric-name grammar, per-kind field sets, and the
-                  invariant active_cycles <= cycles.total per module;
-  stats.csv     - header row and one row per scalar facet;
-  trace.json    - Chrome trace_event JSON object form, required
-                  per-event fields, metadata coverage;
-  manifest.json - required sections, schema_version, and the
-                  cross-check that the manifest's utilization equals
-                  active_cycles / cycles.total from stats.json.
+  stats.json     - metric-name grammar, per-kind field sets, and the
+                   invariant active_cycles <= cycles.total per module;
+  stats.csv      - header row and one row per scalar facet;
+  trace.json     - Chrome trace_event JSON object form, required
+                   per-event fields, metadata coverage;
+  telemetry.json - binned cycle-domain time series: schema, shared
+                   bin axis, and exact conservation of the stall
+                   channels' bin sums against the stats.json stall
+                   counters;
+  manifest.json  - required sections, schema_version, and the
+                   cross-check that the manifest's utilization equals
+                   active_cycles / cycles.total from stats.json.
 
 The stall-attribution counters (<prefix>.stall.<module>.<cause>) are
 validated structurally (only known module/cause names) and
@@ -49,6 +53,11 @@ DISTRIBUTION_FIELDS = {"kind", "count", "mean", "stddev", "min", "max"}
 HISTOGRAM_FIELDS = {
     "kind", "count", "sum", "underflow", "overflow", "edges", "counts",
 }
+# Streaming quantile digests (obs/digest.h): quantile fields appear
+# only once the digest has seen at least one sample.
+DIGEST_QUANTILES = ["min", "p50", "p90", "p95", "p99", "max"]
+DIGEST_FIELDS_EMPTY = {"kind", "count"}
+DIGEST_FIELDS = DIGEST_FIELDS_EMPTY | set(DIGEST_QUANTILES)
 
 HW_MODULES = [
     "hash_computation",
@@ -121,13 +130,25 @@ def check_stats(stats):
               f"stats: invalid metric name {name!r}")
         if isinstance(value, dict):
             kind = value.get("kind")
-            check(kind in ("distribution", "histogram"),
+            check(kind in ("distribution", "histogram", "digest"),
                   f"stats: {name}: unknown kind {kind!r}")
-            expected = (DISTRIBUTION_FIELDS if kind == "distribution"
-                        else HISTOGRAM_FIELDS)
+            if kind == "digest":
+                expected = (DIGEST_FIELDS if value.get("count")
+                            else DIGEST_FIELDS_EMPTY)
+            elif kind == "distribution":
+                expected = DISTRIBUTION_FIELDS
+            else:
+                expected = HISTOGRAM_FIELDS
             check(set(value) == expected,
                   f"stats: {name}: fields {sorted(value)} != "
                   f"{sorted(expected)}")
+            if kind == "digest" and value.get("count"):
+                quantiles = [value.get(q) for q in DIGEST_QUANTILES]
+                check(all(isinstance(q, (int, float))
+                          for q in quantiles)
+                      and quantiles == sorted(quantiles),
+                      f"stats: {name}: digest quantiles not "
+                      f"monotone: {quantiles}")
             if kind == "histogram":
                 check(len(value["edges"]) == len(value["counts"]) + 1,
                       f"stats: {name}: edges/counts length mismatch")
@@ -240,6 +261,126 @@ def check_fault_counters(stats, prefix):
               + present["detected"] + present["corrected"],
               f"stats: fault counters violate injected == silent + "
               f"detected + corrected ({present})")
+
+
+def check_telemetry(telemetry, stats):
+    """Validate telemetry.json (docs/OBSERVABILITY.md): schema, one
+    shared bin axis, and conservation -- every stall channel's bin
+    sum must equal the matching stats.json stall counter exactly
+    (both are integer tallies of the same lane cycles; the recorder's
+    telescoped rounding makes the bins sum exactly)."""
+    prefix = telemetry.get("prefix")
+    check(telemetry.get("schema_version") == 1,
+          "telemetry: schema_version != 1")
+    check(prefix == "sim.accel0",
+          f"telemetry: prefix {prefix!r} != 'sim.accel0'")
+    bin_width = telemetry.get("bin_width_cycles")
+    check(isinstance(bin_width, (int, float)) and bin_width >= 1,
+          f"telemetry: bad bin_width_cycles {bin_width!r}")
+    num_bins = telemetry.get("num_bins")
+    check(isinstance(num_bins, int) and num_bins >= 1,
+          f"telemetry: bad num_bins {num_bins!r}")
+    check(telemetry.get("total_cycles")
+          == stats.get(f"{prefix}.cycles.total"),
+          "telemetry: total_cycles != stats cycles.total")
+    check(telemetry.get("invocations")
+          == stats.get(f"{prefix}.invocations"),
+          "telemetry: invocations != stats invocations")
+
+    channels = telemetry.get("channels")
+    check(isinstance(channels, dict) and channels,
+          "telemetry: channels missing or empty")
+    if not isinstance(channels, dict):
+        return
+    for name, bins in sorted(channels.items()):
+        check(isinstance(bins, list) and len(bins) == num_bins,
+              f"telemetry: {name}: {len(bins)} bins != num_bins "
+              f"{num_bins}")
+        check(all(isinstance(v, (int, float)) and v >= 0
+                  for v in bins),
+              f"telemetry: {name}: non-numeric or negative bin")
+
+    # Exact conservation: stall channel bin sums == stats counters,
+    # in both directions (every channel has a counter, every cause
+    # counter has a channel; lane_cycles is totals-only by design).
+    for name, bins in sorted(channels.items()):
+        if not name.startswith("stall."):
+            continue
+        parts = name.split(".")
+        check(len(parts) == 3 and parts[1] in STALL_MODULES
+              and parts[2] in STALL_FIELDS
+              and parts[2] != "lane_cycles",
+              f"telemetry: malformed stall channel {name!r}")
+        counter = stats.get(f"{prefix}.{name}")
+        check(isinstance(counter, (int, float))
+              and sum(bins) == counter,
+              f"telemetry: {name}: bin sum {sum(bins)} != stats "
+              f"counter {counter!r} (conservation violated)")
+    for stat_name in stats:
+        stall_prefix = f"{prefix}.stall."
+        if (not stat_name.startswith(stall_prefix)
+                or stat_name.endswith(".lane_cycles")):
+            continue
+        channel = stat_name[len(prefix) + 1:]
+        check(channel in channels,
+              f"telemetry: stats counter {stat_name} has no "
+              f"telemetry channel")
+
+    # Activity channels integrate the same per-module activity the
+    # active_cycles counters hold (float accumulation -> tolerance).
+    for module in HW_MODULES:
+        name = f"activity.{module}"
+        check(name in channels, f"telemetry: missing channel {name}")
+        active = stats.get(f"{prefix}.{module}.active_cycles")
+        if name in channels and isinstance(active, (int, float)):
+            total = sum(channels[name])
+            check(abs(total - active)
+                  <= 1e-6 * max(1.0, abs(active)),
+                  f"telemetry: {name}: bin sum {total} != "
+                  f"active_cycles {active}")
+    check("queue.occupancy_cycles" in channels,
+          "telemetry: missing channel queue.occupancy_cycles")
+    queries = stats.get(f"{prefix}.queries")
+    completed = channels.get("queries.completed")
+    check(completed is not None
+          and isinstance(queries, (int, float))
+          and sum(completed) == queries,
+          "telemetry: queries.completed bin sum != stats queries")
+
+    energy = telemetry.get("energy", {})
+    per_bin = energy.get("bin_total_uj") if isinstance(energy, dict) \
+        else None
+    check(isinstance(per_bin, list) and len(per_bin) == num_bins,
+          "telemetry: energy.bin_total_uj missing or wrong length")
+    if isinstance(per_bin, list):
+        check(all(isinstance(v, (int, float)) and v >= 0
+                  for v in per_bin),
+              "telemetry: energy.bin_total_uj has negative entries")
+
+    digests = telemetry.get("digests")
+    check(isinstance(digests, dict)
+          and f"{prefix}.latency.cycles_digest" in digests,
+          "telemetry: missing latency.cycles_digest digest")
+    if isinstance(digests, dict):
+        for name, digest in sorted(digests.items()):
+            count = digest.get("count")
+            check(isinstance(count, (int, float)) and count >= 1,
+                  f"telemetry: {name}: empty digest published")
+            quantiles = [digest.get(q) for q in DIGEST_QUANTILES]
+            check(all(isinstance(q, (int, float))
+                      for q in quantiles)
+                  and quantiles == sorted(quantiles),
+                  f"telemetry: {name}: quantiles not monotone: "
+                  f"{quantiles}")
+
+    intervals = telemetry.get("query_intervals")
+    if intervals is not None and isinstance(digests, dict):
+        interval_digest = digests.get(
+            f"{prefix}.query.interval_cycles_digest", {})
+        if not telemetry.get("query_intervals_truncated", False):
+            check(len(intervals) == interval_digest.get("count"),
+                  "telemetry: query_intervals length != interval "
+                  "digest count")
 
 
 def check_stats_csv(path):
@@ -424,7 +565,7 @@ def main():
             return 1
 
         for name in ("stats.json", "stats.csv", "trace.json",
-                     "manifest.json"):
+                     "telemetry.json", "manifest.json"):
             check(os.path.exists(os.path.join(obs_dir, name)),
                   f"missing artifact {name}")
         if failures:
@@ -434,6 +575,9 @@ def main():
         check_stats(stats)
         check_stats_csv(os.path.join(obs_dir, "stats.csv"))
         check_trace(load_json(os.path.join(obs_dir, "trace.json")))
+        check_telemetry(load_json(os.path.join(obs_dir,
+                                               "telemetry.json")),
+                        stats)
         check_manifest(load_json(os.path.join(obs_dir,
                                               "manifest.json")),
                        stats)

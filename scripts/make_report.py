@@ -1,0 +1,428 @@
+#!/usr/bin/env python3
+"""Render an observability bundle as one self-contained HTML report.
+
+Usage:
+    make_report.py <obs-dir> [--out report.html]
+
+<obs-dir> is a directory produced by `quickstart --obs-dir` or
+`elsa_bench --report` (docs/OBSERVABILITY.md): it must contain
+stats.json, telemetry.json, and manifest.json.  The report inlines
+everything -- styles and SVG charts -- so the single output file can
+be archived or attached to a CI run as-is, with no external assets:
+
+  * run header: build info, configuration, headline cycle counts;
+  * per-module utilization timeline (activity.* channels over the
+    binned cycle axis);
+  * stall-cause stacked area (lane-cycle fractions per cause,
+    summed over the attributed modules);
+  * energy over time (per-bin microjoules from the activity-based
+    energy model);
+  * latency histogram of the per-query intervals with the streaming
+    digest's percentile markers overlaid;
+  * bottleneck attribution, latency digests, and fault counters.
+
+Standard library only; deterministic output for identical inputs.
+Exit status 0 on success, 1 on malformed/missing inputs.  Wired into
+CTest as the `make_report` test, and run by the CI Release job on
+the quick-bench bundle.
+"""
+
+import argparse
+import html
+import json
+import os
+import sys
+
+STALL_CAUSES = [
+    ("busy", "#4c78a8"),
+    ("starved", "#e45756"),
+    ("backpressured", "#f58518"),
+    ("bank_conflict", "#72b7b2"),
+    ("drained", "#b279a2"),
+    ("fault_retry", "#54a24b"),
+]
+
+MODULE_COLORS = [
+    "#4c78a8", "#f58518", "#e45756", "#72b7b2", "#54a24b",
+    "#eeca3b", "#b279a2", "#ff9da6", "#9d755d",
+]
+
+PERCENTILES = [("p50", "#54a24b"), ("p90", "#eeca3b"),
+               ("p95", "#f58518"), ("p99", "#e45756")]
+
+CSS = """
+body { font-family: system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4c78a8; padding-bottom: 0.2em; }
+h2 { margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+th, td { border: 1px solid #cbd2dc; padding: 0.25em 0.7em;
+         text-align: left; font-size: 0.92em; }
+th { background: #eef2f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+svg { background: #fbfcfe; border: 1px solid #cbd2dc;
+      margin: 0.4em 0; }
+.legend span { display: inline-block; margin-right: 1.1em;
+               font-size: 0.88em; }
+.swatch { display: inline-block; width: 0.8em; height: 0.8em;
+          margin-right: 0.3em; border-radius: 2px; }
+.note { color: #55607a; font-size: 0.88em; }
+"""
+
+
+def die(message):
+    print(f"make_report: error: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        die(f"cannot load {path}: {exc}")
+
+
+def fmt(value):
+    """Compact human formatting for table cells."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return html.escape(str(value))
+
+
+def svg_header(width, height):
+    return (f'<svg width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}" '
+            f'xmlns="http://www.w3.org/2000/svg">')
+
+
+class Plot:
+    """A single SVG chart: fixed margins, linear x/y mapping, and
+    string-assembled elements (deterministic digit formatting)."""
+
+    W, H = 860, 260
+    ML, MR, MT, MB = 58, 14, 12, 34
+
+    def __init__(self, x_max, y_max, y_label):
+        self.x_max = max(x_max, 1e-12)
+        self.y_max = max(y_max, 1e-12)
+        self.parts = [svg_header(self.W, self.H)]
+        self._axes(y_label)
+
+    def x(self, v):
+        inner = self.W - self.ML - self.MR
+        return self.ML + inner * (v / self.x_max)
+
+    def y(self, v):
+        inner = self.H - self.MT - self.MB
+        return self.H - self.MB - inner * (v / self.y_max)
+
+    def _axes(self, y_label):
+        a = self.parts.append
+        a(f'<line x1="{self.ML}" y1="{self.MT}" x2="{self.ML}" '
+          f'y2="{self.H - self.MB}" stroke="#55607a"/>')
+        a(f'<line x1="{self.ML}" y1="{self.H - self.MB}" '
+          f'x2="{self.W - self.MR}" y2="{self.H - self.MB}" '
+          f'stroke="#55607a"/>')
+        for i in range(5):
+            vy = self.y_max * i / 4
+            py = self.y(vy)
+            a(f'<line x1="{self.ML - 4}" y1="{py:.1f}" '
+              f'x2="{self.W - self.MR}" y2="{py:.1f}" '
+              f'stroke="#e3e8f0"/>')
+            a(f'<text x="{self.ML - 8}" y="{py + 4:.1f}" '
+              f'text-anchor="end" font-size="11">{vy:.3g}</text>')
+        for i in range(5):
+            vx = self.x_max * i / 4
+            px = self.x(vx)
+            a(f'<text x="{px:.1f}" y="{self.H - self.MB + 16}" '
+              f'text-anchor="middle" font-size="11">{vx:.4g}</text>')
+        a(f'<text x="{self.ML - 44}" y="{self.MT + 2}" '
+          f'font-size="11">{html.escape(y_label)}</text>')
+        a(f'<text x="{(self.ML + self.W - self.MR) / 2:.0f}" '
+          f'y="{self.H - 6}" text-anchor="middle" font-size="11">'
+          f'cycles</text>')
+
+    def polyline(self, xs, ys, color):
+        pts = " ".join(f"{self.x(px):.1f},{self.y(py):.1f}"
+                       for px, py in zip(xs, ys))
+        self.parts.append(f'<polyline points="{pts}" fill="none" '
+                          f'stroke="{color}" stroke-width="1.6"/>')
+
+    def area(self, xs, lo, hi, color):
+        fwd = [f"{self.x(px):.1f},{self.y(py):.1f}"
+               for px, py in zip(xs, hi)]
+        back = [f"{self.x(px):.1f},{self.y(py):.1f}"
+                for px, py in zip(reversed(xs), reversed(lo))]
+        self.parts.append(
+            f'<polygon points="{" ".join(fwd + back)}" '
+            f'fill="{color}" fill-opacity="0.85" stroke="none"/>')
+
+    def vline(self, vx, color, label):
+        px = self.x(vx)
+        self.parts.append(
+            f'<line x1="{px:.1f}" y1="{self.MT}" x2="{px:.1f}" '
+            f'y2="{self.H - self.MB}" stroke="{color}" '
+            f'stroke-width="1.4" stroke-dasharray="4,3"/>')
+        self.parts.append(
+            f'<text x="{px + 3:.1f}" y="{self.MT + 12}" '
+            f'font-size="11" fill="{color}">{label}</text>')
+
+    def bar(self, x0, x1, v, color):
+        px0, px1 = self.x(x0), self.x(x1)
+        py = self.y(v)
+        h = self.H - self.MB - py
+        self.parts.append(
+            f'<rect x="{px0:.1f}" y="{py:.1f}" '
+            f'width="{max(px1 - px0 - 0.5, 0.5):.1f}" '
+            f'height="{max(h, 0):.1f}" fill="{color}"/>')
+
+    def render(self):
+        return "".join(self.parts) + "</svg>"
+
+
+def legend(entries):
+    spans = "".join(
+        f'<span><span class="swatch" style="background:{color}">'
+        f"</span>{html.escape(name)}</span>"
+        for name, color in entries)
+    return f'<div class="legend">{spans}</div>'
+
+
+def table(rows, headers):
+    out = ["<table><tr>"]
+    out += [f"<th>{html.escape(h)}</th>" for h in headers]
+    out.append("</tr>")
+    for row in rows:
+        out.append("<tr>")
+        for i, cell in enumerate(row):
+            cls = ' class="num"' if i > 0 else ""
+            out.append(f"<td{cls}>{fmt(cell)}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def bin_centers(num_bins, bin_width):
+    return [(b + 0.5) * bin_width for b in range(num_bins)]
+
+
+def utilization_chart(telemetry):
+    """Per-module activity per bin, normalized by the bin's elapsed
+    cycle coverage (the output-division module has one lane, so its
+    stall-cause sum per bin is exactly that coverage)."""
+    channels = telemetry["channels"]
+    num_bins = telemetry["num_bins"]
+    width = telemetry["bin_width_cycles"]
+    coverage = [0.0] * num_bins
+    for name, bins in channels.items():
+        if name.startswith("stall.output_division."):
+            for b, v in enumerate(bins):
+                coverage[b] += v
+    modules = sorted(name for name in channels
+                     if name.startswith("activity."))
+    xs = bin_centers(num_bins, width)
+    plot = Plot(num_bins * width, 1.0, "utilization")
+    entries = []
+    for i, name in enumerate(modules):
+        color = MODULE_COLORS[i % len(MODULE_COLORS)]
+        ys = [min(v / c, 1.0) if c > 0 else 0.0
+              for v, c in zip(channels[name], coverage)]
+        plot.polyline(xs, ys, color)
+        entries.append((name[len("activity."):], color))
+    return plot.render() + legend(entries)
+
+
+def stall_chart(telemetry):
+    """Stacked lane-cycle fractions per stall cause, summed over the
+    attributed modules."""
+    channels = telemetry["channels"]
+    num_bins = telemetry["num_bins"]
+    width = telemetry["bin_width_cycles"]
+    per_cause = {}
+    for name, bins in channels.items():
+        if not name.startswith("stall."):
+            continue
+        cause = name.split(".")[2]
+        if not cause.endswith("_cycles"):
+            continue
+        cause = cause[: -len("_cycles")]
+        acc = per_cause.setdefault(cause, [0.0] * num_bins)
+        for b, v in enumerate(bins):
+            acc[b] += v
+    totals = [sum(per_cause[c][b] for c in per_cause)
+              for b in range(num_bins)]
+    xs = bin_centers(num_bins, width)
+    plot = Plot(num_bins * width, 1.0, "lane fraction")
+    lo = [0.0] * num_bins
+    entries = []
+    for cause, color in STALL_CAUSES:
+        if cause not in per_cause:
+            continue
+        hi = [l + (v / t if t > 0 else 0.0)
+              for l, v, t in zip(lo, per_cause[cause], totals)]
+        plot.area(xs, lo, hi, color)
+        entries.append((cause, color))
+        lo = hi
+    return plot.render() + legend(entries)
+
+
+def energy_chart(telemetry):
+    per_bin = telemetry["energy"]["bin_total_uj"]
+    width = telemetry["bin_width_cycles"]
+    plot = Plot(len(per_bin) * width, max(per_bin + [0.0]), "uJ/bin")
+    for b, v in enumerate(per_bin):
+        plot.bar(b * width, (b + 1) * width, v, "#4c78a8")
+    total = sum(per_bin)
+    return (plot.render()
+            + f'<p class="note">total energy: {total:.4g} uJ '
+            f"(activity-based model, Table I powers)</p>")
+
+
+def latency_chart(telemetry):
+    intervals = telemetry.get("query_intervals")
+    if not intervals:
+        return ('<p class="note">no per-query intervals in this '
+                "bundle (collect_query_trace off)</p>")
+    digest = telemetry.get("digests", {}).get(
+        f"{telemetry['prefix']}.query.interval_cycles_digest", {})
+    lo, hi = min(intervals), max(intervals)
+    span = max(hi - lo, 1.0)
+    nbuckets = min(40, max(8, len(set(intervals))))
+    counts = [0] * nbuckets
+    for v in intervals:
+        i = min(int((v - lo) / span * nbuckets), nbuckets - 1)
+        counts[i] += 1
+
+    plot = Plot(span, max(counts), "queries")
+    bw = span / nbuckets
+    for b, c in enumerate(counts):
+        plot.bar(b * bw, (b + 1) * bw, c, "#72b7b2")
+    entries = []
+    for name, color in PERCENTILES:
+        value = digest.get(name)
+        if isinstance(value, (int, float)):
+            plot.vline(value - lo, color, name)
+            entries.append((f"{name} = {value:.4g}", color))
+    note = (f'<p class="note">x axis: per-query interval cycles, '
+            f"offset {lo:.4g}; digest percentiles overlaid "
+            f"(t-digest, see docs/OBSERVABILITY.md for accuracy "
+            f"bounds)</p>")
+    return plot.render() + legend(entries) + note
+
+
+def manifest_section(manifest):
+    out = []
+    for section in ("build", "config", "metrics"):
+        data = manifest.get(section, {})
+        if not isinstance(data, dict) or not data:
+            continue
+        rows = [(k, v) for k, v in sorted(data.items())]
+        out.append(f"<h2>{section.capitalize()}</h2>")
+        out.append(table(rows, [section, "value"]))
+    return "".join(out)
+
+
+def bottleneck_section(manifest):
+    data = manifest.get("bottleneck")
+    if not isinstance(data, dict) or not data:
+        return ""
+    rows = [(k, v) for k, v in sorted(data.items())]
+    return "<h2>Bottleneck attribution</h2>" + table(
+        rows, ["field", "value"])
+
+
+def digest_section(telemetry):
+    digests = telemetry.get("digests", {})
+    if not digests:
+        return ""
+    headers = ["digest", "count", "min", "p50", "p90", "p95", "p99",
+               "max"]
+    rows = []
+    for name, d in sorted(digests.items()):
+        rows.append([name] + [d.get(f, "-") for f in headers[1:]])
+    return "<h2>Latency digests</h2>" + table(rows, headers)
+
+
+def fault_section(stats, prefix):
+    rows = [(name[len(prefix) + 1:], value)
+            for name, value in sorted(stats.items())
+            if name.startswith(f"{prefix}.fault.")]
+    if not rows:
+        return ""
+    return "<h2>Fault counters</h2>" + table(
+        rows, ["counter", "value"])
+
+
+def build_report(obs_dir):
+    stats = load_json(os.path.join(obs_dir, "stats.json"))
+    telemetry = load_json(os.path.join(obs_dir, "telemetry.json"))
+    manifest = load_json(os.path.join(obs_dir, "manifest.json"))
+    if telemetry.get("schema_version") != 1:
+        die(f"unsupported telemetry schema_version "
+            f"{telemetry.get('schema_version')!r}")
+    prefix = telemetry.get("prefix", "sim.accel0")
+
+    artifact = manifest.get("artifact", "run")
+    total = telemetry.get("total_cycles", 0)
+    invocations = telemetry.get("invocations", 0)
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>ELSA run report: {html.escape(str(artifact))}"
+        f"</title>",
+        f"<style>{CSS}</style></head><body>",
+        f"<h1>ELSA run report: {html.escape(str(artifact))}</h1>",
+        f'<p class="note">{fmt(total)} total cycles over '
+        f"{fmt(invocations)} invocation(s); "
+        f"bin width {fmt(telemetry['bin_width_cycles'])} cycles, "
+        f"{fmt(telemetry['num_bins'])} bins; prefix "
+        f"{html.escape(prefix)}</p>",
+        "<h2>Per-module utilization over time</h2>",
+        utilization_chart(telemetry),
+        "<h2>Stall causes over time</h2>",
+        stall_chart(telemetry),
+        "<h2>Energy over time</h2>",
+        energy_chart(telemetry),
+        "<h2>Per-query latency</h2>",
+        latency_chart(telemetry),
+        digest_section(telemetry),
+        bottleneck_section(manifest),
+        fault_section(stats, prefix),
+        manifest_section(manifest),
+        "</body></html>",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("obs_dir",
+                        help="observability bundle directory")
+    parser.add_argument("--out", default=None,
+                        help="output path "
+                        "(default: <obs-dir>/report.html)")
+    args = parser.parse_args()
+
+    for name in ("stats.json", "telemetry.json", "manifest.json"):
+        if not os.path.exists(os.path.join(args.obs_dir, name)):
+            die(f"{args.obs_dir}: missing {name} (produce the "
+                f"bundle with `quickstart --obs-dir` or "
+                f"`elsa_bench --report`)")
+
+    report = build_report(args.obs_dir)
+    out = args.out or os.path.join(args.obs_dir, "report.html")
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(report)
+    print(f"make_report: wrote {out} ({len(report)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ metricKindName(MetricKind kind)
     case MetricKind::kCounter: return "counter";
     case MetricKind::kDistribution: return "distribution";
     case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kDigest: return "digest";
     }
     ELSA_PANIC("unknown MetricKind");
 }
@@ -98,6 +99,17 @@ StatsRegistry::histogram(const std::string& name,
     return *entry.histogram;
 }
 
+QuantileDigest&
+StatsRegistry::digest(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    Entry& entry = findOrCreate(name, MetricKind::kDigest);
+    if (entry.digest == nullptr) {
+        entry.digest = std::make_unique<QuantileDigest>();
+    }
+    return *entry.digest;
+}
+
 MetricKind
 StatsRegistry::kind(const std::string& name) const
 {
@@ -142,6 +154,20 @@ StatsRegistry::counterValue(const std::string& name) const
     return it->second.counter->get();
 }
 
+QuantileDigest
+StatsRegistry::digestValue(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = metrics_.find(name);
+    ELSA_CHECK(it != metrics_.end(),
+               "metric '" << name << "' is not registered");
+    ELSA_CHECK(it->second.kind == MetricKind::kDigest,
+               "metric '" << name << "' is a "
+                          << metricKindName(it->second.kind)
+                          << ", not a digest");
+    return *it->second.digest;
+}
+
 void
 StatsRegistry::reset()
 {
@@ -154,6 +180,7 @@ StatsRegistry::reset()
             entry.distribution->reset();
             break;
         case MetricKind::kHistogram: entry.histogram->reset(); break;
+        case MetricKind::kDigest: entry.digest->reset(); break;
         }
     }
 }
@@ -209,6 +236,22 @@ StatsRegistry::dumpJson(std::ostream& os, bool pretty) const
                 w.value(h.bucketCount(i));
             }
             w.endArray();
+            w.endObject();
+            break;
+        }
+        case MetricKind::kDigest: {
+            const QuantileDigest& d = *entry.digest;
+            w.beginObject();
+            w.kv("kind", "digest");
+            w.kv("count", d.count());
+            if (d.count() > 0) {
+                w.kv("min", d.min());
+                w.kv("max", d.max());
+                w.kv("p50", d.quantile(0.50));
+                w.kv("p90", d.quantile(0.90));
+                w.kv("p95", d.quantile(0.95));
+                w.kv("p99", d.quantile(0.99));
+            }
             w.endObject();
             break;
         }
@@ -268,6 +311,20 @@ StatsRegistry::dumpCsv(std::ostream& os) const
                 csvRow(os, name, "histogram",
                        "bucket[" + std::to_string(i) + "]",
                        static_cast<double>(h.bucketCount(i)));
+            }
+            break;
+        }
+        case MetricKind::kDigest: {
+            const QuantileDigest& d = *entry.digest;
+            csvRow(os, name, "digest", "count",
+                   static_cast<double>(d.count()));
+            if (d.count() > 0) {
+                csvRow(os, name, "digest", "min", d.min());
+                csvRow(os, name, "digest", "max", d.max());
+                csvRow(os, name, "digest", "p50", d.quantile(0.50));
+                csvRow(os, name, "digest", "p90", d.quantile(0.90));
+                csvRow(os, name, "digest", "p95", d.quantile(0.95));
+                csvRow(os, name, "digest", "p99", d.quantile(0.99));
             }
             break;
         }

@@ -14,7 +14,9 @@
  *
  *  - Counter:       a monotonically growing (or set) scalar double;
  *  - Distribution:  a RunningStat (count/mean/stddev/min/max);
- *  - Histogram:     fixed-bucket counts (see obs/histogram.h).
+ *  - Histogram:     fixed-bucket counts (see obs/histogram.h);
+ *  - Digest:        a streaming quantile sketch for p50/p95/p99
+ *                   reporting (see obs/digest.h).
  *
  * Metric objects are stable: the reference returned by counter() et
  * al. stays valid for the registry's lifetime, so hot paths can
@@ -45,6 +47,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/digest.h"
 #include "obs/histogram.h"
 
 namespace elsa::obs {
@@ -107,9 +110,10 @@ enum class MetricKind
     kCounter,
     kDistribution,
     kHistogram,
+    kDigest,
 };
 
-/** Human-readable kind name ("counter", "distribution", "histogram"). */
+/** Kind name ("counter", "distribution", "histogram", "digest"). */
 const char* metricKindName(MetricKind kind);
 
 /**
@@ -140,6 +144,12 @@ class StatsRegistry
     Histogram& histogram(const std::string& name,
                          const Histogram& prototype);
 
+    /**
+     * Find-or-create a quantile digest (default compression);
+     * fatal on kind collision.
+     */
+    QuantileDigest& digest(const std::string& name);
+
     /** Kind of a registered name; fatal when unknown. */
     MetricKind kind(const std::string& name) const;
 
@@ -161,6 +171,13 @@ class StatsRegistry
      * counter. The read-side companion of counter() for report code.
      */
     double counterValue(const std::string& name) const;
+
+    /**
+     * Snapshot copy of a registered digest; fatal when the name is
+     * missing or not a digest. The read-side companion of digest()
+     * for report code.
+     */
+    QuantileDigest digestValue(const std::string& name) const;
 
     /**
      * Zero every metric, keeping the registrations (and therefore
@@ -194,6 +211,7 @@ class StatsRegistry
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Distribution> distribution;
         std::unique_ptr<Histogram> histogram;
+        std::unique_ptr<QuantileDigest> digest;
     };
 
     Entry& findOrCreate(const std::string& name, MetricKind kind);

@@ -1,0 +1,171 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/registry.h"
+
+namespace elsa::obs {
+
+TimeSeries::TimeSeries(std::uint64_t bin_width_cycles)
+    : bin_width_(bin_width_cycles)
+{
+    ELSA_CHECK(bin_width_ >= 1,
+               "time-series bin width must be >= 1 cycle");
+}
+
+std::size_t
+TimeSeries::channel(const std::string& name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        return it->second;
+    }
+    ELSA_CHECK(isValidMetricName(name),
+               "invalid channel name '"
+                   << name
+                   << "' (want dot-separated [a-z0-9_] segments)");
+    const std::size_t id = names_.size();
+    index_.emplace(name, id);
+    names_.push_back(name);
+    bins_.emplace_back();
+    return id;
+}
+
+std::vector<double>&
+TimeSeries::binsFor(std::size_t ch, std::uint64_t last_cycle)
+{
+    ELSA_CHECK(ch < bins_.size(),
+               "channel id " << ch << " out of range");
+    const std::size_t need =
+        static_cast<std::size_t>(last_cycle / bin_width_) + 1;
+    std::vector<double>& bins = bins_[ch];
+    if (bins.size() < need) {
+        bins.resize(need, 0.0);
+    }
+    num_bins_ = std::max(num_bins_, need);
+    return bins;
+}
+
+void
+TimeSeries::addSpread(std::size_t ch, std::uint64_t begin,
+                      std::uint64_t end, std::uint64_t value)
+{
+    if (value == 0) {
+        return;
+    }
+    if (end <= begin) {
+        addAt(ch, begin, static_cast<double>(value));
+        return;
+    }
+    const std::uint64_t range = end - begin;
+    std::vector<double>& bins = binsFor(ch, end - 1);
+    // Telescoped cumulative rounding: bins hold integer deltas of
+    // floor(value * elapsed / range), so they sum exactly to value.
+    std::uint64_t prev = 0;
+    for (std::uint64_t b = begin / bin_width_;
+         b <= (end - 1) / bin_width_; ++b) {
+        const std::uint64_t seg_end =
+            std::min<std::uint64_t>(end, (b + 1) * bin_width_);
+        const unsigned __int128 scaled =
+            static_cast<unsigned __int128>(value)
+            * (seg_end - begin);
+        const std::uint64_t cum =
+            static_cast<std::uint64_t>(scaled / range);
+        bins[static_cast<std::size_t>(b)] +=
+            static_cast<double>(cum - prev);
+        prev = cum;
+    }
+}
+
+void
+TimeSeries::addSpreadReal(std::size_t ch, std::uint64_t begin,
+                          std::uint64_t end, double value)
+{
+    if (value == 0.0) {
+        return;
+    }
+    if (end <= begin) {
+        addAt(ch, begin, value);
+        return;
+    }
+    const double range = static_cast<double>(end - begin);
+    std::vector<double>& bins = binsFor(ch, end - 1);
+    double prev = 0.0;
+    for (std::uint64_t b = begin / bin_width_;
+         b <= (end - 1) / bin_width_; ++b) {
+        const std::uint64_t seg_end =
+            std::min<std::uint64_t>(end, (b + 1) * bin_width_);
+        const double cum =
+            value * static_cast<double>(seg_end - begin) / range;
+        bins[static_cast<std::size_t>(b)] += cum - prev;
+        prev = cum;
+    }
+}
+
+void
+TimeSeries::addAt(std::size_t ch, std::uint64_t cycle, double value)
+{
+    std::vector<double>& bins = binsFor(ch, cycle);
+    bins[static_cast<std::size_t>(cycle / bin_width_)] += value;
+}
+
+void
+TimeSeries::merge(const TimeSeries& other)
+{
+    ELSA_CHECK(bin_width_ == other.bin_width_,
+               "cannot merge time series with bin widths "
+                   << bin_width_ << " and " << other.bin_width_);
+    for (const auto& [name, oid] : other.index_) {
+        const std::size_t ch = channel(name);
+        const std::vector<double>& src = other.bins_[oid];
+        std::vector<double>& dst = bins_[ch];
+        if (dst.size() < src.size()) {
+            dst.resize(src.size(), 0.0);
+        }
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            dst[i] += src[i];
+        }
+    }
+    num_bins_ = std::max(num_bins_, other.num_bins_);
+}
+
+std::vector<std::string>
+TimeSeries::channelNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(index_.size());
+    for (const auto& [name, id] : index_) {
+        (void)id;
+        out.push_back(name);
+    }
+    return out;
+}
+
+bool
+TimeSeries::hasChannel(const std::string& name) const
+{
+    return index_.find(name) != index_.end();
+}
+
+const std::vector<double>&
+TimeSeries::channelBins(const std::string& name) const
+{
+    const auto it = index_.find(name);
+    ELSA_CHECK(it != index_.end(),
+               "unknown time-series channel '" << name << "'");
+    return bins_[it->second];
+}
+
+double
+TimeSeries::channelTotal(const std::string& name) const
+{
+    const std::vector<double>& bins = channelBins(name);
+    double total = 0.0;
+    for (const double v : bins) {
+        total += v;
+    }
+    return total;
+}
+
+} // namespace elsa::obs

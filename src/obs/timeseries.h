@@ -1,0 +1,120 @@
+#ifndef ELSA_OBS_TIMESERIES_H_
+#define ELSA_OBS_TIMESERIES_H_
+
+/**
+ * @file
+ * Binned cycle-domain time series for simulator telemetry.
+ *
+ * A TimeSeries holds named channels of fixed-width cycle bins. The
+ * simulator attributes spans of work -- "module M spent V lane-
+ * cycles between cycle B and cycle E" -- and the recorder spreads V
+ * across the bins the span overlaps. Integer spreads use telescoped
+ * cumulative rounding: bin b receives
+ *
+ *     floor(V * (min(E, (b+1)*W) - B) / (E - B)) - previous
+ *
+ * so the per-bin contributions are integers that sum *exactly* to V
+ * (the partial sums telescope), which is what lets telemetry.json
+ * conserve bin sums against the stall-attribution totals with no
+ * tolerance (see docs/OBSERVABILITY.md). Real-valued spreads use
+ * the same telescoping in floating point, so their bins also sum to
+ * exactly the recorded value.
+ *
+ * Channel names follow the metric-name grammar (dotted lowercase
+ * [a-z0-9_] segments, checked at registration) and are enforced by
+ * the `metric-name` rule of tools/lint/elsa_lint.py just like
+ * StatsRegistry names.
+ *
+ * The recorder is deliberately *not* thread-safe: each accelerator
+ * clone records into its own instance on one thread and the array
+ * merges the shards serially in invocation-index order, which keeps
+ * every bin value bit-identical at any thread count
+ * (docs/PARALLELISM.md).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elsa::obs {
+
+/** Named channels of fixed-width cycle bins; see file comment. */
+class TimeSeries
+{
+  public:
+    /** @param bin_width_cycles Cycles per bin; must be >= 1. */
+    explicit TimeSeries(std::uint64_t bin_width_cycles);
+
+    /** Cycles per bin. */
+    std::uint64_t binWidth() const { return bin_width_; }
+
+    /**
+     * Find-or-create a channel; returns a dense id that stays valid
+     * for the recorder's lifetime. Fatal on an invalid name.
+     */
+    std::size_t channel(const std::string& name);
+
+    /**
+     * Spread an integer value over [begin, end) proportionally to
+     * bin overlap; the per-bin parts sum exactly to `value`. An
+     * empty span books the whole value at `begin`.
+     */
+    void addSpread(std::size_t ch, std::uint64_t begin,
+                   std::uint64_t end, std::uint64_t value);
+
+    /** Real-valued spread; bins sum to exactly `value` as well. */
+    void addSpreadReal(std::size_t ch, std::uint64_t begin,
+                       std::uint64_t end, double value);
+
+    /** Book `value` entirely in the bin containing `cycle`. */
+    void addAt(std::size_t ch, std::uint64_t cycle, double value);
+
+    /**
+     * Elementwise-add another recorder (equal bin widths required);
+     * channels are united by name. Deterministic for a fixed merge
+     * order.
+     */
+    void merge(const TimeSeries& other);
+
+    /** Bins in the longest channel recorded so far. */
+    std::size_t numBins() const { return num_bins_; }
+
+    /** Number of registered channels. */
+    std::size_t numChannels() const { return names_.size(); }
+
+    /** Channel names in sorted order. */
+    std::vector<std::string> channelNames() const;
+
+    /** True when the channel has been registered. */
+    bool hasChannel(const std::string& name) const;
+
+    /**
+     * Bins of a channel (fatal when unknown). May be shorter than
+     * numBins(); readers treat missing tail bins as zero.
+     */
+    const std::vector<double>& channelBins(
+        const std::string& name) const;
+
+    /** Sum over a channel's bins. */
+    double channelTotal(const std::string& name) const;
+
+  private:
+    /** Grow channel `ch` to cover `last_cycle`; returns its bins. */
+    std::vector<double>& binsFor(std::size_t ch,
+                                 std::uint64_t last_cycle);
+
+    std::uint64_t bin_width_;
+    /** Sorted name -> dense channel id. */
+    std::map<std::string, std::size_t> index_;
+    /** Dense channel id -> name. */
+    std::vector<std::string> names_;
+    /** Dense channel id -> bins. */
+    std::vector<std::vector<double>> bins_;
+    std::size_t num_bins_ = 0;
+};
+
+} // namespace elsa::obs
+
+#endif // ELSA_OBS_TIMESERIES_H_

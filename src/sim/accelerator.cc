@@ -1,6 +1,7 @@
 #include "sim/accelerator.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -9,6 +10,7 @@
 #include "fault/fault.h"
 #include "fixed/saturation.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/candidate_stage.h"
 #include "sim/pipeline_model.h"
@@ -258,23 +260,93 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     const std::size_t hash_per_vec = hashCyclesPerVector(config_);
     result.preprocess_cycles = preprocessingCycles(config_, n);
 
+    // ---- Telemetry time series (obs/timeseries.h) ----
+    // Opt-in binned recording of the same quantities attribution and
+    // the energy model already compute, spread over cycle bins. The
+    // helpers below are the single source of the arithmetic, so the
+    // bins conserve against the totals exactly; when telemetry is
+    // off (the default), ts stays null and they reduce to the plain
+    // accumulators.
+    obs::TimeSeries* ts = nullptr;
+    std::array<std::array<std::size_t, kNumStallCauses>,
+               kNumAttributedModules>
+        stall_ch{};
+    std::array<std::size_t, 9> activity_ch{};
+    std::size_t queue_ch = 0;
+    std::size_t queries_ch = 0;
+    if (config_.telemetry.enabled) {
+        result.telemetry = std::make_shared<obs::TimeSeries>(
+            config_.telemetry.bin_width_cycles);
+        ts = result.telemetry.get();
+        for (const AttributedModule module : allAttributedModules()) {
+            for (const StallCause cause : allStallCauses()) {
+                // Mirror the stats gating: fault_retry channels only
+                // exist when fault injection can make them nonzero.
+                if (cause == StallCause::kFaultRetry
+                    && !config_.fault.enabled) {
+                    continue;
+                }
+                stall_ch[static_cast<std::size_t>(module)]
+                        [static_cast<std::size_t>(cause)] =
+                    ts->channel(stallTrackName(module, cause));
+            }
+        }
+        for (const HwModule module : allHwModules()) {
+            std::string name = "activity.";
+            name += hwModuleMetricName(module);
+            activity_ch[static_cast<std::size_t>(module)] =
+                ts->channel(name);
+        }
+        queue_ch = ts->channel("queue.occupancy_cycles");
+        queries_ch = ts->channel("queries.completed");
+    }
+    const auto attributeSpan =
+        [&result, ts, &stall_ch](AttributedModule module,
+                                 StallCause cause,
+                                 std::uint64_t lane_cycles,
+                                 std::uint64_t begin,
+                                 std::uint64_t end) {
+            result.stall_breakdown.add(module, cause, lane_cycles);
+            if (ts != nullptr) {
+                ts->addSpread(
+                    stall_ch[static_cast<std::size_t>(module)]
+                            [static_cast<std::size_t>(cause)],
+                    begin, end, lane_cycles);
+            }
+        };
+    const auto addActivity =
+        [&result, ts, &activity_ch](HwModule module, double cycles,
+                                    std::uint64_t begin,
+                                    std::uint64_t end) {
+            result.activity.add(module, cycles);
+            if (ts != nullptr) {
+                ts->addSpreadReal(
+                    activity_ch[static_cast<std::size_t>(module)],
+                    begin, end, cycles);
+            }
+        };
+    const std::uint64_t pre_end = result.preprocess_cycles;
+
     // Hash module: n key hashes + the first query hash.
-    result.activity.add(HwModule::kHashComputation,
-                        static_cast<double>(hash_per_vec * (n + 1)));
+    addActivity(HwModule::kHashComputation,
+                static_cast<double>(hash_per_vec * (n + 1)), 0,
+                pre_end);
     // Norm module and the attention multipliers it borrows: one key
     // dot product per attention module per cycle.
     const double norm_cycles =
         static_cast<double>(ceilDiv(n, pa));
-    result.activity.add(HwModule::kNormComputation,
-                        static_cast<double>(n));
-    result.activity.add(HwModule::kAttentionCompute, norm_cycles);
+    addActivity(HwModule::kNormComputation, static_cast<double>(n),
+                0, pre_end);
+    addActivity(HwModule::kAttentionCompute, norm_cycles, 0, pre_end);
     // SRAM traffic of the preprocessing phase: key/value reads for
     // hashing and norms, key hash/norm writes.
-    result.activity.add(HwModule::kKeyValueMemory, norm_cycles);
-    result.activity.add(HwModule::kKeyHashMemory,
-                        static_cast<double>(n) / (pa * config_.pc));
-    result.activity.add(HwModule::kKeyNormMemory,
-                        static_cast<double>(n) / (pa * config_.pc));
+    addActivity(HwModule::kKeyValueMemory, norm_cycles, 0, pre_end);
+    addActivity(HwModule::kKeyHashMemory,
+                static_cast<double>(n) / (pa * config_.pc), 0,
+                pre_end);
+    addActivity(HwModule::kKeyNormMemory,
+                static_cast<double>(n) / (pa * config_.pc), 0,
+                pre_end);
 
     if (tracing) {
         trace_->completeEvent("preprocess: hash keys+q0", "preprocess",
@@ -298,32 +370,39 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         // for execution to start draining its buffer.
         const std::uint64_t hash_busy =
             static_cast<std::uint64_t>(hash_per_vec) * (n + 1);
-        causes.add(AttributedModule::kHash, StallCause::kBusy,
-                   hash_busy);
-        causes.add(AttributedModule::kHash, StallCause::kBackpressured,
-                   pre - hash_busy);
+        attributeSpan(AttributedModule::kHash, StallCause::kBusy,
+                      hash_busy, 0, pre);
+        attributeSpan(AttributedModule::kHash,
+                      StallCause::kBackpressured, pre - hash_busy, 0,
+                      pre);
         // Norm module: occupied until its pipeline drains, then done
         // for the whole run.
         const std::uint64_t norm_busy =
             static_cast<std::uint64_t>(ceilDiv(n, pa))
             + config_.attention_pipeline_latency;
-        causes.add(AttributedModule::kNorm, StallCause::kBusy,
-                   norm_busy);
-        causes.add(AttributedModule::kNorm, StallCause::kDrained,
-                   pre - norm_busy);
+        attributeSpan(AttributedModule::kNorm, StallCause::kBusy,
+                      norm_busy, 0, pre);
+        attributeSpan(AttributedModule::kNorm, StallCause::kDrained,
+                      pre - norm_busy, 0, pre);
         // The attention multipliers compute one key dot product per
         // key for the norms; otherwise the execution-phase modules
         // wait for the first query.
-        causes.add(AttributedModule::kAttention, StallCause::kBusy, n);
-        causes.add(AttributedModule::kAttention, StallCause::kStarved,
-                   static_cast<std::uint64_t>(pa) * pre - n);
-        causes.add(AttributedModule::kCandidateSelection,
-                   StallCause::kStarved,
-                   static_cast<std::uint64_t>(pa * config_.pc) * pre);
-        causes.add(AttributedModule::kArbitration, StallCause::kStarved,
-                   static_cast<std::uint64_t>(pa) * pre);
-        causes.add(AttributedModule::kOutputDivision,
-                   StallCause::kStarved, pre);
+        attributeSpan(AttributedModule::kAttention, StallCause::kBusy,
+                      n, 0, pre);
+        attributeSpan(AttributedModule::kAttention,
+                      StallCause::kStarved,
+                      static_cast<std::uint64_t>(pa) * pre - n, 0,
+                      pre);
+        attributeSpan(AttributedModule::kCandidateSelection,
+                      StallCause::kStarved,
+                      static_cast<std::uint64_t>(pa * config_.pc)
+                          * pre,
+                      0, pre);
+        attributeSpan(AttributedModule::kArbitration,
+                      StallCause::kStarved,
+                      static_cast<std::uint64_t>(pa) * pre, 0, pre);
+        attributeSpan(AttributedModule::kOutputDivision,
+                      StallCause::kStarved, pre, 0, pre);
     }
     // Per-bank attribution inputs, reused across queries; cumulative
     // counters already emitted to the trace (for delta detection).
@@ -333,7 +412,8 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     // ---- Execution phase ----
     const std::size_t division_cycles = divisionCyclesPerQuery(config_);
     std::size_t exec_cycles = 0;
-    // Trace-time cursor: start of the current query's interval.
+    // Pipeline-time cursor: start of the current query's interval
+    // (feeds both trace timestamps and telemetry spans).
     std::uint64_t cursor = result.preprocess_cycles;
 
     std::vector<std::vector<std::uint32_t>> bank_grants(pa);
@@ -343,6 +423,7 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         std::size_t total_candidates = 0;
         std::size_t max_bank_cycles = 0;
         std::size_t query_stalls = 0;
+        std::size_t query_occupancy = 0;
         double scanned_keys = 0.0;
         for (std::size_t b = 0; b < pa; ++b) {
             const std::size_t begin = b * keys_per_bank;
@@ -366,6 +447,7 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             total_candidates += trace.grant_order.size();
             result.stall_cycles += trace.stall_cycles;
             query_stalls += trace.stall_cycles;
+            query_occupancy += trace.queue_occupancy_cycles;
             scanned_keys += static_cast<double>(trace.scan_cycles);
             max_bank_cycles = std::max(max_bank_cycles, trace.cycles);
             if (attribute) {
@@ -416,34 +498,39 @@ Accelerator::run(const AttentionInput& input, double threshold) const
 
         if (attribute) {
             const std::uint64_t iv = interval;
+            const std::uint64_t iv_end = cursor + iv;
             const std::uint64_t latency =
                 config_.attention_pipeline_latency;
             // Hash module: overlaps the next query's hash, then waits
             // for the slower stage holding the interval open; after
             // the last query there is nothing left to hash.
             if (i + 1 < n) {
-                causes.add(AttributedModule::kHash, StallCause::kBusy,
-                           hash_per_vec);
-                causes.add(AttributedModule::kHash,
-                           StallCause::kBackpressured,
-                           iv - hash_per_vec);
+                attributeSpan(AttributedModule::kHash,
+                              StallCause::kBusy, hash_per_vec,
+                              cursor, iv_end);
+                attributeSpan(AttributedModule::kHash,
+                              StallCause::kBackpressured,
+                              iv - hash_per_vec, cursor, iv_end);
             } else {
-                causes.add(AttributedModule::kHash,
-                           StallCause::kDrained, iv);
+                attributeSpan(AttributedModule::kHash,
+                              StallCause::kDrained, iv, cursor,
+                              iv_end);
             }
             // Norm module: all of its work happened in preprocessing.
-            causes.add(AttributedModule::kNorm, StallCause::kDrained,
-                       iv);
+            attributeSpan(AttributedModule::kNorm,
+                          StallCause::kDrained, iv, cursor, iv_end);
             for (std::size_t b = 0; b < pa; ++b) {
                 const BankAttribution& bank = bank_attr[b];
                 if (!bank.active) {
-                    causes.add(AttributedModule::kCandidateSelection,
-                               StallCause::kStarved,
-                               config_.pc * iv);
-                    causes.add(AttributedModule::kArbitration,
-                               StallCause::kStarved, iv);
-                    causes.add(AttributedModule::kAttention,
-                               StallCause::kStarved, iv);
+                    attributeSpan(AttributedModule::kCandidateSelection,
+                                  StallCause::kStarved,
+                                  config_.pc * iv, cursor, iv_end);
+                    attributeSpan(AttributedModule::kArbitration,
+                                  StallCause::kStarved, iv, cursor,
+                                  iv_end);
+                    attributeSpan(AttributedModule::kAttention,
+                                  StallCause::kStarved, iv, cursor,
+                                  iv_end);
                     continue;
                 }
                 // Candidate modules: scanning is work, a full queue
@@ -451,43 +538,63 @@ Accelerator::run(const AttentionInput& input, double threshold) const
                 // done-scanning-while-queues-drain is drain-out, and
                 // after the bank finishes it waits for the next query
                 // gated by the slowest bank.
-                causes.add(AttributedModule::kCandidateSelection,
-                           StallCause::kBusy, bank.scan);
-                causes.add(AttributedModule::kCandidateSelection,
-                           StallCause::kBankConflict, bank.conflict);
-                causes.add(AttributedModule::kCandidateSelection,
-                           StallCause::kDrained, bank.drained);
-                causes.add(AttributedModule::kCandidateSelection,
-                           StallCause::kStarved,
-                           config_.pc * (iv - bank.cycles));
+                attributeSpan(AttributedModule::kCandidateSelection,
+                              StallCause::kBusy, bank.scan, cursor,
+                              iv_end);
+                attributeSpan(AttributedModule::kCandidateSelection,
+                              StallCause::kBankConflict,
+                              bank.conflict, cursor, iv_end);
+                attributeSpan(AttributedModule::kCandidateSelection,
+                              StallCause::kDrained, bank.drained,
+                              cursor, iv_end);
+                attributeSpan(AttributedModule::kCandidateSelection,
+                              StallCause::kStarved,
+                              config_.pc * (iv - bank.cycles),
+                              cursor, iv_end);
                 // Arbiter: one grant per cycle when any queue holds a
                 // candidate; otherwise it waits on the scanners.
-                causes.add(AttributedModule::kArbitration,
-                           StallCause::kBusy, bank.grants);
-                causes.add(AttributedModule::kArbitration,
-                           StallCause::kStarved, iv - bank.grants);
+                attributeSpan(AttributedModule::kArbitration,
+                              StallCause::kBusy, bank.grants, cursor,
+                              iv_end);
+                attributeSpan(AttributedModule::kArbitration,
+                              StallCause::kStarved, iv - bank.grants,
+                              cursor, iv_end);
                 // Attention module: one granted candidate per cycle
                 // plus the pipeline drain hand-off.
                 const std::uint64_t attention_busy =
                     bank.grants > 0 ? bank.grants + latency
                                     : bank.grants;
-                causes.add(AttributedModule::kAttention,
-                           StallCause::kBusy, attention_busy);
-                causes.add(AttributedModule::kAttention,
-                           StallCause::kStarved, iv - attention_busy);
+                attributeSpan(AttributedModule::kAttention,
+                              StallCause::kBusy, attention_busy,
+                              cursor, iv_end);
+                attributeSpan(AttributedModule::kAttention,
+                              StallCause::kStarved,
+                              iv - attention_busy, cursor, iv_end);
             }
             // Output division: works on the previous query's row; the
             // first interval has nothing to divide yet.
             if (i == 0) {
-                causes.add(AttributedModule::kOutputDivision,
-                           StallCause::kStarved, iv);
+                attributeSpan(AttributedModule::kOutputDivision,
+                              StallCause::kStarved, iv, cursor,
+                              iv_end);
             } else {
-                causes.add(AttributedModule::kOutputDivision,
-                           StallCause::kBusy, division_cycles);
-                causes.add(AttributedModule::kOutputDivision,
-                           StallCause::kStarved,
-                           iv - division_cycles);
+                attributeSpan(AttributedModule::kOutputDivision,
+                              StallCause::kBusy, division_cycles,
+                              cursor, iv_end);
+                attributeSpan(AttributedModule::kOutputDivision,
+                              StallCause::kStarved,
+                              iv - division_cycles, cursor, iv_end);
             }
+        }
+
+        // Telemetry-only channels: queue depth integral over the
+        // interval and a completion mark in the interval's last bin.
+        if (ts != nullptr) {
+            ts->addSpread(queue_ch, cursor, cursor + interval,
+                          query_occupancy);
+            const std::uint64_t last =
+                interval > 0 ? cursor + interval - 1 : cursor;
+            ts->addAt(queries_ch, last, 1.0);
         }
 
         if (tracing) {
@@ -531,7 +638,6 @@ Accelerator::run(const AttentionInput& input, double threshold) const
                 }
                 traced_causes = causes;
             }
-            cursor += interval;
         }
 
         if (config_.collect_query_trace) {
@@ -543,33 +649,43 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         // Activity: candidate modules and the hash/norm SRAMs they
         // read run for the scanned keys; the attention modules and
         // the key/value SRAM run one cycle per granted candidate.
+        const std::uint64_t iv_end = cursor + interval;
         const double group_scan = scanned_keys
                                   / static_cast<double>(pa * config_.pc);
-        result.activity.add(HwModule::kCandidateSelection, group_scan);
-        result.activity.add(HwModule::kKeyHashMemory, group_scan);
-        result.activity.add(HwModule::kKeyNormMemory, group_scan);
+        addActivity(HwModule::kCandidateSelection, group_scan, cursor,
+                    iv_end);
+        addActivity(HwModule::kKeyHashMemory, group_scan, cursor,
+                    iv_end);
+        addActivity(HwModule::kKeyNormMemory, group_scan, cursor,
+                    iv_end);
         const double attention_cycles =
             static_cast<double>(total_candidates)
             / static_cast<double>(pa);
-        result.activity.add(HwModule::kAttentionCompute,
-                            attention_cycles);
-        result.activity.add(HwModule::kKeyValueMemory, attention_cycles);
-        result.activity.add(HwModule::kOutputDivision,
-                            static_cast<double>(division_cycles));
+        addActivity(HwModule::kAttentionCompute, attention_cycles,
+                    cursor, iv_end);
+        addActivity(HwModule::kKeyValueMemory, attention_cycles,
+                    cursor, iv_end);
+        addActivity(HwModule::kOutputDivision,
+                    static_cast<double>(division_cycles), cursor,
+                    iv_end);
         // Query read + output write traffic.
-        result.activity.add(HwModule::kQueryOutputMemory,
-                            1.0 + static_cast<double>(division_cycles));
+        addActivity(HwModule::kQueryOutputMemory,
+                    1.0 + static_cast<double>(division_cycles),
+                    cursor, iv_end);
         // The hash module computes the next query's hash during this
         // interval.
         if (i + 1 < n) {
-            result.activity.add(HwModule::kHashComputation,
-                                static_cast<double>(hash_per_vec));
+            addActivity(HwModule::kHashComputation,
+                        static_cast<double>(hash_per_vec), cursor,
+                        iv_end);
         }
 
         // ---- Functional output ----
         const QueryOutput out =
             functional_.computeQueryOutput(ctx, i, bank_grants);
         std::copy(out.row.begin(), out.row.end(), result.output.row(i));
+
+        cursor += interval;
     }
 
     // Tail: the last query's output division drains after the loop.
@@ -585,25 +701,35 @@ Accelerator::run(const AttentionInput& input, double threshold) const
 
     if (attribute) {
         // Everything but the divider has finished when the tail
-        // starts.
+        // starts (the cursor sits at the end of the last interval).
         const std::uint64_t tail = division_cycles;
-        causes.add(AttributedModule::kOutputDivision, StallCause::kBusy,
-                   tail);
-        causes.add(AttributedModule::kHash, StallCause::kDrained, tail);
-        causes.add(AttributedModule::kNorm, StallCause::kDrained, tail);
-        causes.add(AttributedModule::kCandidateSelection,
-                   StallCause::kDrained,
-                   static_cast<std::uint64_t>(pa * config_.pc) * tail);
-        causes.add(AttributedModule::kArbitration, StallCause::kDrained,
-                   static_cast<std::uint64_t>(pa) * tail);
-        causes.add(AttributedModule::kAttention, StallCause::kDrained,
-                   static_cast<std::uint64_t>(pa) * tail);
+        const std::uint64_t tail_end = cursor + tail;
+        attributeSpan(AttributedModule::kOutputDivision,
+                      StallCause::kBusy, tail, cursor, tail_end);
+        attributeSpan(AttributedModule::kHash, StallCause::kDrained,
+                      tail, cursor, tail_end);
+        attributeSpan(AttributedModule::kNorm, StallCause::kDrained,
+                      tail, cursor, tail_end);
+        attributeSpan(AttributedModule::kCandidateSelection,
+                      StallCause::kDrained,
+                      static_cast<std::uint64_t>(pa * config_.pc)
+                          * tail,
+                      cursor, tail_end);
+        attributeSpan(AttributedModule::kArbitration,
+                      StallCause::kDrained,
+                      static_cast<std::uint64_t>(pa) * tail, cursor,
+                      tail_end);
+        attributeSpan(AttributedModule::kAttention,
+                      StallCause::kDrained,
+                      static_cast<std::uint64_t>(pa) * tail, cursor,
+                      tail_end);
         if (retry_bubble > 0) {
             for (const AttributedModule module :
                  allAttributedModules()) {
-                causes.add(module, StallCause::kFaultRetry,
-                           attributedModuleLanes(module, config_)
-                               * retry_bubble);
+                attributeSpan(module, StallCause::kFaultRetry,
+                              attributedModuleLanes(module, config_)
+                                  * retry_bubble,
+                              tail_end, tail_end + retry_bubble);
             }
         }
         // The hard conservation invariant of sim/stall.h; also

@@ -35,6 +35,7 @@
 
 namespace elsa::obs {
 class StatsRegistry;
+class TimeSeries;
 class TraceWriter;
 } // namespace elsa::obs
 
@@ -108,6 +109,15 @@ struct RunResult
      * fault/fault.h.
      */
     FaultReport fault;
+
+    /**
+     * Binned cycle-domain telemetry of this run (stall causes,
+     * module activity, queue occupancy per time bin); non-null only
+     * when SimConfig::telemetry.enabled. Shared so AcceleratorArray
+     * can merge invocation shards without copying; see
+     * obs/timeseries.h and docs/OBSERVABILITY.md for the channels.
+     */
+    std::shared_ptr<obs::TimeSeries> telemetry;
 
     /** True when SimConfig::count_saturations filled the two counts
      *  below. */

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/report.h"
 
@@ -105,6 +106,15 @@ AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
         result.activity.merge(run_result.activity);
         result.stall_breakdown.merge(run_result.stall_breakdown);
         result.fault.merge(run_result.fault);
+        if (run_result.telemetry != nullptr) {
+            // First shard becomes the batch recorder; later shards
+            // fold in by name, still in invocation-index order.
+            if (result.telemetry == nullptr) {
+                result.telemetry = run_result.telemetry;
+            } else {
+                result.telemetry->merge(*run_result.telemetry);
+            }
+        }
         result.fixed_saturations += run_result.fixed_saturations;
         result.cfloat_saturations += run_result.cfloat_saturations;
         fraction_sum += run_result.candidateFraction();

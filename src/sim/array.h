@@ -62,6 +62,13 @@ struct ArrayRunResult
      */
     FaultReport fault;
 
+    /**
+     * Merged cycle-domain telemetry of all invocations, folded in
+     * invocation-index order (so the bins are bit-identical at any
+     * thread count); null unless SimConfig::telemetry.enabled.
+     */
+    std::shared_ptr<obs::TimeSeries> telemetry;
+
     /** Summed FixedPoint saturations; zero unless
      *  SimConfig::count_saturations is set. */
     std::uint64_t fixed_saturations = 0;

@@ -21,6 +21,9 @@ simulateBankQuery(const std::vector<bool>& hits, const SimConfig& config)
     // m, m + pc, m + 2 pc, ... in order.
     std::vector<std::size_t> cursor(pc, 0);
     std::vector<std::deque<std::uint32_t>> queues(pc);
+    // Entries across all queues, maintained incrementally so the
+    // occupancy integral costs O(1) per cycle.
+    std::size_t occupied = 0;
 
     auto moduleDone = [&](std::size_t m) {
         return m + cursor[m] * pc >= num_keys;
@@ -61,6 +64,7 @@ simulateBankQuery(const std::vector<bool>& hits, const SimConfig& config)
         if (best < pc) {
             trace.grant_order.push_back(queues[best].front());
             queues[best].pop_front();
+            --occupied;
         }
 
         // Candidate selection modules: one key per cycle unless the
@@ -80,10 +84,14 @@ simulateBankQuery(const std::vector<bool>& hits, const SimConfig& config)
                     continue; // Backpressure: retry next cycle.
                 }
                 queues[m].push_back(static_cast<std::uint32_t>(key));
+                ++occupied;
             }
             ++cursor[m];
             ++trace.scan_cycles;
         }
+        // End-of-cycle occupancy feeds the telemetry queue-depth
+        // channel; a plain sum keeps the loop allocation-free.
+        trace.queue_occupancy_cycles += occupied;
     }
     // The bank is occupied until the scan completed *and* the queues
     // drained, whichever is later.

@@ -51,6 +51,15 @@ struct BankQueryTrace
      * state each bank cycle (the stall-attribution invariant).
      */
     std::size_t drained_module_cycles = 0;
+
+    /**
+     * Time integral of the bank's total output-queue occupancy:
+     * the sum over bank cycles of entries queued at the end of the
+     * cycle (occupancy-cycles). Divided by `cycles` this is the
+     * mean queue depth; the telemetry layer bins it over time
+     * (`queue.occupancy_cycles` channel).
+     */
+    std::size_t queue_occupancy_cycles = 0;
 };
 
 /**

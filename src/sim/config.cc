@@ -27,6 +27,13 @@ SimConfig::validate() const
     ELSA_CHECK(!fault.enabled || model_quantization,
                "fault.enabled requires model_quantization: bit flips are "
                "defined on the quantized storage formats");
+    ELSA_CHECK(telemetry.bin_width_cycles >= 1,
+               "telemetry.bin_width_cycles must be >= 1");
+    // Telemetry bins are the stall attribution spread over time;
+    // without attribution there is nothing to record.
+    ELSA_CHECK(!telemetry.enabled || attribute_stalls,
+               "telemetry.enabled requires attribute_stalls: the "
+               "time-series channels are binned stall attribution");
     // d must be a perfect num_hash_factors-th power for the
     // Kronecker-structured hash matrices.
     const double root = std::pow(static_cast<double>(d),

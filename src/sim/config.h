@@ -13,10 +13,33 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 
 #include "fault/fault.h"
 
 namespace elsa {
+
+/**
+ * Cycle-domain time-series telemetry (obs/timeseries.h). With
+ * `enabled` the simulator spreads stall-attribution lane-cycles,
+ * module activity, and queue occupancy over fixed-width cycle bins
+ * and returns the recorder in RunResult::telemetry; per-invocation
+ * latency digests are published to the stats registry alongside.
+ * Off by default, and when off the simulator allocates nothing and
+ * every existing output stays byte-identical.
+ */
+struct TelemetryConfig
+{
+    /** Master switch; requires SimConfig::attribute_stalls. */
+    bool enabled = false;
+
+    /**
+     * Cycles per time-series bin. Smaller bins resolve warm-up /
+     * drain transients at proportionally more memory per channel;
+     * docs/OBSERVABILITY.md has sizing guidance.
+     */
+    std::uint64_t bin_width_cycles = 256;
+};
 
 /** Parameters of one simulated ELSA accelerator. */
 struct SimConfig
@@ -106,6 +129,13 @@ struct SimConfig
      * a build without the fault subsystem.
      */
     FaultConfig fault;
+
+    /**
+     * Binned time-series telemetry; see TelemetryConfig. Requires
+     * attribute_stalls (the bins are the stall attribution spread
+     * over time, so they have nothing to record without it).
+     */
+    TelemetryConfig telemetry;
 
     /** Raise elsa::Error unless the configuration is consistent;
      *  every message names the offending field. */

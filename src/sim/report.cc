@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/json.h"
 
 namespace elsa {
 
@@ -125,6 +126,136 @@ publishRunStats(const RunResult& result, obs::StatsRegistry& registry,
                          / std::max(1.0, n));
         }
     }
+
+    // Latency digests ride the telemetry gate: like the fault and
+    // saturation families, they appear only when the feature ran so
+    // default-config dumps stay byte-identical.
+    if (result.telemetry != nullptr) {
+        registry.digest(prefix + ".latency.cycles_digest")
+            .add(static_cast<double>(result.totalCycles()));
+        if (!result.query_trace.empty()) {
+            obs::QuantileDigest& interval_digest = registry.digest(
+                prefix + ".query.interval_cycles_digest");
+            for (const QueryTraceRecord& r : result.query_trace) {
+                interval_digest.add(
+                    static_cast<double>(r.interval_cycles));
+            }
+        }
+    }
+}
+
+void
+writeTelemetryJson(std::ostream& os, const obs::TimeSeries& series,
+                   const obs::StatsRegistry& registry,
+                   const std::string& prefix,
+                   const SimConfig& config,
+                   const std::vector<QueryTraceRecord>* query_trace)
+{
+    const std::size_t num_bins = series.numBins();
+    obs::JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.kv("schema_version", static_cast<std::size_t>(1));
+    w.kv("prefix", prefix);
+    w.kv("bin_width_cycles",
+         static_cast<double>(series.binWidth()));
+    w.kv("num_bins", num_bins);
+    w.kv("total_cycles",
+         registry.counterValue(prefix + ".cycles.total"));
+    w.kv("invocations",
+         registry.counterValue(prefix + ".invocations"));
+
+    // Channel arrays, padded to num_bins so every series plots on
+    // one shared time axis.
+    w.key("channels").beginObject();
+    for (const std::string& name : series.channelNames()) {
+        const std::vector<double>& bins = series.channelBins(name);
+        w.key(name).beginArray();
+        for (std::size_t b = 0; b < num_bins; ++b) {
+            w.value(b < bins.size() ? bins[b] : 0.0);
+        }
+        w.endArray();
+    }
+    w.endObject();
+
+    // Elapsed cycles per bin: the output division module has exactly
+    // one lane, so the sum of its stall-cause channels in a bin is
+    // the (invocation-overlaid) cycle coverage of that bin.
+    std::vector<double> bin_cycles(num_bins, 0.0);
+    for (const std::string& name : series.channelNames()) {
+        if (name.rfind("stall.output_division.", 0) != 0) {
+            continue;
+        }
+        const std::vector<double>& bins = series.channelBins(name);
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+            bin_cycles[b] += bins[b];
+        }
+    }
+
+    // Per-bin energy through the same model ElsaSystem reports with
+    // (unscaled Table I powers at the configured clock).
+    const EnergyModel model(config.frequency_ghz);
+    w.key("energy").beginObject();
+    w.key("bin_total_uj").beginArray();
+    for (std::size_t b = 0; b < num_bins; ++b) {
+        ActivityCounters bin_activity;
+        for (const HwModule module : allHwModules()) {
+            std::string ch = "activity.";
+            ch += hwModuleMetricName(module);
+            if (!series.hasChannel(ch)) {
+                continue;
+            }
+            const std::vector<double>& bins =
+                series.channelBins(ch);
+            if (b < bins.size()) {
+                bin_activity.add(module, bins[b]);
+            }
+        }
+        w.value(model.compute(bin_activity, bin_cycles[b])
+                    .totalUj());
+    }
+    w.endArray();
+    w.endObject();
+
+    // Latency digests published under the prefix (report tooling
+    // overlays the percentiles on the latency histogram).
+    w.key("digests").beginObject();
+    for (const std::string& name : registry.names()) {
+        if (name.rfind(prefix + ".", 0) != 0
+            || registry.kind(name) != obs::MetricKind::kDigest) {
+            continue;
+        }
+        const obs::QuantileDigest d = registry.digestValue(name);
+        w.key(name).beginObject();
+        w.kv("count", d.count());
+        if (d.count() > 0) {
+            w.kv("min", d.min());
+            w.kv("max", d.max());
+            w.kv("p50", d.quantile(0.50));
+            w.kv("p90", d.quantile(0.90));
+            w.kv("p95", d.quantile(0.95));
+            w.kv("p99", d.quantile(0.99));
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    if (query_trace != nullptr && !query_trace->empty()) {
+        // Raw intervals for the report's latency histogram; capped
+        // so the document stays bounded on long runs.
+        constexpr std::size_t kMaxIntervals = 8192;
+        const std::size_t count =
+            std::min(query_trace->size(), kMaxIntervals);
+        w.key("query_intervals").beginArray();
+        for (std::size_t i = 0; i < count; ++i) {
+            w.value(static_cast<double>(
+                (*query_trace)[i].interval_cycles));
+        }
+        w.endArray();
+        w.kv("query_intervals_truncated",
+             query_trace->size() > kMaxIntervals);
+    }
+    w.endObject();
+    os << '\n';
 }
 
 UtilizationReport

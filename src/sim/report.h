@@ -23,6 +23,7 @@
 
 #include "energy/energy_model.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "sim/accelerator.h"
 
 namespace elsa {
@@ -39,17 +40,44 @@ namespace elsa {
  *   <prefix>.stall.<module>.lane_cycles             counters**
  *   <prefix>.query.interval_cycles                  distribution*
  *   <prefix>.query.candidate_fraction               histogram*
+ *   <prefix>.latency.cycles_digest                  digest***
+ *   <prefix>.query.interval_cycles_digest           digest***
  *
  * (* only when the run recorded a per-query trace; ** only when
  * SimConfig::attribute_stalls produced a breakdown -- causes are
  * busy / starved / backpressured / bank_conflict / drained over the
  * six attributed module classes of sim/stall.h, and the cause sum
- * equals lane_cycles exactly.) Counters accumulate across calls so
- * an AcceleratorArray batch lands in one coherent set of totals.
+ * equals lane_cycles exactly; *** only when the run carried
+ * telemetry, so telemetry-off dumps stay byte-identical -- the
+ * interval digest additionally needs a per-query trace.) Counters
+ * accumulate across calls so an AcceleratorArray batch lands in one
+ * coherent set of totals.
  */
 void publishRunStats(const RunResult& result,
                      obs::StatsRegistry& registry,
                      const std::string& prefix);
+
+/**
+ * Serialize one run's (or batch's) cycle-domain telemetry as the
+ * `telemetry.json` document of docs/OBSERVABILITY.md: bin width and
+ * channel arrays from `series`, totals and latency digests read
+ * back from `registry` under `prefix`, and per-bin energy derived
+ * from the `activity.*` channels through the energy model at
+ * `config`'s clock. When `query_trace` is non-null its raw
+ * per-query intervals are embedded (capped) so report tooling can
+ * draw a latency histogram with the digest percentiles overlaid.
+ *
+ * The stall-channel bin sums equal the corresponding
+ * `<prefix>.stall.*` counters exactly (integer conservation;
+ * enforced by scripts/check_metrics.py and tests/telemetry_test.cc).
+ */
+void writeTelemetryJson(std::ostream& os,
+                        const obs::TimeSeries& series,
+                        const obs::StatsRegistry& registry,
+                        const std::string& prefix,
+                        const SimConfig& config,
+                        const std::vector<QueryTraceRecord>*
+                            query_trace = nullptr);
 
 /** Per-module utilization (active cycles / total cycles). */
 struct UtilizationReport

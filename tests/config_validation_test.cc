@@ -69,6 +69,13 @@ TEST(ConfigValidationTest, EachInvalidFieldIsNamedInTheError)
              c.frequency_ghz =
                  std::numeric_limits<double>::infinity();
          }},
+        {"telemetry.bin_width_cycles",
+         [](SimConfig& c) { c.telemetry.bin_width_cycles = 0; }},
+        {"telemetry.enabled requires attribute_stalls",
+         [](SimConfig& c) {
+             c.telemetry.enabled = true;
+             c.attribute_stalls = false;
+         }},
     };
     for (const Case& test_case : cases) {
         SimConfig config;
@@ -79,6 +86,16 @@ TEST(ConfigValidationTest, EachInvalidFieldIsNamedInTheError)
             << "error for field '" << test_case.field
             << "' does not name it: " << message;
     }
+}
+
+TEST(ConfigValidationTest, TelemetryWithAttributionIsValid)
+{
+    SimConfig config;
+    config.attribute_stalls = true;
+    config.telemetry.enabled = true;
+    EXPECT_NO_THROW(config.validate());
+    config.telemetry.bin_width_cycles = 1; // Smallest legal bin.
+    EXPECT_NO_THROW(config.validate());
 }
 
 TEST(ConfigValidationTest, RejectsNonKroneckerDimension)

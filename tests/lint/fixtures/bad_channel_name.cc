@@ -1,0 +1,23 @@
+// elsa-lint-pretend: src/sim/bad_channel_name.cc
+// Known-bad fixture: time-series channel and quantile-digest names
+// share the metric namespace, so `.channel(...)` / `.digest(...)`
+// sites are held to the same grammar / documentation / one-site
+// rules as the registry kinds.
+#include "obs/registry.h"
+#include "obs/timeseries.h"
+
+namespace elsa {
+
+void
+badChannels(obs::TimeSeries& series, obs::StatsRegistry& registry,
+            const std::string& prefix)
+{
+    series.channel("queue.Occupancy");                         // BAD
+    series.channel("made.up.channel");                         // BAD
+    series.channel("queue.occupancy_cycles");
+    series.channel("queue.occupancy_cycles");                  // BAD
+    registry.digest(prefix + ".latency.cycles-digest");        // BAD
+    registry.digest(prefix + ".latency.undocumented_digest");  // BAD
+}
+
+} // namespace elsa

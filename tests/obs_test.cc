@@ -10,16 +10,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "lsh/calibration.h"
 #include "lsh/srp.h"
+#include "obs/digest.h"
 #include "obs/histogram.h"
+#include "obs/timeseries.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/profile.h"
@@ -32,6 +38,8 @@ namespace elsa {
 namespace {
 
 using obs::Histogram;
+using obs::QuantileDigest;
+using obs::TimeSeries;
 using obs::JsonValue;
 using obs::JsonWriter;
 using obs::MetricKind;
@@ -197,6 +205,263 @@ TEST(ObsHistogramTest, InvalidConstructionIsFatal)
     EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), Error);
     EXPECT_THROW(Histogram::linear(0.0, 0.0, 4), Error);
     EXPECT_THROW(Histogram::linear(0.0, 1.0, 0), Error);
+}
+
+TEST(ObsHistogramTest, QuantileMatchesCommonPercentile)
+{
+    // Deterministic samples inside the bucketed range: the
+    // in-bucket linear interpolation must stay within one bucket
+    // width of the exact order-statistic percentile.
+    Histogram h = Histogram::linear(0.0, 100.0, 50);
+    std::vector<double> values;
+    Rng rng(0x4157);
+    for (int i = 0; i < 2000; ++i) {
+        const double v = 100.0 * rng.uniform();
+        values.push_back(v);
+        h.add(v);
+    }
+    const double bucket_width = 100.0 / 50.0;
+    for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+        EXPECT_NEAR(h.quantile(q), percentile(values, q),
+                    bucket_width)
+            << "q = " << q;
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(ObsHistogramTest, QuantileEdgeCasesAndErrors)
+{
+    Histogram h = Histogram::linear(0.0, 10.0, 5);
+    EXPECT_THROW(h.quantile(0.5), Error); // Empty histogram.
+    h.add(-5.0); // Underflow mass maps to the bottom edge.
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_THROW(h.quantile(-0.1), Error);
+    EXPECT_THROW(h.quantile(1.1), Error);
+    double prev = h.quantile(0.0);
+    for (const double q : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+        const double cur = h.quantile(q);
+        EXPECT_GE(cur, prev) << "q = " << q;
+        prev = cur;
+    }
+}
+
+// --- Quantile digest -------------------------------------------------
+
+TEST(ObsDigestTest, SmallCountsAreExact)
+{
+    QuantileDigest d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_THROW(d.quantile(0.5), Error);
+    EXPECT_THROW(d.min(), Error);
+    d.add(42.0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 42.0);
+    d.add(10.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 42.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 42.0);
+    EXPECT_THROW(d.add(std::nan("")), Error);
+    EXPECT_THROW(d.quantile(-0.1), Error);
+    EXPECT_THROW(QuantileDigest(1.0), Error);
+}
+
+TEST(ObsDigestTest, QuantilesWithinDocumentedBoundsOfExact)
+{
+    // docs/OBSERVABILITY.md: rank error is bounded by roughly
+    // pi / (2 * compression) at the median, tightening toward the
+    // tails. Verify in rank space against the exact empirical rank.
+    QuantileDigest d;
+    std::vector<double> values;
+    Rng rng(0xD16);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.gaussian();
+        values.push_back(v);
+        d.add(v);
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const double bound = 3.14159265358979 / (2.0 * d.compression());
+    for (const double q : {0.05, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+        const double estimate = d.quantile(q);
+        const auto below = static_cast<double>(
+            std::lower_bound(sorted.begin(), sorted.end(), estimate)
+            - sorted.begin());
+        const double rank = below / static_cast<double>(sorted.size());
+        EXPECT_NEAR(rank, q, bound) << "q = " << q;
+    }
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), sorted.front());
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), sorted.back());
+}
+
+TEST(ObsDigestTest, InsertionOrderIndependentBelowBufferLimit)
+{
+    // Up to the buffer limit everything compacts in one sorted
+    // pass, so permuting the inputs cannot change any estimate.
+    std::vector<double> values;
+    Rng rng(0x0D0);
+    for (int i = 0; i < 500; ++i) {
+        values.push_back(rng.uniform());
+    }
+    QuantileDigest forward;
+    for (const double v : values) {
+        forward.add(v);
+    }
+    QuantileDigest backward;
+    for (auto it = values.rbegin(); it != values.rend(); ++it) {
+        backward.add(*it);
+    }
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(forward.quantile(q), backward.quantile(q))
+            << "q = " << q;
+    }
+}
+
+TEST(ObsDigestTest, MergePreservesCountMinMaxAndAccuracy)
+{
+    QuantileDigest left;
+    QuantileDigest right;
+    QuantileDigest bulk;
+    std::vector<double> values;
+    Rng rng(0x3E6);
+    for (int i = 0; i < 4000; ++i) {
+        const double v = rng.gaussian(100.0, 10.0);
+        values.push_back(v);
+        (i < 2000 ? left : right).add(v);
+        bulk.add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), bulk.count());
+    EXPECT_DOUBLE_EQ(left.min(), bulk.min());
+    EXPECT_DOUBLE_EQ(left.max(), bulk.max());
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+        EXPECT_NEAR(left.quantile(q), percentile(values, q), 1.5)
+            << "q = " << q;
+    }
+    // Self-merge doubles the weight without corrupting the digest.
+    QuantileDigest self;
+    self.add(1.0);
+    self.add(3.0);
+    self.merge(self);
+    EXPECT_EQ(self.count(), 4u);
+    EXPECT_DOUBLE_EQ(self.min(), 1.0);
+    EXPECT_DOUBLE_EQ(self.max(), 3.0);
+}
+
+TEST(ObsRegistryTest, DigestKindAndDump)
+{
+    StatsRegistry registry;
+    QuantileDigest& d =
+        registry.digest("sim.accel0.latency.cycles_digest");
+    EXPECT_THROW(
+        registry.counter("sim.accel0.latency.cycles_digest"), Error);
+    EXPECT_THROW(
+        registry.digestValue("sim.accel0.latency.cycles_digest")
+            .quantile(0.5),
+        Error); // Snapshot of an empty digest has no quantiles.
+    for (int i = 1; i <= 100; ++i) {
+        d.add(static_cast<double>(i));
+    }
+    const QuantileDigest snapshot =
+        registry.digestValue("sim.accel0.latency.cycles_digest");
+    EXPECT_EQ(snapshot.count(), 100u);
+    EXPECT_DOUBLE_EQ(snapshot.min(), 1.0);
+
+    std::ostringstream os;
+    registry.dumpJson(os);
+    const JsonValue doc = parseJson(os.str());
+    const JsonValue& entry =
+        doc.at("sim.accel0.latency.cycles_digest");
+    EXPECT_EQ(entry.at("kind").string_value, "digest");
+    EXPECT_EQ(entry.at("count").number_value, 100.0);
+    EXPECT_DOUBLE_EQ(entry.at("min").number_value, 1.0);
+    EXPECT_DOUBLE_EQ(entry.at("max").number_value, 100.0);
+    EXPECT_TRUE(entry.has("p50"));
+    EXPECT_TRUE(entry.has("p99"));
+
+    registry.reset();
+    std::ostringstream os2;
+    registry.dumpJson(os2);
+    const JsonValue reset_doc = parseJson(os2.str());
+    EXPECT_EQ(reset_doc.at("sim.accel0.latency.cycles_digest")
+                  .at("count")
+                  .number_value,
+              0.0);
+}
+
+// --- Time series -----------------------------------------------------
+
+TEST(ObsTimeSeriesTest, SpreadConservesIntegerValueExactly)
+{
+    TimeSeries ts(10);
+    const std::size_t ch = ts.channel("stall.arbitration.busy_cycles");
+    // 7 lane-cycles over [3, 24): crosses three bins, and the
+    // telescoped rounding must hand out exactly 7 in total.
+    ts.addSpread(ch, 3, 24, 7);
+    const std::vector<double>& bins =
+        ts.channelBins("stall.arbitration.busy_cycles");
+    ASSERT_EQ(bins.size(), 3u);
+    double sum = 0.0;
+    for (const double b : bins) {
+        EXPECT_GE(b, 0.0);
+        sum += b;
+    }
+    EXPECT_EQ(sum, 7.0);
+    EXPECT_EQ(
+        ts.channelTotal("stall.arbitration.busy_cycles"), 7.0);
+    // Proportional split on an exactly divisible span.
+    const std::size_t even = ts.channel("queue.occupancy_cycles");
+    ts.addSpread(even, 0, 20, 10);
+    const std::vector<double>& even_bins =
+        ts.channelBins("queue.occupancy_cycles");
+    EXPECT_DOUBLE_EQ(even_bins[0], 5.0);
+    EXPECT_DOUBLE_EQ(even_bins[1], 5.0);
+}
+
+TEST(ObsTimeSeriesTest, RealSpreadAndPointAdds)
+{
+    TimeSeries ts(16);
+    const std::size_t ch = ts.channel("activity.hash_computation");
+    ts.addSpreadReal(ch, 5, 37, 3.25);
+    EXPECT_DOUBLE_EQ(
+        ts.channelTotal("activity.hash_computation"), 3.25);
+    const std::size_t marks = ts.channel("queries.completed");
+    ts.addAt(marks, 31, 1.0);
+    ts.addAt(marks, 32, 1.0);
+    const std::vector<double>& bins =
+        ts.channelBins("queries.completed");
+    ASSERT_EQ(bins.size(), 3u);
+    EXPECT_DOUBLE_EQ(bins[1], 1.0); // Cycle 31 is in bin [16, 32).
+    EXPECT_DOUBLE_EQ(bins[2], 1.0); // Cycle 32 opens bin [32, 48).
+    // A zero-length span degrades to a point add at `begin`.
+    ts.addSpread(marks, 40, 40, 2);
+    EXPECT_DOUBLE_EQ(ts.channelBins("queries.completed")[2], 3.0);
+}
+
+TEST(ObsTimeSeriesTest, MergeUnionsChannelsAndChecksBinWidth)
+{
+    TimeSeries a(8);
+    const std::size_t a_ch = a.channel("queries.completed");
+    a.addAt(a_ch, 0, 1.0);
+    TimeSeries b(8);
+    const std::size_t b_ch = b.channel("queue.occupancy_cycles");
+    b.addSpread(b_ch, 0, 16, 4);
+    b.addAt(b.channel("queries.completed"), 9, 2.0);
+    a.merge(b);
+    EXPECT_EQ(a.numChannels(), 2u);
+    EXPECT_DOUBLE_EQ(a.channelTotal("queries.completed"), 3.0);
+    EXPECT_DOUBLE_EQ(a.channelTotal("queue.occupancy_cycles"), 4.0);
+    EXPECT_EQ(a.numBins(), 2u);
+
+    TimeSeries mismatched(16);
+    EXPECT_THROW(a.merge(mismatched), Error);
+    EXPECT_THROW(TimeSeries(0), Error);
+    TimeSeries bad(8);
+    EXPECT_THROW(bad.channel("Bad.Name"), Error);
 }
 
 // --- JSON ------------------------------------------------------------

@@ -14,10 +14,15 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "elsa/system.h"
+#include "lsh/srp.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "sim/array.h"
+#include "sim/report.h"
 #include "sim/stall.h"
+#include "workload/generator.h"
 #include "workload/model.h"
 
 namespace elsa {
@@ -131,6 +136,46 @@ TEST(ParallelDeterminismTest, StatsDumpIdenticalAtAnyThreadCount)
     for (std::size_t c = 1; c < dumps.size(); ++c) {
         EXPECT_EQ(dumps[0], dumps[c])
             << "stats dump differs at threads="
+            << kThreadCounts[c];
+    }
+}
+
+TEST(ParallelDeterminismTest, TelemetryJsonIdenticalAtAnyThreadCount)
+{
+    // The merged telemetry.json document -- bins, digests, energy --
+    // must be byte-identical no matter how many worker threads the
+    // AcceleratorArray batch fanned out over.
+    SimConfig config = SimConfig::paperConfig();
+    config.attribute_stalls = true;
+    config.telemetry.enabled = true;
+    config.telemetry.bin_width_cycles = 64;
+
+    Rng rng(0x7D1);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+    QkvGenerator gen(bertLarge(), 99);
+    const AttentionInput in0 = gen.generate(0, 0, 40, 0);
+    const AttentionInput in1 = gen.generate(1, 0, 24, 1);
+    const AttentionInput in2 = gen.generate(2, 1, 56, 2);
+
+    std::vector<std::string> documents;
+    for (const std::size_t threads : kThreadCounts) {
+        GlobalThreadsGuard guard(threads);
+        AcceleratorArray array(config, 3, hasher, 0.0);
+        obs::StatsRegistry registry;
+        array.attachObservability(&registry, nullptr);
+        const ArrayRunResult result =
+            array.run({&in0, &in1, &in2}, {0.0, 0.0, 0.0});
+        ASSERT_NE(result.telemetry, nullptr);
+        std::ostringstream oss;
+        writeTelemetryJson(oss, *result.telemetry, registry,
+                           "sim.accel0", config);
+        documents.push_back(oss.str());
+    }
+    EXPECT_GT(documents[0].size(), 2u);
+    for (std::size_t c = 1; c < documents.size(); ++c) {
+        EXPECT_EQ(documents[0], documents[c])
+            << "telemetry.json differs at threads="
             << kThreadCounts[c];
     }
 }

@@ -376,7 +376,8 @@ class NoUnorderedContainerRule(Rule):
 
 
 METRIC_CALL_RE = re.compile(
-    r"\.\s*(counter|distribution|histogram|counterValue)\s*\(")
+    r"\.\s*(counter|distribution|histogram|counterValue"
+    r"|channel|digest|digestValue)\s*\(")
 METRIC_SEGMENT_RE = re.compile(r"[a-z0-9_]+\Z")
 
 
@@ -388,15 +389,19 @@ class MetricNameRule(Rule):
     the [a-z0-9_.] grammar; each dotted fragment (a full metric tail
     such as ".cycles.total") must appear in the metric tables of
     docs/OBSERVABILITY.md and be registered at exactly one site.
+    TimeSeries channel names and quantile-digest names live in the
+    same namespace, so `.channel(...)` / `.digest(...)` sites are
+    held to the same rules.
     """
 
     rule_id = "metric-name"
     description = (
-        "string literals at StatsRegistry call sites must follow the "
-        "[a-z0-9_.] grammar, be documented in docs/OBSERVABILITY.md, "
-        "and be registered exactly once")
+        "string literals at StatsRegistry / TimeSeries call sites "
+        "must follow the [a-z0-9_.] grammar, be documented in "
+        "docs/OBSERVABILITY.md, and be registered exactly once")
 
-    REGISTERING = {"counter", "distribution", "histogram"}
+    REGISTERING = {"counter", "distribution", "histogram", "channel",
+                   "digest"}
 
     def check(self, src, ctx):
         if not src.in_dir("src/"):
