@@ -494,19 +494,18 @@ assembleResults(
 
 /**
  * --report <dir>: one representative instrumented accelerator run
- * (stall attribution, per-query trace, and cycle-domain telemetry
- * all on) dumped as an observability bundle -- stats.json,
- * stats.csv, telemetry.json, manifest.json -- in the same schema as
- * `quickstart --obs-dir` (docs/OBSERVABILITY.md), so
- * scripts/make_report.py can render it into one self-contained HTML
- * run report. Deterministic: fixed seeds, single invocation.
+ * (stall attribution, per-query trace, cycle-domain telemetry, and
+ * per-query spans all on) dumped as an observability bundle --
+ * stats.json, stats.csv, telemetry.json, spans.json, manifest.json
+ * -- in the same schema as `quickstart --obs-dir`
+ * (docs/OBSERVABILITY.md): both call writeObsBundle() in
+ * sim/report.cc, so the layouts cannot drift apart and
+ * scripts/make_report.py can render either into one self-contained
+ * HTML run report. Deterministic: fixed seeds, single invocation.
  */
 void
 writeReportBundle(const SuiteContext& ctx, const std::string& dir)
 {
-    namespace fs = std::filesystem;
-    fs::create_directories(dir);
-
     const WorkloadSpec& spec = ctx.workloads.front();
     const std::size_t n = ctx.quick ? 128 : 256;
     const QkvGenerator generator(spec.model, /*master_seed=*/7);
@@ -522,26 +521,17 @@ writeReportBundle(const SuiteContext& ctx, const std::string& dir)
     config.collect_query_trace = true;
     config.attribute_stalls = true;
     config.telemetry.enabled = true;
+    config.query_spans.enabled = true;
 
     obs::StatsRegistry registry;
     Accelerator accel(config, engine.hasher(), engine.thetaBias());
     accel.attachStats(&registry, "sim.accel0");
     const RunResult result = accel.run(input, threshold);
 
-    {
-        std::ofstream stats_json(dir + "/stats.json");
-        registry.dumpJson(stats_json);
-        std::ofstream stats_csv(dir + "/stats.csv");
-        registry.dumpCsv(stats_csv);
-    }
     ELSA_CHECK(result.telemetry != nullptr,
                "telemetry-enabled run produced no time series");
-    {
-        std::ofstream telemetry_json(dir + "/telemetry.json");
-        writeTelemetryJson(telemetry_json, *result.telemetry,
-                           registry, "sim.accel0", config,
-                           &result.query_trace);
-    }
+    ELSA_CHECK(result.spans != nullptr,
+               "span-enabled run produced no span set");
 
     obs::RunManifest manifest("bench_report");
     manifest.addBuildInfo();
@@ -553,37 +543,15 @@ writeReportBundle(const SuiteContext& ctx, const std::string& dir)
     manifest.set("config", "n", input.n());
     manifest.set("config", "threshold", threshold);
     manifest.set("config", "quick", ctx.quick);
-    manifest.set("metrics", "total_cycles", result.totalCycles());
-    manifest.set("metrics", "preprocess_cycles",
-                 result.preprocess_cycles);
-    manifest.set("metrics", "execute_cycles", result.execute_cycles);
-    manifest.set("metrics", "candidate_fraction",
-                 result.candidateFraction());
-    manifest.set("metrics", "fallbacks", result.empty_selections);
-    const UtilizationReport util = computeUtilization(result);
-    for (const HwModule module : allHwModules()) {
-        manifest.set("utilization", hwModuleMetricName(module),
-                     util.get(module));
-    }
-    const BottleneckReport bottleneck = computeBottleneck(result);
-    manifest.set("bottleneck", "limiting_module",
-                 attributedModuleMetricName(bottleneck.limiting));
-    manifest.set("bottleneck", "busy_fraction",
-                 bottleneck.busy_fraction);
-    manifest.set("bottleneck", "headroom", bottleneck.headroom);
-    for (const AttributedModule module : allAttributedModules()) {
-        manifest.set("bottleneck",
-                     std::string("busy_fraction_")
-                         + attributedModuleMetricName(module),
-                     bottleneck.module_busy_fraction[static_cast<
-                         std::size_t>(module)]);
-    }
-    manifest.writeFile(dir + "/manifest.json");
+    writeObsBundle(dir, registry, result, config, manifest,
+                   "sim.accel0");
 
     std::printf("\nreport bundle: %s/{stats.json, stats.csv, "
-                "telemetry.json, manifest.json}\n"
+                "telemetry.json, spans.json, manifest.json}\n"
+                "explain the tail with: "
+                "python3 scripts/explain_tail.py %s\n"
                 "render with: python3 scripts/make_report.py %s\n",
-                dir.c_str(), dir.c_str());
+                dir.c_str(), dir.c_str(), dir.c_str());
 }
 
 } // namespace

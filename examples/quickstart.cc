@@ -16,10 +16,12 @@
  *   <dir>/stats.csv      the same registry, flat CSV
  *   <dir>/trace.json     Chrome trace_event JSON (open in Perfetto)
  *   <dir>/telemetry.json binned cycle-domain time series + digests
+ *   <dir>/spans.json     per-query lifecycle spans + tail exemplars
  *   <dir>/manifest.json  run manifest (build, config, utilization)
  * scripts/check_metrics.py validates these against the schema in
- * docs/OBSERVABILITY.md, and scripts/make_report.py renders the
- * whole bundle as one self-contained HTML report.
+ * docs/OBSERVABILITY.md, scripts/explain_tail.py turns spans.json
+ * into a ranked tail root-cause report, and scripts/make_report.py
+ * renders the whole bundle as one self-contained HTML report.
  */
 
 #include <cstdio>
@@ -61,6 +63,7 @@ runObservabilityDemo(const elsa::Elsa& engine,
     config.emit_trace = true;
     config.attribute_stalls = true;
     config.telemetry.enabled = true;
+    config.query_spans.enabled = true;
 
     obs::StatsRegistry& registry = obs::globalRegistry();
     obs::TraceWriter trace(dir + "/trace.json");
@@ -70,20 +73,6 @@ runObservabilityDemo(const elsa::Elsa& engine,
     accel.attachTrace(&trace, /*pid=*/0);
     const RunResult result = accel.run(input, threshold);
     trace.close();
-
-    {
-        std::ofstream stats_json(dir + "/stats.json");
-        registry.dumpJson(stats_json);
-        std::ofstream stats_csv(dir + "/stats.csv");
-        registry.dumpCsv(stats_csv);
-    }
-
-    if (result.telemetry != nullptr) {
-        std::ofstream telemetry_json(dir + "/telemetry.json");
-        writeTelemetryJson(telemetry_json, *result.telemetry,
-                           registry, "sim.accel0", config,
-                           &result.query_trace);
-    }
 
     obs::RunManifest manifest("quickstart");
     manifest.addBuildInfo();
@@ -96,41 +85,21 @@ runObservabilityDemo(const elsa::Elsa& engine,
     manifest.set("config", "collect_query_trace",
                  config.collect_query_trace);
     manifest.set("config", "emit_trace", config.emit_trace);
-    manifest.set("metrics", "total_cycles", result.totalCycles());
-    manifest.set("metrics", "preprocess_cycles",
-                 result.preprocess_cycles);
-    manifest.set("metrics", "execute_cycles", result.execute_cycles);
-    manifest.set("metrics", "candidate_fraction",
-                 result.candidateFraction());
-    manifest.set("metrics", "fallbacks", result.empty_selections);
-    const UtilizationReport util = computeUtilization(result);
-    for (const HwModule module : allHwModules()) {
-        manifest.set("utilization", hwModuleMetricName(module),
-                     util.get(module));
-    }
-    const BottleneckReport bottleneck = computeBottleneck(result);
-    manifest.set("bottleneck", "limiting_module",
-                 attributedModuleMetricName(bottleneck.limiting));
-    manifest.set("bottleneck", "busy_fraction",
-                 bottleneck.busy_fraction);
-    manifest.set("bottleneck", "headroom", bottleneck.headroom);
-    for (const AttributedModule module : allAttributedModules()) {
-        manifest.set("bottleneck",
-                     std::string("busy_fraction_")
-                         + attributedModuleMetricName(module),
-                     bottleneck.module_busy_fraction[static_cast<
-                         std::size_t>(module)]);
-    }
-    manifest.writeFile(dir + "/manifest.json");
+    const BottleneckReport bottleneck = writeObsBundle(
+        dir, registry, result, config, manifest, "sim.accel0");
 
     std::printf("\nBottleneck attribution "
                 "(SimConfig::attribute_stalls):\n%s",
                 formatBottleneckReport(bottleneck).c_str());
     std::printf("\nObservability dump: %s/{stats.json, stats.csv, "
-                "trace.json, telemetry.json, manifest.json}\n",
+                "trace.json, telemetry.json, spans.json, "
+                "manifest.json}\n",
                 dir.c_str());
     std::printf("Open %s/trace.json in https://ui.perfetto.dev or "
                 "chrome://tracing.\n",
+                dir.c_str());
+    std::printf("Explain the latency tail with: "
+                "python3 scripts/explain_tail.py %s\n",
                 dir.c_str());
     std::printf("Render an HTML run report with: "
                 "python3 scripts/make_report.py %s\n",

@@ -329,6 +329,14 @@ def main():
         print(f"ADVISORY  {label}: {detail} (wall time; never gates)")
     for label, detail in regressions:
         print(f"REGRESSED {label}: {detail}")
+    if any("latency" in label or "cycles" in label
+           for label, _ in regressions):
+        print(
+            "hint: a latency/cycle metric regressed -- rerun the "
+            "bench with --report and run "
+            "`python3 scripts/explain_tail.py <report-dir>` to rank "
+            "the tail's root causes"
+        )
     print(
         f"bench_compare: {compared} metrics compared, "
         f"{len(improvements)} improved, "

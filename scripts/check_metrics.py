@@ -2,7 +2,7 @@
 """End-to-end validation of the observability artifacts.
 
 Runs the quickstart binary with --obs-dir (stats + tracing + host
-profiling enabled) in a temporary directory and validates the five
+profiling enabled) in a temporary directory and validates the six
 emitted files against the schema documented in docs/OBSERVABILITY.md:
 
   stats.json     - metric-name grammar, per-kind field sets, and the
@@ -14,6 +14,11 @@ emitted files against the schema documented in docs/OBSERVABILITY.md:
                    bin axis, and exact conservation of the stall
                    channels' bin sums against the stats.json stall
                    counters;
+  spans.json     - per-query lifecycle spans: schema, exact
+                   per-exemplar conservation (component sum ==
+                   end-to-end cycles), whole-run reconciliation of
+                   the span totals against the stats.json stall and
+                   span counters, and digest monotonicity;
   manifest.json  - required sections, schema_version, and the
                    cross-check that the manifest's utilization equals
                    active_cycles / cycles.total from stats.json.
@@ -383,6 +388,167 @@ def check_telemetry(telemetry, stats):
                   "digest count")
 
 
+def check_spans(spans, stats):
+    """Validate spans.json (docs/OBSERVABILITY.md): schema, exact
+    per-exemplar conservation, and the whole-run reconciliation
+    identities between the span component totals and the stats.json
+    stall counters."""
+    prefix = spans.get("prefix")
+    check(spans.get("schema_version") == 1,
+          "spans: schema_version != 1")
+    check(prefix == "sim.accel0",
+          f"spans: prefix {prefix!r} != 'sim.accel0'")
+    check(spans.get("stages") == STALL_MODULES,
+          f"spans: stages {spans.get('stages')!r} != the attributed "
+          f"module list")
+    expected_causes = [f"{c}_cycles"
+                       for c in STALL_CAUSES + OPTIONAL_STALL_CAUSES]
+    check(spans.get("stall_causes") == expected_causes,
+          f"spans: stall_causes {spans.get('stall_causes')!r} != "
+          f"{expected_causes}")
+    exemplar_count = spans.get("exemplar_count")
+    check(isinstance(exemplar_count, int) and exemplar_count >= 1,
+          f"spans: bad exemplar_count {exemplar_count!r}")
+    num_queries = spans.get("num_queries")
+    check(isinstance(num_queries, int) and num_queries >= 1,
+          f"spans: bad num_queries {num_queries!r}")
+
+    # Invocation roll-ups reconcile against the run counters even for
+    # invocations that kept no exemplar record.
+    invocations = spans.get("invocations", [])
+    check(isinstance(invocations, list) and invocations,
+          "spans: invocations missing or empty")
+    check(sum(inv.get("queries", 0) for inv in invocations)
+          == num_queries,
+          "spans: invocation query sum != num_queries")
+    check(sum(inv.get("queries", 0) for inv in invocations)
+          == stats.get(f"{prefix}.queries"),
+          "spans: invocation query sum != stats queries counter")
+    check(sum(inv.get("total_cycles", 0) for inv in invocations)
+          == stats.get(f"{prefix}.cycles.total"),
+          "spans: invocation cycle sum != stats cycles.total")
+
+    # Bidirectional totals reconciliation: spans.json totals ==
+    # stats.json span counters (published from the same QuerySpanSet)
+    # and, where the pipeline model pins the relation, == the
+    # independent stall-attribution counters:
+    #   span od.service     == stall.output_division.busy_cycles
+    #                          (division runs once per query);
+    #   2 * span hash.service == stall.hash_computation.busy_cycles
+    #                          (each hash is counted in preprocessing
+    #                          AND in its overlap interval);
+    #   span cs stall       <= stall.candidate_selection.
+    #                          bank_conflict_cycles (wall cycles on
+    #                          the critical bank vs lane cycles over
+    #                          all banks).
+    totals = spans.get("totals", {})
+    check(list(totals) == STALL_MODULES,
+          "spans: totals keys != stage list")
+    for module, entry in totals.items():
+        for field in ("queue_wait_cycles", "service_cycles",
+                      "stall_cycles"):
+            value = entry.get(field)
+            check(isinstance(value, int) and value >= 0,
+                  f"spans: totals.{module}.{field} not a "
+                  f"non-negative integer")
+            counter = stats.get(f"{prefix}.span.{module}.{field}")
+            check(counter == value,
+                  f"spans: totals.{module}.{field} {value} != stats "
+                  f"span counter {counter!r}")
+    od_service = totals.get("output_division", {}).get(
+        "service_cycles")
+    od_busy = stats.get(f"{prefix}.stall.output_division.busy_cycles")
+    check(od_service == od_busy,
+          f"spans: output_division service {od_service} != stall "
+          f"busy counter {od_busy} (reconciliation violated)")
+    hash_service = totals.get("hash_computation", {}).get(
+        "service_cycles")
+    hash_busy = stats.get(f"{prefix}.stall.hash_computation"
+                          f".busy_cycles")
+    check(isinstance(hash_service, int)
+          and 2 * hash_service == hash_busy,
+          f"spans: 2 * hash service {hash_service} != stall busy "
+          f"counter {hash_busy} (reconciliation violated)")
+    cs_stall = totals.get("candidate_selection", {}).get(
+        "stall_cycles")
+    cs_conflict = stats.get(f"{prefix}.stall.candidate_selection"
+                            f".bank_conflict_cycles")
+    check(isinstance(cs_stall, int)
+          and isinstance(cs_conflict, (int, float))
+          and cs_stall <= cs_conflict,
+          f"spans: candidate_selection stall {cs_stall} > "
+          f"bank_conflict counter {cs_conflict}")
+
+    # Digests cover every query, not just the exemplars.
+    digests = spans.get("digests", {})
+    check(set(digests) == set(STALL_MODULES + ["query_total_cycles"]),
+          "spans: digests keys != stage list + query_total_cycles")
+
+    def check_digest(label, digest):
+        check(digest.get("count") == num_queries,
+              f"spans: {label}: digest count {digest.get('count')!r}"
+              f" != num_queries {num_queries}")
+        if digest.get("count"):
+            quantiles = [digest.get(q) for q in DIGEST_QUANTILES]
+            check(all(isinstance(q, (int, float)) for q in quantiles)
+                  and quantiles == sorted(quantiles),
+                  f"spans: {label}: quantiles not monotone: "
+                  f"{quantiles}")
+
+    for module in STALL_MODULES:
+        for component in ("queue_wait", "service", "stall"):
+            check_digest(f"{module}.{component}",
+                         digests.get(module, {}).get(component, {}))
+    check_digest("query_total_cycles",
+                 digests.get("query_total_cycles", {}))
+    stats_total_digest = stats.get(
+        f"{prefix}.span.query.total_cycles_digest", {})
+    check(stats_total_digest.get("count") == num_queries,
+          "spans: stats span.query.total_cycles_digest count != "
+          "num_queries")
+
+    # Exemplars: the slowest-K / decile-representative policy keeps
+    # at least min(K, n) records, every one flagged, conserving, and
+    # consistent with its entry/exit cycle stamps.
+    exemplars = spans.get("exemplars", [])
+    check(isinstance(exemplars, list)
+          and len(exemplars) >= min(exemplar_count, num_queries),
+          f"spans: only {len(exemplars)} exemplars for "
+          f"exemplar_count {exemplar_count}")
+    slowest = 0
+    for i, ex in enumerate(exemplars):
+        check(ex.get("slowest") or ex.get("decile"),
+              f"spans: exemplar {i} kept without a policy flag")
+        slowest += 1 if ex.get("slowest") else 0
+        entry = ex.get("entry_cycle")
+        exit_cycle = ex.get("exit_cycle")
+        end_to_end = ex.get("end_to_end_cycles")
+        check(isinstance(entry, int) and isinstance(exit_cycle, int)
+              and entry <= exit_cycle
+              and exit_cycle - entry == end_to_end,
+              f"spans: exemplar {i}: entry/exit/end_to_end "
+              f"inconsistent")
+        stages = ex.get("stages", {})
+        check(list(stages) == STALL_MODULES,
+              f"spans: exemplar {i}: stage keys != stage list")
+        component_sum = 0
+        for stage in stages.values():
+            component_sum += stage.get("queue_wait", 0)
+            component_sum += stage.get("service", 0)
+            component_sum += sum(stage.get("stall", {}).values())
+            for cause in stage.get("stall", {}):
+                check(cause in expected_causes,
+                      f"spans: exemplar {i}: unknown stall cause "
+                      f"{cause!r}")
+        check(component_sum == end_to_end,
+              f"spans: exemplar {i} (query {ex.get('query')}): "
+              f"component sum {component_sum} != end-to-end "
+              f"{end_to_end} (conservation violated)")
+    check(slowest == min(exemplar_count, num_queries),
+          f"spans: {slowest} slowest-flagged exemplars, expected "
+          f"{min(exemplar_count, num_queries)}")
+
+
 def check_stats_csv(path):
     with open(path, encoding="utf-8") as f:
         lines = f.read().splitlines()
@@ -421,9 +587,16 @@ def check_trace(trace):
                   f"trace: unexpected metadata event {i}")
             check("name" in event.get("args", {}),
                   f"trace: metadata event {i} missing args.name")
+        elif ph in ("s", "t", "f"):
+            check("ts" in event and "id" in event,
+                  f"trace: flow event {i} missing ts/id")
     check("M" in phases, "trace: no metadata (M) events")
     check("X" in phases, "trace: no complete (X) events")
     check("C" in phases, "trace: no counter (C) events")
+    # Span exemplars link their stages with flow arrows; a start
+    # without a finish (or vice versa) renders as a dangling arrow.
+    check("s" in phases and "f" in phases,
+          "trace: no span flow (s/f) events")
 
 
 def check_manifest(manifest, stats):
@@ -565,7 +738,8 @@ def main():
             return 1
 
         for name in ("stats.json", "stats.csv", "trace.json",
-                     "telemetry.json", "manifest.json"):
+                     "telemetry.json", "spans.json",
+                     "manifest.json"):
             check(os.path.exists(os.path.join(obs_dir, name)),
                   f"missing artifact {name}")
         if failures:
@@ -578,6 +752,8 @@ def main():
         check_telemetry(load_json(os.path.join(obs_dir,
                                                "telemetry.json")),
                         stats)
+        check_spans(load_json(os.path.join(obs_dir, "spans.json")),
+                    stats)
         check_manifest(load_json(os.path.join(obs_dir,
                                               "manifest.json")),
                        stats)

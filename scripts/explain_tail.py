@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Explain the latency tail of a run from its per-query spans.
+
+Usage:
+    explain_tail.py <obs-dir> [--out report.txt]
+
+<obs-dir> is an observability bundle produced by `quickstart
+--obs-dir` or `elsa_bench --report` (docs/OBSERVABILITY.md). The
+script reads spans.json (required) and telemetry.json (optional) and
+prints a ranked root-cause report of the p99 tail:
+
+  * end-to-end latency percentiles from the streaming digest over
+    EVERY query (not just the retained exemplars);
+  * the p99/p50 ratio -- how heavy the tail is;
+  * a decomposition of the tail gap: the mean of the slowest
+    exemplars' per-stage queue_wait / service / stall components
+    minus the median query's, ranked by contribution, so the first
+    row names the dominant tail cause
+    ("78% of the gap is candidate_selection queue_wait");
+  * when telemetry.json is present, where in the run the dominant
+    cause concentrates (the smallest set of time bins covering half
+    of the matching stall channel's mass).
+
+The per-exemplar components conserve exactly (component sum ==
+end-to-end cycles; enforced by scripts/check_metrics.py), so the gap
+shares reported here sum to 100% over all stages and components.
+
+Standard library only; deterministic output for identical inputs.
+make_report.py imports analyze()/format_report() to embed the same
+analysis in the HTML run report. Exit status 0 on success, 1 on
+missing/malformed inputs. Wired into CTest as the `explain_tail`
+test and run by the CI Release job on the quick-bench bundle.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Span component -> telemetry stall-channel cause used to localize
+# the dominant tail cause in time: service cycles show up as the
+# module's busy lane-cycles, queue-wait as starved, and stall causes
+# under their own name.
+COMPONENT_TO_CAUSE = {
+    "service": "busy",
+    "queue_wait": "starved",
+}
+
+
+def die(message):
+    print(f"explain_tail: error: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        die(f"cannot load {path}: {exc}")
+
+
+def load_bundle(obs_dir):
+    """Load (spans, telemetry-or-None) from an observability dir."""
+    spans_path = os.path.join(obs_dir, "spans.json")
+    if not os.path.exists(spans_path):
+        die(f"{obs_dir}: missing spans.json (enable "
+            f"SimConfig::query_spans, or produce the bundle with "
+            f"`quickstart --obs-dir` / `elsa_bench --report`)")
+    spans = load_json(spans_path)
+    telemetry_path = os.path.join(obs_dir, "telemetry.json")
+    telemetry = (load_json(telemetry_path)
+                 if os.path.exists(telemetry_path) else None)
+    return spans, telemetry
+
+
+def exemplar_components(exemplar):
+    """Flatten one exemplar into {(stage, component): cycles} with
+    stall causes kept separate (suffix-stripped)."""
+    flat = {}
+    for stage, parts in exemplar["stages"].items():
+        flat[(stage, "queue_wait")] = parts.get("queue_wait", 0)
+        flat[(stage, "service")] = parts.get("service", 0)
+        for cause, cycles in parts.get("stall", {}).items():
+            name = cause[:-len("_cycles")] \
+                if cause.endswith("_cycles") else cause
+            flat[(stage, name)] = flat.get((stage, name), 0) + cycles
+    return flat
+
+
+def median_exemplar(spans):
+    """The retained record closest to the p50 end-to-end latency
+    (ties -> lower query id): the decile representatives guarantee
+    one exists near the median."""
+    p50 = spans["digests"]["query_total_cycles"].get("p50", 0)
+    return min(spans["exemplars"],
+               key=lambda e: (abs(e["end_to_end_cycles"] - p50),
+                              e["invocation"], e["query"]))
+
+
+def concentration(bins, fraction=0.5):
+    """Smallest set of bins covering `fraction` of the channel mass,
+    reported as the covering contiguous range (lo, hi, mass_share).
+    Returns None for an all-zero channel."""
+    total = sum(bins)
+    if total <= 0:
+        return None
+    order = sorted(range(len(bins)), key=lambda b: (-bins[b], b))
+    picked = []
+    mass = 0.0
+    for b in order:
+        picked.append(b)
+        mass += bins[b]
+        if mass >= fraction * total:
+            break
+    lo, hi = min(picked), max(picked)
+    range_mass = sum(bins[lo:hi + 1])
+    return lo, hi, range_mass / total
+
+
+def analyze(spans, telemetry=None):
+    """Reduce a spans document (plus optional telemetry) to the tail
+    analysis rendered by format_report(): percentiles, the tail gap,
+    and the ranked per-(stage, component) gap contributions."""
+    digest = spans["digests"]["query_total_cycles"]
+    analysis = {
+        "prefix": spans.get("prefix", "sim.accel0"),
+        "num_queries": spans.get("num_queries", 0),
+        "digest": digest,
+        "ratio": (digest["p99"] / digest["p50"]
+                  if digest.get("p50") else 0.0),
+        "contributions": [],
+        "gap": 0.0,
+        "dominant": None,
+        "concentration": None,
+    }
+    slow = [e for e in spans.get("exemplars", []) if e.get("slowest")]
+    if not slow:
+        return analysis
+    baseline = median_exemplar(spans)
+    base_flat = exemplar_components(baseline)
+    base_total = baseline["end_to_end_cycles"]
+
+    sums = {}
+    for exemplar in slow:
+        for key, cycles in exemplar_components(exemplar).items():
+            sums[key] = sums.get(key, 0) + cycles
+    mean_slow_total = (sum(e["end_to_end_cycles"] for e in slow)
+                       / len(slow))
+    gap = mean_slow_total - base_total
+    analysis["gap"] = gap
+    analysis["baseline"] = {"query": baseline["query"],
+                            "invocation": baseline["invocation"],
+                            "end_to_end_cycles": base_total}
+    analysis["slow_count"] = len(slow)
+    analysis["mean_slow_total"] = mean_slow_total
+
+    contributions = []
+    for key in sorted(set(sums) | set(base_flat)):
+        delta = (sums.get(key, 0) / len(slow)
+                 - base_flat.get(key, 0))
+        if delta == 0:
+            continue
+        share = delta / gap if gap > 0 else 0.0
+        contributions.append({"stage": key[0], "component": key[1],
+                              "cycles": delta, "share": share})
+    contributions.sort(key=lambda c: (-c["cycles"], c["stage"],
+                                      c["component"]))
+    analysis["contributions"] = contributions
+    if contributions:
+        analysis["dominant"] = contributions[0]
+
+    if telemetry is not None and analysis["dominant"] is not None:
+        dom = analysis["dominant"]
+        cause = COMPONENT_TO_CAUSE.get(dom["component"],
+                                       dom["component"])
+        channel = f"stall.{dom['stage']}.{cause}_cycles"
+        bins = telemetry.get("channels", {}).get(channel)
+        if bins:
+            spot = concentration(bins)
+            if spot is not None:
+                lo, hi, share = spot
+                analysis["concentration"] = {
+                    "channel": channel, "first_bin": lo,
+                    "last_bin": hi, "mass_share": share,
+                    "bin_width_cycles":
+                        telemetry.get("bin_width_cycles", 0),
+                }
+    return analysis
+
+
+def format_report(analysis):
+    """Render the analysis as deterministic plain text."""
+    digest = analysis["digest"]
+    lines = []
+    lines.append(f"ELSA tail latency report "
+                 f"({analysis['num_queries']} queries, prefix "
+                 f"{analysis['prefix']})")
+    lines.append("")
+    lines.append(
+        "  end-to-end cycles: "
+        + "  ".join(f"{q}={digest.get(q, 0):g}"
+                    for q in ("min", "p50", "p90", "p95", "p99",
+                              "max")))
+    lines.append(f"  tail heaviness: p99 is {analysis['ratio']:.2f}x "
+                 f"p50")
+    if not analysis["contributions"]:
+        lines.append("")
+        lines.append("  no slowest exemplars recorded; nothing to "
+                     "decompose")
+        return "\n".join(lines) + "\n"
+    baseline = analysis["baseline"]
+    lines.append("")
+    lines.append(
+        f"Tail gap decomposition: mean of the "
+        f"{analysis['slow_count']} slowest queries "
+        f"({analysis['mean_slow_total']:.1f} cycles) vs the median "
+        f"query {baseline['query']} "
+        f"({baseline['end_to_end_cycles']} cycles), "
+        f"gap {analysis['gap']:.1f} cycles:")
+    lines.append("")
+    lines.append(f"  {'rank':<5} {'stage.component':<40} "
+                 f"{'cycles':>9} {'share':>7}")
+    for rank, c in enumerate(analysis["contributions"], start=1):
+        label = f"{c['stage']}.{c['component']}"
+        lines.append(f"  {rank:<5} {label:<40} "
+                     f"{c['cycles']:>+9.1f} "
+                     f"{100.0 * c['share']:>6.1f}%")
+    dominant = analysis["dominant"]
+    lines.append("")
+    sentence = (f"Dominant tail cause: {dominant['stage']} "
+                f"{dominant['component']} "
+                f"({100.0 * dominant['share']:.0f}% of the p99 gap)")
+    spot = analysis["concentration"]
+    if spot is not None:
+        sentence += (f", concentrated in bins "
+                     f"{spot['first_bin']}-{spot['last_bin']} "
+                     f"({100.0 * spot['mass_share']:.0f}% of the "
+                     f"{spot['channel']} mass)")
+    lines.append(sentence + ".")
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("obs_dir",
+                        help="observability bundle directory")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args()
+
+    spans, telemetry = load_bundle(args.obs_dir)
+    report = format_report(analyze(spans, telemetry))
+    sys.stdout.write(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+        print(f"explain_tail: wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,9 @@ be archived or attached to a CI run as-is, with no external assets:
     energy model);
   * latency histogram of the per-query intervals with the streaming
     digest's percentile markers overlaid;
+  * per-stage latency breakdown and tail root-cause analysis from
+    spans.json when present (the explain_tail.py report inlined,
+    plus per-stage component percentile tables);
   * bottleneck attribution, latency digests, and fault counters.
 
 Standard library only; deterministic output for identical inputs.
@@ -32,6 +35,11 @@ import html
 import json
 import os
 import sys
+
+# Shared tail analysis: the HTML section embeds exactly what the
+# command-line report prints (both live in scripts/, so the plain
+# import resolves when either is run as a script).
+import explain_tail
 
 STALL_CAUSES = [
     ("busy", "#4c78a8"),
@@ -315,6 +323,48 @@ def latency_chart(telemetry):
     return plot.render() + legend(entries) + note
 
 
+def spans_section(obs_dir):
+    """Per-stage latency breakdown + tail root-cause analysis from
+    spans.json; empty when the bundle carries no spans (the feature
+    is optional, like fault counters)."""
+    spans_path = os.path.join(obs_dir, "spans.json")
+    if not os.path.exists(spans_path):
+        return ""
+    spans = load_json(spans_path)
+    telemetry_path = os.path.join(obs_dir, "telemetry.json")
+    telemetry = (load_json(telemetry_path)
+                 if os.path.exists(telemetry_path) else None)
+
+    headers = ["stage", "component", "total cycles", "p50", "p99",
+               "max"]
+    rows = []
+    for stage in spans.get("stages", []):
+        totals = spans["totals"][stage]
+        for component in ("queue_wait", "service", "stall"):
+            digest = spans["digests"][stage][component]
+            total = totals[f"{component}_cycles"]
+            if total == 0 and digest.get("max", 0) == 0:
+                continue  # All-zero components would drown the table.
+            rows.append([stage, component, total,
+                         digest.get("p50", "-"),
+                         digest.get("p99", "-"),
+                         digest.get("max", "-")])
+
+    analysis = explain_tail.analyze(spans, telemetry)
+    text = explain_tail.format_report(analysis)
+    out = ["<h2>Per-stage latency breakdown</h2>"]
+    out.append(
+        '<p class="note">Per-query lifecycle spans '
+        f"(SimConfig::query_spans): {fmt(spans['num_queries'])} "
+        "queries decomposed into per-stage queue-wait / service / "
+        "stall cycles; component sums equal end-to-end cycles "
+        "exactly (docs/OBSERVABILITY.md).</p>")
+    out.append(table(rows, headers))
+    out.append("<h2>Tail root-cause analysis</h2>")
+    out.append(f"<pre>{html.escape(text)}</pre>")
+    return "".join(out)
+
+
 def manifest_section(manifest):
     out = []
     for section in ("build", "config", "metrics"):
@@ -390,6 +440,7 @@ def build_report(obs_dir):
         energy_chart(telemetry),
         "<h2>Per-query latency</h2>",
         latency_chart(telemetry),
+        spans_section(obs_dir),
         digest_section(telemetry),
         bottleneck_section(manifest),
         fault_section(stats, prefix),

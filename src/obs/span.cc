@@ -1,0 +1,237 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace elsa::obs {
+
+std::uint64_t
+StageSpan::stallTotal() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t cycles : stall) {
+        total += cycles;
+    }
+    return total;
+}
+
+std::uint64_t
+QuerySpanRecord::componentSum() const
+{
+    std::uint64_t total = 0;
+    for (const StageSpan& stage : stages) {
+        total += stage.queue_wait + stage.service + stage.stallTotal();
+    }
+    return total;
+}
+
+QuerySpanSet::QuerySpanSet(std::vector<std::string> stage_names,
+                           std::vector<std::string> cause_names)
+    : stage_names_(std::move(stage_names)),
+      cause_names_(std::move(cause_names)),
+      queue_wait_totals_(stage_names_.size(), 0),
+      service_totals_(stage_names_.size(), 0),
+      stall_totals_(stage_names_.size(), 0),
+      queue_wait_digests_(stage_names_.size()),
+      service_digests_(stage_names_.size()),
+      stall_digests_(stage_names_.size())
+{
+    ELSA_CHECK(!stage_names_.empty(), "span set needs stage names");
+    ELSA_CHECK(!cause_names_.empty(), "span set needs cause names");
+}
+
+void
+QuerySpanSet::addRecord(QuerySpanRecord record)
+{
+    ELSA_ASSERT(!finalized_, "addRecord after finalize");
+    ELSA_ASSERT(record.stages.size() == stage_names_.size(),
+                "span record has " << record.stages.size()
+                                   << " stages, set has "
+                                   << stage_names_.size());
+    for (const StageSpan& stage : record.stages) {
+        ELSA_ASSERT(stage.stall.size() == cause_names_.size(),
+                    "span stage has " << stage.stall.size()
+                                      << " causes, set has "
+                                      << cause_names_.size());
+    }
+    ELSA_ASSERT(record.entry_cycle <= record.exit_cycle,
+                "span record exits before it enters");
+    ELSA_DASSERT(record.conserves(),
+                 "query " << record.query << " span components sum to "
+                          << record.componentSum() << ", end-to-end is "
+                          << record.endToEnd());
+    records_.push_back(std::move(record));
+}
+
+void
+QuerySpanSet::addStallToLast(std::size_t stage, std::size_t cause,
+                             std::uint64_t cycles)
+{
+    ELSA_ASSERT(!finalized_, "addStallToLast after finalize");
+    ELSA_ASSERT(!records_.empty(), "no record to charge stall to");
+    ELSA_ASSERT(stage < stage_names_.size(), "stage out of range");
+    ELSA_ASSERT(cause < cause_names_.size(), "cause out of range");
+    QuerySpanRecord& record = records_.back();
+    record.stages[stage].stall[cause] += cycles;
+    record.exit_cycle += cycles;
+    ELSA_DASSERT(record.conserves(),
+                 "span record no longer conserves after tail stall");
+}
+
+void
+QuerySpanSet::finalize(std::size_t exemplar_count,
+                       std::uint64_t run_total_cycles)
+{
+    ELSA_ASSERT(!finalized_, "finalize called twice");
+    finalized_ = true;
+    num_queries_ = records_.size();
+    invocations_.push_back(
+        {0, static_cast<std::uint64_t>(num_queries_),
+         run_total_cycles});
+    if (records_.empty()) {
+        return;
+    }
+
+    // Fold every query into the digests and exact totals first; the
+    // exemplar selection below only decides which FULL records
+    // survive.
+    for (const QuerySpanRecord& record : records_) {
+        total_digest_.add(static_cast<double>(record.endToEnd()));
+        for (std::size_t s = 0; s < stage_names_.size(); ++s) {
+            const StageSpan& stage = record.stages[s];
+            queue_wait_totals_[s] += stage.queue_wait;
+            service_totals_[s] += stage.service;
+            stall_totals_[s] += stage.stallTotal();
+            queue_wait_digests_[s].add(
+                static_cast<double>(stage.queue_wait));
+            service_digests_[s].add(
+                static_cast<double>(stage.service));
+            stall_digests_[s].add(
+                static_cast<double>(stage.stallTotal()));
+        }
+    }
+
+    // Ascending latency order, query id breaking ties, shared by both
+    // selection passes so the choice is deterministic.
+    std::vector<std::size_t> order(records_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  const std::uint64_t ea = records_[a].endToEnd();
+                  const std::uint64_t eb = records_[b].endToEnd();
+                  if (ea != eb) {
+                      return ea < eb;
+                  }
+                  return records_[a].query < records_[b].query;
+              });
+
+    // K slowest: walk the ascending order from the back. Ties at the
+    // cut keep the lower query id because the sort put it later.
+    const std::size_t slowest =
+        std::min(exemplar_count, order.size());
+    for (std::size_t i = 0; i < slowest; ++i) {
+        records_[order[order.size() - 1 - i]].slowest_exemplar = true;
+    }
+    // One representative per latency decile: the rank at the middle
+    // of each tenth of the ascending order.
+    for (std::size_t d = 0; d < 10; ++d) {
+        const std::size_t rank =
+            ((2 * d + 1) * order.size()) / 20;
+        records_[order[std::min(rank, order.size() - 1)]]
+            .decile_exemplar = true;
+    }
+
+    std::vector<QuerySpanRecord> kept;
+    for (QuerySpanRecord& record : records_) {
+        if (record.slowest_exemplar || record.decile_exemplar) {
+            kept.push_back(std::move(record));
+        }
+    }
+    records_ = std::move(kept);
+}
+
+void
+QuerySpanSet::mergeInvocation(const QuerySpanSet& other,
+                              std::uint64_t invocation)
+{
+    ELSA_ASSERT(other.finalized_,
+                "mergeInvocation needs a finalized source");
+    ELSA_ASSERT(other.stage_names_ == stage_names_
+                    && other.cause_names_ == cause_names_,
+                "span sets disagree on stage/cause names");
+    ELSA_ASSERT(records_.empty() || finalized_,
+                "mergeInvocation into a half-recorded set");
+    finalized_ = true;
+    num_queries_ += other.num_queries_;
+    for (const InvocationSummary& summary : other.invocations_) {
+        InvocationSummary tagged = summary;
+        tagged.invocation = invocation;
+        invocations_.push_back(tagged);
+    }
+    for (const QuerySpanRecord& record : other.records_) {
+        records_.push_back(record);
+        records_.back().invocation = invocation;
+    }
+    for (std::size_t s = 0; s < stage_names_.size(); ++s) {
+        queue_wait_totals_[s] += other.queue_wait_totals_[s];
+        service_totals_[s] += other.service_totals_[s];
+        stall_totals_[s] += other.stall_totals_[s];
+        queue_wait_digests_[s].merge(other.queue_wait_digests_[s]);
+        service_digests_[s].merge(other.service_digests_[s]);
+        stall_digests_[s].merge(other.stall_digests_[s]);
+    }
+    total_digest_.merge(other.total_digest_);
+}
+
+std::uint64_t
+QuerySpanSet::stageQueueWaitTotal(std::size_t stage) const
+{
+    ELSA_ASSERT(stage < stage_names_.size(), "stage out of range");
+    return queue_wait_totals_[stage];
+}
+
+std::uint64_t
+QuerySpanSet::stageServiceTotal(std::size_t stage) const
+{
+    ELSA_ASSERT(stage < stage_names_.size(), "stage out of range");
+    return service_totals_[stage];
+}
+
+std::uint64_t
+QuerySpanSet::stageStallTotal(std::size_t stage) const
+{
+    ELSA_ASSERT(stage < stage_names_.size(), "stage out of range");
+    return stall_totals_[stage];
+}
+
+const QuantileDigest&
+QuerySpanSet::stageQueueWaitDigest(std::size_t stage) const
+{
+    ELSA_ASSERT(stage < stage_names_.size(), "stage out of range");
+    return queue_wait_digests_[stage];
+}
+
+const QuantileDigest&
+QuerySpanSet::stageServiceDigest(std::size_t stage) const
+{
+    ELSA_ASSERT(stage < stage_names_.size(), "stage out of range");
+    return service_digests_[stage];
+}
+
+const QuantileDigest&
+QuerySpanSet::stageStallDigest(std::size_t stage) const
+{
+    ELSA_ASSERT(stage < stage_names_.size(), "stage out of range");
+    return stall_digests_[stage];
+}
+
+const QuantileDigest&
+QuerySpanSet::totalDigest() const
+{
+    return total_digest_;
+}
+
+} // namespace elsa::obs

@@ -1,0 +1,188 @@
+#ifndef ELSA_OBS_SPAN_H_
+#define ELSA_OBS_SPAN_H_
+
+/**
+ * @file
+ * Per-query lifecycle spans with exact latency decomposition.
+ *
+ * A QuerySpanRecord decomposes one query's end-to-end cycles into
+ * per-stage queue-wait / service / stall-by-cause components whose
+ * integer sum equals exit_cycle - entry_cycle EXACTLY -- the
+ * conservation invariant every producer must uphold (asserted on
+ * insertion, property-tested in tests/span_test.cc, and re-checked
+ * end-to-end by scripts/check_metrics.py).
+ *
+ * A QuerySpanSet accumulates the records of one run and, at
+ * finalize(), keeps only a deterministic exemplar subset as full
+ * records -- the K slowest queries plus one representative per
+ * latency decile -- while folding every query (exemplar or not) into
+ * per-stage streaming quantile digests and exact component totals.
+ * The totals are what reconcile against the run-level
+ * `stall.<module>.<cause>` counters (docs/OBSERVABILITY.md).
+ *
+ * The class is deliberately generic: stage and stall-cause *names*
+ * are injected at construction, so this layer has no dependency on
+ * the simulator's module enums (the simulator binds
+ * attributedModuleMetricName / stallCauseMetricName in
+ * sim/report.cc). Determinism contract: records are added in query
+ * order, merged across invocations in invocation-index order, and
+ * the digests are themselves deterministic (obs/digest.h), so the
+ * serialized spans.json is byte-identical at any thread count.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/digest.h"
+
+namespace elsa::obs {
+
+/** One pipeline stage's share of a query's end-to-end cycles. */
+struct StageSpan
+{
+    /** Cycles the query spent waiting to enter the stage. */
+    std::uint64_t queue_wait = 0;
+    /** Cycles of useful work the stage spent on the query. */
+    std::uint64_t service = 0;
+    /** Extra cycles by stall cause (indexed like the cause names). */
+    std::vector<std::uint64_t> stall;
+
+    std::uint64_t stallTotal() const;
+};
+
+/** Full lifecycle record of one query; see the file comment. */
+struct QuerySpanRecord
+{
+    /** Batch invocation the query belongs to (0 for single runs). */
+    std::uint64_t invocation = 0;
+    /** Query index within its invocation. */
+    std::uint64_t query = 0;
+    /** First cycle the pipeline works for this query (hash start). */
+    std::uint64_t entry_cycle = 0;
+    /** Cycle the query's output row is complete. */
+    std::uint64_t exit_cycle = 0;
+    /** Opaque producer tag (the simulator stores the critical bank). */
+    std::uint64_t tag = 0;
+    /** Kept because it is among the K slowest queries. */
+    bool slowest_exemplar = false;
+    /** Kept as the representative of its latency decile. */
+    bool decile_exemplar = false;
+    /** Per-stage decomposition (indexed like the stage names). */
+    std::vector<StageSpan> stages;
+
+    std::uint64_t endToEnd() const { return exit_cycle - entry_cycle; }
+    /** Sum of every queue_wait + service + stall component. */
+    std::uint64_t componentSum() const;
+    /** The invariant: componentSum() == endToEnd(). */
+    bool conserves() const { return componentSum() == endToEnd(); }
+};
+
+/**
+ * The spans of one run (or, after merging, of one batch). Usage:
+ * addRecord() per query in order, finalize() once, then (arrays)
+ * mergeInvocation() in invocation-index order on a fresh set.
+ */
+class QuerySpanSet
+{
+  public:
+    /** Per-invocation roll-up kept for counter reconciliation. */
+    struct InvocationSummary
+    {
+        std::uint64_t invocation = 0;
+        std::uint64_t queries = 0;
+        /** The invocation's whole-run cycle count (pre + execute). */
+        std::uint64_t total_cycles = 0;
+    };
+
+    QuerySpanSet(std::vector<std::string> stage_names,
+                 std::vector<std::string> cause_names);
+
+    /** Append one query's record (query order; pre-finalize only).
+     *  The record must conserve and match the stage/cause shape. */
+    void addRecord(QuerySpanRecord record);
+
+    /**
+     * Charge extra stall cycles to a stage of the last added record,
+     * extending its exit cycle by the same amount so conservation
+     * holds (the simulator's end-of-run fault-retry bubble).
+     */
+    void addStallToLast(std::size_t stage, std::size_t cause,
+                        std::uint64_t cycles);
+
+    /**
+     * Select exemplars and drop every other full record: the
+     * `exemplar_count` slowest queries (ties -> lower query id) plus
+     * one representative per latency decile (the rank
+     * floor((d + 0.5) * n / 10) query of the ascending latency
+     * order). Also freezes the per-stage digests/totals, which cover
+     * ALL queries, and records the invocation summary.
+     */
+    void finalize(std::size_t exemplar_count,
+                  std::uint64_t run_total_cycles);
+
+    /**
+     * Fold a finalized per-invocation set into this one, re-tagging
+     * its records and summary with `invocation`. Call in
+     * invocation-index order; the result is independent of thread
+     * count because merging is fully serial.
+     */
+    void mergeInvocation(const QuerySpanSet& other,
+                         std::uint64_t invocation);
+
+    bool finalized() const { return finalized_; }
+    std::size_t numStages() const { return stage_names_.size(); }
+    std::size_t numCauses() const { return cause_names_.size(); }
+    const std::vector<std::string>& stageNames() const
+    {
+        return stage_names_;
+    }
+    const std::vector<std::string>& causeNames() const
+    {
+        return cause_names_;
+    }
+
+    /** All records before finalize(); only exemplars after. */
+    const std::vector<QuerySpanRecord>& records() const
+    {
+        return records_;
+    }
+    /** Queries recorded, exemplar or not. */
+    std::size_t numQueries() const { return num_queries_; }
+    const std::vector<InvocationSummary>& invocations() const
+    {
+        return invocations_;
+    }
+
+    /** Exact component totals over every query (wall cycles). */
+    std::uint64_t stageQueueWaitTotal(std::size_t stage) const;
+    std::uint64_t stageServiceTotal(std::size_t stage) const;
+    std::uint64_t stageStallTotal(std::size_t stage) const;
+
+    /** Per-stage component digests over every query (finalized). */
+    const QuantileDigest& stageQueueWaitDigest(std::size_t stage) const;
+    const QuantileDigest& stageServiceDigest(std::size_t stage) const;
+    const QuantileDigest& stageStallDigest(std::size_t stage) const;
+    /** End-to-end cycles digest over every query (finalized). */
+    const QuantileDigest& totalDigest() const;
+
+  private:
+    std::vector<std::string> stage_names_;
+    std::vector<std::string> cause_names_;
+    std::vector<QuerySpanRecord> records_;
+    std::vector<InvocationSummary> invocations_;
+    std::vector<std::uint64_t> queue_wait_totals_;
+    std::vector<std::uint64_t> service_totals_;
+    std::vector<std::uint64_t> stall_totals_;
+    std::vector<QuantileDigest> queue_wait_digests_;
+    std::vector<QuantileDigest> service_digests_;
+    std::vector<QuantileDigest> stall_digests_;
+    QuantileDigest total_digest_;
+    std::size_t num_queries_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace elsa::obs
+
+#endif // ELSA_OBS_SPAN_H_

@@ -145,6 +145,28 @@ TraceWriter::instantEvent(const std::string& name, std::uint32_t pid,
 }
 
 void
+TraceWriter::flowEvent(const std::string& name,
+                       const std::string& category, std::uint32_t pid,
+                       std::uint32_t tid, std::uint64_t ts_cycles,
+                       std::uint64_t id, char phase)
+{
+    if (!enabled_) {
+        return;
+    }
+    ELSA_CHECK(phase == 's' || phase == 't' || phase == 'f',
+               "flow phase must be 's', 't' or 'f', got " << phase);
+    Event e;
+    e.phase = phase;
+    e.name = name;
+    e.category = category;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts_cycles;
+    e.id = id;
+    events_.push_back(std::move(e));
+}
+
+void
 TraceWriter::writeJson(std::ostream& os) const
 {
     JsonWriter w(os, /*pretty=*/false);
@@ -178,6 +200,20 @@ TraceWriter::writeJson(std::ostream& os) const
         case 'i':
             w.kv("ts", static_cast<std::size_t>(e.ts));
             w.kv("s", "t");
+            break;
+        case 's':
+        case 't':
+        case 'f':
+            w.kv("cat",
+                 e.category.empty() ? std::string("sim") : e.category);
+            w.kv("ts", static_cast<std::size_t>(e.ts));
+            w.kv("id", static_cast<std::size_t>(e.id));
+            if (e.phase == 'f') {
+                // Bind the finish to the enclosing slice so the
+                // arrow terminates at the event rather than the
+                // next slice start.
+                w.kv("bp", "e");
+            }
             break;
         default: ELSA_PANIC("unknown trace phase " << e.phase);
         }

@@ -101,6 +101,19 @@ class TraceWriter
                       std::uint32_t tid, std::uint64_t ts_cycles);
 
     /**
+     * Flow event linking points on different timelines into one
+     * arrow chain (Chrome trace phases 's' = start, 't' = step,
+     * 'f' = finish). Events sharing `id` form one flow; the per-query
+     * span exemplars use this to draw each query's path from the
+     * hash unit through its critical bank to output division.
+     * `phase` must be one of 's', 't', 'f'.
+     */
+    void flowEvent(const std::string& name, const std::string& category,
+                   std::uint32_t pid, std::uint32_t tid,
+                   std::uint64_t ts_cycles, std::uint64_t id,
+                   char phase);
+
+    /**
      * Append another writer's buffered events to this one, in their
      * recorded order. Metadata ('M') events are skipped when
      * skip_metadata is set (the receiving writer emitted its own
@@ -132,6 +145,8 @@ class TraceWriter
         std::uint32_t tid = 0;
         std::uint64_t ts = 0;
         std::uint64_t dur = 0;
+        /** Flow-chain id ('s'/'t'/'f' events only). */
+        std::uint64_t id = 0;
         double counter_value = 0.0;
         /** Metadata argument ("name" for process/thread names). */
         std::string meta;

@@ -10,6 +10,7 @@
 #include "fault/fault.h"
 #include "fixed/saturation.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/candidate_stage.h"
@@ -47,6 +48,20 @@ stallTrackName(AttributedModule module, StallCause cause)
     name += stallCauseMetricName(cause);
     return name;
 }
+
+/**
+ * Trace timestamps of one query's span flow events (hash start, the
+ * critical bank's scan start, division start). Buffered during the
+ * query loop so only the exemplar queries chosen at finalize() emit
+ * flow arrows into the trace.
+ */
+struct SpanFlowPoint
+{
+    std::uint64_t hash_ts = 0;
+    std::uint64_t scan_ts = 0;
+    std::uint64_t div_ts = 0;
+    std::uint32_t bank = 0;
+};
 
 /** Per-bank inputs to the stall attribution of one query. */
 struct BankAttribution
@@ -300,6 +315,30 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         queue_ch = ts->channel("queue.occupancy_cycles");
         queries_ch = ts->channel("queries.completed");
     }
+
+    // ---- Per-query lifecycle spans (obs/span.h) ----
+    // Opt-in exact decomposition of every query's end-to-end cycles
+    // into per-stage queue-wait / service / stall components; like
+    // attribution and telemetry it is post-hoc arithmetic that never
+    // perturbs the simulated timing, and when off (the default) the
+    // pointer stays null and nothing is allocated or published.
+    obs::QuerySpanSet* spans = nullptr;
+    if (config_.query_spans.enabled) {
+        std::vector<std::string> stage_names;
+        std::vector<std::string> cause_names;
+        for (const AttributedModule module : allAttributedModules()) {
+            stage_names.emplace_back(
+                attributedModuleMetricName(module));
+        }
+        for (const StallCause cause : allStallCauses()) {
+            cause_names.emplace_back(stallCauseMetricName(cause));
+        }
+        result.spans = std::make_shared<obs::QuerySpanSet>(
+            std::move(stage_names), std::move(cause_names));
+        spans = result.spans.get();
+    }
+    std::vector<SpanFlowPoint> span_flow;
+
     const auto attributeSpan =
         [&result, ts, &stall_ch](AttributedModule module,
                                  StallCause cause,
@@ -417,6 +456,9 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     std::uint64_t cursor = result.preprocess_cycles;
 
     std::vector<std::vector<std::uint32_t>> bank_grants(pa);
+    // The previous query's interval bounds this query's span
+    // queue-wait (its hash overlapped that interval).
+    std::size_t prev_interval = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const HashValue& query_hash = ctx.query_hashes[i];
 
@@ -425,6 +467,11 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         std::size_t query_stalls = 0;
         std::size_t query_occupancy = 0;
         double scanned_keys = 0.0;
+        // Critical bank of the span decomposition: the bank holding
+        // max_bank_cycles open (ties -> lowest index).
+        std::size_t crit_bank = 0;
+        std::size_t crit_keys = 0;
+        std::size_t crit_scan_done = 0;
         for (std::size_t b = 0; b < pa; ++b) {
             const std::size_t begin = b * keys_per_bank;
             const std::size_t end =
@@ -449,6 +496,11 @@ Accelerator::run(const AttentionInput& input, double threshold) const
             query_stalls += trace.stall_cycles;
             query_occupancy += trace.queue_occupancy_cycles;
             scanned_keys += static_cast<double>(trace.scan_cycles);
+            if (spans != nullptr && trace.cycles > max_bank_cycles) {
+                crit_bank = b;
+                crit_keys = end - begin;
+                crit_scan_done = trace.scan_done_cycle;
+            }
             max_bank_cycles = std::max(max_bank_cycles, trace.cycles);
             if (attribute) {
                 bank_attr[b] = {true, trace.cycles,
@@ -495,6 +547,62 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         const std::size_t interval =
             std::max({bank_time, hash_per_vec, division_cycles});
         exec_cycles += interval;
+
+        // ---- Per-query span record ----
+        // Exact telescoping decomposition of the query's lifecycle
+        // [entry, exit): its hash overlaps the previous interval
+        // (entry = that interval's start; query 0 hashes at the end
+        // of preprocessing), the critical bank's scan splits into
+        // minimum scan time plus backpressure delay plus arbiter
+        // drain-out, attention adds its hand-off latency, and the
+        // division lands in the next interval. Each component is the
+        // gap between two pipeline timestamps, so the integer sum
+        // equals exit - entry exactly (asserted in obs/span.h).
+        if (spans != nullptr) {
+            const std::size_t base_scan =
+                ceilDiv(crit_keys, config_.pc);
+            obs::QuerySpanRecord record;
+            record.query = i;
+            record.entry_cycle =
+                i == 0 ? static_cast<std::uint64_t>(
+                             result.preprocess_cycles - hash_per_vec)
+                       : cursor - prev_interval;
+            record.exit_cycle = cursor + interval + division_cycles;
+            record.tag = crit_bank;
+            record.stages.resize(kNumAttributedModules);
+            for (obs::StageSpan& stage : record.stages) {
+                stage.stall.assign(kNumStallCauses, 0);
+            }
+            record.stages[static_cast<std::size_t>(
+                              AttributedModule::kHash)]
+                .service = hash_per_vec;
+            obs::StageSpan& select =
+                record.stages[static_cast<std::size_t>(
+                    AttributedModule::kCandidateSelection)];
+            select.queue_wait =
+                i == 0 ? 0 : prev_interval - hash_per_vec;
+            select.service = base_scan;
+            select.stall[static_cast<std::size_t>(
+                StallCause::kBankConflict)] =
+                crit_scan_done - base_scan;
+            record.stages[static_cast<std::size_t>(
+                              AttributedModule::kArbitration)]
+                .service = max_bank_cycles - crit_scan_done;
+            record.stages[static_cast<std::size_t>(
+                              AttributedModule::kAttention)]
+                .service = config_.attention_pipeline_latency;
+            obs::StageSpan& division =
+                record.stages[static_cast<std::size_t>(
+                    AttributedModule::kOutputDivision)];
+            division.queue_wait = interval - bank_time;
+            division.service = division_cycles;
+            if (tracing) {
+                span_flow.push_back(
+                    {record.entry_cycle, cursor, cursor + interval,
+                     static_cast<std::uint32_t>(crit_bank)});
+            }
+            spans->addRecord(std::move(record));
+        }
 
         if (attribute) {
             const std::uint64_t iv = interval;
@@ -686,6 +794,7 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         std::copy(out.row.begin(), out.row.end(), result.output.row(i));
 
         cursor += interval;
+        prev_interval = interval;
     }
 
     // Tail: the last query's output division drains after the loop.
@@ -737,6 +846,40 @@ Accelerator::run(const AttentionInput& input, double threshold) const
         ELSA_DASSERT(causes.conserves(result.totalCycles(), config_),
                      "stall-cause lane cycles do not sum to "
                          << result.totalCycles() << " total cycles");
+    }
+
+    if (spans != nullptr) {
+        // The global retry bubble extends the last query's lifetime;
+        // charge it where the run-level counters charge it too.
+        if (retry_bubble > 0 && n > 0) {
+            spans->addStallToLast(
+                static_cast<std::size_t>(
+                    AttributedModule::kOutputDivision),
+                static_cast<std::size_t>(StallCause::kFaultRetry),
+                retry_bubble);
+        }
+        spans->finalize(config_.query_spans.exemplar_count,
+                        result.totalCycles());
+        if (tracing) {
+            // Flow arrows link each exemplar query's stages across
+            // the trace lanes: hash -> critical-bank scan ->
+            // division. The id is unique per (accelerator, query) so
+            // arrays sharing one writer never cross-link.
+            for (const obs::QuerySpanRecord& record :
+                 spans->records()) {
+                const SpanFlowPoint& fp = span_flow[record.query];
+                const std::uint64_t id =
+                    (static_cast<std::uint64_t>(trace_pid_) << 32)
+                    | record.query;
+                trace_->flowEvent("query span", "span", trace_pid_,
+                                  kTidHash, fp.hash_ts, id, 's');
+                trace_->flowEvent("query span", "span", trace_pid_,
+                                  kTidBank0 + fp.bank, fp.scan_ts, id,
+                                  't');
+                trace_->flowEvent("query span", "span", trace_pid_,
+                                  kTidDivision, fp.div_ts, id, 'f');
+            }
+        }
     }
 
     if (config_.count_saturations) {

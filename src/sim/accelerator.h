@@ -34,6 +34,7 @@
 #include "sim/stall.h"
 
 namespace elsa::obs {
+class QuerySpanSet;
 class StatsRegistry;
 class TimeSeries;
 class TraceWriter;
@@ -118,6 +119,15 @@ struct RunResult
      * obs/timeseries.h and docs/OBSERVABILITY.md for the channels.
      */
     std::shared_ptr<obs::TimeSeries> telemetry;
+
+    /**
+     * Per-query lifecycle spans of this run (finalized: exemplar
+     * records plus per-stage digests/totals over every query);
+     * non-null only when SimConfig::query_spans.enabled. Shared so
+     * AcceleratorArray can merge invocation shards without copying;
+     * see obs/span.h and docs/OBSERVABILITY.md for the schema.
+     */
+    std::shared_ptr<obs::QuerySpanSet> spans;
 
     /** True when SimConfig::count_saturations filled the two counts
      *  below. */

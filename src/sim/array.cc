@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/report.h"
@@ -114,6 +115,18 @@ AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
             } else {
                 result.telemetry->merge(*run_result.telemetry);
             }
+        }
+        if (run_result.spans != nullptr) {
+            // Unlike telemetry, the first shard cannot be adopted
+            // directly: every shard's records carry invocation 0 and
+            // must be re-tagged with the batch invocation index, so
+            // the batch set starts empty and folds every shard.
+            if (result.spans == nullptr) {
+                result.spans = std::make_shared<obs::QuerySpanSet>(
+                    run_result.spans->stageNames(),
+                    run_result.spans->causeNames());
+            }
+            result.spans->mergeInvocation(*run_result.spans, i);
         }
         result.fixed_saturations += run_result.fixed_saturations;
         result.cfloat_saturations += run_result.cfloat_saturations;

@@ -69,6 +69,14 @@ struct ArrayRunResult
      */
     std::shared_ptr<obs::TimeSeries> telemetry;
 
+    /**
+     * Merged per-query lifecycle spans of all invocations, folded in
+     * invocation-index order with records re-tagged by invocation
+     * index (so spans.json is byte-identical at any thread count);
+     * null unless SimConfig::query_spans.enabled.
+     */
+    std::shared_ptr<obs::QuerySpanSet> spans;
+
     /** Summed FixedPoint saturations; zero unless
      *  SimConfig::count_saturations is set. */
     std::uint64_t fixed_saturations = 0;

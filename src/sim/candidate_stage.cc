@@ -30,6 +30,7 @@ simulateBankQuery(const std::vector<bool>& hits, const SimConfig& config)
     };
 
     std::size_t cycle = 0;
+    bool scan_done_recorded = false;
     for (;;) {
         bool all_scanned = true;
         for (std::size_t m = 0; m < pc; ++m) {
@@ -37,6 +38,10 @@ simulateBankQuery(const std::vector<bool>& hits, const SimConfig& config)
                 all_scanned = false;
                 break;
             }
+        }
+        if (all_scanned && !scan_done_recorded) {
+            trace.scan_done_cycle = cycle;
+            scan_done_recorded = true;
         }
         bool queues_empty = true;
         for (const auto& q : queues) {

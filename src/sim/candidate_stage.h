@@ -43,6 +43,15 @@ struct BankQueryTrace
     std::size_t scan_cycles = 0;
 
     /**
+     * Cycle at which every module had scanned its last key (queues
+     * may still be draining). Bounded by
+     * ceil(keys / P_c) <= scan_done_cycle <= cycles; the slack over
+     * the lower bound is backpressure delay, which the per-query
+     * span decomposition charges as bank_conflict stall.
+     */
+    std::size_t scan_done_cycle = 0;
+
+    /**
      * Module-cycles spent done-scanning while the bank's queues
      * drained out (the tail where a module has no keys left but the
      * arbiter is still emptying queues). Together with the above:

@@ -34,6 +34,14 @@ SimConfig::validate() const
     ELSA_CHECK(!telemetry.enabled || attribute_stalls,
                "telemetry.enabled requires attribute_stalls: the "
                "time-series channels are binned stall attribution");
+    ELSA_CHECK(query_spans.exemplar_count >= 1,
+               "query_spans.exemplar_count must be >= 1");
+    // The span decomposition reuses the stall-attribution arithmetic;
+    // recording spans without attribution would let the two views of
+    // the same cycles drift apart.
+    ELSA_CHECK(!query_spans.enabled || attribute_stalls,
+               "query_spans.enabled requires attribute_stalls: the "
+               "per-stage decomposition is derived from it");
     // d must be a perfect num_hash_factors-th power for the
     // Kronecker-structured hash matrices.
     const double root = std::pow(static_cast<double>(d),

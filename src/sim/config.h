@@ -41,6 +41,29 @@ struct TelemetryConfig
     std::uint64_t bin_width_cycles = 256;
 };
 
+/**
+ * Per-query lifecycle span recording (obs/span.h). With `enabled`
+ * the simulator stamps every query's entry/exit cycle at each
+ * pipeline stage and returns a QuerySpanSet in RunResult::spans
+ * whose per-query queue-wait / service / stall components sum to the
+ * query's end-to-end cycles exactly; run-level totals reconcile
+ * against the stall counters (docs/OBSERVABILITY.md). Off by
+ * default, and when off the simulator allocates nothing and every
+ * existing output stays byte-identical.
+ */
+struct QuerySpanConfig
+{
+    /** Master switch; requires SimConfig::attribute_stalls. */
+    bool enabled = false;
+
+    /**
+     * Slowest queries kept as full exemplar records per invocation
+     * (one representative per latency decile is kept additionally);
+     * every other query folds into the per-stage digests only.
+     */
+    std::size_t exemplar_count = 8;
+};
+
 /** Parameters of one simulated ELSA accelerator. */
 struct SimConfig
 {
@@ -136,6 +159,13 @@ struct SimConfig
      * over time, so they have nothing to record without it).
      */
     TelemetryConfig telemetry;
+
+    /**
+     * Per-query lifecycle spans; see QuerySpanConfig. Requires
+     * attribute_stalls (the decomposition reuses the attribution
+     * arithmetic, so the two must agree on every cycle).
+     */
+    QuerySpanConfig query_spans;
 
     /** Raise elsa::Error unless the configuration is consistent;
      *  every message names the offending field. */

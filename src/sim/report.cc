@@ -1,11 +1,15 @@
 #include "sim/report.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "common/logging.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/span.h"
 
 namespace elsa {
 
@@ -30,7 +34,36 @@ stallCounterName(const std::string& prefix, AttributedModule module,
     return name;
 }
 
+/** Emit {count, min, max, p50, p90, p95, p99} for one digest. */
+void
+writeDigestObject(obs::JsonWriter& w, const obs::QuantileDigest& d)
+{
+    w.beginObject();
+    w.kv("count", d.count());
+    if (d.count() > 0) {
+        w.kv("min", d.min());
+        w.kv("max", d.max());
+        w.kv("p50", d.quantile(0.50));
+        w.kv("p90", d.quantile(0.90));
+        w.kv("p95", d.quantile(0.95));
+        w.kv("p99", d.quantile(0.99));
+    }
+    w.endObject();
+}
+
 } // namespace
+
+std::string
+spanMetricName(const std::string& prefix, AttributedModule module,
+               const char* field)
+{
+    std::string name = prefix;
+    name += ".span.";
+    name += attributedModuleMetricName(module);
+    name += '.';
+    name += field;
+    return name;
+}
 
 void
 publishRunStats(const RunResult& result, obs::StatsRegistry& registry,
@@ -141,6 +174,40 @@ publishRunStats(const RunResult& result, obs::StatsRegistry& registry,
                     static_cast<double>(r.interval_cycles));
             }
         }
+    }
+
+    // Span counters/digests ride the query_spans gate the same way:
+    // spans-off dumps stay byte-identical. Totals are exact wall
+    // cycles over EVERY query (not just the retained exemplars), so
+    // they are what reconciles against the stall.* counters above.
+    if (result.spans != nullptr) {
+        const obs::QuerySpanSet& spans = *result.spans;
+        for (const AttributedModule module : allAttributedModules()) {
+            const std::size_t s = static_cast<std::size_t>(module);
+            registry
+                .counter(
+                    spanMetricName(prefix, module, "queue_wait_cycles"))
+                .add(static_cast<double>(spans.stageQueueWaitTotal(s)));
+            registry
+                .counter(
+                    spanMetricName(prefix, module, "service_cycles"))
+                .add(static_cast<double>(spans.stageServiceTotal(s)));
+            registry
+                .counter(spanMetricName(prefix, module, "stall_cycles"))
+                .add(static_cast<double>(spans.stageStallTotal(s)));
+            registry
+                .digest(
+                    spanMetricName(prefix, module, "queue_wait_digest"))
+                .merge(spans.stageQueueWaitDigest(s));
+            registry
+                .digest(spanMetricName(prefix, module, "service_digest"))
+                .merge(spans.stageServiceDigest(s));
+            registry
+                .digest(spanMetricName(prefix, module, "stall_digest"))
+                .merge(spans.stageStallDigest(s));
+        }
+        registry.digest(prefix + ".span.query.total_cycles_digest")
+            .merge(spans.totalDigest());
     }
 }
 
@@ -256,6 +323,171 @@ writeTelemetryJson(std::ostream& os, const obs::TimeSeries& series,
     }
     w.endObject();
     os << '\n';
+}
+
+void
+writeSpansJson(std::ostream& os, const obs::QuerySpanSet& spans,
+               const std::string& prefix, const SimConfig& config)
+{
+    ELSA_CHECK(spans.finalized(),
+               "writeSpansJson needs a finalized span set");
+    obs::JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.kv("schema_version", static_cast<std::size_t>(1));
+    w.kv("prefix", prefix);
+    w.kv("exemplar_count", config.query_spans.exemplar_count);
+    w.kv("num_queries", spans.numQueries());
+
+    w.key("stages").beginArray();
+    for (const std::string& name : spans.stageNames()) {
+        w.value(name);
+    }
+    w.endArray();
+    w.key("stall_causes").beginArray();
+    for (const std::string& name : spans.causeNames()) {
+        w.value(name);
+    }
+    w.endArray();
+
+    // Per-invocation roll-ups: sum(queries) and sum(total_cycles)
+    // reconcile against the <prefix>.queries / <prefix>.cycles.total
+    // counters of stats.json even when no exemplar survived from an
+    // invocation.
+    w.key("invocations").beginArray();
+    for (const obs::QuerySpanSet::InvocationSummary& inv :
+         spans.invocations()) {
+        w.beginObject();
+        w.kv("invocation", static_cast<std::size_t>(inv.invocation));
+        w.kv("queries", static_cast<std::size_t>(inv.queries));
+        w.kv("total_cycles",
+             static_cast<std::size_t>(inv.total_cycles));
+        w.endObject();
+    }
+    w.endArray();
+
+    // Exact component totals over EVERY query (wall cycles); the
+    // reconciliation targets of scripts/check_metrics.py.
+    w.key("totals").beginObject();
+    for (std::size_t s = 0; s < spans.numStages(); ++s) {
+        w.key(spans.stageNames()[s]).beginObject();
+        w.kv("queue_wait_cycles",
+             static_cast<std::size_t>(spans.stageQueueWaitTotal(s)));
+        w.kv("service_cycles",
+             static_cast<std::size_t>(spans.stageServiceTotal(s)));
+        w.kv("stall_cycles",
+             static_cast<std::size_t>(spans.stageStallTotal(s)));
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("digests").beginObject();
+    for (std::size_t s = 0; s < spans.numStages(); ++s) {
+        w.key(spans.stageNames()[s]).beginObject();
+        w.key("queue_wait");
+        writeDigestObject(w, spans.stageQueueWaitDigest(s));
+        w.key("service");
+        writeDigestObject(w, spans.stageServiceDigest(s));
+        w.key("stall");
+        writeDigestObject(w, spans.stageStallDigest(s));
+        w.endObject();
+    }
+    w.key("query_total_cycles");
+    writeDigestObject(w, spans.totalDigest());
+    w.endObject();
+
+    // Retained exemplar records: the K slowest plus one per latency
+    // decile, with the full decomposition. Zero stall causes are
+    // elided per stage; the component-sum invariant still holds.
+    w.key("exemplars").beginArray();
+    for (const obs::QuerySpanRecord& r : spans.records()) {
+        w.beginObject();
+        w.kv("invocation", static_cast<std::size_t>(r.invocation));
+        w.kv("query", static_cast<std::size_t>(r.query));
+        w.kv("entry_cycle", static_cast<std::size_t>(r.entry_cycle));
+        w.kv("exit_cycle", static_cast<std::size_t>(r.exit_cycle));
+        w.kv("end_to_end_cycles",
+             static_cast<std::size_t>(r.endToEnd()));
+        w.kv("critical_bank", static_cast<std::size_t>(r.tag));
+        w.kv("slowest", r.slowest_exemplar);
+        w.kv("decile", r.decile_exemplar);
+        w.key("stages").beginObject();
+        for (std::size_t s = 0; s < spans.numStages(); ++s) {
+            const obs::StageSpan& stage = r.stages[s];
+            w.key(spans.stageNames()[s]).beginObject();
+            w.kv("queue_wait",
+                 static_cast<std::size_t>(stage.queue_wait));
+            w.kv("service", static_cast<std::size_t>(stage.service));
+            w.key("stall").beginObject();
+            for (std::size_t c = 0; c < spans.numCauses(); ++c) {
+                if (stage.stall[c] != 0) {
+                    w.kv(spans.causeNames()[c],
+                         static_cast<std::size_t>(stage.stall[c]));
+                }
+            }
+            w.endObject();
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+BottleneckReport
+writeObsBundle(const std::string& dir,
+               const obs::StatsRegistry& registry,
+               const RunResult& result, const SimConfig& config,
+               obs::RunManifest& manifest, const std::string& prefix)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+
+    {
+        std::ofstream stats_json(dir + "/stats.json");
+        registry.dumpJson(stats_json);
+        std::ofstream stats_csv(dir + "/stats.csv");
+        registry.dumpCsv(stats_csv);
+    }
+    if (result.telemetry != nullptr) {
+        std::ofstream telemetry_json(dir + "/telemetry.json");
+        writeTelemetryJson(telemetry_json, *result.telemetry,
+                           registry, prefix, config,
+                           &result.query_trace);
+    }
+    if (result.spans != nullptr) {
+        std::ofstream spans_json(dir + "/spans.json");
+        writeSpansJson(spans_json, *result.spans, prefix, config);
+    }
+
+    manifest.set("metrics", "total_cycles", result.totalCycles());
+    manifest.set("metrics", "preprocess_cycles",
+                 result.preprocess_cycles);
+    manifest.set("metrics", "execute_cycles", result.execute_cycles);
+    manifest.set("metrics", "candidate_fraction",
+                 result.candidateFraction());
+    manifest.set("metrics", "fallbacks", result.empty_selections);
+    const UtilizationReport util = computeUtilization(result);
+    for (const HwModule module : allHwModules()) {
+        manifest.set("utilization", hwModuleMetricName(module),
+                     util.get(module));
+    }
+    const BottleneckReport bottleneck = computeBottleneck(result);
+    manifest.set("bottleneck", "limiting_module",
+                 attributedModuleMetricName(bottleneck.limiting));
+    manifest.set("bottleneck", "busy_fraction",
+                 bottleneck.busy_fraction);
+    manifest.set("bottleneck", "headroom", bottleneck.headroom);
+    for (const AttributedModule module : allAttributedModules()) {
+        manifest.set("bottleneck",
+                     std::string("busy_fraction_")
+                         + attributedModuleMetricName(module),
+                     bottleneck.module_busy_fraction[static_cast<
+                         std::size_t>(module)]);
+    }
+    manifest.writeFile(dir + "/manifest.json");
+    return bottleneck;
 }
 
 UtilizationReport

@@ -26,6 +26,11 @@
 #include "obs/timeseries.h"
 #include "sim/accelerator.h"
 
+namespace elsa::obs {
+class QuerySpanSet;
+class RunManifest;
+} // namespace elsa::obs
+
 namespace elsa {
 
 /**
@@ -42,6 +47,9 @@ namespace elsa {
  *   <prefix>.query.candidate_fraction               histogram*
  *   <prefix>.latency.cycles_digest                  digest***
  *   <prefix>.query.interval_cycles_digest           digest***
+ *   <prefix>.span.<module>.{queue_wait,service,stall}_cycles ****
+ *   <prefix>.span.<module>.{queue_wait,service,stall}_digest ****
+ *   <prefix>.span.query.total_cycles_digest         digest****
  *
  * (* only when the run recorded a per-query trace; ** only when
  * SimConfig::attribute_stalls produced a breakdown -- causes are
@@ -49,9 +57,11 @@ namespace elsa {
  * six attributed module classes of sim/stall.h, and the cause sum
  * equals lane_cycles exactly; *** only when the run carried
  * telemetry, so telemetry-off dumps stay byte-identical -- the
- * interval digest additionally needs a per-query trace.) Counters
- * accumulate across calls so an AcceleratorArray batch lands in one
- * coherent set of totals.
+ * interval digest additionally needs a per-query trace; **** only
+ * when the run carried spans (SimConfig::query_spans), derived from
+ * the per-query span totals/digests over every query of the run.)
+ * Counters accumulate across calls so an AcceleratorArray batch
+ * lands in one coherent set of totals.
  */
 void publishRunStats(const RunResult& result,
                      obs::StatsRegistry& registry,
@@ -78,6 +88,35 @@ void writeTelemetryJson(std::ostream& os,
                         const SimConfig& config,
                         const std::vector<QueryTraceRecord>*
                             query_trace = nullptr);
+
+/**
+ * The `<prefix>.span.<module>.<field>` metric name of one per-query
+ * span component (see publishRunStats above). The single place that
+ * composes span metric names, so the grammar and the documented name
+ * set stay checkable by tools/lint/elsa_lint.py (field literals at
+ * call sites must appear in docs/OBSERVABILITY.md).
+ */
+std::string spanMetricName(const std::string& prefix,
+                           AttributedModule module, const char* field);
+
+/**
+ * Serialize finalized per-query lifecycle spans as the `spans.json`
+ * document of docs/OBSERVABILITY.md: stage/cause name tables,
+ * per-invocation roll-ups, exact per-stage component totals,
+ * per-stage streaming digests over every query, and the retained
+ * exemplar records (K slowest + one per latency decile) with their
+ * full queue-wait / service / stall-by-cause decomposition.
+ *
+ * Invariants carried by the document (validated by
+ * scripts/check_metrics.py and tests/span_test.cc): every exemplar's
+ * component sum equals its end-to-end cycles exactly, and the
+ * per-stage totals reconcile against the `<prefix>.stall.*` counters
+ * of stats.json. Serialization is deterministic, so the bytes are
+ * identical at any thread count.
+ */
+void writeSpansJson(std::ostream& os, const obs::QuerySpanSet& spans,
+                    const std::string& prefix,
+                    const SimConfig& config);
 
 /** Per-module utilization (active cycles / total cycles). */
 struct UtilizationReport
@@ -154,6 +193,26 @@ BottleneckReport computeBottleneck(const RunResult& result);
 
 /** Render a human-readable bottleneck summary. */
 std::string formatBottleneckReport(const BottleneckReport& report);
+
+/**
+ * Write the standard observability bundle into `dir` (created if
+ * missing): stats.json + stats.csv (registry dumps), telemetry.json
+ * (when the result carries telemetry), spans.json (when it carries
+ * spans), and manifest.json. The caller seeds `manifest` with its
+ * tool name, build info, and config section; this helper appends the
+ * shared metrics / utilization / bottleneck sections so quickstart's
+ * --obs-dir and elsa_bench's --report emit the same layout from one
+ * implementation. Returns the bottleneck report for callers that
+ * print it. Trace files are the caller's business (only quickstart
+ * records one).
+ */
+BottleneckReport writeObsBundle(const std::string& dir,
+                                const obs::StatsRegistry& registry,
+                                const RunResult& result,
+                                const SimConfig& config,
+                                obs::RunManifest& manifest,
+                                const std::string& prefix
+                                = "sim.accel0");
 
 /**
  * Write per-query trace records as CSV

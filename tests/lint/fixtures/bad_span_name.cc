@@ -1,0 +1,23 @@
+// elsa-lint-pretend: src/sim/bad_span_name.cc
+// Known-bad fixture: span field literals at spanMetricName() call
+// sites must follow the [a-z0-9_.] grammar and appear in the span
+// metric table of docs/OBSERVABILITY.md -- even when single-segment.
+#include "sim/report.h"
+
+namespace elsa {
+
+void
+badSpanNames(obs::StatsRegistry& registry, const std::string& prefix)
+{
+    registry.counter(
+        spanMetricName(prefix, AttributedModule::kHash,
+                       "queue_wait_cycles")).add(1);
+    registry.counter(
+        spanMetricName(prefix, AttributedModule::kHash,
+                       "QueueWait")).add(1);                     // BAD
+    registry.counter(
+        spanMetricName(prefix, AttributedModule::kHash,
+                       "not_a_documented_field")).add(1);        // BAD
+}
+
+} // namespace elsa

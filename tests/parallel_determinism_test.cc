@@ -18,6 +18,7 @@
 #include "elsa/system.h"
 #include "lsh/srp.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "sim/array.h"
 #include "sim/report.h"
@@ -177,6 +178,42 @@ TEST(ParallelDeterminismTest, TelemetryJsonIdenticalAtAnyThreadCount)
         EXPECT_EQ(documents[0], documents[c])
             << "telemetry.json differs at threads="
             << kThreadCounts[c];
+    }
+}
+
+TEST(ParallelDeterminismTest, SpansJsonIdenticalAtAnyThreadCount)
+{
+    // The merged spans.json document -- exemplars, totals, digests,
+    // invocation summaries -- must be byte-identical no matter how
+    // many worker threads the AcceleratorArray batch fanned out over
+    // (the invocation-order merge contract of obs/span.h).
+    SimConfig config = SimConfig::paperConfig();
+    config.attribute_stalls = true;
+    config.query_spans.enabled = true;
+
+    Rng rng(0x7D1);
+    auto hasher = std::make_shared<KroneckerSrpHasher>(
+        KroneckerSrpHasher::makeRandom(64, 3, rng));
+    QkvGenerator gen(bertLarge(), 99);
+    const AttentionInput in0 = gen.generate(0, 0, 40, 0);
+    const AttentionInput in1 = gen.generate(1, 0, 24, 1);
+    const AttentionInput in2 = gen.generate(2, 1, 56, 2);
+
+    std::vector<std::string> documents;
+    for (const std::size_t threads : kThreadCounts) {
+        GlobalThreadsGuard guard(threads);
+        AcceleratorArray array(config, 3, hasher, 0.0);
+        const ArrayRunResult result =
+            array.run({&in0, &in1, &in2}, {0.0, 0.0, 0.0});
+        ASSERT_NE(result.spans, nullptr);
+        std::ostringstream oss;
+        writeSpansJson(oss, *result.spans, "sim.accel0", config);
+        documents.push_back(oss.str());
+    }
+    EXPECT_GT(documents[0].size(), 2u);
+    for (std::size_t c = 1; c < documents.size(); ++c) {
+        EXPECT_EQ(documents[0], documents[c])
+            << "spans.json differs at threads=" << kThreadCounts[c];
     }
 }
 

@@ -378,6 +378,7 @@ class NoUnorderedContainerRule(Rule):
 METRIC_CALL_RE = re.compile(
     r"\.\s*(counter|distribution|histogram|counterValue"
     r"|channel|digest|digestValue)\s*\(")
+SPAN_CALL_RE = re.compile(r"\bspanMetricName\s*\(")
 METRIC_SEGMENT_RE = re.compile(r"[a-z0-9_]+\Z")
 
 
@@ -392,13 +393,22 @@ class MetricNameRule(Rule):
     TimeSeries channel names and quantile-digest names live in the
     same namespace, so `.channel(...)` / `.digest(...)` sites are
     held to the same rules.
+
+    Span metric names are composed by `spanMetricName(prefix, module,
+    field)`, where the field literal is the whole vocabulary word
+    ("queue_wait_cycles"), not a fragment of a longer dotted path.
+    Literals at spanMetricName() sites therefore get the grammar
+    check *and* the documentation check even when single-segment, and
+    are exempt from single-registration bookkeeping (the same field
+    legitimately registers once per module).
     """
 
     rule_id = "metric-name"
     description = (
-        "string literals at StatsRegistry / TimeSeries call sites "
-        "must follow the [a-z0-9_.] grammar, be documented in "
-        "docs/OBSERVABILITY.md, and be registered exactly once")
+        "string literals at StatsRegistry / TimeSeries / "
+        "spanMetricName call sites must follow the [a-z0-9_.] "
+        "grammar, be documented in docs/OBSERVABILITY.md, and (for "
+        "registry sites) be registered exactly once")
 
     REGISTERING = {"counter", "distribution", "histogram", "channel",
                    "digest"}
@@ -407,6 +417,20 @@ class MetricNameRule(Rule):
         if not src.in_dir("src/"):
             return
         offsets = line_offsets(src.code)
+        # spanMetricName() argument spans are carved out of the
+        # generic registry scan below: their literals follow the span
+        # contract (documented even when single-segment) and would
+        # otherwise be skipped as single-segment fragments.
+        span_regions = []
+        for m in SPAN_CALL_RE.finditer(src.code):
+            open_pos = src.code.index("(", m.end() - 1)
+            close_pos = match_balanced(src.code, open_pos)
+            span_regions.append((open_pos, close_pos))
+            for lit in src.literals:
+                if not (open_pos < lit.offset < close_pos):
+                    continue
+                line = offset_to_line(offsets, lit.offset)
+                yield from self.check_span_literal(src, ctx, lit, line)
         for m in METRIC_CALL_RE.finditer(src.code):
             method = m.group(1)
             open_pos = src.code.index("(", m.end() - 1)
@@ -414,9 +438,36 @@ class MetricNameRule(Rule):
             for lit in src.literals:
                 if not (open_pos < lit.offset < close_pos):
                     continue
+                if any(lo < lit.offset < hi
+                       for lo, hi in span_regions):
+                    continue  # already held to the span contract
                 line = offset_to_line(offsets, lit.offset)
                 yield from self.check_literal(
                     src, ctx, method, lit, line)
+
+    def check_span_literal(self, src, ctx, lit, line):
+        value = lit.value
+        stripped = value.strip(".")
+        if stripped == "":
+            yield finding(
+                src, line, 1, self.rule_id,
+                "span name fragment '%s' is empty separators" % value)
+            return
+        for segment in stripped.split("."):
+            if not METRIC_SEGMENT_RE.match(segment):
+                yield finding(
+                    src, line, 1, self.rule_id,
+                    "span name fragment '%s' violates the [a-z0-9_.] "
+                    "grammar (segment '%s'); lowercase dotted paths "
+                    "only, see docs/OBSERVABILITY.md"
+                    % (value, segment))
+                return
+        if ctx.doc_text is not None and stripped not in ctx.doc_text:
+            yield finding(
+                src, line, 1, self.rule_id,
+                "span field '%s' is not documented in "
+                "docs/OBSERVABILITY.md; add it to the span metric "
+                "table or fix the name" % stripped)
 
     def check_literal(self, src, ctx, method, lit, line):
         value = lit.value
