@@ -30,7 +30,9 @@
  * concurrently on it, sharing the mode-report cache. Entry output is
  * captured per entry and printed in suite order, and every simulated
  * metric is identical at any thread count; only the wall_seconds
- * metrics (advisory in scripts/bench_compare.py) vary.
+ * metrics (advisory in scripts/bench_compare.py) and the
+ * kernel_throughput timings (gated, but with the wide
+ * kernel-throughput tolerance class) vary.
  */
 
 #include <array>
@@ -52,13 +54,19 @@
 #include "bench_common.h"
 #include "common/args.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/simd/simd.h"
 #include "elsa/elsa.h"
 #include "elsa/system.h"
 #include "energy/area_power.h"
 #include "fault_sweep.h"
+#include "lsh/calibration.h"
+#include "lsh/candidates.h"
+#include "lsh/srp.h"
 #include "obs/json.h"
 #include "obs/registry.h"
 #include "sim/report.h"
+#include "tensor/ops.h"
 #include "workload/generator.h"
 #include "workload/model.h"
 
@@ -382,6 +390,123 @@ runFaultSweep(SuiteContext& ctx, EntryLog& log)
     return manifest;
 }
 
+/**
+ * Mean seconds per fn() call, measured over however many calls fit
+ * into min_seconds (at least one, after one untimed warm-up call
+ * that faults in code and data).
+ */
+template <typename Fn>
+double
+secondsPerCall(Fn&& fn, double min_seconds)
+{
+    fn();
+    std::size_t calls = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++calls;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+    return elapsed / static_cast<double>(calls);
+}
+
+obs::RunManifest
+runKernelThroughput(SuiteContext& ctx, EntryLog& log)
+{
+    // Measured wall throughput of the dispatched SIMD hot-path
+    // kernels (src/common/simd/): the batched Hamming scan, packed
+    // SRP hashing, and the fused candidate-selection pass. Unlike
+    // every other metric in the suite these are machine-dependent by
+    // design -- they exist to catch kernel/dispatch regressions (an
+    // accidental fall-back to scalar shows up as a ~5x+ drop), so
+    // scripts/bench_compare.py gates them with the wide
+    // kernel-throughput tolerance class rather than the advisory
+    // wall-time handling. Fixed seeds; the *selected ids and hashes*
+    // are identical on every machine, only the timings move.
+    const std::size_t n = 512;
+    const double min_seconds = ctx.quick ? 0.02 : 0.1;
+    Rng rng(2);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    const QkvGenerator generator(bertLarge(), /*master_seed=*/99);
+    const AttentionInput input =
+        generator.generate(/*layer=*/11, /*head=*/3, n,
+                           /*input_id=*/0);
+
+    const HashMatrix hashes = hasher.hashMatrix(input.key);
+    const HashValue query = hasher.hash(input.query.row(0));
+    const std::vector<double> norms = l2NormRows(input.key);
+    const CosineLut lut(hasher.bits(), kThetaBias64);
+    // Mid-range cutoff: roughly half the keys pass, so the fused
+    // pass pays both the compare and the emit.
+    double max_norm = 0.0;
+    for (const double norm : norms) {
+        max_norm = norm > max_norm ? norm : max_norm;
+    }
+    const double cutoff = 0.5 * max_norm;
+
+    std::vector<std::uint32_t> distances(n);
+    const double hamming_spc = secondsPerCall(
+        [&] {
+            hammingDistanceBatch(query, hashes, 0, n,
+                                 distances.data());
+        },
+        min_seconds);
+    const double key_bytes = static_cast<double>(
+        n * hashes.wordsPerRow() * sizeof(std::uint64_t));
+    const double hamming_gibps =
+        key_bytes / hamming_spc / (1024.0 * 1024.0 * 1024.0);
+
+    HashMatrix hashed;
+    const double hash_spc = secondsPerCall(
+        [&] { hashed = hasher.hashMatrix(input.key); },
+        min_seconds);
+    ELSA_CHECK(hashed.rows() == n, "hashMatrix dropped rows");
+    const double srp_hashes_per_sec =
+        static_cast<double>(n) / hash_spc;
+
+    std::vector<std::uint32_t> selected;
+    selected.reserve(n);
+    const double select_spc = secondsPerCall(
+        [&] {
+            selected.clear();
+            selectAboveCutoff(query, hashes, norms, lut, cutoff, 0,
+                              n, selected);
+        },
+        min_seconds);
+    const double select_keys_per_sec =
+        static_cast<double>(n) / select_spc;
+
+    log.add("  simd level: %s\n", simd::kernels().name);
+    log.add("  hamming batch: %.2f GiB/s (%zu-bit hashes, "
+            "%zu keys)\n",
+            hamming_gibps, hashes.bits(), n);
+    log.add("  srp hashing: %.3g hashes/s\n", srp_hashes_per_sec);
+    log.add("  fused candidate selection: %.3g keys/s "
+            "(%zu of %zu selected)\n",
+            select_keys_per_sec, selected.size(), n);
+
+    obs::RunManifest manifest = makeManifest("kernel_throughput",
+                                             ctx);
+    // The level is config, not a metric: bench_compare only diffs
+    // the metrics section, and the level legitimately differs
+    // between machines (and under ELSA_SIMD=scalar).
+    manifest.set("config", "simd_level", simd::kernels().name);
+    manifest.set("metrics", "hamming_gibps", hamming_gibps);
+    manifest.set("metrics", "srp_hashes_per_sec",
+                 srp_hashes_per_sec);
+    manifest.set("metrics", "candidate_select_keys_per_sec",
+                 select_keys_per_sec);
+    // Deterministic companions to the timings: if the kernels ever
+    // stopped being bit-identical these would move on some machine.
+    manifest.set("metrics", "selected_count", selected.size());
+    manifest.set("metrics", "query_hash_popcount",
+                 static_cast<std::int64_t>(query.popcount()));
+    return manifest;
+}
+
 using SuiteFn = obs::RunManifest (*)(SuiteContext&, EntryLog&);
 
 struct SuiteEntry
@@ -413,6 +538,10 @@ const SuiteEntry kSuite[] = {
      "Extension: fidelity/recovery under SRAM bit flips, "
      "BER x protection",
      runFaultSweep},
+    {"kernel_throughput",
+     "Measured SIMD hot-path kernel throughput "
+     "(machine-dependent; wide tolerance)",
+     runKernelThroughput},
 };
 
 std::vector<std::string>

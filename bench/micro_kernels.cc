@@ -22,8 +22,10 @@
 #include "attention/threshold.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd/simd.h"
 #include "fixed/units.h"
 #include "lsh/calibration.h"
+#include "lsh/candidates.h"
 #include "lsh/srp.h"
 #include "workload/generator.h"
 #include "workload/model.h"
@@ -72,6 +74,29 @@ BENCHMARK(BM_KroneckerHash);
 void
 BM_HammingDistance(benchmark::State& state)
 {
+    // The hot-path idiom: keys packed in one HashMatrix, distances
+    // computed by the dispatched batch kernel.
+    Rng rng(2);
+    const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
+    const AttentionInput input = benchInput(128);
+    const HashMatrix hashes = hasher.hashMatrix(input.key);
+    const HashValue q = hasher.hash(input.query.row(0));
+    std::vector<std::uint32_t> distances(hashes.rows());
+    for (auto _ : state) {
+        hammingDistanceBatch(q, hashes, 0, hashes.rows(),
+                             distances.data());
+        benchmark::DoNotOptimize(distances.data());
+    }
+    state.SetItemsProcessed(state.iterations() * hashes.rows());
+    state.SetLabel(simd::kernels().name);
+}
+BENCHMARK(BM_HammingDistance);
+
+void
+BM_HammingDistancePairwise(benchmark::State& state)
+{
+    // The pre-batching idiom (one hammingDistance call per pair),
+    // kept as the reference point for the batch kernel's win.
     Rng rng(2);
     const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
     const AttentionInput input = benchInput(128);
@@ -86,7 +111,7 @@ BM_HammingDistance(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * hashes.size());
 }
-BENCHMARK(BM_HammingDistance);
+BENCHMARK(BM_HammingDistancePairwise);
 
 void
 BM_CandidateSelection(benchmark::State& state)
@@ -170,22 +195,26 @@ BM_ParallelHammingThroughput(benchmark::State& state)
     Rng rng(2);
     const auto hasher = DenseSrpHasher::makeRandom(64, 64, rng);
     const AttentionInput input = benchInput(256);
-    const auto hashes = hasher.hashRows(input.key);
-    const auto queries = hasher.hashRows(input.query);
+    const HashMatrix hashes = hasher.hashMatrix(input.key);
+    const HashMatrix queries = hasher.hashMatrix(input.query);
     ThreadPool pool(static_cast<std::size_t>(state.range(0)));
-    std::vector<int> totals(queries.size());
+    std::vector<int> totals(queries.rows());
     for (auto _ : state) {
-        pool.parallelFor(queries.size(), [&](std::size_t q) {
+        pool.parallelFor(queries.rows(), [&](std::size_t q) {
+            std::uint32_t distances[256];
+            hammingDistanceBatch(queries[q], hashes, 0, hashes.rows(),
+                                 distances);
             int total = 0;
-            for (const auto& h : hashes) {
-                total += hammingDistance(queries[q], h);
+            for (std::size_t j = 0; j < hashes.rows(); ++j) {
+                total += static_cast<int>(distances[j]);
             }
             totals[q] = total;
         });
         benchmark::DoNotOptimize(totals.data());
     }
-    state.SetItemsProcessed(state.iterations() * queries.size()
-                            * hashes.size());
+    state.SetItemsProcessed(state.iterations() * queries.rows()
+                            * hashes.rows());
+    state.SetLabel(simd::kernels().name);
 }
 BENCHMARK(BM_ParallelHammingThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 

@@ -22,7 +22,15 @@ docs/OBSERVABILITY.md for the schema).  Comparison rules:
   * wall-clock metrics (``wall_seconds`` and friends) are advisory:
     they depend on the machine, its load, and ``--threads``, so they
     are compared with a wide lower-is-better tolerance and reported,
-    but can never fail the gate.
+    but can never fail the gate;
+  * measured kernel-throughput metrics (``*_gibps``,
+    ``*_hashes_per_sec``, ``*_keys_per_sec`` from the
+    ``kernel_throughput`` entry) are direction-aware
+    (higher-is-better: only drops fail) and DO gate, but with their
+    own wide tolerance class -- they move with the machine and with
+    scheduling noise, and the gate exists to catch the ~5x+ collapse
+    of a broken SIMD kernel or an accidental scalar fallback, not a
+    few percent of jitter.
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = schema or
 usage error.  Improvements are reported but never fail.
@@ -64,6 +72,18 @@ WALL_TIME = (
     "wall_time",
 )
 WALL_TIME_TOLERANCE = 0.50
+
+# Measured kernel throughput (elsa_bench's kernel_throughput entry).
+# Higher is better, and unlike wall time these DO gate: an
+# accidental scalar fallback or a broken SIMD kernel drops them ~5x+
+# on any machine, far past this tolerance, while machine and
+# scheduler noise stays well inside it.
+KERNEL_THROUGHPUT = (
+    "gibps",
+    "hashes_per_sec",
+    "keys_per_sec",
+)
+KERNEL_THROUGHPUT_TOLERANCE = 0.70
 
 # Per-metric relative-tolerance overrides (substring match, first
 # hit wins).  The default tolerance covers everything else.
@@ -153,10 +173,16 @@ def is_wall_time(name):
     return any(needle in name for needle in WALL_TIME)
 
 
+def is_kernel_throughput(name):
+    return any(needle in name for needle in KERNEL_THROUGHPUT)
+
+
 def direction(name):
     """-1 = lower is better, +1 = higher is better, 0 = pinned."""
     if is_wall_time(name):
         return -1
+    if is_kernel_throughput(name):
+        return 1
     for needle in HIGHER_IS_BETTER:
         if needle in name:
             return 1
@@ -294,11 +320,12 @@ def main():
                 continue
             compared += 1
             row["compared"] += 1
-            tol = (
-                WALL_TIME_TOLERANCE
-                if advisory
-                else metric_tolerance(metric, args.tolerance)
-            )
+            if advisory:
+                tol = WALL_TIME_TOLERANCE
+            elif is_kernel_throughput(metric):
+                tol = KERNEL_THROUGHPUT_TOLERANCE
+            else:
+                tol = metric_tolerance(metric, args.tolerance)
             status, detail, rel = compare_metric(
                 metric, base_value, cur_metrics[metric], tol
             )

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lsh/candidates.h"
 #include "obs/profile.h"
 #include "tensor/ops.h"
 
@@ -45,35 +46,26 @@ ApproxSelfAttention::preprocessKeys(const Matrix& key) const
                "key dim " << key.cols() << " != hasher dim "
                           << hasher_->dim());
     KeyPreprocessing prep;
-    prep.hashes = hasher_->hashRows(key);
+    prep.hashes = hasher_->hashMatrix(key);
     {
         ELSA_PROF_SCOPE("attention.key_norms");
-        prep.norms.resize(key.rows());
-        for (std::size_t r = 0; r < key.rows(); ++r) {
-            prep.norms[r] = l2Norm(key.row(r), key.cols());
-            prep.max_norm = std::max(prep.max_norm, prep.norms[r]);
+        prep.norms = l2NormRows(key);
+        for (const double norm : prep.norms) {
+            prep.max_norm = std::max(prep.max_norm, norm);
         }
     }
     return prep;
 }
 
 std::vector<std::uint32_t>
-ApproxSelfAttention::selectCandidates(const HashValue& query_hash,
+ApproxSelfAttention::selectCandidates(HashView query_hash,
                                       const KeyPreprocessing& prep,
                                       double threshold) const
 {
-    const double cutoff = threshold * prep.max_norm;
     std::vector<std::uint32_t> selected;
-    for (std::size_t y = 0; y < prep.hashes.size(); ++y) {
-        const int ham = hammingDistance(query_hash, prep.hashes[y]);
-        const double sim = prep.norms[y] * cos_lut_.lookup(ham);
-        // Paper skip condition: skip when t*||K_max|| >= sim, i.e.
-        // select only when the approximate similarity strictly
-        // exceeds the scaled threshold.
-        if (sim > cutoff) {
-            selected.push_back(static_cast<std::uint32_t>(y));
-        }
-    }
+    selectAboveCutoff(query_hash, prep.hashes, prep.norms, cos_lut_,
+                      threshold * prep.max_norm, 0, prep.hashes.rows(),
+                      selected);
     return selected;
 }
 
@@ -83,38 +75,13 @@ ApproxSelfAttention::candidatesForAll(const AttentionInput& input,
 {
     input.validate();
     const KeyPreprocessing prep = preprocessKeys(input.key);
+    const HashMatrix query_hashes = hasher_->hashMatrix(input.query);
     std::vector<std::vector<std::uint32_t>> all(input.n());
     for (std::size_t i = 0; i < input.n(); ++i) {
-        const HashValue qh = hasher_->hash(input.query.row(i));
-        all[i] = selectCandidates(qh, prep, threshold);
+        all[i] = selectCandidates(query_hashes[i], prep, threshold);
     }
     return all;
 }
-
-namespace {
-
-/**
- * Index of the key with the highest approximate similarity; the
- * fallback when the threshold filter selects nothing.
- */
-std::uint32_t
-bestApproximateKey(const HashValue& query_hash,
-                   const KeyPreprocessing& prep, const CosineLut& lut)
-{
-    std::uint32_t best = 0;
-    double best_sim = -std::numeric_limits<double>::infinity();
-    for (std::size_t y = 0; y < prep.hashes.size(); ++y) {
-        const int ham = hammingDistance(query_hash, prep.hashes[y]);
-        const double sim = prep.norms[y] * lut.lookup(ham);
-        if (sim > best_sim) {
-            best_sim = sim;
-            best = static_cast<std::uint32_t>(y);
-        }
-    }
-    return best;
-}
-
-} // namespace
 
 ApproxAttentionResult
 ApproxSelfAttention::run(const AttentionInput& input,
@@ -129,14 +96,17 @@ ApproxSelfAttention::run(const AttentionInput& input,
     result.output = Matrix(n, d);
     result.stats.candidates_per_query.resize(n);
 
+    const HashMatrix query_hashes = hasher_->hashMatrix(input.query);
     std::vector<double> scores;
     for (std::size_t i = 0; i < n; ++i) {
-        const HashValue qh = hasher_->hash(input.query.row(i));
+        const HashView qh = query_hashes[i];
         std::vector<std::uint32_t> cands =
             selectCandidates(qh, prep, threshold);
         if (cands.empty()) {
             ++result.stats.empty_selections;
-            cands.push_back(bestApproximateKey(qh, prep, cos_lut_));
+            cands.push_back(argmaxSimilarity(qh, prep.hashes, prep.norms,
+                                             cos_lut_, 0,
+                                             prep.hashes.rows()));
         }
         result.stats.candidates_per_query[i] = cands.size();
 
@@ -172,35 +142,21 @@ ApproxSelfAttention::runCausal(const AttentionInput& input,
     result.output = Matrix(n, d);
     result.stats.candidates_per_query.resize(n);
 
+    const HashMatrix query_hashes = hasher_->hashMatrix(input.query);
     std::vector<double> scores;
     for (std::size_t i = 0; i < n; ++i) {
-        const HashValue qh = hasher_->hash(input.query.row(i));
-        // Select, then drop future keys (j > i). The hardware
-        // equivalent simply stops the candidate scan at key i.
-        std::vector<std::uint32_t> cands =
-            selectCandidates(qh, prep, threshold);
-        cands.erase(std::remove_if(cands.begin(), cands.end(),
-                                   [i](std::uint32_t j) {
-                                       return j > i;
-                                   }),
-                    cands.end());
+        const HashView qh = query_hashes[i];
+        // Only keys j <= i are visible: the hardware equivalent
+        // simply stops the candidate scan at key i, so the fused
+        // kernel runs over [0, i+1) directly.
+        std::vector<std::uint32_t> cands;
+        selectAboveCutoff(qh, prep.hashes, prep.norms, cos_lut_,
+                          threshold * prep.max_norm, 0, i + 1, cands);
         if (cands.empty()) {
             ++result.stats.empty_selections;
             // Best visible key; key i itself is always visible.
-            std::uint32_t best = 0;
-            double best_sim =
-                -std::numeric_limits<double>::infinity();
-            for (std::size_t y = 0; y <= i; ++y) {
-                const int ham =
-                    hammingDistance(qh, prep.hashes[y]);
-                const double sim =
-                    prep.norms[y] * cos_lut_.lookup(ham);
-                if (sim > best_sim) {
-                    best_sim = sim;
-                    best = static_cast<std::uint32_t>(y);
-                }
-            }
-            cands.push_back(best);
+            cands.push_back(argmaxSimilarity(qh, prep.hashes, prep.norms,
+                                             cos_lut_, 0, i + 1));
         }
         result.stats.candidates_per_query[i] = cands.size();
 

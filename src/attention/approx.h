@@ -32,7 +32,8 @@ namespace elsa {
 /** Result of the key-side preprocessing phase. */
 struct KeyPreprocessing
 {
-    std::vector<HashValue> hashes;
+    /** Packed key hashes, one HashMatrix row per key. */
+    HashMatrix hashes;
     std::vector<double> norms;
     double max_norm = 0.0;
 };
@@ -97,8 +98,8 @@ class ApproxSelfAttention
      * threshold * prep.max_norm (Section III-E skip condition).
      */
     std::vector<std::uint32_t>
-    selectCandidates(const HashValue& query_hash,
-                     const KeyPreprocessing& prep, double threshold) const;
+    selectCandidates(HashView query_hash, const KeyPreprocessing& prep,
+                     double threshold) const;
 
     /**
      * Full approximate attention. When a query selects no candidate,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lsh/bitvector.h"
+#include "lsh/candidates.h"
 #include "tensor/ops.h"
 
 namespace elsa {
@@ -47,14 +48,12 @@ TopKSelector::select(const AttentionInput& input, std::size_t k) const
     const auto hasher = engine_.hasher();
     const CosineLut& lut = engine_.cosineLut();
 
+    const HashMatrix query_hashes = hasher->hashMatrix(input.query);
     std::vector<std::vector<std::uint32_t>> out(input.n());
     std::vector<double> sims(input.n());
     for (std::size_t i = 0; i < input.n(); ++i) {
-        const HashValue qh = hasher->hash(input.query.row(i));
-        for (std::size_t j = 0; j < input.n(); ++j) {
-            const int ham = hammingDistance(qh, prep.hashes[j]);
-            sims[j] = prep.norms[j] * lut.lookup(ham);
-        }
+        approximateSimilarities(query_hashes[i], prep.hashes, prep.norms,
+                                lut, 0, input.n(), sims.data());
         out[i] = topIndices(sims, k);
     }
     return out;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * One-time kernel dispatch. The active table is resolved on first
+ * use from the CPU's capabilities plus the optional ELSA_SIMD
+ * override and then never changes; because every table is
+ * bit-identical (see simd.h), the selection cannot influence any
+ * simulated result, metric, or trace.
+ */
+
+#include "common/simd/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace elsa::simd {
+
+const KernelTable*
+kernelsFor(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::kScalar:
+        return &scalarKernels();
+    case SimdLevel::kAvx2:
+        return avx2KernelsOrNull();
+    case SimdLevel::kNeon:
+        return neonKernelsOrNull();
+    }
+    ELSA_CHECK(false, "unreachable SimdLevel");
+    return nullptr;
+}
+
+std::vector<SimdLevel>
+availableLevels()
+{
+    std::vector<SimdLevel> levels{SimdLevel::kScalar};
+    if (avx2KernelsOrNull() != nullptr) {
+        levels.push_back(SimdLevel::kAvx2);
+    }
+    if (neonKernelsOrNull() != nullptr) {
+        levels.push_back(SimdLevel::kNeon);
+    }
+    return levels;
+}
+
+const char*
+levelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::kScalar:
+        return "scalar";
+    case SimdLevel::kAvx2:
+        return "avx2";
+    case SimdLevel::kNeon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+SimdLevel
+resolveLevel(const char* override_value)
+{
+    if (override_value != nullptr && override_value[0] != '\0') {
+        SimdLevel forced = SimdLevel::kScalar;
+        if (std::strcmp(override_value, "scalar") == 0) {
+            forced = SimdLevel::kScalar;
+        } else if (std::strcmp(override_value, "avx2") == 0) {
+            forced = SimdLevel::kAvx2;
+        } else if (std::strcmp(override_value, "neon") == 0) {
+            forced = SimdLevel::kNeon;
+        } else {
+            ELSA_CHECK(false,
+                       "ELSA_SIMD must be scalar, avx2, or neon");
+        }
+        ELSA_CHECK(kernelsFor(forced) != nullptr,
+                   "ELSA_SIMD forces a level this machine cannot run");
+        return forced;
+    }
+    const std::vector<SimdLevel> levels = availableLevels();
+    return levels.back();
+}
+
+const KernelTable&
+kernels()
+{
+    // elsa-lint: allow(no-wallclock): ELSA_SIMD picks among bit-identical kernel tables (simd.h dispatch contract), so no output can depend on the environment
+    static const char* const forced = std::getenv("ELSA_SIMD");
+    static const KernelTable& table = *kernelsFor(resolveLevel(forced));
+    return table;
+}
+
+SimdLevel
+activeLevel()
+{
+    return kernels().level;
+}
+
+} // namespace elsa::simd

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * AVX2 kernel specializations. This translation unit is the only
+ * x86-intrinsics site in the tree (elsa-lint: no-raw-intrinsics); it
+ * is compiled with -mavx2 -mpopcnt on x86-64 targets, and the table
+ * is handed out only after a runtime __builtin_cpu_supports check,
+ * so nothing here executes on CPUs without AVX2.
+ *
+ * Hamming distance uses the in-register nibble-LUT population count
+ * (Mula's algorithm): PSHUFB maps each nibble to its popcount and
+ * PSADBW horizontally sums the per-byte counts into four 64-bit
+ * lanes. All operations are integer, so results are bit-identical
+ * to the scalar table by construction.
+ */
+
+#include "common/simd/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace elsa::simd {
+
+namespace {
+
+/** Per-64-bit-lane popcount of a 256-bit vector. */
+inline __m256i
+popcount256(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+        2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    const __m256i counts =
+        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                        _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+/**
+ * One-word rows (the k <= 64 hot case, e.g. the paper's k = 64):
+ * four keys are XOR'd and popcounted per vector op.
+ */
+void
+hammingBatchOneWord(std::uint64_t query, const std::uint64_t* keys,
+                    std::size_t num_rows, std::uint32_t* out)
+{
+    const __m256i q = _mm256_set1_epi64x(
+        static_cast<long long>(query));
+    std::size_t r = 0;
+    for (; r + 4 <= num_rows; r += 4) {
+        const __m256i k = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(keys + r));
+        const __m256i counts = popcount256(_mm256_xor_si256(q, k));
+        alignas(32) std::uint64_t lanes[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), counts);
+        out[r + 0] = static_cast<std::uint32_t>(lanes[0]);
+        out[r + 1] = static_cast<std::uint32_t>(lanes[1]);
+        out[r + 2] = static_cast<std::uint32_t>(lanes[2]);
+        out[r + 3] = static_cast<std::uint32_t>(lanes[3]);
+    }
+    for (; r < num_rows; ++r) {
+        out[r] = static_cast<std::uint32_t>(
+            __builtin_popcountll(query ^ keys[r]));
+    }
+}
+
+void
+hammingBatchAvx2(const std::uint64_t* query, const std::uint64_t* keys,
+                 std::size_t words_per_row, std::size_t num_rows,
+                 std::uint32_t* out)
+{
+    if (words_per_row == 1) {
+        hammingBatchOneWord(query[0], keys, num_rows, out);
+        return;
+    }
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        const std::uint64_t* row = keys + r * words_per_row;
+        std::uint64_t distance = 0;
+        std::size_t w = 0;
+        if (words_per_row >= 4) {
+            __m256i acc = _mm256_setzero_si256();
+            for (; w + 4 <= words_per_row; w += 4) {
+                const __m256i qv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(query + w));
+                const __m256i kv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(row + w));
+                acc = _mm256_add_epi64(
+                    acc, popcount256(_mm256_xor_si256(qv, kv)));
+            }
+            alignas(32) std::uint64_t lanes[4];
+            _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+            distance = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        }
+        for (; w < words_per_row; ++w) {
+            distance += static_cast<std::uint64_t>(
+                __builtin_popcountll(query[w] ^ row[w]));
+        }
+        out[r] = static_cast<std::uint32_t>(distance);
+    }
+}
+
+int
+popcountWordsAvx2(const std::uint64_t* words, std::size_t n)
+{
+    std::uint64_t count = 0;
+    std::size_t i = 0;
+    if (n >= 4) {
+        __m256i acc = _mm256_setzero_si256();
+        for (; i + 4 <= n; i += 4) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(words + i));
+            acc = _mm256_add_epi64(acc, popcount256(v));
+        }
+        alignas(32) std::uint64_t lanes[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+        count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    }
+    for (; i < n; ++i) {
+        count += static_cast<std::uint64_t>(
+            __builtin_popcountll(words[i]));
+    }
+    return static_cast<int>(count);
+}
+
+/**
+ * Sign packing: VCMPPS/VCMPPD with the ordered greater-equal
+ * predicate reproduces the scalar `v >= 0` exactly (NaN compares
+ * false, -0.0 compares true); MOVMSKPS/PD extracts the mask bits.
+ */
+void
+signPackF32Avx2(const float* v, std::size_t n, std::uint64_t* out)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    const std::size_t words = (n + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+        out[w] = 0;
+    }
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(v + i);
+        const int mask = _mm256_movemask_ps(
+            _mm256_cmp_ps(x, zero, _CMP_GE_OQ));
+        out[i / 64] |= static_cast<std::uint64_t>(
+                           static_cast<unsigned>(mask))
+                       << (i % 64);
+    }
+    for (; i < n; ++i) {
+        if (v[i] >= 0.0f) {
+            out[i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+    }
+}
+
+void
+signPackF64Avx2(const double* v, std::size_t n, std::uint64_t* out)
+{
+    const __m256d zero = _mm256_setzero_pd();
+    const std::size_t words = (n + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+        out[w] = 0;
+    }
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d x = _mm256_loadu_pd(v + i);
+        const int mask = _mm256_movemask_pd(
+            _mm256_cmp_pd(x, zero, _CMP_GE_OQ));
+        out[i / 64] |= static_cast<std::uint64_t>(
+                           static_cast<unsigned>(mask))
+                       << (i % 64);
+    }
+    for (; i < n; ++i) {
+        if (v[i] >= 0.0) {
+            out[i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+    }
+}
+
+const KernelTable kAvx2Table = {
+    SimdLevel::kAvx2, "avx2",        hammingBatchAvx2,
+    popcountWordsAvx2, signPackF32Avx2, signPackF64Avx2,
+};
+
+} // namespace
+
+const KernelTable*
+avx2KernelsOrNull()
+{
+    // The build compiled AVX2 code; only hand it out when the CPU
+    // can actually execute it. The check itself is plain code.
+    return __builtin_cpu_supports("avx2") ? &kAvx2Table : nullptr;
+}
+
+} // namespace elsa::simd
+
+#else // !defined(__AVX2__)
+
+namespace elsa::simd {
+
+const KernelTable*
+avx2KernelsOrNull()
+{
+    return nullptr;
+}
+
+} // namespace elsa::simd
+
+#endif // defined(__AVX2__)

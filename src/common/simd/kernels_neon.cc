@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ARM NEON kernel specializations, the AArch64 counterpart of
+ * kernels_avx2.cc and the only NEON-intrinsics site in the tree
+ * (elsa-lint: no-raw-intrinsics). NEON is baseline on AArch64, so
+ * unlike AVX2 there is no runtime CPU check: if the compiler defined
+ * __ARM_NEON the table is available, otherwise this TU compiles to
+ * the null stub.
+ *
+ * CNT (vcntq_u8) counts bits per byte; ADDV folds the byte counts.
+ * All operations are integer or exact IEEE >= comparisons, so
+ * results are bit-identical to the scalar table by construction.
+ */
+
+#include "common/simd/simd.h"
+
+#if defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace elsa::simd {
+
+namespace {
+
+/** Total popcount of a 128-bit vector. */
+inline std::uint32_t
+popcount128(uint8x16_t v)
+{
+    return vaddvq_u8(vcntq_u8(v));
+}
+
+void
+hammingBatchNeon(const std::uint64_t* query, const std::uint64_t* keys,
+                 std::size_t words_per_row, std::size_t num_rows,
+                 std::uint32_t* out)
+{
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        const std::uint64_t* row = keys + r * words_per_row;
+        std::uint32_t distance = 0;
+        std::size_t w = 0;
+        for (; w + 2 <= words_per_row; w += 2) {
+            const uint64x2_t qv = vld1q_u64(query + w);
+            const uint64x2_t kv = vld1q_u64(row + w);
+            distance += popcount128(
+                vreinterpretq_u8_u64(veorq_u64(qv, kv)));
+        }
+        for (; w < words_per_row; ++w) {
+            distance += static_cast<std::uint32_t>(
+                __builtin_popcountll(query[w] ^ row[w]));
+        }
+        out[r] = distance;
+    }
+}
+
+int
+popcountWordsNeon(const std::uint64_t* words, std::size_t n)
+{
+    std::uint32_t count = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        count += popcount128(vreinterpretq_u8_u64(vld1q_u64(words + i)));
+    }
+    for (; i < n; ++i) {
+        count += static_cast<std::uint32_t>(
+            __builtin_popcountll(words[i]));
+    }
+    return static_cast<int>(count);
+}
+
+/**
+ * Sign packing via FCMGE against zero: lane i is all-ones when
+ * v[i] >= 0 (NaN compares false, -0.0 true), matching the scalar
+ * `v >= 0` exactly; the masked lane bits are OR-folded into the
+ * output word.
+ */
+void
+signPackF32Neon(const float* v, std::size_t n, std::uint64_t* out)
+{
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    const std::size_t words = (n + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+        out[w] = 0;
+    }
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const uint32x4_t ge = vcgeq_f32(vld1q_f32(v + i), zero);
+        const uint32x4_t lane_bits = {1u, 2u, 4u, 8u};
+        const std::uint32_t mask =
+            vaddvq_u32(vandq_u32(ge, lane_bits));
+        out[i / 64] |= static_cast<std::uint64_t>(mask) << (i % 64);
+    }
+    for (; i < n; ++i) {
+        if (v[i] >= 0.0f) {
+            out[i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+    }
+}
+
+void
+signPackF64Neon(const double* v, std::size_t n, std::uint64_t* out)
+{
+    const float64x2_t zero = vdupq_n_f64(0.0);
+    const std::size_t words = (n + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+        out[w] = 0;
+    }
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t ge = vcgeq_f64(vld1q_f64(v + i), zero);
+        const uint64x2_t lane_bits = {1u, 2u};
+        const std::uint64_t mask =
+            vaddvq_u64(vandq_u64(ge, lane_bits));
+        out[i / 64] |= mask << (i % 64);
+    }
+    for (; i < n; ++i) {
+        if (v[i] >= 0.0) {
+            out[i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+    }
+}
+
+const KernelTable kNeonTable = {
+    SimdLevel::kNeon,  "neon",         hammingBatchNeon,
+    popcountWordsNeon, signPackF32Neon, signPackF64Neon,
+};
+
+} // namespace
+
+const KernelTable*
+neonKernelsOrNull()
+{
+    return &kNeonTable;
+}
+
+} // namespace elsa::simd
+
+#else // !defined(__ARM_NEON)
+
+namespace elsa::simd {
+
+const KernelTable*
+neonKernelsOrNull()
+{
+    return nullptr;
+}
+
+} // namespace elsa::simd
+
+#endif // defined(__ARM_NEON)

@@ -1,0 +1,75 @@
+#include "common/simd/simd.h"
+
+#include <bit>
+
+namespace elsa::simd {
+
+namespace {
+
+void
+hammingBatchScalar(const std::uint64_t* query, const std::uint64_t* keys,
+                   std::size_t words_per_row, std::size_t num_rows,
+                   std::uint32_t* out)
+{
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        const std::uint64_t* row = keys + r * words_per_row;
+        std::uint32_t distance = 0;
+        for (std::size_t w = 0; w < words_per_row; ++w) {
+            distance += static_cast<std::uint32_t>(
+                std::popcount(query[w] ^ row[w]));
+        }
+        out[r] = distance;
+    }
+}
+
+int
+popcountWordsScalar(const std::uint64_t* words, std::size_t n)
+{
+    int count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        count += std::popcount(words[i]);
+    }
+    return count;
+}
+
+template <typename T>
+void
+signPackScalar(const T* v, std::size_t n, std::uint64_t* out)
+{
+    const std::size_t words = (n + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+        out[w] = 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] >= T{0}) {
+            out[i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+    }
+}
+
+void
+signPackF32Scalar(const float* v, std::size_t n, std::uint64_t* out)
+{
+    signPackScalar(v, n, out);
+}
+
+void
+signPackF64Scalar(const double* v, std::size_t n, std::uint64_t* out)
+{
+    signPackScalar(v, n, out);
+}
+
+const KernelTable kScalarTable = {
+    SimdLevel::kScalar, "scalar",        hammingBatchScalar,
+    popcountWordsScalar, signPackF32Scalar, signPackF64Scalar,
+};
+
+} // namespace
+
+const KernelTable&
+scalarKernels()
+{
+    return kScalarTable;
+}
+
+} // namespace elsa::simd

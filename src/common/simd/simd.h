@@ -1,0 +1,129 @@
+#ifndef ELSA_COMMON_SIMD_SIMD_H_
+#define ELSA_COMMON_SIMD_SIMD_H_
+
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the functional hot path.
+ *
+ * Every sweep and every simulated query pays wall-clock for three
+ * integer/compare kernels: XOR+popcount Hamming distance over packed
+ * hash words, population counts, and sign extraction (SRP's
+ * sign(proj) bit packing). This layer provides a scalar baseline
+ * (std::popcount) plus AVX2 and NEON specializations behind a
+ * dispatch table selected exactly once at startup.
+ *
+ * Dispatch contract (the determinism safety net relies on it):
+ *
+ *  - every kernel is BIT-IDENTICAL across implementations. All three
+ *    operations are integer XOR/popcount/shift work or exact IEEE
+ *    comparisons (x >= 0 with NaN -> false), so no floating-point
+ *    rounding can diverge between ISAs;
+ *  - the active table is chosen once, from the CPU's capabilities
+ *    and the optional ELSA_SIMD override (scalar|avx2|neon), and
+ *    never changes afterwards. Because outputs are bit-identical,
+ *    the choice can never leak into metrics, stats, traces, or any
+ *    simulated result;
+ *  - raw intrinsics live only under src/common/simd/ (enforced by
+ *    the elsa-lint `no-raw-intrinsics` rule); the rest of the tree
+ *    consumes these function pointers.
+ *
+ * See docs/PERFORMANCE.md for the measured throughput and how the
+ * kernel_throughput bench entry tracks it.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace elsa::simd {
+
+/** Instruction-set level of a kernel table. */
+enum class SimdLevel
+{
+    kScalar,
+    kAvx2,
+    kNeon,
+};
+
+/**
+ * One complete kernel implementation. All pointers are always
+ * non-null; all kernels accept zero-length inputs.
+ *
+ * Packed-word convention (shared with HashValue/HashMatrix): bit i
+ * of a row lives in word i/64 at bit position i%64, and the unused
+ * tail bits of the last word are zero.
+ */
+struct KernelTable
+{
+    SimdLevel level;
+
+    /** Human-readable level name ("scalar", "avx2", "neon"). */
+    const char* name;
+
+    /**
+     * out[r] = popcount(query XOR keys[r]) for r in [0, num_rows).
+     * Rows are contiguous: row r starts at keys + r * words_per_row;
+     * query holds words_per_row words.
+     */
+    void (*hamming_batch)(const std::uint64_t* query,
+                          const std::uint64_t* keys,
+                          std::size_t words_per_row,
+                          std::size_t num_rows, std::uint32_t* out);
+
+    /** Total population count of n words. */
+    int (*popcount_words)(const std::uint64_t* words, std::size_t n);
+
+    /**
+     * Pack sign bits of n floats: bit i of out = (v[i] >= 0), NaN
+     * packing to 0. Writes ceil(n/64) words; tail bits are zeroed.
+     */
+    void (*sign_pack_f32)(const float* v, std::size_t n,
+                          std::uint64_t* out);
+
+    /** Double-precision variant of sign_pack_f32. */
+    void (*sign_pack_f64)(const double* v, std::size_t n,
+                          std::uint64_t* out);
+};
+
+/** The portable baseline (always available). */
+const KernelTable& scalarKernels();
+
+/**
+ * The AVX2 table, or null when the binary was not built with the
+ * AVX2 kernels or this CPU does not support AVX2.
+ */
+const KernelTable* avx2KernelsOrNull();
+
+/** The NEON table, or null when not built for an ARM NEON target. */
+const KernelTable* neonKernelsOrNull();
+
+/** Table for an explicit level, or null when unavailable. */
+const KernelTable* kernelsFor(SimdLevel level);
+
+/** Levels usable in this process, scalar first. */
+std::vector<SimdLevel> availableLevels();
+
+/** Name of a level ("scalar", "avx2", "neon"). */
+const char* levelName(SimdLevel level);
+
+/**
+ * Resolve a dispatch override string to a level. Null or empty
+ * selects the best available level (highest ISA the CPU supports);
+ * "scalar", "avx2", or "neon" force that level and fail loudly when
+ * it is unknown or unavailable on this machine.
+ */
+SimdLevel resolveLevel(const char* override_value);
+
+/**
+ * The active kernel table. Selected once, on first use, from the
+ * CPU's capabilities and the ELSA_SIMD environment override; stable
+ * for the lifetime of the process.
+ */
+const KernelTable& kernels();
+
+/** Level of the active table. */
+SimdLevel activeLevel();
+
+} // namespace elsa::simd
+
+#endif // ELSA_COMMON_SIMD_SIMD_H_

@@ -51,6 +51,13 @@ class CosineLut
     /** Lookup by Hamming distance (0 <= h <= k). */
     double lookup(int hamming) const;
 
+    /**
+     * The raw table, indexed by Hamming distance. For the blocked
+     * candidate kernels, which bound-check the distances once per
+     * batch instead of per lookup().
+     */
+    const double* table() const { return table_.data(); }
+
     /** Table size, always k + 1. */
     std::size_t size() const { return table_.size(); }
 

@@ -41,15 +41,30 @@ HashValue
 BatchedKroneckerHasher::hash(const float* x) const
 {
     HashValue out(bits());
+    HashScratch scratch;
+    hashInto(x, out.data(), scratch);
+    return out;
+}
+
+void
+BatchedKroneckerHasher::hashInto(const float* x, std::uint64_t* out,
+                                 HashScratch& scratch) const
+{
+    // Each batch packs its d bits in scratch, then the whole words
+    // are shift-OR'd into place -- the concatenation the per-bit
+    // setBit loop used to spell out bit by bit.
+    const std::size_t total_words = hashWordCount(bits());
+    for (std::size_t w = 0; w < total_words; ++w) {
+        out[w] = 0;
+    }
+    const std::size_t batch_bits = batches_.front().bits();
+    scratch.w.resize(hashWordCount(batch_bits));
     std::size_t offset = 0;
     for (const auto& batch : batches_) {
-        const HashValue part = batch.hash(x);
-        for (std::size_t i = 0; i < part.bits(); ++i) {
-            out.setBit(offset + i, part.bit(i));
-        }
-        offset += part.bits();
+        batch.hashInto(x, scratch.w.data(), scratch);
+        copyBits(out, offset, scratch.w.data(), batch_bits);
+        offset += batch_bits;
     }
-    return out;
 }
 
 std::size_t

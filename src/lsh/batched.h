@@ -51,6 +51,8 @@ class BatchedKroneckerHasher : public SrpHasher
 
     using SrpHasher::hash;
     HashValue hash(const float* x) const override;
+    void hashInto(const float* x, std::uint64_t* out,
+                  HashScratch& scratch) const override;
     std::size_t dim() const override;
     std::size_t bits() const override;
     std::size_t multiplicationsPerHash() const override;

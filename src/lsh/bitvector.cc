@@ -1,13 +1,44 @@
 #include "lsh/bitvector.h"
 
-#include "common/bits.h"
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace elsa {
 
-HashValue::HashValue(std::size_t bits)
-    : bits_(bits), words_((bits + 63) / 64, 0)
+HashView::HashView(const HashValue& value)
+    : bits_(value.bits()), words_(value.words().data())
 {
+}
+
+bool
+HashView::bit(std::size_t i) const
+{
+    ELSA_ASSERT(i < bits_, "bit index " << i << " out of " << bits_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+bool
+operator==(HashView a, HashView b)
+{
+    if (a.bits() != b.bits()) {
+        return false;
+    }
+    return std::memcmp(a.words(), b.words(),
+                       a.wordCount() * sizeof(std::uint64_t)) == 0;
+}
+
+HashValue::HashValue(std::size_t bits)
+    : bits_(bits), words_(hashWordCount(bits), 0)
+{
+}
+
+HashValue::HashValue(std::size_t bits, const std::uint64_t* words)
+    : bits_(bits), words_(words, words + hashWordCount(bits))
+{
+    if (!words_.empty()) {
+        words_.back() &= hashTailMask(bits_);
+    }
 }
 
 void
@@ -32,25 +63,100 @@ HashValue::bit(std::size_t i) const
 int
 HashValue::popcount() const
 {
-    int count = 0;
-    for (const auto word : words_) {
-        count += popcount64(word);
-    }
-    return count;
+    return HashView(*this).popcount();
 }
 
-int
-hammingDistance(const HashValue& a, const HashValue& b)
+HashMatrix::HashMatrix(std::size_t rows, std::size_t bits)
+    : rows_(rows), bits_(bits), words_per_row_(hashWordCount(bits)),
+      words_(rows * words_per_row_, 0)
 {
-    ELSA_CHECK(a.bits() == b.bits(),
-               "hamming distance between different widths: " << a.bits()
-                                                             << " vs "
-                                                             << b.bits());
-    int distance = 0;
-    for (std::size_t w = 0; w < a.words().size(); ++w) {
-        distance += popcount64(a.words()[w] ^ b.words()[w]);
+}
+
+const std::uint64_t*
+HashMatrix::rowWords(std::size_t r) const
+{
+    ELSA_ASSERT(r < rows_, "row " << r << " out of " << rows_);
+    return words_.data() + r * words_per_row_;
+}
+
+std::uint64_t*
+HashMatrix::rowWords(std::size_t r)
+{
+    ELSA_ASSERT(r < rows_, "row " << r << " out of " << rows_);
+    return words_.data() + r * words_per_row_;
+}
+
+HashView
+HashMatrix::row(std::size_t r) const
+{
+    return HashView(bits_, rowWords(r));
+}
+
+HashValue
+HashMatrix::rowValue(std::size_t r) const
+{
+    return HashValue(bits_, rowWords(r));
+}
+
+void
+HashMatrix::setRow(std::size_t r, HashView value)
+{
+    ELSA_CHECK(value.bits() == bits_,
+               "setRow width mismatch: " << value.bits() << " vs "
+                                         << bits_);
+    std::memcpy(rowWords(r), value.words(),
+                words_per_row_ * sizeof(std::uint64_t));
+}
+
+bool
+HashMatrix::bit(std::size_t r, std::size_t i) const
+{
+    ELSA_ASSERT(i < bits_, "bit index " << i << " out of " << bits_);
+    return (rowWords(r)[i / 64] >> (i % 64)) & 1;
+}
+
+void
+HashMatrix::setBit(std::size_t r, std::size_t i, bool value)
+{
+    ELSA_ASSERT(i < bits_, "bit index " << i << " out of " << bits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (value) {
+        rowWords(r)[i / 64] |= mask;
+    } else {
+        rowWords(r)[i / 64] &= ~mask;
     }
-    return distance;
+}
+
+void
+HashMatrix::flipBit(std::size_t r, std::size_t i)
+{
+    ELSA_ASSERT(i < bits_, "bit index " << i << " out of " << bits_);
+    rowWords(r)[i / 64] ^= std::uint64_t{1} << (i % 64);
+}
+
+void
+copyBits(std::uint64_t* dst, std::size_t dst_bit_offset,
+         const std::uint64_t* src, std::size_t bits)
+{
+    const std::size_t shift = dst_bit_offset % 64;
+    std::uint64_t* out = dst + dst_bit_offset / 64;
+    const std::size_t src_words = hashWordCount(bits);
+    for (std::size_t w = 0; w < src_words; ++w) {
+        // The source's own tail bits are zero, so ORing whole shifted
+        // words never spills stray bits past `bits`.
+        const std::uint64_t word = src[w];
+        out[w] |= word << shift;
+        if (shift != 0) {
+            const std::uint64_t spill = word >> (64 - shift);
+            // Touch the next word only when bits actually spill into
+            // it; when they do, the destination is wide enough by
+            // construction, and when they don't the word may not
+            // exist at all (e.g. the tail of the final batch).
+            if (spill != 0) {
+                out[w + 1] |= spill;
+            }
+        }
+    }
 }
 
 } // namespace elsa

@@ -5,19 +5,99 @@
  * @file
  * Packed k-bit hash values (binary embeddings) and Hamming distance.
  *
- * A HashValue is the k-bit binary embedding of a query or key vector
+ * A hash value is the k-bit binary embedding of a query or key vector
  * (Section III-B). Bits are packed into 64-bit words so the Hamming
  * distance is a handful of XORs and popcounts -- the exact operation
  * the candidate selection module's k-bit XOR unit and adder perform.
+ *
+ * Three types share one packed-word convention (bit i lives in word
+ * i/64 at position i%64; unused tail bits of the last word are zero,
+ * enforced at construction so popcount/Hamming never re-mask):
+ *
+ *  - HashMatrix: a key set's hashes in one contiguous row-major
+ *    allocation, the layout the batched kernels stream over;
+ *  - HashView: a non-owning (bits, words) view of one row or one
+ *    HashValue -- the currency of the kernel-facing API;
+ *  - HashValue: a single owning value, kept as a thin adapter for
+ *    call sites that need an independent lifetime (tests, faults).
  */
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace elsa {
 
-/** Packed fixed-width bit vector. */
+/** Packed words needed for a bit count. */
+inline std::size_t
+hashWordCount(std::size_t bits)
+{
+    return (bits + 63) / 64;
+}
+
+/**
+ * Mask selecting the live bits of the last packed word (all-ones
+ * when the width is a word multiple or zero).
+ */
+inline std::uint64_t
+hashTailMask(std::size_t bits)
+{
+    const std::size_t rem = bits % 64;
+    return rem == 0 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << rem) - 1;
+}
+
+class HashValue;
+
+/** Non-owning view of one packed fixed-width bit vector. */
+class HashView
+{
+  public:
+    HashView() = default;
+
+    /** View over pre-packed words (tail bits must already be zero). */
+    HashView(std::size_t bits, const std::uint64_t* words)
+        : bits_(bits), words_(words)
+    {
+    }
+
+    /** Every HashValue is viewable. */
+    HashView(const HashValue& value); // NOLINT(google-explicit-constructor)
+
+    /** Number of bits. */
+    std::size_t bits() const { return bits_; }
+
+    /** Number of packed words. */
+    std::size_t wordCount() const { return hashWordCount(bits_); }
+
+    /** Packed words (little-endian bit order within each word). */
+    const std::uint64_t* words() const { return words_; }
+
+    /** Read bit i. */
+    bool bit(std::size_t i) const;
+
+    /** Number of set bits. */
+    int popcount() const
+    {
+        int count = 0;
+        for (std::size_t w = 0; w < wordCount(); ++w) {
+            count += std::popcount(words_[w]);
+        }
+        return count;
+    }
+
+  private:
+    std::size_t bits_ = 0;
+    const std::uint64_t* words_ = nullptr;
+};
+
+/** Equal width and equal bit content. */
+bool operator==(HashView a, HashView b);
+
+/** Packed fixed-width bit vector that owns its words. */
 class HashValue
 {
   public:
@@ -26,6 +106,12 @@ class HashValue
 
     /** All-zero value with the given number of bits. */
     explicit HashValue(std::size_t bits);
+
+    /**
+     * Copy of pre-packed words; the tail word is masked here, once,
+     * so downstream popcount/Hamming kernels never re-check it.
+     */
+    HashValue(std::size_t bits, const std::uint64_t* words);
 
     /** Number of bits. */
     std::size_t bits() const { return bits_; }
@@ -42,6 +128,9 @@ class HashValue
     /** Packed words (little-endian bit order within each word). */
     const std::vector<std::uint64_t>& words() const { return words_; }
 
+    /** Mutable packed words (for in-place kernel output). */
+    std::uint64_t* data() { return words_.data(); }
+
     bool operator==(const HashValue&) const = default;
 
   private:
@@ -50,10 +139,101 @@ class HashValue
 };
 
 /**
- * Hamming distance between two equal-width hash values.
- * This is the hardware's k-bit XOR followed by a population count.
+ * A set of equal-width hash values packed row-major into a single
+ * contiguous allocation (row r starts at word r * wordsPerRow()).
+ * This is the layout hammingDistanceBatch and the fused candidate
+ * kernels stream over, replacing one heap allocation per HashValue.
  */
-int hammingDistance(const HashValue& a, const HashValue& b);
+class HashMatrix
+{
+  public:
+    /** Empty matrix. */
+    HashMatrix() = default;
+
+    /** All-zero matrix of `rows` values of `bits` bits each. */
+    HashMatrix(std::size_t rows, std::size_t bits);
+
+    /** Number of hash values. */
+    std::size_t rows() const { return rows_; }
+
+    /** Alias of rows(), mirroring the container the matrix replaced. */
+    std::size_t size() const { return rows_; }
+
+    /** True when the matrix holds no rows. */
+    bool empty() const { return rows_ == 0; }
+
+    /** Bits per hash value. */
+    std::size_t bits() const { return bits_; }
+
+    /** Packed words per row. */
+    std::size_t wordsPerRow() const { return words_per_row_; }
+
+    /** First word of the whole matrix. */
+    const std::uint64_t* data() const { return words_.data(); }
+    std::uint64_t* data() { return words_.data(); }
+
+    /** First word of row r. */
+    const std::uint64_t* rowWords(std::size_t r) const;
+    std::uint64_t* rowWords(std::size_t r);
+
+    /** View of row r. */
+    HashView row(std::size_t r) const;
+    HashView operator[](std::size_t r) const { return row(r); }
+
+    /** Owning copy of row r. */
+    HashValue rowValue(std::size_t r) const;
+
+    /** Overwrite row r with an equal-width value. */
+    void setRow(std::size_t r, HashView value);
+
+    /** Read bit i of row r. */
+    bool bit(std::size_t r, std::size_t i) const;
+
+    /** Set bit i of row r. */
+    void setBit(std::size_t r, std::size_t i, bool value);
+
+    /** Invert bit i of row r (fault injection's hash-bit flips). */
+    void flipBit(std::size_t r, std::size_t i);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t bits_ = 0;
+    std::size_t words_per_row_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * OR `bits` bits of src (starting at its bit 0) into dst starting at
+ * dst_bit_offset. The destination range must be zero beforehand --
+ * the batched hasher concatenates per-batch hashes into freshly
+ * zeroed rows, so a straight shift-OR suffices.
+ */
+void copyBits(std::uint64_t* dst, std::size_t dst_bit_offset,
+              const std::uint64_t* src, std::size_t bits);
+
+/**
+ * Hamming distance between two equal-width hash values: the
+ * hardware's k-bit XOR followed by a population count, uniform
+ * std::popcount over whole words (the tail word carries no stray
+ * bits by construction). Inline so single-pair call sites keep their
+ * historical cost; hot loops should prefer hammingDistanceBatch
+ * (lsh/candidates.h), which runs the dispatched SIMD kernel.
+ */
+inline int
+hammingDistance(HashView a, HashView b)
+{
+    ELSA_CHECK(a.bits() == b.bits(),
+               "hamming distance between different widths: " << a.bits()
+                                                             << " vs "
+                                                             << b.bits());
+    int distance = 0;
+    const std::uint64_t* aw = a.words();
+    const std::uint64_t* bw = b.words();
+    for (std::size_t w = 0; w < a.wordCount(); ++w) {
+        distance += std::popcount(aw[w] ^ bw[w]);
+    }
+    return distance;
+}
 
 } // namespace elsa
 

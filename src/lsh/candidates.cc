@@ -1,0 +1,156 @@
+#include "lsh/candidates.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/simd/simd.h"
+
+namespace elsa {
+
+namespace {
+
+/**
+ * Distances for one chunk of keys live in this stack buffer between
+ * the Hamming kernel and the similarity math, keeping the working
+ * set inside L1 for arbitrarily large key sets.
+ */
+constexpr std::size_t kChunk = 256;
+
+void
+checkSelectionArgs(HashView query, const HashMatrix& keys,
+                   const std::vector<double>& norms, const CosineLut& lut,
+                   std::size_t begin, std::size_t end)
+{
+    ELSA_CHECK(query.bits() == keys.bits(),
+               "hamming distance between different widths: "
+                   << query.bits() << " vs " << keys.bits());
+    ELSA_CHECK(begin <= end && end <= keys.rows(),
+               "key range [" << begin << "," << end
+                             << ") out of bounds");
+    ELSA_CHECK(norms.size() >= keys.rows(),
+               "norms cover " << norms.size() << " keys, matrix has "
+                              << keys.rows());
+    ELSA_CHECK(lut.hashBits() == keys.bits(),
+               "cosine LUT built for k = " << lut.hashBits()
+                                           << ", hashes have "
+                                           << keys.bits());
+}
+
+} // namespace
+
+void
+hammingDistanceBatch(HashView query, const HashMatrix& keys,
+                     std::size_t begin, std::size_t end,
+                     std::uint32_t* out)
+{
+    ELSA_CHECK(query.bits() == keys.bits(),
+               "hamming distance between different widths: "
+                   << query.bits() << " vs " << keys.bits());
+    ELSA_CHECK(begin <= end && end <= keys.rows(),
+               "key range [" << begin << "," << end
+                             << ") out of bounds");
+    if (begin == end) {
+        return;
+    }
+    simd::kernels().hamming_batch(query.words(), keys.rowWords(begin),
+                                  keys.wordsPerRow(), end - begin, out);
+}
+
+std::vector<std::uint32_t>
+hammingDistanceBatch(HashView query, const HashMatrix& keys)
+{
+    std::vector<std::uint32_t> distances(keys.rows());
+    hammingDistanceBatch(query, keys, 0, keys.rows(), distances.data());
+    return distances;
+}
+
+void
+approximateSimilarities(HashView query, const HashMatrix& keys,
+                        const std::vector<double>& norms,
+                        const CosineLut& lut, std::size_t begin,
+                        std::size_t end, double* out)
+{
+    checkSelectionArgs(query, keys, norms, lut, begin, end);
+    const double* table = lut.table();
+    std::uint32_t distances[kChunk];
+    for (std::size_t base = begin; base < end; base += kChunk) {
+        const std::size_t stop = std::min(end, base + kChunk);
+        hammingDistanceBatch(query, keys, base, stop, distances);
+        for (std::size_t j = base; j < stop; ++j) {
+            out[j - begin] = norms[j] * table[distances[j - base]];
+        }
+    }
+}
+
+void
+selectAboveCutoff(HashView query, const HashMatrix& keys,
+                  const std::vector<double>& norms, const CosineLut& lut,
+                  double cutoff, std::size_t begin, std::size_t end,
+                  std::vector<std::uint32_t>& selected)
+{
+    checkSelectionArgs(query, keys, norms, lut, begin, end);
+    const double* table = lut.table();
+    std::uint32_t distances[kChunk];
+    for (std::size_t base = begin; base < end; base += kChunk) {
+        const std::size_t stop = std::min(end, base + kChunk);
+        hammingDistanceBatch(query, keys, base, stop, distances);
+        for (std::size_t j = base; j < stop; ++j) {
+            const double sim = norms[j] * table[distances[j - base]];
+            // Paper skip condition: select only when the approximate
+            // similarity strictly exceeds the scaled threshold.
+            if (sim > cutoff) {
+                selected.push_back(static_cast<std::uint32_t>(j));
+            }
+        }
+    }
+}
+
+void
+thresholdHits(HashView query, const HashMatrix& keys,
+              const std::vector<double>& norms, const CosineLut& lut,
+              double cutoff, std::size_t begin, std::size_t end,
+              std::vector<bool>& hits)
+{
+    checkSelectionArgs(query, keys, norms, lut, begin, end);
+    hits.assign(end - begin, false);
+    const double* table = lut.table();
+    std::uint32_t distances[kChunk];
+    for (std::size_t base = begin; base < end; base += kChunk) {
+        const std::size_t stop = std::min(end, base + kChunk);
+        hammingDistanceBatch(query, keys, base, stop, distances);
+        for (std::size_t j = base; j < stop; ++j) {
+            const double sim = norms[j] * table[distances[j - base]];
+            hits[j - begin] = sim > cutoff;
+        }
+    }
+}
+
+std::uint32_t
+argmaxSimilarity(HashView query, const HashMatrix& keys,
+                 const std::vector<double>& norms, const CosineLut& lut,
+                 std::size_t begin, std::size_t end)
+{
+    checkSelectionArgs(query, keys, norms, lut, begin, end);
+    ELSA_CHECK(begin < end, "argmax over an empty key range");
+    const double* table = lut.table();
+    std::uint32_t best = 0;
+    double best_sim = -std::numeric_limits<double>::infinity();
+    std::uint32_t distances[kChunk];
+    for (std::size_t base = begin; base < end; base += kChunk) {
+        const std::size_t stop = std::min(end, base + kChunk);
+        hammingDistanceBatch(query, keys, base, stop, distances);
+        for (std::size_t j = base; j < stop; ++j) {
+            const double sim = norms[j] * table[distances[j - base]];
+            // Strict > keeps the earliest id on ties, matching the
+            // sequential scans this kernel replaced.
+            if (sim > best_sim) {
+                best_sim = sim;
+                best = static_cast<std::uint32_t>(j);
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace elsa

@@ -1,0 +1,84 @@
+#ifndef ELSA_LSH_CANDIDATES_H_
+#define ELSA_LSH_CANDIDATES_H_
+
+/**
+ * @file
+ * Blocked candidate-selection kernels (Section III-D steps 2-6).
+ *
+ * These fuse the per-query hot loop -- Hamming distance, cosine-LUT
+ * similarity, threshold compare -- over a packed HashMatrix key set.
+ * The Hamming distances come from the dispatched SIMD kernel in
+ * chunks; the double-precision similarity math (norm * lut[ham] and
+ * the strict > compares) is untouched scalar code, so every function
+ * here is bit-identical to the historical per-key loops it replaces.
+ *
+ * All ranges are [begin, end) over global key ids; `norms` is indexed
+ * by global key id as well.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lsh/angle.h"
+#include "lsh/bitvector.h"
+
+namespace elsa {
+
+/**
+ * out[j - begin] = hammingDistance(query, keys[j]) for j in
+ * [begin, end). The hardware's k-bit XOR + popcount, batched.
+ */
+void hammingDistanceBatch(HashView query, const HashMatrix& keys,
+                          std::size_t begin, std::size_t end,
+                          std::uint32_t* out);
+
+/** Whole-matrix convenience overload. */
+std::vector<std::uint32_t> hammingDistanceBatch(HashView query,
+                                                const HashMatrix& keys);
+
+/**
+ * out[j - begin] = norms[j] * lut[hamming(query, keys[j])], the
+ * approximate similarity of steps (3)-(5).
+ */
+void approximateSimilarities(HashView query, const HashMatrix& keys,
+                             const std::vector<double>& norms,
+                             const CosineLut& lut, std::size_t begin,
+                             std::size_t end, double* out);
+
+/**
+ * Append to `selected` every global key id j in [begin, end) whose
+ * approximate similarity strictly exceeds `cutoff` (the paper's
+ * skip condition, with cutoff = t * ||K_max|| precomputed). One
+ * fused pass: Hamming batch -> LUT -> compare -> emit.
+ */
+void selectAboveCutoff(HashView query, const HashMatrix& keys,
+                       const std::vector<double>& norms,
+                       const CosineLut& lut, double cutoff,
+                       std::size_t begin, std::size_t end,
+                       std::vector<std::uint32_t>& selected);
+
+/**
+ * hits[j - begin] = (similarity of key j) > cutoff for j in
+ * [begin, end); `hits` is resized. The bank-local decision vector of
+ * the cycle model's candidate selection module.
+ */
+void thresholdHits(HashView query, const HashMatrix& keys,
+                   const std::vector<double>& norms,
+                   const CosineLut& lut, double cutoff,
+                   std::size_t begin, std::size_t end,
+                   std::vector<bool>& hits);
+
+/**
+ * Global key id in [begin, end) with the highest approximate
+ * similarity, earliest id winning ties -- the fallback for queries
+ * whose threshold filter selects nothing. Requires begin < end.
+ */
+std::uint32_t argmaxSimilarity(HashView query, const HashMatrix& keys,
+                               const std::vector<double>& norms,
+                               const CosineLut& lut, std::size_t begin,
+                               std::size_t end);
+
+} // namespace elsa
+
+#endif // ELSA_LSH_CANDIDATES_H_

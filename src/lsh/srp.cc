@@ -1,8 +1,10 @@
 #include "lsh/srp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/simd/simd.h"
 #include "fixed/fixed_point.h"
 #include "lsh/orthogonal.h"
 #include "obs/profile.h"
@@ -12,12 +14,12 @@ namespace elsa {
 
 namespace {
 
-/** sign(x) per the paper: 1 if x >= 0, else 0. */
-bool
-signBit(double x)
-{
-    return x >= 0.0;
-}
+// sign(x) per the paper -- 1 iff x >= 0 -- is computed by the
+// dispatched sign_pack kernels (see simd.h for the exactness
+// argument).
+
+/** Dense-path row tile: keeps x hot while sweeping projection rows. */
+constexpr std::size_t kGemvTile = 16;
 
 } // namespace
 
@@ -29,16 +31,42 @@ SrpHasher::hash(const std::vector<float>& x) const
     return hash(x.data());
 }
 
+void
+SrpHasher::hashInto(const float* x, std::uint64_t* out,
+                    HashScratch& scratch) const
+{
+    // Generic fallback for hasher implementations that only provide
+    // hash(); the packed words are copied out of the HashValue.
+    (void)scratch;
+    const HashValue h = hash(x);
+    for (std::size_t w = 0; w < h.words().size(); ++w) {
+        out[w] = h.words()[w];
+    }
+}
+
+HashMatrix
+SrpHasher::hashMatrix(const Matrix& m) const
+{
+    ELSA_CHECK(m.cols() == dim(),
+               "hashMatrix input has " << m.cols() << " cols, d = "
+                                       << dim());
+    ELSA_PROF_SCOPE("lsh.hash_rows");
+    HashMatrix hashes(m.rows(), bits());
+    HashScratch scratch;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        hashInto(m.row(r), hashes.rowWords(r), scratch);
+    }
+    return hashes;
+}
+
 std::vector<HashValue>
 SrpHasher::hashRows(const Matrix& m) const
 {
-    ELSA_CHECK(m.cols() == dim(),
-               "hashRows input has " << m.cols() << " cols, d = " << dim());
-    ELSA_PROF_SCOPE("lsh.hash_rows");
+    const HashMatrix packed = hashMatrix(m);
     std::vector<HashValue> hashes;
-    hashes.reserve(m.rows());
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        hashes.push_back(hash(m.row(r)));
+    hashes.reserve(packed.rows());
+    for (std::size_t r = 0; r < packed.rows(); ++r) {
+        hashes.push_back(packed.rowValue(r));
     }
     return hashes;
 }
@@ -62,10 +90,28 @@ HashValue
 DenseSrpHasher::hash(const float* x) const
 {
     HashValue h(bits());
-    for (std::size_t i = 0; i < bits(); ++i) {
-        h.setBit(i, signBit(dot(projection_.row(i), x, dim())));
-    }
+    HashScratch scratch;
+    hashInto(x, h.data(), scratch);
     return h;
+}
+
+void
+DenseSrpHasher::hashInto(const float* x, std::uint64_t* out,
+                         HashScratch& scratch) const
+{
+    // Blocked GEMV: each projected value is the same double-precision
+    // dot, in the same order, as the scalar path -- the tile only
+    // groups rows for locality -- so the packed signs are
+    // bit-identical to per-bit setBit hashing.
+    const std::size_t k = bits();
+    scratch.d.resize(k);
+    for (std::size_t base = 0; base < k; base += kGemvTile) {
+        const std::size_t end = std::min(k, base + kGemvTile);
+        for (std::size_t i = base; i < end; ++i) {
+            scratch.d[i] = dot(projection_.row(i), x, dim());
+        }
+    }
+    simd::kernels().sign_pack_f64(scratch.d.data(), k, out);
 }
 
 std::size_t
@@ -121,10 +167,20 @@ KroneckerSrpHasher::makeRandom(std::size_t d, std::size_t num_factors,
 std::vector<float>
 KroneckerSrpHasher::project(const float* x) const
 {
+    HashScratch scratch;
+    const float* projected = projectInto(x, scratch);
+    return std::vector<float>(projected, projected + dim_);
+}
+
+const float*
+KroneckerSrpHasher::projectInto(const float* x, HashScratch& scratch) const
+{
     const std::size_t s = factor_size_;
     const std::size_t m = factors_.size();
-    std::vector<float> buf(x, x + dim_);
-    std::vector<float> tmp(dim_);
+    scratch.f.assign(x, x + dim_);
+    scratch.f2.resize(dim_);
+    std::vector<float>& buf = scratch.f;
+    std::vector<float>& tmp = scratch.f2;
     // Contract one tensor mode per factor. Viewing x as an order-m
     // tensor with every mode of extent s, mode t has stride s^(m-1-t)
     // in row-major order; contracting A_t over mode t costs d*s
@@ -150,18 +206,27 @@ KroneckerSrpHasher::project(const float* x) const
         buf.swap(tmp);
         stride /= s;
     }
-    return buf;
+    return buf.data();
 }
 
 HashValue
 KroneckerSrpHasher::hash(const float* x) const
 {
-    const std::vector<float> projected = project(x);
     HashValue h(dim_);
-    for (std::size_t i = 0; i < dim_; ++i) {
-        h.setBit(i, signBit(projected[i]));
-    }
+    HashScratch scratch;
+    hashInto(x, h.data(), scratch);
     return h;
+}
+
+void
+KroneckerSrpHasher::hashInto(const float* x, std::uint64_t* out,
+                             HashScratch& scratch) const
+{
+    // sign_pack_f32's `v >= 0.0f` equals the historical per-bit
+    // `double(v) >= 0.0` for every float, so the packed result is
+    // bit-identical to the setBit path.
+    const float* projected = projectInto(x, scratch);
+    simd::kernels().sign_pack_f32(projected, dim_, out);
 }
 
 std::size_t

@@ -33,6 +33,19 @@ namespace elsa {
 
 class Rng;
 
+/**
+ * Reusable per-thread workspace for the packed hash kernels. Hashing
+ * n rows through hashMatrix touches one HashMatrix allocation plus
+ * one of these, instead of n HashValue heap allocations.
+ */
+struct HashScratch
+{
+    std::vector<double> d;      ///< projected values (dense path)
+    std::vector<float> f;       ///< contraction buffer (Kronecker)
+    std::vector<float> f2;      ///< contraction double-buffer
+    std::vector<std::uint64_t> w; ///< packed-word staging
+};
+
 /** Interface of a sign-random-projection hasher. */
 class SrpHasher
 {
@@ -44,6 +57,21 @@ class SrpHasher
 
     /** Convenience overload. */
     HashValue hash(const std::vector<float>& x) const;
+
+    /**
+     * Hash a d-dimensional vector directly into pre-packed words
+     * (hashWordCount(bits()) of them, fully overwritten, tail bits
+     * zeroed). The allocation-free core of hashMatrix; scratch is
+     * reused across calls.
+     */
+    virtual void hashInto(const float* x, std::uint64_t* out,
+                          HashScratch& scratch) const;
+
+    /**
+     * Hash every row of the given n x d matrix into one contiguous
+     * packed matrix. Bit-identical to calling hash() per row.
+     */
+    virtual HashMatrix hashMatrix(const Matrix& m) const;
 
     /** Hash every row of the given n x d matrix. */
     std::vector<HashValue> hashRows(const Matrix& m) const;
@@ -81,6 +109,8 @@ class DenseSrpHasher : public SrpHasher
 
     using SrpHasher::hash;
     HashValue hash(const float* x) const override;
+    void hashInto(const float* x, std::uint64_t* out,
+                  HashScratch& scratch) const override;
     std::size_t dim() const override { return projection_.cols(); }
     std::size_t bits() const override { return projection_.rows(); }
     std::size_t multiplicationsPerHash() const override;
@@ -119,6 +149,8 @@ class KroneckerSrpHasher : public SrpHasher
 
     using SrpHasher::hash;
     HashValue hash(const float* x) const override;
+    void hashInto(const float* x, std::uint64_t* out,
+                  HashScratch& scratch) const override;
     std::size_t dim() const override { return dim_; }
     std::size_t bits() const override { return dim_; }
     std::size_t multiplicationsPerHash() const override;
@@ -133,6 +165,13 @@ class KroneckerSrpHasher : public SrpHasher
      * dense product).
      */
     std::vector<float> project(const float* x) const;
+
+    /**
+     * Allocation-free project(): contracts into scratch.f/scratch.f2
+     * and returns a pointer to the dim() projected values (owned by
+     * scratch, valid until its next use).
+     */
+    const float* projectInto(const float* x, HashScratch& scratch) const;
 
   private:
     std::vector<Matrix> factors_;

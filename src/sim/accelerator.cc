@@ -98,7 +98,7 @@ applySilentFaults(const FaultPlan& plan, FunctionalContext& ctx,
         case FaultTarget::kKeyHashMemory: {
             ELSA_ASSERT(fault.word < n, "hash fault word out of range");
             for (const std::uint8_t bit : fault.bits) {
-                flipHashBit(ctx.key_hashes[fault.word], bit);
+                ctx.key_hashes.flipBit(fault.word, bit);
             }
             break;
         }
@@ -460,7 +460,7 @@ Accelerator::run(const AttentionInput& input, double threshold) const
     // queue-wait (its hash overlapped that interval).
     std::size_t prev_interval = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        const HashValue& query_hash = ctx.query_hashes[i];
+        const HashView query_hash = ctx.query_hashes[i];
 
         std::size_t total_candidates = 0;
         std::size_t max_bank_cycles = 0;

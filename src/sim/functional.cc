@@ -6,6 +6,7 @@
 
 #include "fixed/custom_float.h"
 #include "fixed/fixed_point.h"
+#include "lsh/candidates.h"
 #include "tensor/ops.h"
 
 namespace elsa {
@@ -74,7 +75,7 @@ FunctionalModel::preprocess(const AttentionInput& raw) const
     }
 
     const std::size_t n = ctx.input.n();
-    ctx.key_hashes = hasher_->hashRows(ctx.input.key);
+    ctx.key_hashes = hasher_->hashMatrix(ctx.input.key);
     ctx.key_norms.resize(n);
     for (std::size_t j = 0; j < n; ++j) {
         // Norm = sqrt(K . K): the dot product reuses the attention
@@ -92,45 +93,31 @@ FunctionalModel::preprocess(const AttentionInput& raw) const
         ctx.max_norm = std::max(ctx.max_norm, norm);
     }
 
-    ctx.query_hashes = hasher_->hashRows(ctx.input.query);
+    ctx.query_hashes = hasher_->hashMatrix(ctx.input.query);
     return ctx;
 }
 
 std::vector<bool>
 FunctionalModel::bankHits(const FunctionalContext& ctx,
-                          const HashValue& query_hash,
-                          std::size_t bank_begin, std::size_t bank_end,
-                          double threshold) const
+                          HashView query_hash, std::size_t bank_begin,
+                          std::size_t bank_end, double threshold) const
 {
     ELSA_CHECK(bank_begin <= bank_end
                    && bank_end <= ctx.key_hashes.size(),
                "bank range [" << bank_begin << "," << bank_end
                               << ") out of bounds");
-    std::vector<bool> hits(bank_end - bank_begin, false);
-    const double cutoff = threshold * ctx.max_norm;
-    for (std::size_t j = bank_begin; j < bank_end; ++j) {
-        const int ham = hammingDistance(query_hash, ctx.key_hashes[j]);
-        const double sim = ctx.key_norms[j] * cos_lut_.lookup(ham);
-        hits[j - bank_begin] = sim > cutoff;
-    }
+    std::vector<bool> hits;
+    thresholdHits(query_hash, ctx.key_hashes, ctx.key_norms, cos_lut_,
+                  threshold * ctx.max_norm, bank_begin, bank_end, hits);
     return hits;
 }
 
 std::uint32_t
 FunctionalModel::bestKey(const FunctionalContext& ctx,
-                         const HashValue& query_hash) const
+                         HashView query_hash) const
 {
-    std::uint32_t best = 0;
-    double best_sim = -std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < ctx.key_hashes.size(); ++j) {
-        const int ham = hammingDistance(query_hash, ctx.key_hashes[j]);
-        const double sim = ctx.key_norms[j] * cos_lut_.lookup(ham);
-        if (sim > best_sim) {
-            best_sim = sim;
-            best = static_cast<std::uint32_t>(j);
-        }
-    }
-    return best;
+    return argmaxSimilarity(query_hash, ctx.key_hashes, ctx.key_norms,
+                            cos_lut_, 0, ctx.key_hashes.rows());
 }
 
 QueryOutput

@@ -40,8 +40,8 @@ struct FunctionalContext
     /** Quantized (or copied) inputs as the input SRAMs hold them. */
     AttentionInput input;
 
-    /** Key hash memory contents. */
-    std::vector<HashValue> key_hashes;
+    /** Key hash memory contents (one packed row per key). */
+    HashMatrix key_hashes;
 
     /** Key norm memory contents (possibly 8-bit quantized). */
     std::vector<double> key_norms;
@@ -50,7 +50,7 @@ struct FunctionalContext
     double max_norm = 0.0;
 
     /** Query hashes (computed one query ahead in hardware). */
-    std::vector<HashValue> query_hashes;
+    HashMatrix query_hashes;
 
     /**
      * Fault-injected LUT units overriding the model's pristine ones
@@ -101,7 +101,7 @@ class FunctionalModel
      *                   approx similarity / ||K_max||).
      */
     std::vector<bool> bankHits(const FunctionalContext& ctx,
-                               const HashValue& query_hash,
+                               HashView query_hash,
                                std::size_t bank_begin,
                                std::size_t bank_end,
                                double threshold) const;
@@ -111,7 +111,7 @@ class FunctionalModel
      * fallback used when no key passes the filter.
      */
     std::uint32_t bestKey(const FunctionalContext& ctx,
-                          const HashValue& query_hash) const;
+                          HashView query_hash) const;
 
     /**
      * Compute one query's output row from the per-bank candidate

@@ -91,6 +91,16 @@ l2Norm(const float* x, std::size_t n)
     return std::sqrt(dot(x, x, n));
 }
 
+std::vector<double>
+l2NormRows(const Matrix& m)
+{
+    std::vector<double> norms(m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        norms[r] = std::sqrt(dot(m.row(r), m.row(r), m.cols()));
+    }
+    return norms;
+}
+
 void
 softmaxInPlace(std::vector<double>& row)
 {

@@ -35,6 +35,13 @@ double dot(const float* x, const float* y, std::size_t n);
 /** Euclidean (L2) norm of a length-n float span. */
 double l2Norm(const float* x, std::size_t n);
 
+/**
+ * L2 norm of every row of m in one pass (the batched key-norm
+ * computation of the preprocessing phase). Element r equals
+ * l2Norm(m.row(r), m.cols()) exactly.
+ */
+std::vector<double> l2NormRows(const Matrix& m);
+
 /** In-place softmax over a row vector. Numerically stabilized. */
 void softmaxInPlace(std::vector<double>& row);
 

@@ -1,0 +1,32 @@
+// elsa-lint-pretend: src/lsh/bad_intrinsics.cc
+// Known-bad fixture: raw SIMD intrinsics outside src/common/simd/.
+// Everything ISA-specific must sit behind the dispatched
+// KernelTable (common/simd/simd.h) so bit-identity across levels is
+// proven in exactly one place.
+#include <immintrin.h> // BAD
+#include <arm_neon.h>  // BAD
+#include <cstdint>
+
+namespace elsa {
+
+int
+badIntrinsics(const std::uint64_t* words)
+{
+    int total = __builtin_popcountll(words[0]); // BAD
+    total += __builtin_popcount(7);             // BAD
+    if (__builtin_cpu_supports("avx2")) {       // BAD
+        __m256i v = _mm256_loadu_si256(         // BAD
+            reinterpret_cast<const __m256i*>(words));
+        v = _mm256_xor_si256(v, v); // BAD
+        (void)v;
+    }
+    uint64x2_t n = vld1q_u64(words);  // BAD
+    n = veorq_u64(n, n);              // BAD
+    total += static_cast<int>(vgetq_lane_u64(n, 0)); // BAD
+    // An allowed escape must carry a reason, same as every rule.
+    // elsa-lint: allow(no-raw-intrinsics): fixture shows a suppressed site
+    total += __builtin_popcountll(words[1]);
+    return total;
+}
+
+} // namespace elsa

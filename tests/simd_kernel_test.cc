@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Property tests of the runtime-dispatched SIMD kernel layer
+ * (src/common/simd/): every available kernel table must be
+ * bit-identical to the scalar baseline on random inputs, including
+ * non-word-multiple hash widths, empty and single-row key sets, and
+ * exact IEEE sign-extraction edge cases (-0.0, NaN, denormals). Also
+ * covers the dispatch surface itself -- availableLevels(),
+ * resolveLevel() and the ELSA_SIMD forcing hook (the CTest
+ * registration runs this binary a second time with ELSA_SIMD=scalar;
+ * see tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/simd/simd.h"
+#include "lsh/bitvector.h"
+#include "lsh/candidates.h"
+#include "lsh/srp.h"
+
+namespace elsa {
+namespace {
+
+/** Every table the dispatcher could ever hand out on this machine. */
+std::vector<const simd::KernelTable*>
+allTables()
+{
+    std::vector<const simd::KernelTable*> tables;
+    for (const simd::SimdLevel level : simd::availableLevels()) {
+        tables.push_back(simd::kernelsFor(level));
+    }
+    return tables;
+}
+
+/** Random packed words with the tail of the last word masked. */
+std::vector<std::uint64_t>
+randomPackedRow(std::size_t bits, Rng& rng)
+{
+    std::vector<std::uint64_t> words(hashWordCount(bits), 0);
+    for (std::uint64_t& w : words) {
+        w = rng.next();
+    }
+    if (!words.empty()) {
+        words.back() &= hashTailMask(bits);
+    }
+    return words;
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysAvailableAndFirst)
+{
+    const auto levels = simd::availableLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), simd::SimdLevel::kScalar);
+    EXPECT_EQ(simd::scalarKernels().level, simd::SimdLevel::kScalar);
+    EXPECT_STREQ(simd::scalarKernels().name, "scalar");
+    EXPECT_EQ(simd::kernelsFor(simd::SimdLevel::kScalar),
+              &simd::scalarKernels());
+}
+
+TEST(SimdDispatchTest, EveryAvailableTableIsComplete)
+{
+    for (const simd::KernelTable* table : allTables()) {
+        ASSERT_NE(table, nullptr);
+        EXPECT_NE(table->name, nullptr);
+        EXPECT_NE(table->hamming_batch, nullptr);
+        EXPECT_NE(table->popcount_words, nullptr);
+        EXPECT_NE(table->sign_pack_f32, nullptr);
+        EXPECT_NE(table->sign_pack_f64, nullptr);
+        EXPECT_STREQ(simd::levelName(table->level), table->name);
+    }
+}
+
+TEST(SimdDispatchTest, ResolveLevelDefaultsToBestAvailable)
+{
+    EXPECT_EQ(simd::resolveLevel(nullptr),
+              simd::availableLevels().back());
+    EXPECT_EQ(simd::resolveLevel(""),
+              simd::availableLevels().back());
+}
+
+TEST(SimdDispatchTest, ResolveLevelParsesEveryName)
+{
+    EXPECT_EQ(simd::resolveLevel("scalar"), simd::SimdLevel::kScalar);
+    for (const simd::SimdLevel level : simd::availableLevels()) {
+        EXPECT_EQ(simd::resolveLevel(simd::levelName(level)), level);
+    }
+}
+
+TEST(SimdDispatchTest, ResolveLevelRejectsUnknownNames)
+{
+    EXPECT_THROW(simd::resolveLevel("sse2"), Error);
+    EXPECT_THROW(simd::resolveLevel("AVX2"), Error);
+    EXPECT_THROW(simd::resolveLevel("fastest"), Error);
+}
+
+TEST(SimdDispatchTest, ResolveLevelRejectsUnavailableLevels)
+{
+    // Exactly one of the vector ISAs can be compiled in, so the
+    // other must be rejected as unavailable (not silently ignored).
+    if (simd::avx2KernelsOrNull() == nullptr) {
+        EXPECT_THROW(simd::resolveLevel("avx2"), Error);
+    }
+    if (simd::neonKernelsOrNull() == nullptr) {
+        EXPECT_THROW(simd::resolveLevel("neon"), Error);
+    }
+}
+
+TEST(SimdDispatchTest, ActiveTableHonoursElsaSimdOverride)
+{
+    // The forcing hook end to end: when the harness sets ELSA_SIMD
+    // (the CTest registration runs this binary once without it and
+    // once with ELSA_SIMD=scalar), the process-wide table must be
+    // the forced one; otherwise it must be the best available.
+    const char* forced = std::getenv("ELSA_SIMD");
+    if (forced != nullptr && forced[0] != '\0') {
+        EXPECT_EQ(simd::activeLevel(), simd::resolveLevel(forced));
+        EXPECT_STREQ(simd::kernels().name, forced);
+    } else {
+        EXPECT_EQ(simd::activeLevel(),
+                  simd::availableLevels().back());
+    }
+    EXPECT_EQ(&simd::kernels(),
+              simd::kernelsFor(simd::activeLevel()));
+}
+
+TEST(SimdKernelPropertyTest, HammingBatchMatchesScalarRandomWidths)
+{
+    Rng rng(0xe15a);
+    for (int round = 0; round < 40; ++round) {
+        // Random width in [1, 512] with non-word-multiples common,
+        // random key count including 0 and 1.
+        const std::size_t bits = 1 + rng.uniformInt(512);
+        const std::size_t rows =
+            round < 3 ? static_cast<std::size_t>(round)
+                      : rng.uniformInt(97);
+        const std::size_t words = hashWordCount(bits);
+        const auto query = randomPackedRow(bits, rng);
+        std::vector<std::uint64_t> keys(rows * words);
+        for (std::size_t r = 0; r < rows; ++r) {
+            const auto row = randomPackedRow(bits, rng);
+            std::memcpy(keys.data() + r * words, row.data(),
+                        words * sizeof(std::uint64_t));
+        }
+        std::vector<std::uint32_t> expected(rows, 0);
+        simd::scalarKernels().hamming_batch(query.data(), keys.data(),
+                                            words, rows,
+                                            expected.data());
+        for (const simd::KernelTable* table : allTables()) {
+            std::vector<std::uint32_t> got(rows, 0xdeadbeef);
+            if (rows == 0) {
+                got.assign(1, 7);
+            }
+            table->hamming_batch(query.data(), keys.data(), words,
+                                 rows, got.data());
+            if (rows == 0) {
+                EXPECT_EQ(got[0], 7u)
+                    << table->name << " wrote on empty input";
+                continue;
+            }
+            EXPECT_EQ(got, expected)
+                << table->name << " diverges at bits=" << bits
+                << " rows=" << rows;
+        }
+    }
+}
+
+TEST(SimdKernelPropertyTest, PopcountWordsMatchesScalar)
+{
+    Rng rng(0xbeef);
+    for (int round = 0; round < 30; ++round) {
+        const std::size_t n = rng.uniformInt(40);
+        std::vector<std::uint64_t> words(n);
+        for (std::uint64_t& w : words) {
+            w = rng.next();
+        }
+        const int expected =
+            simd::scalarKernels().popcount_words(words.data(), n);
+        for (const simd::KernelTable* table : allTables()) {
+            EXPECT_EQ(table->popcount_words(words.data(), n),
+                      expected)
+                << table->name << " diverges at n=" << n;
+        }
+    }
+}
+
+template <typename T>
+void
+checkSignPack(void (*scalar)(const T*, std::size_t, std::uint64_t*),
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    const T special[] = {
+        T{0},
+        -T{0},
+        std::numeric_limits<T>::quiet_NaN(),
+        std::numeric_limits<T>::infinity(),
+        -std::numeric_limits<T>::infinity(),
+        std::numeric_limits<T>::denorm_min(),
+        -std::numeric_limits<T>::denorm_min(),
+    };
+    for (int round = 0; round < 40; ++round) {
+        const std::size_t n = rng.uniformInt(300);
+        std::vector<T> values(n);
+        for (T& v : values) {
+            // Mostly random gaussians, sprinkled with IEEE edge
+            // cases (the sign rule is v >= 0: -0.0 -> 1, NaN -> 0).
+            if (rng.uniform() < 0.2) {
+                v = special[rng.uniformInt(std::size(special))];
+            } else {
+                v = static_cast<T>(rng.gaussian());
+            }
+        }
+        std::vector<std::uint64_t> expected(hashWordCount(n) + 1,
+                                            0xffffffffffffffffULL);
+        scalar(values.data(), n, expected.data());
+        for (const simd::KernelTable* table : allTables()) {
+            std::vector<std::uint64_t> got(hashWordCount(n) + 1,
+                                           0xffffffffffffffffULL);
+            if constexpr (sizeof(T) == sizeof(float)) {
+                table->sign_pack_f32(values.data(), n, got.data());
+            } else {
+                table->sign_pack_f64(values.data(), n, got.data());
+            }
+            for (std::size_t w = 0; w < hashWordCount(n); ++w) {
+                EXPECT_EQ(got[w], expected[w])
+                    << table->name << " diverges at n=" << n
+                    << " word " << w;
+            }
+            // The word past the packed range is untouched.
+            EXPECT_EQ(got.back(), 0xffffffffffffffffULL)
+                << table->name << " overran at n=" << n;
+            if (hashWordCount(n) != 0) {
+                EXPECT_EQ(got[hashWordCount(n) - 1]
+                              & ~hashTailMask(n),
+                          0u)
+                    << table->name << " stray tail bits at n=" << n;
+            }
+        }
+    }
+}
+
+TEST(SimdKernelPropertyTest, SignPackF32MatchesScalar)
+{
+    checkSignPack<float>(simd::scalarKernels().sign_pack_f32, 0xf32);
+}
+
+TEST(SimdKernelPropertyTest, SignPackF64MatchesScalar)
+{
+    checkSignPack<double>(simd::scalarKernels().sign_pack_f64, 0xf64);
+}
+
+TEST(SimdKernelPropertyTest, BatchHammingMatchesPairwiseOnHashes)
+{
+    // End to end through the public API: hashMatrix + batch kernel
+    // against per-pair hammingDistance on the same hashes, at the
+    // widths the batched hashers actually produce.
+    Rng rng(7);
+    for (const std::size_t bits : {1u, 63u, 64u, 65u, 128u, 257u}) {
+        const std::size_t rows = 1 + rng.uniformInt(60);
+        HashMatrix keys(rows, bits);
+        HashValue query(bits);
+        for (std::size_t i = 0; i < bits; ++i) {
+            query.setBit(i, rng.uniform() < 0.5);
+            for (std::size_t r = 0; r < rows; ++r) {
+                keys.setBit(r, i, rng.uniform() < 0.5);
+            }
+        }
+        const auto batch = hammingDistanceBatch(query, keys);
+        ASSERT_EQ(batch.size(), rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            EXPECT_EQ(static_cast<int>(batch[r]),
+                      hammingDistance(query, keys.row(r)))
+                << "bits=" << bits << " row=" << r;
+        }
+    }
+}
+
+TEST(SimdKernelPropertyTest, HashMatrixMatchesPerRowHash)
+{
+    // The packed batched hasher against the historical per-row
+    // hash(): identical bits, for both hasher families.
+    Rng rng(21);
+    const auto dense = DenseSrpHasher::makeRandom(48, 64, rng);
+    const auto kron = KroneckerSrpHasher::makeRandom(64, 3, rng);
+    Matrix input(10, 64);
+    for (std::size_t r = 0; r < input.rows(); ++r) {
+        for (std::size_t c = 0; c < input.cols(); ++c) {
+            input.at(r, c) = static_cast<float>(rng.gaussian());
+        }
+    }
+    for (const SrpHasher* hasher :
+         {static_cast<const SrpHasher*>(&dense),
+          static_cast<const SrpHasher*>(&kron)}) {
+        const HashMatrix packed = hasher->hashMatrix(input);
+        ASSERT_EQ(packed.rows(), input.rows());
+        ASSERT_EQ(packed.bits(), hasher->bits());
+        for (std::size_t r = 0; r < input.rows(); ++r) {
+            EXPECT_EQ(packed.rowValue(r), hasher->hash(input.row(r)))
+                << "row " << r;
+        }
+    }
+}
+
+} // namespace
+} // namespace elsa

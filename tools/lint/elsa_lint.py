@@ -607,12 +607,46 @@ class FixedPointEscapeRule(Rule):
             "quantization points are visible in the code")
 
 
+# ---- SIMD containment -----------------------------------------------
+
+
+class NoRawIntrinsicsRule(Rule):
+    rule_id = "no-raw-intrinsics"
+    description = (
+        "raw SIMD intrinsics (immintrin/arm_neon includes, _mm*/v*q_* "
+        "calls, __builtin_popcount*, __builtin_cpu_supports) are "
+        "confined to src/common/simd/: the rest of src/ consumes the "
+        "dispatched KernelTable, so the bit-identity contract of "
+        "common/simd/simd.h is proven in one place")
+
+    PATTERN = re.compile(
+        r"(?:#\s*include\s*<(?:immintrin|x86intrin|emmintrin"
+        r"|xmmintrin|pmmintrin|smmintrin|tmmintrin|nmmintrin"
+        r"|wmmintrin|avxintrin|avx2intrin|arm_neon|arm_sve"
+        r"|arm_acle)\.h>"
+        r"|\b_mm\d*_\w+\s*\("
+        r"|\bv[a-z0-9]+(?:_[a-z0-9]+)*_(?:s|u|f|p)(?:8|16|32|64)\s*\("
+        r"|\b__builtin_popcount(?:l|ll)?\s*\("
+        r"|\b__builtin_cpu_supports\s*\()")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/") or src.in_dir("src/common/simd/"):
+            return
+        yield from scan_lines(
+            src, self.PATTERN, self.rule_id,
+            "raw intrinsic `%(match)s` outside src/common/simd/; go "
+            "through simd::kernels() (or std::popcount for single "
+            "words) so every ISA-specific path stays behind the "
+            "bit-identical dispatch table")
+
+
 RULES = [
     NoWallclockRule(),
     NoUnorderedContainerRule(),
     MetricNameRule(),
     EnumSwitchDefaultRule(),
     FixedPointEscapeRule(),
+    NoRawIntrinsicsRule(),
 ]
 
 
