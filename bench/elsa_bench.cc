@@ -65,6 +65,7 @@
 #include "lsh/srp.h"
 #include "obs/json.h"
 #include "obs/registry.h"
+#include "serve_overload.h"
 #include "sim/report.h"
 #include "tensor/ops.h"
 #include "workload/generator.h"
@@ -390,6 +391,20 @@ runFaultSweep(SuiteContext& ctx, EntryLog& log)
     return manifest;
 }
 
+obs::RunManifest
+runServeOverload(SuiteContext& ctx, EntryLog& log)
+{
+    // Deterministic cycle-domain accounting over the canonical
+    // overload scenario (serve/scenario.h); identical at any thread
+    // count and SIMD level.
+    const ServeOverloadResult sweep =
+        runServeOverloadSweep(ctx.quick);
+    log.add("%s", formatServeOverloadTable(sweep).c_str());
+    obs::RunManifest manifest = makeManifest("serve_overload", ctx);
+    addServeOverloadMetrics(manifest, sweep);
+    return manifest;
+}
+
 /**
  * Mean seconds per fn() call, measured over however many calls fit
  * into min_seconds (at least one, after one untimed warm-up call
@@ -538,6 +553,10 @@ const SuiteEntry kSuite[] = {
      "Extension: fidelity/recovery under SRAM bit flips, "
      "BER x protection",
      runFaultSweep},
+    {"serve_overload",
+     "Serving engine: offered load x policy, goodput/shedding/p99 "
+     "vs SLO",
+     runServeOverload},
     {"kernel_throughput",
      "Measured SIMD hot-path kernel throughput "
      "(machine-dependent; wide tolerance)",

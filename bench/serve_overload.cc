@@ -1,0 +1,106 @@
+#include "serve_overload.h"
+
+#include <cstdio>
+
+#include "serve/scenario.h"
+
+namespace elsa::bench {
+
+std::vector<double>
+serveOverloadLoads()
+{
+    return {0.6, 1.0, 2.0};
+}
+
+std::string
+loadLabel(double load)
+{
+    const int whole = static_cast<int>(load);
+    const int tenths =
+        static_cast<int>(load * 10.0 + 0.5) - whole * 10;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "load%dp%d", whole, tenths);
+    return buf;
+}
+
+ServeOverloadResult
+runServeOverloadSweep(bool quick)
+{
+    ServeOverloadResult sweep;
+    for (const double load : serveOverloadLoads()) {
+        for (const bool degraded : {false, true}) {
+            ServeOverloadCell cell;
+            cell.load = load;
+            cell.degraded = degraded;
+            cell.label = loadLabel(load)
+                         + (degraded ? std::string("_degraded")
+                                     : std::string("_static"));
+            const ServeConfig config =
+                overloadScenario(load, degraded, quick);
+            cell.deadline_cycles = config.deadline_cycles;
+            cell.result = ServeEngine(config).run();
+            sweep.cells.push_back(std::move(cell));
+        }
+    }
+    return sweep;
+}
+
+void
+addServeOverloadMetrics(obs::RunManifest& manifest,
+                        const ServeOverloadResult& result)
+{
+    for (const ServeOverloadCell& cell : result.cells) {
+        const ServeResult& r = cell.result;
+        manifest.set("metrics", cell.label + "_goodput_qps",
+                     r.goodput_qps);
+        manifest.set("metrics", cell.label + "_shed_rate",
+                     r.shed_rate);
+        manifest.set("metrics", cell.label + "_deadline_miss_rate",
+                     r.deadline_miss_rate);
+        manifest.set("metrics", cell.label + "_p99_latency_cycles",
+                     r.latency.count() > 0 ? r.latency.quantile(0.99)
+                                           : 0.0);
+        manifest.set("metrics", cell.label + "_completed",
+                     static_cast<std::size_t>(r.completed));
+        manifest.set("metrics", cell.label + "_shed",
+                     static_cast<std::size_t>(r.shed));
+        manifest.set("metrics", cell.label + "_retry_attempts",
+                     static_cast<std::size_t>(r.retry_attempts));
+    }
+    if (!result.cells.empty()) {
+        manifest.set("metrics", "slo_deadline_cycles",
+                     static_cast<std::size_t>(
+                         result.cells.front().deadline_cycles));
+    }
+}
+
+std::string
+formatServeOverloadTable(const ServeOverloadResult& result)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "  %-16s %6s %6s %6s %6s %10s %9s %9s %8s\n",
+                  "cell", "offer", "comp", "shed", "retry",
+                  "goodput/s", "shedrate", "p99_cyc", "slo_cyc");
+    out += line;
+    for (const ServeOverloadCell& cell : result.cells) {
+        const ServeResult& r = cell.result;
+        std::snprintf(
+            line, sizeof line,
+            "  %-16s %6llu %6llu %6llu %6llu %10.0f %9.3f %9.0f "
+            "%8llu\n",
+            cell.label.c_str(),
+            static_cast<unsigned long long>(r.offered),
+            static_cast<unsigned long long>(r.completed),
+            static_cast<unsigned long long>(r.shed),
+            static_cast<unsigned long long>(r.retry_attempts),
+            r.goodput_qps, r.shed_rate,
+            r.latency.count() > 0 ? r.latency.quantile(0.99) : 0.0,
+            static_cast<unsigned long long>(cell.deadline_cycles));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace elsa::bench

@@ -22,6 +22,16 @@
  * docs/OBSERVABILITY.md, scripts/explain_tail.py turns spans.json
  * into a ranked tail root-cause report, and scripts/make_report.py
  * renders the whole bundle as one self-contained HTML report.
+ *
+ * With --serve (requires --obs-dir) it instead demonstrates the
+ * serving engine (docs/SERVING.md): the canonical 2x-overload
+ * scenario with the graceful-degradation ladder enabled, dumping
+ *   <dir>/serve.json          full request accounting + SLO metrics
+ *   <dir>/serve_stats.json    serve.* stats registry
+ *   <dir>/serve_stats.csv     the same registry, flat CSV
+ *   <dir>/serve_manifest.json run manifest with serve metrics
+ * which scripts/check_metrics.py --serve validates (conservation
+ * invariants, digest counts, dwell accounting).
  */
 
 #include <cstdio>
@@ -37,6 +47,8 @@
 #include "obs/manifest.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "serve/report.h"
+#include "serve/scenario.h"
 #include "sim/accelerator.h"
 #include "sim/report.h"
 #include "tensor/ops.h"
@@ -106,13 +118,89 @@ runObservabilityDemo(const elsa::Elsa& engine,
                 dir.c_str());
 }
 
+/**
+ * Run the canonical 2x-overload serving scenario with the
+ * degradation ladder on and dump the serve artifact bundle.
+ */
+void
+runServeDemo(const std::string& dir)
+{
+    using namespace elsa;
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+
+    const ServeConfig config =
+        overloadScenario(/*load_multiplier=*/2.0, /*degraded=*/true,
+                         /*quick=*/true);
+    const ServeEngine engine(config);
+    const ServeResult result = engine.run();
+
+    obs::StatsRegistry registry;
+    publishServeStats(result, registry);
+
+    std::ofstream serve_json(dir + "/serve.json");
+    writeServeJson(serve_json, config, result);
+    std::ofstream stats_json(dir + "/serve_stats.json");
+    registry.dumpJson(stats_json);
+    std::ofstream stats_csv(dir + "/serve_stats.csv");
+    registry.dumpCsv(stats_csv);
+
+    obs::RunManifest manifest("quickstart_serve");
+    manifest.addBuildInfo();
+    manifest.set("config", "load_multiplier", 2.0);
+    manifest.set("config", "degraded", true);
+    manifest.set("config", "num_accelerators",
+                 config.num_accelerators);
+    manifest.set("config", "num_requests", config.num_requests);
+    manifest.set("config", "deadline_cycles",
+                 static_cast<std::size_t>(config.deadline_cycles));
+    manifest.set("metrics", "goodput_qps", result.goodput_qps);
+    manifest.set("metrics", "shed_rate", result.shed_rate);
+    manifest.set("metrics", "deadline_miss_rate",
+                 result.deadline_miss_rate);
+    manifest.set("metrics", "completed",
+                 static_cast<std::size_t>(result.completed));
+    std::ofstream manifest_json(dir + "/serve_manifest.json");
+    manifest.writeJson(manifest_json);
+
+    std::printf("Serving demo (docs/SERVING.md): 2x overload, "
+                "degradation ladder on.\n");
+    std::printf("  offered=%llu completed=%llu shed=%llu "
+                "failed=%llu rejected=%llu\n",
+                static_cast<unsigned long long>(result.offered),
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.shed),
+                static_cast<unsigned long long>(result.failed),
+                static_cast<unsigned long long>(result.rejected));
+    std::printf("  goodput=%.0f req/s  shed_rate=%.3f  "
+                "deadline_miss_rate=%.3f\n",
+                result.goodput_qps, result.shed_rate,
+                result.deadline_miss_rate);
+    std::printf("Serve dump: %s/{serve.json, serve_stats.json, "
+                "serve_stats.csv, serve_manifest.json}\n",
+                dir.c_str());
+    std::printf("Validate it with: python3 scripts/check_metrics.py "
+                "--serve %s\n",
+                dir.c_str());
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     using namespace elsa;
-    const ArgParser args(argc, argv, {"obs-dir"});
+    const ArgParser args(argc, argv, {"obs-dir", "serve"});
+
+    if (args.has("serve")) {
+        if (!args.has("obs-dir")) {
+            std::fprintf(stderr,
+                         "error: --serve requires --obs-dir <dir>\n");
+            return 1;
+        }
+        runServeDemo(args.get("obs-dir"));
+        return 0;
+    }
 
     constexpr std::size_t n = 256; // input entities (e.g. tokens)
     constexpr std::size_t d = 64;  // embedding dimension

@@ -30,7 +30,14 @@ docs/OBSERVABILITY.md for the schema).  Comparison rules:
     own wide tolerance class -- they move with the machine and with
     scheduling noise, and the gate exists to catch the ~5x+ collapse
     of a broken SIMD kernel or an accidental scalar fallback, not a
-    few percent of jitter.
+    few percent of jitter;
+  * serving SLO metrics from the ``serve_overload`` entry are
+    direction-aware and DO gate with their own tolerance class:
+    ``*_goodput_qps`` is higher-is-better (only drops fail) and
+    ``*_shed_rate`` / ``*_deadline_miss_rate`` are lower-is-better
+    (only rises fail).  They are deterministic cycle-domain results,
+    but at quick scale one rerouted request moves the rates by a few
+    percent, so the class is slightly wider than the default.
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = schema or
 usage error.  Improvements are reported but never fail.
@@ -84,6 +91,21 @@ KERNEL_THROUGHPUT = (
     "keys_per_sec",
 )
 KERNEL_THROUGHPUT_TOLERANCE = 0.70
+
+# Serving SLO metrics (elsa_bench's serve_overload entry; see
+# docs/SERVING.md).  Deterministic cycle-domain results, but at quick
+# scale a single rerouted request moves the rates by a few percent,
+# so the class is slightly wider than the default -- and it gates: a
+# goodput collapse or a shed-rate jump is exactly the regression the
+# serving engine exists to prevent.
+SERVING_HIGHER = (
+    "goodput_qps",
+)
+SERVING_LOWER = (
+    "shed_rate",
+    "deadline_miss_rate",
+)
+SERVING_TOLERANCE = 0.10
 
 # Per-metric relative-tolerance overrides (substring match, first
 # hit wins).  The default tolerance covers everything else.
@@ -177,12 +199,24 @@ def is_kernel_throughput(name):
     return any(needle in name for needle in KERNEL_THROUGHPUT)
 
 
+def serving_direction(name):
+    """+1 / -1 for a serving SLO metric, 0 for everything else."""
+    if any(needle in name for needle in SERVING_HIGHER):
+        return 1
+    if any(needle in name for needle in SERVING_LOWER):
+        return -1
+    return 0
+
+
 def direction(name):
     """-1 = lower is better, +1 = higher is better, 0 = pinned."""
     if is_wall_time(name):
         return -1
     if is_kernel_throughput(name):
         return 1
+    serving = serving_direction(name)
+    if serving != 0:
+        return serving
     for needle in HIGHER_IS_BETTER:
         if needle in name:
             return 1
@@ -324,6 +358,8 @@ def main():
                 tol = WALL_TIME_TOLERANCE
             elif is_kernel_throughput(metric):
                 tol = KERNEL_THROUGHPUT_TOLERANCE
+            elif serving_direction(metric) != 0:
+                tol = SERVING_TOLERANCE
             else:
                 tol = metric_tolerance(metric, args.tolerance)
             status, detail, rel = compare_metric(

@@ -35,10 +35,24 @@ satisfy injected == silent + detected + corrected.
 Usage:
   check_metrics.py <path-to-quickstart-binary>
   check_metrics.py --bench-results <BENCH_RESULTS.json>
+  check_metrics.py --serve <quickstart-binary-or-serve-dump-dir>
 
 The second form validates an aggregated bench-results file produced
 by the elsa_bench driver (schema documented in docs/OBSERVABILITY.md)
 without running any binary.
+
+The third form validates the serving-engine artifact bundle
+(docs/SERVING.md) -- serve.json, serve_stats.json, serve_stats.csv,
+serve_manifest.json -- either from an existing dump directory or by
+running `quickstart --serve --obs-dir <tmp>` first.  Checks include
+the exact conservation invariants
+  offered  == admitted  + rejected
+  admitted == completed + shed + failed
+  shed     == shed_queue_drop + shed_deadline,
+latency/queue-wait digest counts == the completed counter (in both
+serve.json and the stats registry), per-level degradation dwell
+cycles summing exactly to span_cycles, and serve.json counts
+matching the serve.* registry counters one for one.
 
 Exit status 0 when every check passes; 1 with a FAIL line per
 violation otherwise. Wired into CTest as the `check_metrics` and
@@ -711,7 +725,229 @@ def check_bench_results(path):
                           f"silent + detected + corrected")
 
 
+SERVE_COUNTS = [
+    "offered", "admitted", "rejected", "completed", "shed",
+    "shed_queue_drop", "shed_deadline", "failed", "slo_violations",
+    "retry_attempts", "retry_backoff_cycles", "faulty_attempts",
+]
+
+# serve.json count name -> serve.* registry counter name. Dotted
+# breakdown counters keep their serve.json aliases here so the two
+# artifacts can be diffed mechanically.
+SERVE_COUNTERS = {
+    "offered": "serve.offered",
+    "admitted": "serve.admitted",
+    "rejected": "serve.rejected",
+    "completed": "serve.completed",
+    "shed": "serve.shed",
+    "shed_queue_drop": "serve.shed.queue_drop",
+    "shed_deadline": "serve.shed.deadline",
+    "failed": "serve.failed",
+    "slo_violations": "serve.slo_violations",
+    "retry_attempts": "serve.retry.attempts",
+    "retry_backoff_cycles": "serve.retry.backoff_cycles",
+    "faulty_attempts": "serve.faulty_attempts",
+}
+
+
+def check_serve_json(serve):
+    """Validate serve.json (docs/SERVING.md): counts present, both
+    conservation invariants exact, shed breakdown exact, digest
+    counts == completed, and level dwells summing to the span."""
+    counts = serve.get("counts", {})
+    for name in SERVE_COUNTS:
+        check(isinstance(counts.get(name), int)
+              and counts.get(name, -1) >= 0,
+              f"serve.json: counts.{name} missing or not a "
+              f"non-negative integer")
+    if any(not isinstance(counts.get(n), int) for n in SERVE_COUNTS):
+        return
+
+    check(counts["offered"]
+          == counts["admitted"] + counts["rejected"],
+          f"serve.json: offered {counts['offered']} != admitted "
+          f"{counts['admitted']} + rejected {counts['rejected']} "
+          f"(conservation violated)")
+    check(counts["admitted"] == counts["completed"] + counts["shed"]
+          + counts["failed"],
+          f"serve.json: admitted {counts['admitted']} != completed "
+          f"{counts['completed']} + shed {counts['shed']} + failed "
+          f"{counts['failed']} (conservation violated)")
+    check(counts["shed"]
+          == counts["shed_queue_drop"] + counts["shed_deadline"],
+          f"serve.json: shed {counts['shed']} != queue_drop "
+          f"{counts['shed_queue_drop']} + deadline "
+          f"{counts['shed_deadline']}")
+    check(counts["slo_violations"] <= counts["completed"],
+          "serve.json: slo_violations > completed")
+    conservation = serve.get("conservation", {})
+    check(conservation.get("offered_eq_admitted_plus_rejected")
+          is True
+          and conservation.get(
+              "admitted_eq_completed_plus_shed_plus_failed") is True,
+          "serve.json: conservation flags not both true")
+
+    for digest_name in ("latency_cycles", "queue_wait_cycles"):
+        digest = serve.get(digest_name, {})
+        check(digest.get("count") == counts["completed"],
+              f"serve.json: {digest_name} count "
+              f"{digest.get('count')!r} != completed "
+              f"{counts['completed']}")
+        if digest.get("count"):
+            quantiles = [digest.get(q)
+                         for q in ("min", "p50", "p90", "p95",
+                                   "p99", "max")]
+            check(all(isinstance(q, (int, float)) for q in quantiles)
+                  and quantiles == sorted(quantiles),
+                  f"serve.json: {digest_name} quantiles not "
+                  f"monotone: {quantiles}")
+
+    span = serve.get("span_cycles")
+    check(isinstance(span, int) and span >= 0,
+          f"serve.json: bad span_cycles {span!r}")
+    levels = serve.get("degradation", {}).get("levels", [])
+    check(isinstance(levels, list) and levels,
+          "serve.json: degradation.levels missing or empty")
+    if isinstance(levels, list) and isinstance(span, int):
+        dwell_sum = sum(level.get("dwell_cycles", 0)
+                        for level in levels)
+        check(dwell_sum == span,
+              f"serve.json: level dwell sum {dwell_sum} != "
+              f"span_cycles {span} (conservation violated)")
+        dispatched = sum(level.get("dispatched", 0)
+                         for level in levels)
+        attempts = (counts["completed"] + counts["failed"]
+                    + counts["retry_attempts"])
+        check(dispatched == attempts,
+              f"serve.json: level dispatched sum {dispatched} != "
+              f"completed + failed + retry_attempts {attempts}")
+
+    slo = serve.get("slo", {})
+    for rate in ("shed_rate", "deadline_miss_rate"):
+        value = slo.get(rate)
+        check(isinstance(value, (int, float)) and 0.0 <= value <= 1.0,
+              f"serve.json: slo.{rate} {value!r} outside [0, 1]")
+    check(isinstance(slo.get("goodput_qps"), (int, float))
+          and slo.get("goodput_qps", -1) >= 0,
+          "serve.json: slo.goodput_qps missing or negative")
+    return counts
+
+
+def check_serve_stats(stats, serve):
+    """Validate serve_stats.json against serve.json: every count has
+    a matching serve.* counter, and the request digests saw exactly
+    one sample per completed request."""
+    for name in stats:
+        check(METRIC_NAME_RE.match(name),
+              f"serve_stats: invalid metric name {name!r}")
+        check(name.startswith("serve."),
+              f"serve_stats: metric {name!r} outside the serve. "
+              f"namespace")
+    counts = serve.get("counts", {})
+    for count_name, metric in SERVE_COUNTERS.items():
+        check(stats.get(metric) == counts.get(count_name),
+              f"serve_stats: {metric} {stats.get(metric)!r} != "
+              f"serve.json counts.{count_name} "
+              f"{counts.get(count_name)!r}")
+    check(stats.get("serve.span_cycles")
+          == serve.get("span_cycles"),
+          "serve_stats: serve.span_cycles != serve.json span_cycles")
+
+    completed = counts.get("completed")
+    for metric in ("serve.latency.request_cycles_digest",
+                   "serve.queue_wait.request_cycles_digest"):
+        digest = stats.get(metric)
+        check(isinstance(digest, dict)
+              and digest.get("kind") == "digest",
+              f"serve_stats: missing digest {metric}")
+        if isinstance(digest, dict):
+            check(digest.get("count") == completed,
+                  f"serve_stats: {metric} count "
+                  f"{digest.get('count')!r} != completed "
+                  f"{completed!r}")
+
+    levels = serve.get("degradation", {}).get("levels", [])
+    for i, level in enumerate(levels):
+        for field in ("dwell_cycles", "dispatched"):
+            metric = f"serve.degradation.level{i}.{field}"
+            check(stats.get(metric) == level.get(field),
+                  f"serve_stats: {metric} {stats.get(metric)!r} != "
+                  f"serve.json level value {level.get(field)!r}")
+
+    slo = serve.get("slo", {})
+    for rate in ("goodput_qps", "shed_rate", "deadline_miss_rate"):
+        value = stats.get(f"serve.{rate}")
+        check(isinstance(value, (int, float))
+              and value == slo.get(rate),
+              f"serve_stats: serve.{rate} {value!r} != serve.json "
+              f"slo value {slo.get(rate)!r}")
+
+
+def check_serve_manifest(manifest, serve):
+    check(manifest.get("artifact") == "quickstart_serve",
+          "serve_manifest: artifact != 'quickstart_serve'")
+    check(manifest.get("schema_version") == 1,
+          "serve_manifest: schema_version != 1")
+    for section in ("build", "config", "metrics"):
+        check(isinstance(manifest.get(section), dict),
+              f"serve_manifest: missing section {section!r}")
+    metrics = manifest.get("metrics", {})
+    check(metrics.get("completed")
+          == serve.get("counts", {}).get("completed"),
+          "serve_manifest: metrics.completed != serve.json "
+          "counts.completed")
+    slo = serve.get("slo", {})
+    for rate in ("goodput_qps", "shed_rate", "deadline_miss_rate"):
+        check(metrics.get(rate) == slo.get(rate),
+              f"serve_manifest: metrics.{rate} "
+              f"{metrics.get(rate)!r} != serve.json slo value "
+              f"{slo.get(rate)!r}")
+
+
+def check_serve_dir(obs_dir):
+    for name in ("serve.json", "serve_stats.json", "serve_stats.csv",
+                 "serve_manifest.json"):
+        check(os.path.exists(os.path.join(obs_dir, name)),
+              f"missing serve artifact {name}")
+    if failures:
+        return
+    serve = load_json(os.path.join(obs_dir, "serve.json"))
+    check_serve_json(serve)
+    check_serve_stats(load_json(os.path.join(obs_dir,
+                                             "serve_stats.json")),
+                      serve)
+    check_stats_csv(os.path.join(obs_dir, "serve_stats.csv"))
+    check_serve_manifest(load_json(os.path.join(
+        obs_dir, "serve_manifest.json")), serve)
+
+
+def run_serve_check(target):
+    """--serve entry point: validate an existing dump directory, or
+    run the quickstart binary with --serve into a tempdir first."""
+    if os.path.isdir(target):
+        check_serve_dir(target)
+        return
+    with tempfile.TemporaryDirectory(prefix="elsa_serve_") as tmp:
+        obs_dir = os.path.join(tmp, "serve")
+        result = subprocess.run(
+            [target, "--serve", "--obs-dir", obs_dir],
+            capture_output=True, text=True, timeout=600)
+        check(result.returncode == 0,
+              f"quickstart --serve exited {result.returncode}:\n"
+              f"{result.stderr[-2000:]}")
+        if result.returncode != 0:
+            return
+        check_serve_dir(obs_dir)
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--serve":
+        run_serve_check(sys.argv[2])
+        if failures:
+            print(f"{len(failures)} check(s) failed")
+            return 1
+        print("check_metrics: serve artifacts valid")
+        return 0
     if len(sys.argv) == 3 and sys.argv[1] == "--bench-results":
         check_bench_results(sys.argv[2])
         if failures:
@@ -721,7 +957,8 @@ def main():
         return 0
     if len(sys.argv) != 2:
         print(f"usage: {sys.argv[0]} <quickstart-binary> | "
-              f"--bench-results <BENCH_RESULTS.json>")
+              f"--bench-results <BENCH_RESULTS.json> | "
+              f"--serve <quickstart-binary-or-dir>")
         return 1
     quickstart = sys.argv[1]
 

@@ -1,0 +1,101 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace elsa {
+
+namespace {
+
+// Stream ids forked off ServeConfig::seed. The fault streams of the
+// engine fork from the same root with ids >= kFaultStreamBase, so
+// keep these small and distinct.
+constexpr std::uint64_t kGapStream = 1;
+constexpr std::uint64_t kClassStream = 2;
+
+// Rate multiplier of the repeating phase schedule at cycle `t`.
+double
+rateMultiplierAt(const ArrivalConfig& arrival, double t)
+{
+    if (arrival.phases.empty()) {
+        return 1.0;
+    }
+    double total = 0.0;
+    for (const ArrivalPhase& phase : arrival.phases) {
+        total += static_cast<double>(phase.duration_cycles);
+    }
+    double pos = std::fmod(t, total);
+    for (const ArrivalPhase& phase : arrival.phases) {
+        const auto duration =
+            static_cast<double>(phase.duration_cycles);
+        if (pos < duration) {
+            return phase.rate_multiplier;
+        }
+        pos -= duration;
+    }
+    // fmod puts pos in [0, total), so the loop always returns; the
+    // guard covers pos == total from rounding.
+    return arrival.phases.back().rate_multiplier;
+}
+
+// Weighted class pick from a uniform draw in [0, 1).
+std::size_t
+pickClass(const std::vector<RequestClassConfig>& classes, double u)
+{
+    double total = 0.0;
+    for (const RequestClassConfig& cls : classes) {
+        total += cls.weight;
+    }
+    double target = u * total;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        target -= classes[i].weight;
+        if (target < 0.0) {
+            return i;
+        }
+    }
+    return classes.size() - 1;
+}
+
+} // namespace
+
+std::vector<Request>
+generateArrivals(const ServeConfig& config)
+{
+    Rng root(config.seed);
+    Rng gap_rng = root.fork(kGapStream);
+    Rng class_rng = root.fork(kClassStream);
+
+    std::vector<Request> requests;
+    requests.reserve(config.num_requests);
+    double t = 0.0;
+    for (std::uint64_t id = 0; id < config.num_requests; ++id) {
+        // Exponential gap at the phase-local rate; the multiplier
+        // scales the rate, so it divides the mean gap.
+        const double multiplier =
+            rateMultiplierAt(config.arrival, t);
+        const double u = gap_rng.uniform();
+        double gap = -config.arrival.mean_interarrival_cycles
+                     * std::log(1.0 - u) / multiplier;
+        if (!(gap >= 1.0)) {
+            gap = 1.0; // Arrivals are at least a cycle apart.
+        }
+        t += gap;
+
+        Request request;
+        request.id = id;
+        request.class_index =
+            pickClass(config.classes, class_rng.uniform());
+        request.arrival_cycle =
+            static_cast<std::uint64_t>(std::llround(t));
+        request.deadline_cycle =
+            request.arrival_cycle + config.deadline_cycles;
+        requests.push_back(request);
+    }
+    ELSA_ASSERT(requests.size() == config.num_requests,
+                "arrival trace size mismatch");
+    return requests;
+}
+
+} // namespace elsa

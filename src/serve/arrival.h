@@ -1,0 +1,52 @@
+#ifndef ELSA_SERVE_ARRIVAL_H_
+#define ELSA_SERVE_ARRIVAL_H_
+
+/**
+ * @file
+ * Seeded open-loop arrival process of the serving engine.
+ *
+ * Arrivals are generated ahead of the event loop as a deterministic
+ * trace: exponential inter-arrival gaps (a Poisson process) whose
+ * rate is modulated by the repeating phase schedule of
+ * ArrivalConfig (bursty / diurnal traffic), and a weighted class
+ * pick per request. Both draws come from streams forked off
+ * ServeConfig::seed, so the same configuration always offers the
+ * same traffic -- the property the determinism tests and the
+ * identical-offered-load policy comparisons rely on. No wallclock
+ * anywhere: time is accelerator cycles.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/config.h"
+
+namespace elsa {
+
+/** One offered request of the arrival trace. */
+struct Request
+{
+    /** Dense id in arrival order (also the fault-stream fork key). */
+    std::uint64_t id = 0;
+
+    /** Index into ServeConfig::classes. */
+    std::size_t class_index = 0;
+
+    /** Cycle the request arrives at the admission queue. */
+    std::uint64_t arrival_cycle = 0;
+
+    /** Absolute deadline (arrival + ServeConfig::deadline_cycles). */
+    std::uint64_t deadline_cycle = 0;
+};
+
+/**
+ * Generate the full arrival trace of a run: `num_requests` requests
+ * in non-decreasing arrival order. Pure function of the
+ * configuration.
+ */
+std::vector<Request> generateArrivals(const ServeConfig& config);
+
+} // namespace elsa
+
+#endif // ELSA_SERVE_ARRIVAL_H_

@@ -1,0 +1,124 @@
+#include "serve/config.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace elsa {
+
+const char*
+admissionPolicyName(AdmissionPolicy policy)
+{
+    switch (policy) {
+    case AdmissionPolicy::kRejectOnFull:
+        return "reject_on_full";
+    case AdmissionPolicy::kTailDrop:
+        return "tail_drop";
+    }
+    ELSA_PANIC("invalid AdmissionPolicy "
+               << static_cast<int>(policy));
+}
+
+void
+ServeConfig::validate() const
+{
+    sim.validate();
+    ELSA_CHECK(num_accelerators >= 1,
+               "num_accelerators must be >= 1");
+    ELSA_CHECK(num_requests >= 1, "num_requests must be >= 1");
+    ELSA_CHECK(std::isfinite(base_p) && base_p >= 0.0,
+               "base_p must be finite and >= 0, got " << base_p);
+    ELSA_CHECK(queue_capacity >= 1, "queue_capacity must be >= 1");
+    ELSA_CHECK(deadline_cycles >= 1, "deadline_cycles must be >= 1");
+
+    // The arrival rate is 1 / mean_interarrival_cycles, so "arrival
+    // rate > 0" means a positive finite mean gap.
+    ELSA_CHECK(std::isfinite(arrival.mean_interarrival_cycles)
+                   && arrival.mean_interarrival_cycles > 0.0,
+               "arrival.mean_interarrival_cycles must be positive "
+               "and finite, got "
+                   << arrival.mean_interarrival_cycles);
+    for (const ArrivalPhase& phase : arrival.phases) {
+        ELSA_CHECK(phase.duration_cycles >= 1,
+                   "arrival.phases duration_cycles must be >= 1");
+        ELSA_CHECK(std::isfinite(phase.rate_multiplier)
+                       && phase.rate_multiplier > 0.0,
+                   "arrival.phases rate_multiplier must be positive "
+                   "and finite, got "
+                       << phase.rate_multiplier);
+    }
+
+    ELSA_CHECK(!classes.empty(), "classes must be non-empty");
+    for (const RequestClassConfig& cls : classes) {
+        ELSA_CHECK(cls.sequence_length >= 1,
+                   "classes sequence_length must be >= 1");
+        ELSA_CHECK(std::isfinite(cls.weight) && cls.weight > 0.0,
+                   "classes weight must be positive and finite, got "
+                       << cls.weight);
+        // Every class runs on the same accelerator geometry; the
+        // engine shares one hasher across the mix.
+        ELSA_CHECK(cls.model.head_dim == sim.d,
+                   "classes model head_dim ("
+                       << cls.model.head_dim
+                       << ") must equal sim.d (" << sim.d << ")");
+    }
+
+    ELSA_CHECK(retry.max_attempts >= 1,
+               "retry.max_attempts must be >= 1");
+    ELSA_CHECK(retry.backoff_base_cycles >= 1,
+               "retry.backoff_base_cycles must be >= 1");
+    ELSA_CHECK(retry.backoff_cap_cycles >= retry.backoff_base_cycles,
+               "retry.backoff_cap_cycles ("
+                   << retry.backoff_cap_cycles
+                   << ") must be >= retry.backoff_base_cycles ("
+                   << retry.backoff_base_cycles << ")");
+
+    ELSA_CHECK(!degradation.enabled || !degradation.ladder.empty(),
+               "degradation.ladder must be non-empty when "
+               "degradation.enabled");
+    // The ladder is validated whenever present so a disabled-but-
+    // configured ladder cannot silently hold garbage.
+    double prev = base_p;
+    for (double p : degradation.ladder) {
+        ELSA_CHECK(std::isfinite(p) && p > 0.0,
+                   "degradation.ladder entries must be positive and "
+                   "finite, got "
+                       << p);
+        ELSA_CHECK(p > prev,
+                   "degradation.ladder must be strictly increasing "
+                   "from base_p ("
+                       << base_p << "), got " << p << " after "
+                       << prev);
+        prev = p;
+    }
+    ELSA_CHECK(degradation.queue_high_watermark > 0.0
+                   && degradation.queue_high_watermark <= 1.0,
+               "degradation.queue_high_watermark must be in (0, 1], "
+               "got "
+                   << degradation.queue_high_watermark);
+    ELSA_CHECK(degradation.queue_low_watermark >= 0.0
+                   && degradation.queue_low_watermark
+                          < degradation.queue_high_watermark,
+               "degradation.queue_low_watermark ("
+                   << degradation.queue_low_watermark
+                   << ") must be in [0, queue_high_watermark)");
+    ELSA_CHECK(degradation.miss_high_watermark > 0.0
+                   && degradation.miss_high_watermark <= 1.0,
+               "degradation.miss_high_watermark must be in (0, 1], "
+               "got "
+                   << degradation.miss_high_watermark);
+    ELSA_CHECK(degradation.miss_low_watermark >= 0.0
+                   && degradation.miss_low_watermark
+                          < degradation.miss_high_watermark,
+               "degradation.miss_low_watermark ("
+                   << degradation.miss_low_watermark
+                   << ") must be in [0, miss_high_watermark)");
+    ELSA_CHECK(degradation.ewma_alpha > 0.0
+                   && degradation.ewma_alpha <= 1.0,
+               "degradation.ewma_alpha must be in (0, 1], got "
+                   << degradation.ewma_alpha);
+    ELSA_CHECK(degradation.min_dwell_cycles >= 1,
+               "degradation.min_dwell_cycles must be >= 1");
+}
+
+} // namespace elsa

@@ -1,0 +1,219 @@
+#ifndef ELSA_SERVE_CONFIG_H_
+#define ELSA_SERVE_CONFIG_H_
+
+/**
+ * @file
+ * Configuration of the request serving engine (docs/SERVING.md).
+ *
+ * The serving layer models what a deployed ELSA array lives or dies
+ * by: traffic. A seeded open-loop arrival process offers mixed-model,
+ * mixed-length requests to a bounded admission queue in front of the
+ * accelerator array; requests carry deadlines, detected memory
+ * faults escalate to bounded request-level retries, and a
+ * graceful-degradation controller steps the approximation fidelity
+ * `p` down a configured ladder under sustained overload (shedding
+ * fidelity before shedding traffic -- the knob Section V-C of the
+ * paper exposes).
+ *
+ * Everything is deterministic: arrivals, class mixes, and fault
+ * plans derive from `seed` through forked common/rng streams, and
+ * the engine's event loop is serial, so every serve artifact is
+ * byte-identical at any thread count and SIMD level.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "workload/model.h"
+
+namespace elsa {
+
+/** What happens to an arrival when the admission queue is full. */
+enum class AdmissionPolicy
+{
+    /**
+     * The arriving request is rejected before admission (classic
+     * reject-on-full; it counts as `rejected`, never `admitted`).
+     */
+    kRejectOnFull = 0,
+
+    /**
+     * The arriving request is admitted and the *oldest* queued
+     * request is shed in its favor (the newcomer has the most
+     * deadline headroom left; the displaced request counts as
+     * `admitted` then `shed`).
+     */
+    kTailDrop,
+};
+
+/** Stable name ("reject_on_full", "tail_drop"). */
+const char* admissionPolicyName(AdmissionPolicy policy);
+
+/** One phase of the repeating arrival-rate modulation schedule. */
+struct ArrivalPhase
+{
+    /** Length of the phase in cycles; the schedule repeats. */
+    std::size_t duration_cycles = 1;
+
+    /** Arrival-rate multiplier while the phase is active (> 1 =
+     *  burst, < 1 = lull; models bursty/diurnal traffic). */
+    double rate_multiplier = 1.0;
+};
+
+/** Open-loop arrival process (Poisson-like, cycle domain). */
+struct ArrivalConfig
+{
+    /**
+     * Mean cycles between arrivals at rate multiplier 1. Gaps are
+     * exponential (memoryless), so the process is Poisson within
+     * each phase. Must be positive (the arrival rate is its
+     * reciprocal).
+     */
+    double mean_interarrival_cycles = 2000.0;
+
+    /**
+     * Optional repeating phase schedule modulating the rate over
+     * time; empty = a flat Poisson process.
+     */
+    std::vector<ArrivalPhase> phases;
+};
+
+/** One request class of the offered traffic mix. */
+struct RequestClassConfig
+{
+    /** Model whose attention inputs this class issues. */
+    ModelConfig model = bertLarge();
+
+    /** Real-token sequence length n of the class's requests. */
+    std::size_t sequence_length = 128;
+
+    /** Relative sampling weight within the mix. */
+    double weight = 1.0;
+};
+
+/** Request-level retry policy for detected-fault attempts. */
+struct RetryConfig
+{
+    /** Attempts per request (first try included); >= 1. */
+    std::size_t max_attempts = 3;
+
+    /** Backoff before retry r is base * 2^(r-1) cycles ... */
+    std::size_t backoff_base_cycles = 256;
+
+    /** ... capped at this many cycles. */
+    std::size_t backoff_cap_cycles = 4096;
+};
+
+/** Graceful fidelity degradation under sustained overload. */
+struct DegradationConfig
+{
+    /** Master switch; with false the engine serves at base_p only. */
+    bool enabled = false;
+
+    /**
+     * Fidelity ladder: strictly increasing `p` values beyond
+     * ServeConfig::base_p. Level 0 is base_p; level i (>= 1) serves
+     * at ladder[i-1]. Higher p = fewer candidates = faster service
+     * at lower fidelity (Section V-C). Must be non-empty when
+     * enabled.
+     */
+    std::vector<double> ladder;
+
+    /** Step down (degrade) when the queue-occupancy EWMA exceeds
+     *  this fraction of queue_capacity. */
+    double queue_high_watermark = 0.75;
+
+    /** Step up (recover) only when the occupancy EWMA is below. */
+    double queue_low_watermark = 0.25;
+
+    /** Step down when the deadline-miss EWMA exceeds this. */
+    double miss_high_watermark = 0.25;
+
+    /** Step up only when the miss EWMA is below this. */
+    double miss_low_watermark = 0.05;
+
+    /** EWMA smoothing factor in (0, 1]; applied per engine event. */
+    double ewma_alpha = 0.05;
+
+    /** Minimum cycles between controller level changes
+     *  (hysteresis dwell); >= 1. */
+    std::size_t min_dwell_cycles = 4096;
+};
+
+/** Configuration of one ServeEngine run; see file comment. */
+struct ServeConfig
+{
+    /** Per-accelerator pipeline configuration. `sim.fault` is the
+     *  request-level fault model: detected faults escalate to
+     *  retries (docs/SERVING.md); catalog timing runs are always
+     *  fault-free. */
+    SimConfig sim = SimConfig::paperConfig();
+
+    /** Servers (accelerators) requests are dispatched onto. */
+    std::size_t num_accelerators = 4;
+
+    /** Requests offered by the arrival process. */
+    std::size_t num_requests = 256;
+
+    /** Fidelity `p` of normal (undegraded) operation. */
+    double base_p = 2.0;
+
+    /** Queue-full behavior. */
+    AdmissionPolicy admission = AdmissionPolicy::kRejectOnFull;
+
+    /** Admission-queue bound; >= 1. Retries re-enter exempt from
+     *  the bound (they were already admitted). */
+    std::size_t queue_capacity = 16;
+
+    /** Per-request deadline, relative to arrival. Exceeded in queue
+     *  = shed; exceeded in service = SLO violation. */
+    std::size_t deadline_cycles = 60000;
+
+    /**
+     * Deadline-aware dispatch: also shed a queued request when, at
+     * dispatch time, even starting it immediately could not finish
+     * it by its deadline (now + expected service > deadline). A
+     * hopeless request has effectively exceeded its deadline in
+     * queue; serving it anyway would burn a server to produce a
+     * guaranteed SLO violation. With false, only requests whose
+     * deadline already passed are shed at dispatch, and late
+     * completions count as SLO violations instead.
+     */
+    bool deadline_aware_dispatch = true;
+
+    ArrivalConfig arrival;
+
+    /** Offered traffic mix; must be non-empty. */
+    std::vector<RequestClassConfig> classes = {RequestClassConfig{}};
+
+    RetryConfig retry;
+
+    DegradationConfig degradation;
+
+    /** Master seed of the arrival / class / fault streams. */
+    std::uint64_t seed = 0x5e12e5ee;
+
+    /** Total fidelity levels (1 + ladder size when enabled). */
+    std::size_t numLevels() const
+    {
+        return 1 + (degradation.enabled ? degradation.ladder.size()
+                                        : 0);
+    }
+
+    /** The `p` served at a controller level. */
+    double levelP(std::size_t level) const
+    {
+        return level == 0 ? base_p : degradation.ladder[level - 1];
+    }
+
+    /** Raise elsa::Error unless consistent; every message names the
+     *  offending field (tests/config_validation_test.cc). */
+    void validate() const;
+};
+
+} // namespace elsa
+
+#endif // ELSA_SERVE_CONFIG_H_

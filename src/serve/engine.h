@@ -1,0 +1,169 @@
+#ifndef ELSA_SERVE_ENGINE_H_
+#define ELSA_SERVE_ENGINE_H_
+
+/**
+ * @file
+ * Deterministic event-driven request serving engine on top of
+ * AcceleratorArray (docs/SERVING.md).
+ *
+ * The engine separates *what a request costs* from *when it runs*:
+ *
+ *  - A service catalog maps every (request class, fidelity level)
+ *    pair to its measured service time by running the class's
+ *    attention input through the accelerator array once per level
+ *    (fault-free, at the level's learned threshold). The catalog is
+ *    real simulated hardware cost, not a synthetic distribution.
+ *  - A serial event loop replays the arrival trace against
+ *    `num_accelerators` servers: bounded admission queue with a
+ *    configurable full-queue policy, per-request deadlines (missed
+ *    in queue = shed, missed in service = SLO violation),
+ *    detected-fault escalation to bounded retries with exponential
+ *    backoff, and a graceful-degradation controller stepping the
+ *    fidelity `p` down ServeConfig's ladder under sustained
+ *    overload and back up on recovery.
+ *
+ * The loop is serial and integer-cycle-domain, the catalog is
+ * deterministic, and all randomness forks off ServeConfig::seed, so
+ * every count, digest, and artifact is byte-identical at any thread
+ * count and SIMD level.
+ *
+ * Accounting obeys two exact conservation invariants:
+ *
+ *     offered  == admitted  + rejected
+ *     admitted == completed + shed + failed
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/digest.h"
+#include "serve/arrival.h"
+#include "serve/config.h"
+
+namespace elsa {
+
+/** One (class, level) entry of the service catalog. */
+struct ServiceCatalogEntry
+{
+    std::size_t class_index = 0;
+    std::size_t level = 0;
+
+    /** The fidelity `p` of the level. */
+    double p = 0.0;
+
+    /** Learned candidate threshold at this (class, p). */
+    double threshold = 0.0;
+
+    /** Fault-free service time of one request, in cycles. */
+    std::uint64_t service_cycles = 0;
+};
+
+/** Dwell accounting of one fidelity level. */
+struct ServeLevelStats
+{
+    /** The level's fidelity `p`. */
+    double p = 0.0;
+
+    /** Cycles the controller sat at the level; over all levels the
+     *  dwells sum to ServeResult::span_cycles exactly. */
+    std::uint64_t dwell_cycles = 0;
+
+    /** Times the controller entered the level (level 0 starts
+     *  entered). */
+    std::uint64_t entries = 0;
+
+    /** Requests dispatched into service at the level. */
+    std::uint64_t dispatched = 0;
+};
+
+/** Full accounting of one serve run. */
+struct ServeResult
+{
+    // ---- Request-count conservation ----
+    std::uint64_t offered = 0;   ///< Arrivals generated.
+    std::uint64_t admitted = 0;  ///< Entered the admission queue.
+    std::uint64_t rejected = 0;  ///< Turned away at admission.
+    std::uint64_t completed = 0; ///< Finished service.
+    std::uint64_t shed = 0;      ///< Dropped after admission.
+    std::uint64_t failed = 0;    ///< Exhausted retry attempts.
+
+    /** Shed breakdown: displaced by a tail-drop admission. */
+    std::uint64_t shed_queue_drop = 0;
+
+    /** Shed breakdown: deadline expired while queued. */
+    std::uint64_t shed_deadline = 0;
+
+    /** Completed, but past the deadline (SLO violations). */
+    std::uint64_t slo_violations = 0;
+
+    // ---- Retry path ----
+    std::uint64_t retry_attempts = 0;       ///< Re-executions.
+    std::uint64_t retry_backoff_cycles = 0; ///< Total backoff spent.
+    std::uint64_t faulty_attempts = 0;      ///< Detected-fault runs.
+
+    // ---- Degradation controller ----
+    std::uint64_t degradation_transitions = 0;
+    std::vector<ServeLevelStats> levels;
+
+    /** Cycle of the last engine event (span of the run; dwell times
+     *  sum to it). */
+    std::uint64_t span_cycles = 0;
+
+    /** End-to-end latency (arrival to completion) of every
+     *  completed request, in cycles. */
+    obs::QuantileDigest latency;
+
+    /** Total admission-queue wait of every completed request. */
+    obs::QuantileDigest queue_wait;
+
+    // ---- Derived SLO metrics (docs/SERVING.md glossary) ----
+    double goodput_qps = 0.0;         ///< In-deadline completions/s.
+    double shed_rate = 0.0;           ///< shed / offered.
+    double deadline_miss_rate = 0.0;  ///< (shed+failed+viol)/offered.
+
+    bool conservesOffered() const
+    {
+        return offered == admitted + rejected;
+    }
+    bool conservesAdmitted() const
+    {
+        return admitted == completed + shed + failed;
+    }
+};
+
+/**
+ * The serving engine. Construction builds the service catalog (the
+ * expensive part -- real accelerator runs); run() replays the
+ * arrival trace through the event loop, which is cheap and can be
+ * repeated.
+ */
+class ServeEngine
+{
+  public:
+    /** Validates the configuration and builds the catalog. */
+    explicit ServeEngine(ServeConfig config);
+
+    const ServeConfig& config() const { return config_; }
+
+    /** (class, level)-major catalog (level varies fastest). */
+    const std::vector<ServiceCatalogEntry>& catalog() const
+    {
+        return catalog_;
+    }
+
+    /** Catalog entry of a (class, level) pair. */
+    const ServiceCatalogEntry&
+    catalogEntry(std::size_t class_index, std::size_t level) const;
+
+    /** Run the event loop over the full arrival trace. */
+    ServeResult run() const;
+
+  private:
+    ServeConfig config_;
+    std::vector<ServiceCatalogEntry> catalog_;
+};
+
+} // namespace elsa
+
+#endif // ELSA_SERVE_ENGINE_H_

@@ -1,0 +1,43 @@
+#ifndef ELSA_SERVE_REPORT_H_
+#define ELSA_SERVE_REPORT_H_
+
+/**
+ * @file
+ * Publication of serve results: `serve.*` registry metrics and the
+ * serve.json artifact (schema in docs/SERVING.md and the metric
+ * tables of docs/OBSERVABILITY.md).
+ */
+
+#include <ostream>
+#include <string>
+
+#include "obs/registry.h"
+#include "serve/engine.h"
+
+namespace elsa {
+
+/**
+ * Publish one serve run into a stats registry under `prefix`
+ * (default "serve"). Count metrics accumulate; the derived SLO
+ * rates (goodput_qps, shed_rate, deadline_miss_rate) are gauges of
+ * the latest published run. The two latency digests receive one
+ * sample per completed request, so their counts equal the completed
+ * counter exactly (checked by scripts/check_metrics.py).
+ */
+void publishServeStats(const ServeResult& result,
+                       obs::StatsRegistry& registry,
+                       const std::string& prefix = "serve");
+
+/**
+ * Write the serve.json artifact: configuration echo, the full
+ * request accounting with both conservation invariants spelled out,
+ * per-level degradation dwell, latency/queue-wait digests, and the
+ * derived SLO metrics. Deterministic byte-for-byte for a given
+ * (config, result).
+ */
+void writeServeJson(std::ostream& os, const ServeConfig& config,
+                    const ServeResult& result, bool pretty = true);
+
+} // namespace elsa
+
+#endif // ELSA_SERVE_REPORT_H_

@@ -1,0 +1,92 @@
+#include "serve/scenario.h"
+
+namespace elsa {
+
+namespace {
+
+// Measured base-fidelity (p = 2) mean service time of the scenario's
+// request mix on the paper configuration, in cycles: the weighted
+// mix of BERT-large n = 256 (7687 cycles) and SASRec n = 64 (862
+// cycles) at 3:1. The scenario derives its arrival rate from this
+// constant so `load_multiplier` means what it says; serve_test
+// cross-checks the constant against the engine's actual catalog
+// within a band, so drift in the timing model shows up as a test
+// failure, not a silently meaningless load axis.
+constexpr double kBaseMeanServiceCycles = 5980.0;
+
+} // namespace
+
+ServeConfig
+overloadScenario(double load_multiplier, bool degraded, bool quick)
+{
+    ServeConfig config;
+    config.sim = SimConfig::paperConfig();
+    config.num_accelerators = 2;
+    config.num_requests = quick ? 192 : 768;
+    config.base_p = 2.0;
+    config.admission = AdmissionPolicy::kRejectOnFull;
+    config.queue_capacity = 12;
+
+    // Mixed-model, mixed-length traffic: long BERT-large encoder
+    // requests and short SASRec recommendation requests.
+    config.classes.clear();
+    RequestClassConfig bert;
+    bert.model = bertLarge();
+    bert.sequence_length = 256;
+    bert.weight = 3.0;
+    config.classes.push_back(bert);
+    RequestClassConfig sasrec;
+    sasrec.model = sasRec();
+    sasrec.sequence_length = 64;
+    sasrec.weight = 1.0;
+    config.classes.push_back(sasrec);
+
+    // Offered rate = load_multiplier x base service capacity of the
+    // array (num_accelerators servers at the base-p mean service
+    // time).
+    config.arrival.mean_interarrival_cycles =
+        kBaseMeanServiceCycles
+        / (static_cast<double>(config.num_accelerators)
+           * load_multiplier);
+
+    // Bursty phases on top of the base rate (they average to ~1 so
+    // the load axis keeps its meaning).
+    config.arrival.phases = {
+        ArrivalPhase{24000, 1.4},
+        ArrivalPhase{24000, 0.6},
+    };
+
+    // SLO: covers the longest class's base-p service time (7687
+    // cycles) with queueing headroom for burst absorption.
+    // Deadline-aware dispatch (the ServeConfig default) sheds
+    // requests that cannot finish by it instead of burning a server
+    // on a guaranteed violation.
+    config.deadline_cycles = 12500;
+
+    // Detected-fault retries: a bit-error rate high enough that a
+    // few percent of attempts escalate, with parity detection.
+    config.sim.fault.enabled = true;
+    config.sim.fault.bit_error_rate = 2e-7;
+    config.sim.fault.protection = ProtectionMode::kParityDetect;
+    config.retry.max_attempts = 3;
+    config.retry.backoff_base_cycles = 128;
+    config.retry.backoff_cap_cycles = 2048;
+
+    // The fidelity ladder: two degradation steps of increasingly
+    // aggressive approximation. At p = 16 the mix's mean service
+    // time is 2858 cycles -- 0.48x the base -- so the fully degraded
+    // array's service rate clears 2x overload.
+    config.degradation.enabled = degraded;
+    config.degradation.ladder = {4.0, 16.0};
+    config.degradation.queue_high_watermark = 0.5;
+    config.degradation.queue_low_watermark = 0.1;
+    config.degradation.miss_high_watermark = 0.2;
+    config.degradation.miss_low_watermark = 0.02;
+    config.degradation.ewma_alpha = 0.08;
+    config.degradation.min_dwell_cycles = 6000;
+
+    config.seed = 0x0e15a5e12e;
+    return config;
+}
+
+} // namespace elsa

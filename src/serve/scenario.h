@@ -1,0 +1,35 @@
+#ifndef ELSA_SERVE_SCENARIO_H_
+#define ELSA_SERVE_SCENARIO_H_
+
+/**
+ * @file
+ * The canonical overload scenario shared by tests/serve_test.cc,
+ * bench/serve_overload.cc, and the quickstart --serve demo, so the
+ * acceptance comparison ("under 2x overload the degradation ladder
+ * holds p99 under the SLO with strictly less shedding than the
+ * static policy at identical offered load") is asserted and
+ * benchmarked on exactly the same configuration.
+ */
+
+#include "serve/config.h"
+
+namespace elsa {
+
+/**
+ * The canonical mixed-model overload scenario.
+ *
+ * @param load_multiplier Offered load relative to the array's
+ *        base-fidelity service capacity (1.0 = critically loaded,
+ *        2.0 = the acceptance overload point).
+ * @param degraded With true the graceful-degradation ladder is
+ *        enabled; with false the engine serves at base_p only.
+ *        Arrivals are identical either way (same seed and rate),
+ *        which is what makes the policy comparison apples-to-apples.
+ * @param quick Fewer requests for smoke tests and the quick bench.
+ */
+ServeConfig overloadScenario(double load_multiplier, bool degraded,
+                             bool quick);
+
+} // namespace elsa
+
+#endif // ELSA_SERVE_SCENARIO_H_

@@ -63,13 +63,31 @@ AcceleratorArray::run(const std::vector<const AttentionInput*>& inputs,
     // safe and the results independent of the thread count. When
     // tracing, every invocation records into its own memory buffer
     // so the merge below can replay the serial event order.
+    //
+    // The clone set is cached across run() calls (see array.h): the
+    // serving engine issues many single-input batches against one
+    // array, where re-cloning per call would dominate. The cache is
+    // skipped under tracing (per-invocation attachTrace mutates the
+    // clones) and under try-lock contention from nested parallelism,
+    // both of which fall back to a fresh local set.
     ThreadPool& pool = ThreadPool::global();
-    std::vector<Accelerator> clones;
-    clones.reserve(pool.threads());
-    for (std::size_t s = 0; s < pool.threads(); ++s) {
-        clones.push_back(accelerator_);
-        clones.back().attachStats(nullptr);
-        clones.back().attachTrace(nullptr);
+    std::vector<Accelerator> local_clones;
+    std::unique_lock<std::mutex> cache_lock(clone_mutex_,
+                                            std::try_to_lock);
+    const bool use_cache = !tracing && cache_lock.owns_lock();
+    if (!use_cache && cache_lock.owns_lock()) {
+        cache_lock.unlock();
+    }
+    std::vector<Accelerator>& clones =
+        use_cache ? clone_cache_ : local_clones;
+    if (clones.size() != pool.threads()) {
+        clones.clear();
+        clones.reserve(pool.threads());
+        for (std::size_t s = 0; s < pool.threads(); ++s) {
+            clones.push_back(accelerator_);
+            clones.back().attachStats(nullptr);
+            clones.back().attachTrace(nullptr);
+        }
     }
 
     std::vector<RunResult> runs(n);

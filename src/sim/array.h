@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,21 @@ class AcceleratorArray
     obs::StatsRegistry* stats_ = nullptr;
     obs::TraceWriter* trace_ = nullptr;
     std::string stats_prefix_ = "sim.accel0";
+
+    /**
+     * Per-worker accelerator clones reused across run() calls. A
+     * serving workload (src/serve/) calls run() once per catalog
+     * request, so rebuilding the clone set every call dominated
+     * short-batch cost; the set is cached and rebuilt only when the
+     * pool size changes. Clones are pure functions of
+     * (input, threshold), so reuse cannot change any result. Guarded
+     * by clone_mutex_: a concurrent run() (nested parallelism) that
+     * loses the try-lock falls back to a local clone set, and traced
+     * runs always use local clones (tracing re-attaches sinks, which
+     * would mutate the shared set mid-flight).
+     */
+    mutable std::mutex clone_mutex_;
+    mutable std::vector<Accelerator> clone_cache_;
 };
 
 } // namespace elsa

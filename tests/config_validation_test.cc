@@ -15,6 +15,7 @@
 
 #include "common/logging.h"
 #include "fault/fault.h"
+#include "serve/config.h"
 #include "sim/config.h"
 
 namespace elsa {
@@ -166,6 +167,143 @@ TEST(ConfigValidationTest, FaultInjectionRequiresQuantization)
     // The same combination is fine once quantization is on.
     config.model_quantization = true;
     EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ConfigValidationTest, DefaultServeConfigIsValid)
+{
+    EXPECT_NO_THROW(ServeConfig{}.validate());
+}
+
+TEST(ConfigValidationTest, EachInvalidServeFieldIsNamed)
+{
+    struct Case
+    {
+        const char* field; // Must appear in the error message.
+        void (*corrupt)(ServeConfig&);
+    };
+    const Case cases[] = {
+        {"num_accelerators",
+         [](ServeConfig& c) { c.num_accelerators = 0; }},
+        {"num_requests", [](ServeConfig& c) { c.num_requests = 0; }},
+        {"base_p", [](ServeConfig& c) { c.base_p = -1.0; }},
+        {"base_p",
+         [](ServeConfig& c) {
+             c.base_p = std::numeric_limits<double>::infinity();
+         }},
+        {"queue_capacity",
+         [](ServeConfig& c) { c.queue_capacity = 0; }},
+        {"deadline_cycles",
+         [](ServeConfig& c) { c.deadline_cycles = 0; }},
+        {"arrival.mean_interarrival_cycles",
+         [](ServeConfig& c) {
+             c.arrival.mean_interarrival_cycles = 0.0;
+         }},
+        {"arrival.mean_interarrival_cycles",
+         [](ServeConfig& c) {
+             c.arrival.mean_interarrival_cycles =
+                 std::numeric_limits<double>::quiet_NaN();
+         }},
+        {"arrival.phases duration_cycles",
+         [](ServeConfig& c) {
+             c.arrival.phases = {{0, 1.0}};
+         }},
+        {"arrival.phases rate_multiplier",
+         [](ServeConfig& c) {
+             c.arrival.phases = {{100, -2.0}};
+         }},
+        {"classes",
+         [](ServeConfig& c) { c.classes.clear(); }},
+        {"classes sequence_length",
+         [](ServeConfig& c) {
+             c.classes[0].sequence_length = 0;
+         }},
+        {"classes weight",
+         [](ServeConfig& c) { c.classes[0].weight = 0.0; }},
+        {"classes model head_dim",
+         [](ServeConfig& c) { c.classes[0].model.head_dim = 32; }},
+        {"retry.max_attempts",
+         [](ServeConfig& c) { c.retry.max_attempts = 0; }},
+        {"retry.backoff_base_cycles",
+         [](ServeConfig& c) { c.retry.backoff_base_cycles = 0; }},
+        {"retry.backoff_cap_cycles",
+         [](ServeConfig& c) {
+             c.retry.backoff_base_cycles = 512;
+             c.retry.backoff_cap_cycles = 256;
+         }},
+        {"degradation.ladder must be non-empty",
+         [](ServeConfig& c) {
+             c.degradation.enabled = true;
+             c.degradation.ladder.clear();
+         }},
+        {"degradation.ladder entries",
+         [](ServeConfig& c) {
+             c.degradation.ladder = {-4.0};
+         }},
+        {"degradation.ladder must be strictly increasing",
+         [](ServeConfig& c) {
+             c.base_p = 2.0;
+             c.degradation.ladder = {4.0, 3.0};
+         }},
+        {"degradation.ladder must be strictly increasing",
+         [](ServeConfig& c) {
+             // A disabled-but-configured ladder is still validated.
+             c.degradation.enabled = false;
+             c.base_p = 8.0;
+             c.degradation.ladder = {4.0};
+         }},
+        {"degradation.queue_high_watermark",
+         [](ServeConfig& c) {
+             c.degradation.queue_high_watermark = 1.5;
+         }},
+        {"degradation.queue_low_watermark",
+         [](ServeConfig& c) {
+             c.degradation.queue_low_watermark = 0.9;
+             c.degradation.queue_high_watermark = 0.8;
+         }},
+        {"degradation.miss_high_watermark",
+         [](ServeConfig& c) {
+             c.degradation.miss_high_watermark = 0.0;
+         }},
+        {"degradation.miss_low_watermark",
+         [](ServeConfig& c) {
+             c.degradation.miss_low_watermark = 0.5;
+             c.degradation.miss_high_watermark = 0.25;
+         }},
+        {"degradation.ewma_alpha",
+         [](ServeConfig& c) { c.degradation.ewma_alpha = 0.0; }},
+        {"degradation.ewma_alpha",
+         [](ServeConfig& c) { c.degradation.ewma_alpha = 1.5; }},
+        {"degradation.min_dwell_cycles",
+         [](ServeConfig& c) {
+             c.degradation.min_dwell_cycles = 0;
+         }},
+    };
+    for (const Case& test_case : cases) {
+        ServeConfig config;
+        test_case.corrupt(config);
+        const std::string message =
+            errorMessage([&] { config.validate(); });
+        EXPECT_NE(message.find(test_case.field), std::string::npos)
+            << "error for field '" << test_case.field
+            << "' does not name it: " << message;
+    }
+}
+
+TEST(ConfigValidationTest, ServeConfigValidatesEmbeddedSimConfig)
+{
+    ServeConfig config;
+    config.sim.k = 0; // Invalid through the embedded SimConfig.
+    const std::string message =
+        errorMessage([&] { config.validate(); });
+    EXPECT_NE(message.find("k"), std::string::npos) << message;
+}
+
+TEST(ConfigValidationTest, AdmissionPolicyNamesAreStable)
+{
+    EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::kRejectOnFull),
+                 "reject_on_full");
+    EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::kTailDrop),
+                 "tail_drop");
 }
 
 TEST(ConfigValidationTest, ProtectionModeNamesRoundTrip)
