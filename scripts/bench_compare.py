@@ -51,6 +51,9 @@ SCHEMA_VERSION = 1
 SUITE = "elsa_bench"
 
 # Substrings deciding the regression direction of a numeric metric.
+# These are matchers over composed metric names, not schema keys, so
+# the ones that are not themselves complete metric names carry
+# elsa-lint allowances below.
 HIGHER_IS_BETTER = (
     "throughput",
     "speedup",
@@ -60,6 +63,7 @@ HIGHER_IS_BETTER = (
 LOWER_IS_BETTER = (
     "latency",
     "cycles",
+    # elsa-lint: allow(artifact-schema-drift): substring matcher
     "energy_per_op",
     "area",
     "power",
@@ -68,6 +72,7 @@ LOWER_IS_BETTER = (
 # Metrics compared exactly regardless of tolerance.
 EXACT = (
     "workloads",
+    # elsa-lint: allow(artifact-schema-drift): substring matcher
     "_bytes",
 )
 
@@ -76,6 +81,7 @@ EXACT = (
 # --threads setting of the run that produced the file.
 WALL_TIME = (
     "wall_seconds",
+    # elsa-lint: allow(artifact-schema-drift): forward-compat matcher
     "wall_time",
 )
 WALL_TIME_TOLERANCE = 0.50
@@ -86,8 +92,11 @@ WALL_TIME_TOLERANCE = 0.50
 # on any machine, far past this tolerance, while machine and
 # scheduler noise stays well inside it.
 KERNEL_THROUGHPUT = (
+    # elsa-lint: allow(artifact-schema-drift): substring matcher
     "gibps",
+    # elsa-lint: allow(artifact-schema-drift): substring matcher
     "hashes_per_sec",
+    # elsa-lint: allow(artifact-schema-drift): substring matcher
     "keys_per_sec",
 )
 KERNEL_THROUGHPUT_TOLERANCE = 0.70

@@ -533,6 +533,11 @@ def check_spans(spans, stats):
     for i, ex in enumerate(exemplars):
         check(ex.get("slowest") or ex.get("decile"),
               f"spans: exemplar {i} kept without a policy flag")
+        for field in ("invocation", "query", "critical_bank"):
+            check(isinstance(ex.get(field), int)
+                  and ex.get(field, -1) >= 0,
+                  f"spans: exemplar {i} missing identity field "
+                  f"{field!r}")
         slowest += 1 if ex.get("slowest") else 0
         entry = ex.get("entry_cycle")
         exit_cycle = ex.get("exit_cycle")
@@ -593,6 +598,9 @@ def check_trace(trace):
                   f"trace: complete event {i} missing ts/dur")
             check(event.get("dur", 0) >= 1,
                   f"trace: complete event {i} has dur < 1")
+            check(isinstance(event.get("cat"), str)
+                  and event.get("cat"),
+                  f"trace: complete event {i} missing cat")
         elif ph == "C":
             check("value" in event.get("args", {}),
                   f"trace: counter event {i} missing args.value")
@@ -604,6 +612,14 @@ def check_trace(trace):
         elif ph in ("s", "t", "f"):
             check("ts" in event and "id" in event,
                   f"trace: flow event {i} missing ts/id")
+            check(isinstance(event.get("cat"), str)
+                  and event.get("cat"),
+                  f"trace: flow event {i} missing cat")
+            if ph == "f":
+                # Finish arrows bind to the enclosing slice.
+                check(event.get("bp") == "e",
+                      f"trace: flow-finish event {i} missing "
+                      f"bp == 'e'")
     check("M" in phases, "trace: no metadata (M) events")
     check("X" in phases, "trace: no complete (X) events")
     check("C" in phases, "trace: no counter (C) events")
@@ -647,6 +663,25 @@ def check_manifest(manifest, stats):
     metrics = manifest.get("metrics", {})
     check(metrics.get("total_cycles") == total,
           "manifest: metrics.total_cycles != stats cycles.total")
+    for key in ("preprocess_cycles", "execute_cycles",
+                "candidate_fraction", "fallbacks"):
+        check(key in metrics, f"manifest: metrics missing {key!r}")
+    check(metrics.get("preprocess_cycles", -1)
+          + metrics.get("execute_cycles", -1) == total,
+          "manifest: preprocess_cycles + execute_cycles != "
+          "total_cycles")
+    # The per-module busy-fraction sweep behind the limiting-module
+    # call: every attributed module reported, in range, and the
+    # headline busy_fraction equal to the limiting module's entry.
+    limiting = bottleneck.get("limiting_module")
+    for module in STALL_MODULES:
+        value = bottleneck.get(f"busy_fraction_{module}")
+        check(isinstance(value, (int, float)) and 0.0 <= value <= 1.0,
+              f"manifest: bottleneck.busy_fraction_{module} "
+              f"{value!r} outside [0, 1]")
+    check(bottleneck.get(f"busy_fraction_{limiting}") == busy,
+          "manifest: busy_fraction != the limiting module's "
+          "busy_fraction_<module> entry")
     for module in HW_MODULES:
         active = stats.get(f"sim.accel0.{module}.active_cycles")
         if total and isinstance(active, (int, float)):
@@ -731,6 +766,16 @@ SERVE_COUNTS = [
     "retry_attempts", "retry_backoff_cycles", "faulty_attempts",
 ]
 
+# serve.json's config-echo section (docs/SERVING.md): the engine
+# restates the knobs that shaped the run so an artifact is
+# self-describing without the invoking command line.
+SERVE_CONFIG_KEYS = [
+    "admission", "num_accelerators", "num_requests",
+    "queue_capacity", "deadline_cycles", "base_p",
+    "mean_interarrival_cycles", "fault_enabled", "max_attempts",
+    "degradation_enabled", "ladder", "classes",
+]
+
 # serve.json count name -> serve.* registry counter name. Dotted
 # breakdown counters keep their serve.json aliases here so the two
 # artifacts can be diffed mechanically.
@@ -754,6 +799,20 @@ def check_serve_json(serve):
     """Validate serve.json (docs/SERVING.md): counts present, both
     conservation invariants exact, shed breakdown exact, digest
     counts == completed, and level dwells summing to the span."""
+    config = serve.get("config", {})
+    for name in SERVE_CONFIG_KEYS:
+        check(name in config, f"serve.json: config missing {name!r}")
+    check(isinstance(config.get("ladder"), list),
+          "serve.json: config.ladder not a list")
+    classes = config.get("classes")
+    check(isinstance(classes, list) and classes,
+          "serve.json: config.classes missing or empty")
+    for i, cls in enumerate(classes if isinstance(classes, list)
+                            else []):
+        for name in ("model", "sequence_length", "weight"):
+            check(name in cls,
+                  f"serve.json: config.classes[{i}] missing {name!r}")
+
     counts = serve.get("counts", {})
     for name in SERVE_COUNTS:
         check(isinstance(counts.get(name), int)
@@ -805,9 +864,20 @@ def check_serve_json(serve):
     span = serve.get("span_cycles")
     check(isinstance(span, int) and span >= 0,
           f"serve.json: bad span_cycles {span!r}")
-    levels = serve.get("degradation", {}).get("levels", [])
+    degradation = serve.get("degradation", {})
+    transitions = degradation.get("transitions")
+    check(isinstance(transitions, int) and transitions >= 0,
+          f"serve.json: degradation.transitions {transitions!r} not "
+          f"a non-negative integer")
+    levels = degradation.get("levels", [])
     check(isinstance(levels, list) and levels,
           "serve.json: degradation.levels missing or empty")
+    for i, level in enumerate(levels if isinstance(levels, list)
+                              else []):
+        for name in ("p", "dwell_cycles", "entries", "dispatched"):
+            check(name in level,
+                  f"serve.json: degradation.levels[{i}] missing "
+                  f"{name!r}")
     if isinstance(levels, list) and isinstance(span, int):
         dwell_sum = sum(level.get("dwell_cycles", 0)
                         for level in levels)

@@ -18,7 +18,7 @@ AttentionInput::validate() const
                                               << key.cols() << "/"
                                               << value.cols());
     ELSA_CHECK(query.rows() > 0 && query.cols() > 0,
-               "empty attention input");
+               "query/key/value matrices are empty");
 }
 
 Matrix

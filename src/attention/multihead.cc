@@ -11,19 +11,22 @@ namespace elsa {
 void
 MultiHeadWeights::validate() const
 {
-    ELSA_CHECK(!w_query.empty(), "layer needs at least one head");
+    ELSA_CHECK(!w_query.empty(),
+               "w_query is empty; layer needs at least one head");
     ELSA_CHECK(w_key.size() == w_query.size()
                    && w_value.size() == w_query.size(),
-               "per-head weight counts differ");
+               "w_key/w_value head counts differ from w_query");
     const std::size_t hidden = w_query[0].rows();
     const std::size_t d = w_query[0].cols();
-    ELSA_CHECK(hidden > 0 && d > 0, "empty projection weights");
+    ELSA_CHECK(hidden > 0 && d > 0,
+               "w_query projection weights are empty");
     for (std::size_t h = 0; h < w_query.size(); ++h) {
         for (const Matrix* w : {&w_query[h], &w_key[h], &w_value[h]}) {
             ELSA_CHECK(w->rows() == hidden && w->cols() == d,
-                       "head " << h << " projection is " << w->rows()
-                               << "x" << w->cols() << ", expected "
-                               << hidden << "x" << d);
+                       "w_query/w_key/w_value head "
+                           << h << " projection is " << w->rows()
+                           << "x" << w->cols() << ", expected "
+                           << hidden << "x" << d);
         }
     }
     ELSA_CHECK(w_output.rows() == w_query.size() * d,

@@ -10,6 +10,22 @@
 
 namespace elsa {
 
+void
+SystemConfig::validate() const
+{
+    sim.validate();
+    ELSA_CHECK(num_accelerators >= 1,
+               "num_accelerators must be >= 1");
+    ELSA_CHECK(sim_inputs >= 1, "sim_inputs must be >= 1");
+    ELSA_CHECK(sim_sublayers >= 1, "sim_sublayers must be >= 1");
+    ELSA_CHECK(eval.num_train_inputs >= 1,
+               "eval.num_train_inputs must be >= 1");
+    ELSA_CHECK(eval.num_eval_inputs >= 1,
+               "eval.num_eval_inputs must be >= 1");
+    ELSA_CHECK(eval.max_sublayers >= 1,
+               "eval.max_sublayers must be >= 1");
+}
+
 ElsaSystem::ElsaSystem(WorkloadSpec spec, SystemConfig config,
                        std::uint64_t seed)
     : spec_(std::move(spec)),
@@ -17,7 +33,7 @@ ElsaSystem::ElsaSystem(WorkloadSpec spec, SystemConfig config,
       seed_(seed),
       runner_(spec_, seed)
 {
-    config_.sim.validate();
+    config_.validate();
     ELSA_CHECK(config_.sim.d == spec_.model.head_dim,
                "sim d " << config_.sim.d << " != model head dim "
                         << spec_.model.head_dim);

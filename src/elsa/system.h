@@ -47,6 +47,8 @@ struct SystemConfig
 
     /** Sublayer subsample fed to the cycle simulator. */
     std::size_t sim_sublayers = 6;
+
+    void validate() const;
 };
 
 /** Everything Fig. 11 / Fig. 13 report for one mode of one workload. */

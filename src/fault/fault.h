@@ -75,6 +75,7 @@ struct FaultConfig
     ProtectionMode protection = ProtectionMode::kNone;
 
     /** Seed of the fault plan's private rng stream. */
+    // elsa-lint: allow(config-validation-coverage): every 64-bit seed is a valid stream id; there is no invalid value to reject
     std::uint64_t seed = 0xe15afa017ULL;
 
     /** Stall cycles charged per detected-fault re-fetch. */

@@ -50,6 +50,7 @@ ServeConfig::validate() const
 
     ELSA_CHECK(!classes.empty(), "classes must be non-empty");
     for (const RequestClassConfig& cls : classes) {
+        cls.model.validate();
         ELSA_CHECK(cls.sequence_length >= 1,
                    "classes sequence_length must be >= 1");
         ELSA_CHECK(std::isfinite(cls.weight) && cls.weight > 0.0,

@@ -194,6 +194,7 @@ struct ServeConfig
     DegradationConfig degradation;
 
     /** Master seed of the arrival / class / fault streams. */
+    // elsa-lint: allow(config-validation-coverage): every 64-bit seed is a valid stream id; there is no invalid value to reject
     std::uint64_t seed = 0x5e12e5ee;
 
     /** Total fidelity levels (1 + ladder size when enabled). */

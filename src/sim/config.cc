@@ -17,6 +17,12 @@ SimConfig::validate() const
     ELSA_CHECK(mo > 0, "mo must be positive");
     ELSA_CHECK(num_hash_factors >= 1, "num_hash_factors must be >= 1");
     ELSA_CHECK(queue_depth >= 1, "queue_depth must be >= 1");
+    // Zero is meaningful (a fully overlapped hand-off); the bound
+    // catches values that could not be a hand-off bubble depth.
+    ELSA_CHECK(attention_pipeline_latency <= 4096,
+               "attention_pipeline_latency "
+                   << attention_pipeline_latency
+                   << " is implausibly deep (> 4096)");
     ELSA_CHECK(std::isfinite(frequency_ghz) && frequency_ghz > 0.0,
                "frequency_ghz must be positive and finite, got "
                    << frequency_ghz);

@@ -10,7 +10,12 @@ void
 HostInterfaceConfig::validate() const
 {
     ELSA_CHECK(copy_bytes_per_cycle > 0,
-               "copy bandwidth must be positive");
+               "copy_bytes_per_cycle must be positive");
+    // Zero is meaningful (an ideal zero-overhead host); the bound
+    // only catches unit mistakes (e.g. nanoseconds pasted in).
+    ELSA_CHECK(command_cycles <= 1000000,
+               "command_cycles " << command_cycles
+                                 << " is implausibly large (> 1e6)");
 }
 
 HostInterface::HostInterface(HostInterfaceConfig config)

@@ -1,6 +1,19 @@
 #include "workload/model.h"
 
+#include "common/logging.h"
+
 namespace elsa {
+
+void
+ModelConfig::validate() const
+{
+    ELSA_CHECK(!name.empty(), "model.name must be non-empty");
+    ELSA_CHECK(num_layers >= 1, "model.num_layers must be >= 1");
+    ELSA_CHECK(num_heads >= 1, "model.num_heads must be >= 1");
+    ELSA_CHECK(head_dim >= 1, "model.head_dim must be >= 1");
+    ELSA_CHECK(hidden_dim >= 1, "model.hidden_dim must be >= 1");
+    ELSA_CHECK(ffn_dim >= 1, "model.ffn_dim must be >= 1");
+}
 
 std::string
 WorkloadSpec::label() const

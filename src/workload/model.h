@@ -40,6 +40,8 @@ struct ModelConfig
 
     /** Number of self-attention (sub-)layers = layers * heads. */
     std::size_t numSublayers() const { return num_layers * num_heads; }
+
+    void validate() const;
 };
 
 /** Sequence-length characteristics of one dataset. */

@@ -13,10 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include "attention/blocked.h"
 #include "common/logging.h"
+#include "elsa/system.h"
 #include "fault/fault.h"
 #include "serve/config.h"
 #include "sim/config.h"
+#include "sim/host.h"
+#include "workload/model.h"
 
 namespace elsa {
 namespace {
@@ -76,6 +80,14 @@ TEST(ConfigValidationTest, EachInvalidFieldIsNamedInTheError)
          [](SimConfig& c) {
              c.telemetry.enabled = true;
              c.attribute_stalls = false;
+         }},
+        {"query_spans.exemplar_count",
+         [](SimConfig& c) { c.query_spans.exemplar_count = 0; }},
+        {"attention_pipeline_latency",
+         [](SimConfig& c) {
+             // Zero is legal (fully overlapped hand-off); only an
+             // implausible depth is rejected.
+             c.attention_pipeline_latency = 1u << 20;
          }},
     };
     for (const Case& test_case : cases) {
@@ -167,6 +179,103 @@ TEST(ConfigValidationTest, FaultInjectionRequiresQuantization)
     // The same combination is fine once quantization is on.
     config.model_quantization = true;
     EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ConfigValidationTest, BlockedAttentionWindowIsValidated)
+{
+    EXPECT_NO_THROW(BlockedAttentionConfig{}.validate());
+    BlockedAttentionConfig config;
+    config.window = 0;
+    const std::string message =
+        errorMessage([&] { config.validate(); });
+    EXPECT_NE(message.find("window"), std::string::npos) << message;
+}
+
+TEST(ConfigValidationTest, EachInvalidHostFieldIsNamed)
+{
+    EXPECT_NO_THROW(HostInterfaceConfig{}.validate());
+    {
+        HostInterfaceConfig config;
+        config.copy_bytes_per_cycle = 0;
+        const std::string message =
+            errorMessage([&] { config.validate(); });
+        EXPECT_NE(message.find("copy_bytes_per_cycle"),
+                  std::string::npos)
+            << message;
+    }
+    {
+        // command_cycles = 0 is the ideal zero-overhead host and
+        // stays legal; only an implausible magnitude is rejected.
+        HostInterfaceConfig config;
+        config.command_cycles = 0;
+        EXPECT_NO_THROW(config.validate());
+        config.command_cycles = 2000000;
+        const std::string message =
+            errorMessage([&] { config.validate(); });
+        EXPECT_NE(message.find("command_cycles"), std::string::npos)
+            << message;
+    }
+}
+
+TEST(ConfigValidationTest, EachInvalidModelFieldIsNamed)
+{
+    struct Case
+    {
+        const char* field; // Must appear in the error message.
+        void (*corrupt)(ModelConfig&);
+    };
+    const Case cases[] = {
+        {"model.name", [](ModelConfig& m) { m.name.clear(); }},
+        {"model.num_layers",
+         [](ModelConfig& m) { m.num_layers = 0; }},
+        {"model.num_heads", [](ModelConfig& m) { m.num_heads = 0; }},
+        {"model.head_dim", [](ModelConfig& m) { m.head_dim = 0; }},
+        {"model.hidden_dim",
+         [](ModelConfig& m) { m.hidden_dim = 0; }},
+        {"model.ffn_dim", [](ModelConfig& m) { m.ffn_dim = 0; }},
+    };
+    for (const Case& test_case : cases) {
+        ModelConfig model = bertLarge();
+        EXPECT_NO_THROW(model.validate());
+        test_case.corrupt(model);
+        const std::string message =
+            errorMessage([&] { model.validate(); });
+        EXPECT_NE(message.find(test_case.field), std::string::npos)
+            << "error for field '" << test_case.field
+            << "' does not name it: " << message;
+    }
+}
+
+TEST(ConfigValidationTest, EachInvalidSystemFieldIsNamed)
+{
+    struct Case
+    {
+        const char* field; // Must appear in the error message.
+        void (*corrupt)(SystemConfig&);
+    };
+    const Case cases[] = {
+        {"num_accelerators",
+         [](SystemConfig& c) { c.num_accelerators = 0; }},
+        {"sim_inputs", [](SystemConfig& c) { c.sim_inputs = 0; }},
+        {"sim_sublayers",
+         [](SystemConfig& c) { c.sim_sublayers = 0; }},
+        {"eval.num_train_inputs",
+         [](SystemConfig& c) { c.eval.num_train_inputs = 0; }},
+        {"eval.num_eval_inputs",
+         [](SystemConfig& c) { c.eval.num_eval_inputs = 0; }},
+        {"eval.max_sublayers",
+         [](SystemConfig& c) { c.eval.max_sublayers = 0; }},
+    };
+    for (const Case& test_case : cases) {
+        SystemConfig config;
+        EXPECT_NO_THROW(config.validate());
+        test_case.corrupt(config);
+        const std::string message =
+            errorMessage([&] { config.validate(); });
+        EXPECT_NE(message.find(test_case.field), std::string::npos)
+            << "error for field '" << test_case.field
+            << "' does not name it: " << message;
+    }
 }
 
 TEST(ConfigValidationTest, DefaultServeConfigIsValid)

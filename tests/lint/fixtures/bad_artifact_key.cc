@@ -1,0 +1,14 @@
+// elsa-lint-pretend: src/serve/bad_artifact_key.cc
+// Known-bad fixture: a JSON key written from C++ that neither
+// checker script consumes and no doc mentions.
+#include "obs/json.h"
+
+namespace elsa {
+
+void
+writePhantomKey(JsonWriter& w)
+{
+    w.kv("phantom_fixture_key", 1.0);  // BAD: unknown, undocumented
+}
+
+} // namespace elsa

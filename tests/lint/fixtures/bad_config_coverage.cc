@@ -1,0 +1,29 @@
+// elsa-lint-pretend: src/sim/bad_config_coverage.cc
+// Known-bad fixture: config structs that escape validation
+// coverage in each of the three ways the rule can fire.
+#include "common/logging.h"
+
+namespace elsa {
+
+struct OrphanConfig  // BAD: no validate() anywhere
+{
+    int depth = 4;
+};
+
+struct PartialConfig
+{
+    int queue_depth = 8;
+    int unchecked_limit = 0;    // BAD: unchecked and untested
+    int fixture_only_knob = 1;  // BAD: no negative-path test
+    void validate() const;
+};
+
+void
+PartialConfig::validate() const
+{
+    ELSA_CHECK(queue_depth > 0, "queue_depth must be positive");
+    ELSA_CHECK(fixture_only_knob > 0,
+               "fixture_only_knob must be positive");
+}
+
+} // namespace elsa

@@ -1,0 +1,21 @@
+// elsa-lint-pretend: src/sim/bad_error_message.cc
+// Known-bad fixture: a validation check whose message names no
+// field of the config it validates.
+#include "common/logging.h"
+
+namespace elsa {
+
+struct AnonymousErrorConfig
+{
+    int window = 1;
+
+    void validate() const;
+};
+
+void
+AnonymousErrorConfig::validate() const
+{
+    ELSA_CHECK(window > 0, "must be positive");  // BAD: which field?
+}
+
+} // namespace elsa

@@ -1,4 +1,4 @@
-// elsa-lint-pretend: src/attention/bad_fixed_raw.cc
+// elsa-lint-pretend: src/sim/bad_fixed_raw.cc
 // Known-bad fixture: raw fixed-point access outside src/fixed/ and
 // conversion declarations that would make quantization implicit.
 #include "fixed/fixed_point.h"

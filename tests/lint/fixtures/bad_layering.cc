@@ -1,0 +1,9 @@
+// elsa-lint-pretend: src/tensor/bad_layering.cc
+// Known-bad fixture: include edges the declared layering DAG does
+// not allow; tensor may depend on common only.
+#include "common/error.h"
+#include "sim/config.h"    // BAD: undeclared edge tensor -> sim
+#include "serve/engine.h"  // BAD: undeclared edge tensor -> serve
+
+namespace elsa {
+} // namespace elsa

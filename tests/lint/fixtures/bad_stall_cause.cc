@@ -1,0 +1,26 @@
+// elsa-lint-pretend: src/sim/bad_stall_cause.cc
+// Known-bad fixture: a taxonomy enumerator mapped to a metric
+// segment the checker scripts and docs have never heard of.
+#include "sim/stall.h"
+
+namespace elsa {
+
+enum class StallCause
+{
+    kBusy,
+    kPhantomWait,
+};
+
+const char*
+stallCauseMetricName(StallCause cause)
+{
+    switch (cause) {
+        case StallCause::kBusy:
+            return "busy_cycles";
+        case StallCause::kPhantomWait:
+            return "phantom_wait_cycles";  // BAD: unknown segment
+    }
+    return "";
+}
+
+} // namespace elsa

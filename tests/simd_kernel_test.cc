@@ -119,6 +119,7 @@ TEST(SimdDispatchTest, ActiveTableHonoursElsaSimdOverride)
     // (the CTest registration runs this binary once without it and
     // once with ELSA_SIMD=scalar), the process-wide table must be
     // the forced one; otherwise it must be the best available.
+    // elsa-lint: allow(no-wallclock): reads the harness's own SIMD forcing hook, the exact contract under test
     const char* forced = std::getenv("ELSA_SIMD");
     if (forced != nullptr && forced[0] != '\0') {
         EXPECT_EQ(simd::activeLevel(), simd::resolveLevel(forced));

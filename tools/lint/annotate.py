@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Turn `elsa_lint --json` output into GitHub error annotations.
+
+Reads the JSON findings document from stdin (or a file argument) and
+emits one `::error` workflow command per finding, so CI failures show
+up inline on the PR diff at the exact file and line. Exits 1 when
+there is at least one finding, so the step that pipes into this
+script is the gate itself.
+
+Usage (CI):
+    python3 tools/lint/elsa_lint.py --root . --json \
+        | python3 tools/lint/annotate.py
+"""
+
+import json
+import sys
+
+
+def escape_property(value):
+    """GitHub workflow-command property escaping (%, CR, LF, and the
+    property separators)."""
+    return (value.replace("%", "%25")
+                 .replace("\r", "%0D")
+                 .replace("\n", "%0A")
+                 .replace(":", "%3A")
+                 .replace(",", "%2C"))
+
+
+def escape_data(value):
+    """GitHub workflow-command message escaping."""
+    return (value.replace("%", "%25")
+                 .replace("\r", "%0D")
+                 .replace("\n", "%0A"))
+
+
+def annotate(doc, out):
+    findings = doc.get("findings", [])
+    for f in findings:
+        out.write(
+            "::error file=%s,line=%d,col=%d,title=%s::%s\n"
+            % (escape_property(f["path"]),
+               int(f["line"]),
+               int(f["col"]),
+               escape_property("elsa-lint[%s]" % f["rule"]),
+               escape_data(f["message"])))
+    count = doc.get("count", len(findings))
+    if count:
+        out.write("elsa-lint: %d finding(s)\n" % count)
+        return 1
+    out.write("elsa-lint: clean\n")
+    return 0
+
+
+def main(argv):
+    if len(argv) > 1:
+        with open(argv[1], "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    else:
+        doc = json.load(sys.stdin)
+    return annotate(doc, sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

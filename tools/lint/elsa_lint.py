@@ -3,11 +3,30 @@
 
 The repo promises invariants that unit tests can only sample:
 bit-identical results at any thread count, exact stall/fault counter
-conservation, a datapath model that never leaks unquantized doubles.
-This pass pins the *source-level* half of those promises -- the
-patterns that, when they appear at all, break an invariant somewhere
-downstream -- so violations fail at lint time instead of surfacing as
-a flaky metric diff months later.
+conservation, a datapath model that never leaks unquantized doubles,
+and artifact schemas that three surfaces (C++ writers,
+scripts/check_metrics.py, docs/) describe identically.  This pass
+pins the *source-level* half of those promises -- the patterns that,
+when they appear at all, break an invariant somewhere downstream --
+so violations fail at lint time instead of surfacing as a flaky
+metric diff months later.
+
+The analyzer runs in two phases:
+
+ 1. *Index*: every file under src/ (plus bench/ and examples/
+    literals, scripts/check_metrics.py + scripts/bench_compare.py,
+    docs/*.md, tests/config_validation_test.cc, and the declared
+    layer DAG in tools/lint/layering.toml) is parsed into a repo-wide
+    index: the include graph, every ``*Config`` struct and its
+    fields, every ``validate()`` body and the ELSA_CHECKs inside it,
+    enum definitions with members, the ``case -> "metric"`` pairs of
+    the stall/attribution name functions, and every JSON key literal
+    written through JsonWriter::kv/key or RunManifest::set.
+
+ 2. *Rules*: per-file rules (the original six) plus cross-file rule
+    families that consult the index: ``layering``,
+    ``config-validation-coverage``, ``artifact-schema-drift``,
+    ``stall-cause-exhaustive``, and ``error-message-discipline``.
 
 Design constraints:
 
@@ -15,25 +34,35 @@ Design constraints:
  - deterministic: output ordering is (path, line, column, rule);
  - token/AST-lite: a small C++ lexer strips comments and string
    literals so rules match code, not prose, plus balanced-delimiter
-   scanning for call arguments and switch bodies;
+   scanning for call arguments, struct/switch bodies, and the
+   Python ``ast`` module for the checker scripts;
  - suppressable, with receipts: `// elsa-lint: allow(<rule>): <why>`
    on the offending line (or alone on the line above) silences one
-   rule at one site.  A missing reason, an unknown rule id, or a
+   rule at one site; in Python sources the same directive works
+   after a `#`.  A missing reason, an unknown rule id, or a
    suppression that never fires is itself a finding, so the
    suppression list cannot rot.
 
 Rules are documented in docs/STATIC_ANALYSIS.md.  Run:
 
-    python3 tools/lint/elsa_lint.py --root . src
+    python3 tools/lint/elsa_lint.py --root .
+    python3 tools/lint/elsa_lint.py --root . --json
     python3 tools/lint/elsa_lint.py --root . --self-test tests/lint
 
 Exit codes: 0 clean, 1 findings, 2 usage/internal error.
 """
 
 import argparse
+import ast
+import json
 import os
 import re
 import sys
+
+try:
+    import tomllib
+except ImportError:  # pre-3.11; the mini-parser below takes over
+    tomllib = None
 
 # --------------------------------------------------------------------
 # Lexing: blank out comments and literal contents, keep positions.
@@ -176,6 +205,15 @@ class Finding:
         return "%s:%d: [%s] %s" % (
             self.path, self.line, self.rule, self.message)
 
+    def to_dict(self):
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
 
 SUPPRESS_RE = re.compile(
     r"elsa-lint:\s*allow\(\s*([A-Za-z0-9_,\s-]*)\s*\)\s*(?::\s*(\S.*))?")
@@ -192,42 +230,62 @@ class Suppression:
         self.used = False
 
 
+def interpret_directive(path, line_no, text, trailing, sups, metas):
+    """Parse one comment body that mentions elsa-lint."""
+    known = {r.rule_id for r in RULES} | set(META_RULES)
+    m = SUPPRESS_RE.search(text)
+    if not m:
+        if "elsa-lint:" in text:
+            metas.append(Finding(
+                path, line_no, 1, "suppression-syntax",
+                "unparsable elsa-lint directive; want "
+                "`elsa-lint: allow(<rule>): <reason>`"))
+        return
+    rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
+    reason = (m.group(2) or "").strip()
+    target = line_no if trailing else line_no + 1
+    if not rules:
+        metas.append(Finding(
+            path, line_no, 1, "suppression-syntax",
+            "allow() names no rule"))
+        return
+    for rule in rules:
+        if rule not in known:
+            metas.append(Finding(
+                path, line_no, 1, "suppression-unknown-rule",
+                "allow(%s) names no known rule" % rule))
+    if not reason:
+        metas.append(Finding(
+            path, line_no, 1, "suppression-missing-reason",
+            "allow(%s) carries no reason; every suppression "
+            "must say why the site is exempt" % ",".join(rules)))
+    sups.append(Suppression(line_no, rules, reason, target))
+
+
 def parse_suppressions(src):
     """Suppressions plus the meta-findings they themselves raise."""
     sups = []
     metas = []
-    known = {r.rule_id for r in RULES} | set(META_RULES)
     for comment in src.comments:
-        m = SUPPRESS_RE.search(comment.text)
-        if not m:
-            if "elsa-lint:" in comment.text:
-                metas.append(Finding(
-                    src.display_path, comment.line, 1,
-                    "suppression-syntax",
-                    "unparsable elsa-lint directive; want "
-                    "`elsa-lint: allow(<rule>): <reason>`"))
+        if "elsa-lint-pretend:" in comment.text:
             continue
-        rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
-        reason = (m.group(2) or "").strip()
-        target = comment.line if comment.trailing else comment.line + 1
-        if not rules:
-            metas.append(Finding(
-                src.display_path, comment.line, 1, "suppression-syntax",
-                "allow() names no rule"))
+        interpret_directive(src.display_path, comment.line,
+                            comment.text, comment.trailing,
+                            sups, metas)
+    return sups, metas
+
+
+def parse_py_suppressions(rel, text):
+    """The same allow() grammar, after a `#` in a Python source."""
+    sups = []
+    metas = []
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        pos = line.find("#")
+        if pos < 0 or "elsa-lint" not in line:
             continue
-        for rule in rules:
-            if rule not in known:
-                metas.append(Finding(
-                    src.display_path, comment.line, 1,
-                    "suppression-unknown-rule",
-                    "allow(%s) names no known rule" % rule))
-        if not reason:
-            metas.append(Finding(
-                src.display_path, comment.line, 1,
-                "suppression-missing-reason",
-                "allow(%s) carries no reason; every suppression "
-                "must say why the site is exempt" % ",".join(rules)))
-        sups.append(Suppression(comment.line, rules, reason, target))
+        trailing = bool(line[:pos].strip())
+        interpret_directive(rel, line_no, line[pos + 1 :], trailing,
+                            sups, metas)
     return sups, metas
 
 
@@ -236,6 +294,7 @@ def parse_suppressions(src):
 # --------------------------------------------------------------------
 
 PRETEND_RE = re.compile(r"elsa-lint-pretend:\s*(\S+)")
+TREE_SCOPE = ("src/", "bench/", "examples/", "tests/")
 
 
 class SourceFile:
@@ -253,9 +312,19 @@ class SourceFile:
                 self.rel = m.group(1)
                 break
         self.display_path = rel
+        self._facts = None
 
     def in_dir(self, prefix):
         return self.rel.startswith(prefix)
+
+    def in_tree(self):
+        return self.rel.startswith(TREE_SCOPE)
+
+    @property
+    def facts(self):
+        if self._facts is None:
+            self._facts = extract_facts(self)
+        return self._facts
 
 
 def line_offsets(code):
@@ -288,6 +357,632 @@ def match_balanced(code, open_pos, open_ch="(", close_ch=")"):
             if depth == 0:
                 return i + 1
     return len(code)
+
+
+def split_args(code, open_pos, close_pos):
+    """Spans of the top-level comma-separated args of a call."""
+    spans = []
+    depth = 0
+    start = open_pos + 1
+    for i in range(open_pos + 1, close_pos - 1):
+        c = code[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            spans.append((start, i))
+            start = i + 1
+    spans.append((start, max(start, close_pos - 1)))
+    return spans
+
+
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+WORD_SPLIT_RE = re.compile(r"[A-Za-z0-9_]+")
+
+
+def word_tokens(text):
+    return set(WORD_SPLIT_RE.findall(text))
+
+
+# --------------------------------------------------------------------
+# Phase 1: per-file fact extraction.
+# --------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+INCLUDE_CODE_RE = re.compile(r'^\s*#\s*include\s*"')
+STRUCT_RE = re.compile(r"\bstruct\s+(\w+)\s*(?::[^{;]*)?\{")
+ENUM_DECL_RE = re.compile(r"\benum\s+(?:class|struct)\s+(\w+)")
+VALIDATE_DEF_RE = re.compile(
+    r"\b(\w+)::validate\s*\(\s*\)\s*const\s*\{")
+INLINE_VALIDATE_RE = re.compile(
+    r"(?<!:)\bvalidate\s*\(\s*\)\s*const\s*\{")
+CHECK_CALL_RE = re.compile(r"\bELSA_(CHECK|FATAL)\s*\(")
+JSON_CALL_RE = re.compile(r"(?:\.|->)\s*(kv|key|set)\s*\(")
+CASE_LABEL_RE = re.compile(r"\bcase\s+(\w+)\s*::\s*(\w+)\s*:")
+
+# The taxonomy functions whose case -> literal pairs must stay in
+# lockstep with check_metrics.py and the docs (stall-cause-exhaustive).
+TAXONOMY_FNS = {
+    "stallCauseMetricName": "StallCause",
+    "attributedModuleMetricName": "AttributedModule",
+}
+
+FIELD_SKIP_KEYWORDS = {
+    "struct", "class", "enum", "using", "typedef", "friend",
+    "static", "template", "public", "private", "protected",
+}
+
+
+class StructField:
+    __slots__ = ("name", "line", "type_text")
+
+    def __init__(self, name, line, type_text):
+        self.name = name
+        self.line = line
+        self.type_text = type_text
+
+
+class StructInfo:
+    __slots__ = ("name", "line", "fields", "has_validate")
+
+    def __init__(self, name, line, fields, has_validate):
+        self.name = name
+        self.line = line
+        self.fields = fields
+        self.has_validate = has_validate
+
+
+class CheckCall:
+    __slots__ = ("line", "tokens")
+
+    def __init__(self, line, tokens):
+        self.line = line
+        self.tokens = tokens  # idents + literal words of the message
+
+
+class ValidateBody:
+    __slots__ = ("struct_name", "line", "tokens", "checks")
+
+    def __init__(self, struct_name, line, tokens, checks):
+        self.struct_name = struct_name
+        self.line = line
+        self.tokens = tokens  # idents + literal words of the body
+        self.checks = checks
+
+
+class MetricPair:
+    __slots__ = ("fn", "member", "literal", "line")
+
+    def __init__(self, fn, member, literal, line):
+        self.fn = fn
+        self.member = member
+        self.literal = literal
+        self.line = line
+
+
+class FileFacts:
+    __slots__ = ("rel", "includes", "structs", "enums", "validates",
+                 "metric_pairs", "metric_fns", "json_keys")
+
+    def __init__(self, rel):
+        self.rel = rel
+        self.includes = []       # (line, "module/file.h")
+        self.structs = []        # StructInfo
+        self.enums = []          # (name, [members], line)
+        self.validates = []      # ValidateBody
+        self.metric_pairs = []   # MetricPair
+        self.metric_fns = []     # (fn, line, enum_name, {mapped})
+        self.json_keys = []      # (key, line)
+
+
+def _parse_includes(src):
+    out = []
+    raw_lines = src.text.split("\n")
+    for i, code_line in enumerate(src.code_lines):
+        if not INCLUDE_CODE_RE.match(code_line):
+            continue
+        m = INCLUDE_RE.match(raw_lines[i])
+        if m:
+            out.append((i + 1, m.group(1)))
+    return out
+
+
+def _struct_statements(body):
+    """(text, start_offset) for each depth-0 declaration in a struct
+    body.  Parenthesised parts collapse to a `(` marker and nested
+    braces to a space, so field extraction sees flat declarations;
+    inline member-function definitions are dropped whole."""
+    out = []
+    cur = []
+    start = None
+    i = 0
+    n = len(body)
+    while i < n:
+        ch = body[i]
+        if ch == "(":
+            cur.append("(")
+            i = match_balanced(body, i, "(", ")")
+            continue
+        if ch == "{":
+            j = match_balanced(body, i, "{", "}")
+            if "(" in cur:
+                cur = []   # inline member function definition
+                start = None
+            else:
+                cur.append(" ")  # brace initializer / nested type
+            i = j
+            continue
+        if ch == ";":
+            text = "".join(cur).strip()
+            if text:
+                out.append((text, start))
+            cur = []
+            start = None
+            i += 1
+            continue
+        if start is None and not ch.isspace():
+            start = i
+        cur.append(ch)
+        i += 1
+    return out
+
+
+def _field_from_statement(text):
+    head = text.split("=", 1)[0].strip()
+    if not head or "(" in head:
+        return None
+    first = re.match(r"[A-Za-z_]\w*", head)
+    if first and first.group(0) in FIELD_SKIP_KEYWORDS:
+        return None
+    head = re.sub(r"\[[^\]]*\]\s*$", "", head).strip()
+    m = re.search(r"([A-Za-z_]\w*)\s*$", head)
+    if not m:
+        return None
+    name = m.group(1)
+    type_text = head[: m.start()].strip()
+    if not type_text:
+        return None
+    return name, type_text
+
+
+def _message_tokens(src, lo, hi):
+    tokens = word_tokens(src.code[lo:hi])
+    for lit in src.literals:
+        if lo <= lit.offset < hi:
+            tokens |= word_tokens(lit.value)
+    return tokens
+
+
+def _extract_checks(src, lo, hi, offsets):
+    checks = []
+    for m in CHECK_CALL_RE.finditer(src.code, lo, hi):
+        open_pos = src.code.index("(", m.end() - 1)
+        close = match_balanced(src.code, open_pos)
+        args = split_args(src.code, open_pos, close)
+        if m.group(1) == "CHECK" and len(args) >= 2:
+            span = (args[1][0], args[-1][1])
+        else:
+            span = (open_pos + 1, close - 1)
+        checks.append(CheckCall(
+            offset_to_line(offsets, m.start()),
+            _message_tokens(src, span[0], span[1])))
+    return checks
+
+
+def _validate_body(src, struct_name, brace_pos, offsets):
+    end = match_balanced(src.code, brace_pos, "{", "}")
+    return ValidateBody(
+        struct_name,
+        offset_to_line(offsets, brace_pos),
+        _message_tokens(src, brace_pos + 1, end - 1),
+        _extract_checks(src, brace_pos + 1, end - 1, offsets))
+
+
+def _parse_structs(src, offsets, facts):
+    for m in STRUCT_RE.finditer(src.code):
+        name = m.group(1)
+        brace = m.end() - 1
+        end = match_balanced(src.code, brace, "{", "}")
+        body = src.code[brace + 1 : end - 1]
+        fields = []
+        has_validate = False
+        for stmt, off in _struct_statements(body):
+            if re.search(r"\bvalidate\s*\(", stmt):
+                has_validate = True
+            parsed = _field_from_statement(stmt)
+            if parsed is None:
+                continue
+            fname, type_text = parsed
+            abs_start = brace + 1 + (off or 0)
+            window = src.code[abs_start : abs_start + 400]
+            fm = re.search(r"\b%s\b" % re.escape(fname), window)
+            pos = abs_start + (fm.start() if fm else 0)
+            fields.append(StructField(
+                fname, offset_to_line(offsets, pos), type_text))
+        facts.structs.append(StructInfo(
+            name, offset_to_line(offsets, m.start()), fields,
+            has_validate))
+        iv = INLINE_VALIDATE_RE.search(src.code, brace + 1, end - 1)
+        if iv:
+            facts.validates.append(_validate_body(
+                src, name, iv.end() - 1, offsets))
+
+
+def _parse_enums(src, offsets, facts):
+    for m in ENUM_DECL_RE.finditer(src.code):
+        brace = src.code.find("{", m.end())
+        semi = src.code.find(";", m.end())
+        if brace < 0 or (0 <= semi < brace):
+            continue  # forward declaration
+        end = match_balanced(src.code, brace, "{", "}")
+        members = []
+        for chunk in src.code[brace + 1 : end - 1].split(","):
+            mm = re.match(r"\s*([A-Za-z_]\w*)", chunk)
+            if mm:
+                members.append(mm.group(1))
+        facts.enums.append(
+            (m.group(1), members, offset_to_line(offsets, m.start())))
+
+
+def _parse_validate_defs(src, offsets, facts):
+    for m in VALIDATE_DEF_RE.finditer(src.code):
+        facts.validates.append(_validate_body(
+            src, m.group(1), m.end() - 1, offsets))
+
+
+def _parse_metric_fns(src, offsets, facts):
+    lits = sorted(src.literals, key=lambda l: l.offset)
+    for fname in sorted(TAXONOMY_FNS):
+        for m in re.finditer(r"\b%s\s*\(" % fname, src.code):
+            open_pos = src.code.index("(", m.end() - 1)
+            close = match_balanced(src.code, open_pos)
+            rest = src.code[close : close + 64]
+            stripped = rest.lstrip()
+            if not stripped.startswith("{"):
+                continue  # a call site, not the definition
+            brace = close + (len(rest) - len(stripped))
+            end = match_balanced(src.code, brace, "{", "}")
+            cases = [(brace + c.start(), c.group(1), c.group(2))
+                     for c in CASE_LABEL_RE.finditer(
+                         src.code[brace:end])]
+            mapped = set()
+            for idx, (pos, _enum, member) in enumerate(cases):
+                mapped.add(member)
+                upper = (cases[idx + 1][0]
+                         if idx + 1 < len(cases) else end)
+                lit = next((l for l in lits
+                            if pos < l.offset < upper), None)
+                if lit is not None:
+                    facts.metric_pairs.append(MetricPair(
+                        fname, member, lit.value,
+                        offset_to_line(offsets, lit.offset)))
+            facts.metric_fns.append((
+                fname, offset_to_line(offsets, m.start()),
+                TAXONOMY_FNS[fname], mapped))
+
+
+def _parse_json_keys(src, offsets, facts):
+    for m in JSON_CALL_RE.finditer(src.code):
+        method = m.group(1)
+        open_pos = src.code.index("(", m.end() - 1)
+        close = match_balanced(src.code, open_pos)
+        args = split_args(src.code, open_pos, close)
+        key_spans = args[:2] if method == "set" else args[:1]
+        for lo, hi in key_spans:
+            for lit in src.literals:
+                if lo <= lit.offset < hi and IDENT_RE.match(
+                        lit.value):
+                    facts.json_keys.append((
+                        lit.value,
+                        offset_to_line(offsets, lit.offset)))
+    return facts
+
+
+def extract_facts(src):
+    facts = FileFacts(src.rel)
+    offsets = line_offsets(src.code)
+    facts.includes = _parse_includes(src)
+    _parse_structs(src, offsets, facts)
+    _parse_enums(src, offsets, facts)
+    _parse_validate_defs(src, offsets, facts)
+    _parse_metric_fns(src, offsets, facts)
+    _parse_json_keys(src, offsets, facts)
+    return facts
+
+
+# --------------------------------------------------------------------
+# Phase 1: the repo-wide index.
+# --------------------------------------------------------------------
+
+SCRIPT_RELS = ("scripts/check_metrics.py",
+               "scripts/bench_compare.py")
+TEST_COVERAGE_REL = "tests/config_validation_test.cc"
+LAYERING_REL = "tools/lint/layering.toml"
+LITERAL_DIRS = ("bench", "examples")
+
+
+def analyze_script(rel, text):
+    """(string-fragment tokens, [(rel, line, consumed key)])."""
+    tokens = set()
+    consumed = {}
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return tokens, []
+
+    # Keys the script itself assembles in dict literals are its own
+    # state (summary rows, report tables), not artifact schema keys.
+    own_keys = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if isinstance(k, ast.Constant) and isinstance(
+                        k.value, str):
+                    own_keys.add(k.value)
+
+    def note(node, value):
+        # Single characters (Chrome-trace phase letters and the
+        # like) are below the signal threshold for schema keys.
+        if isinstance(value, str) and len(value) >= 2 \
+                and IDENT_RE.match(value) \
+                and value not in own_keys \
+                and value not in consumed:
+            consumed[value] = node.lineno
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(
+                node.value, str):
+            tokens |= word_tokens(node.value)
+        if isinstance(node, ast.Subscript) and isinstance(
+                node.slice, ast.Constant):
+            note(node, node.slice.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr == "get" and node.args \
+                    and isinstance(node.args[0], ast.Constant):
+                note(node, node.args[0].value)
+        elif isinstance(node, ast.Compare):
+            if len(node.ops) == 1 \
+                    and isinstance(node.ops[0], (ast.In, ast.NotIn)) \
+                    and isinstance(node.left, ast.Constant):
+                note(node, node.left.value)
+        elif isinstance(node, ast.Assign):
+            # Curated schema vocabularies: UPPER_CASE module-level
+            # lists/sets/tuples of string keys.
+            names = [t.id for t in node.targets
+                     if isinstance(t, ast.Name)]
+            if names and all(n.isupper() for n in names) \
+                    and isinstance(node.value,
+                                   (ast.List, ast.Tuple, ast.Set)):
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant):
+                        note(elt, elt.value)
+    return tokens, [
+        (rel, line, key)
+        for key, line in sorted(consumed.items(),
+                                key=lambda kv: (kv[1], kv[0]))]
+
+
+def load_layering(root):
+    """(modules dict or None, [error strings])."""
+    path = os.path.join(root, LAYERING_REL)
+    if not os.path.exists(path):
+        return None, ["%s is missing; the layering rule needs the "
+                      "declared module DAG" % LAYERING_REL]
+    text = read_text(path)
+    modules = {}
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            return None, ["unparsable TOML: %s" % exc]
+        for key, value in data.get("modules", {}).items():
+            modules[key] = [str(v) for v in value]
+    else:
+        section = None
+        for line in text.split("\n"):
+            ls = line.split("#", 1)[0].strip()
+            if ls.startswith("["):
+                section = ls.strip("[]").strip()
+                continue
+            if section != "modules" or "=" not in ls:
+                continue
+            name, _eq, rest = ls.partition("=")
+            modules[name.strip()] = re.findall(r'"([^"]+)"', rest)
+    errors = []
+    for mod in sorted(modules):
+        for dep in modules[mod]:
+            if dep not in modules:
+                errors.append(
+                    "[modules] %s depends on undeclared module "
+                    "'%s'" % (mod, dep))
+    # Kahn toposort: the declared graph must be acyclic, or the
+    # "layered architecture" claim is word games.
+    remaining = {m: set(d) & set(modules)
+                 for m, d in modules.items()}
+    while remaining:
+        ready = sorted(m for m, d in remaining.items() if not d)
+        if not ready:
+            errors.append("[modules] dependency cycle among: %s"
+                          % ", ".join(sorted(remaining)))
+            break
+        for m in ready:
+            remaining.pop(m)
+        for deps in remaining.values():
+            deps.difference_update(ready)
+    return modules, errors
+
+
+class RepoIndex:
+    def __init__(self):
+        self.facts = {}               # rel -> FileFacts (src/ only)
+        self.cpp_literal_tokens = set()
+        self.script_tokens = set()
+        self.script_consumed = []     # (rel, line, key)
+        self.doc_tokens = set()
+        self.obs_doc_text = None
+        self.test_tokens = set()
+        self.layering = None
+        self.layering_errors = []
+        self.src_modules = set()
+        # Aggregates, recomputed by aggregate():
+        self.enum_members = {}
+        self.structs_by_name = {}
+        self.validate_bodies = {}
+        self.exempt_substructs = set()
+
+    def add_source(self, src):
+        if not src.rel.startswith("tests/"):
+            for lit in src.literals:
+                self.cpp_literal_tokens |= word_tokens(lit.value)
+        if src.rel.startswith("src/"):
+            self.facts[src.rel] = src.facts
+            parts = src.rel.split("/")
+            if len(parts) >= 3:
+                self.src_modules.add(parts[1])
+
+    def aggregate(self):
+        self.enum_members = {}
+        self.structs_by_name = {}
+        self.validate_bodies = {}
+        for rel in sorted(self.facts):
+            facts = self.facts[rel]
+            for name, members, _line in facts.enums:
+                self.enum_members.setdefault(name, set()).update(
+                    members)
+            for info in facts.structs:
+                self.structs_by_name[info.name] = (rel, info)
+            for vb in facts.validates:
+                self.validate_bodies.setdefault(vb.struct_name, vb)
+        self.exempt_substructs = self._compute_exempt()
+
+    def _compute_exempt(self):
+        """Structs with no validate() of their own that a same-file
+        validated config reaches through its fields (their leaves are
+        obligations of the parent's validate())."""
+        exempt = set()
+        for name in self.validate_bodies:
+            loc = self.structs_by_name.get(name)
+            if loc is None:
+                continue
+            rel, info = loc
+            same = {s.name: s for s in self.facts[rel].structs}
+            seen = {name}
+            stack = [info]
+            while stack:
+                s = stack.pop()
+                for f in s.fields:
+                    for t in sorted(word_tokens(f.type_text)):
+                        if t in same and t not in seen \
+                                and t not in self.validate_bodies:
+                            seen.add(t)
+                            exempt.add(t)
+                            stack.append(same[t])
+        return exempt
+
+    def copy_with(self, src):
+        clone = RepoIndex()
+        clone.facts = dict(self.facts)
+        clone.cpp_literal_tokens = set(self.cpp_literal_tokens)
+        clone.script_tokens = self.script_tokens
+        clone.script_consumed = self.script_consumed
+        clone.doc_tokens = self.doc_tokens
+        clone.obs_doc_text = self.obs_doc_text
+        clone.test_tokens = self.test_tokens
+        clone.layering = self.layering
+        clone.layering_errors = list(self.layering_errors)
+        clone.src_modules = set(self.src_modules)
+        clone.add_source(src)
+        clone.aggregate()
+        return clone
+
+
+def build_index(root, preloaded=()):
+    index = RepoIndex()
+    loaded = {s.rel: s for s in preloaded}
+    index_dirs = ["src"] + [
+        d for d in LITERAL_DIRS
+        if os.path.isdir(os.path.join(root, d))]
+    done = set()
+    for path, rel in collect_files(root, index_dirs):
+        src = loaded.get(rel)
+        if src is None:
+            src = SourceFile(path, rel, read_text(path))
+        index.add_source(src)
+        done.add(rel)
+    for src in loaded.values():
+        if src.rel not in done:
+            index.add_source(src)
+    for rel in SCRIPT_RELS:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        tokens, consumed = analyze_script(rel, read_text(path))
+        index.script_tokens |= tokens
+        index.script_consumed.extend(consumed)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if not name.endswith(".md"):
+                continue
+            text = read_text(os.path.join(docs_dir, name))
+            index.doc_tokens |= word_tokens(text)
+            if name == "OBSERVABILITY.md":
+                index.obs_doc_text = text
+    test_path = os.path.join(root, TEST_COVERAGE_REL)
+    if os.path.exists(test_path):
+        index.test_tokens = word_tokens(read_text(test_path))
+    index.layering, index.layering_errors = load_layering(root)
+    for mod in sorted(index.src_modules):
+        if index.layering is not None and mod not in index.layering:
+            index.layering_errors.append(
+                "src/%s/ is not declared in [modules]" % mod)
+    index.aggregate()
+    return index
+
+
+def walk_config_fields(index, facts, root_info):
+    """Yield (field, kind) for a validated config and the same-file
+    sub-structs its fields reach.  kind is one of 'bool', 'enum',
+    'validated' (type has its own validate()), 'substruct'
+    (same-file struct folded into this validate()), or 'leaf'."""
+    same = {s.name: s for s in facts.structs}
+    enum_names = set(index.enum_members)
+    validated = set(index.validate_bodies)
+    seen = {root_info.name}
+    stack = [root_info]
+    while stack:
+        s = stack.pop()
+        for f in s.fields:
+            ttokens = word_tokens(f.type_text)
+            if "bool" in ttokens:
+                kind = "bool"
+            elif ttokens & enum_names:
+                kind = "enum"
+            elif ttokens & validated:
+                kind = "validated"
+            else:
+                sub = next((t for t in sorted(ttokens)
+                            if t in same and t != s.name), None)
+                if sub is not None:
+                    kind = "substruct"
+                    if sub not in seen:
+                        seen.add(sub)
+                        stack.append(same[sub])
+                else:
+                    kind = "leaf"
+            yield f, kind
+
+
+def config_field_names(index, struct_name):
+    loc = index.structs_by_name.get(struct_name)
+    if loc is None:
+        return set()
+    rel, info = loc
+    return {f.name for f, _kind in
+            walk_config_fields(index, index.facts[rel], info)}
 
 
 # --------------------------------------------------------------------
@@ -328,8 +1023,9 @@ def scan_lines(src, pattern, rule, message):
 class NoWallclockRule(Rule):
     rule_id = "no-wallclock"
     description = (
-        "wall-clock, PRNG-seeding, and environment reads are banned in "
-        "src/: simulated results must be a pure function of the config "
+        "wall-clock, PRNG-seeding, and environment reads are banned "
+        "in src/, bench/, examples/, and tests/: simulated results "
+        "must be a pure function of the config "
         "(docs/PARALLELISM.md determinism contract)")
 
     PATTERN = re.compile(
@@ -342,28 +1038,29 @@ class NoWallclockRule(Rule):
         r"|\bgetenv\s*\()")
 
     def check(self, src, ctx):
-        if not src.in_dir("src/"):
+        if not src.in_tree():
             return
         yield from scan_lines(
             src, self.PATTERN, self.rule_id,
-            "nondeterministic source `%(match)s` in src/; results "
-            "must depend only on SimConfig (suppress with a reason "
-            "if this site is genuinely observability-only)")
+            "nondeterministic source `%(match)s`; results must "
+            "depend only on the config (suppress with a reason if "
+            "this site is genuinely host-timing or harness-only)")
 
 
 class NoUnorderedContainerRule(Rule):
     rule_id = "no-unordered-container"
     description = (
-        "std::unordered_{map,set} are banned in src/: their iteration "
-        "order is implementation-defined and can leak into metrics, "
-        "traces, and reduction order")
+        "std::unordered_{map,set} are banned in src/, bench/, "
+        "examples/, and tests/: their iteration order is "
+        "implementation-defined and can leak into metrics, traces, "
+        "and reduction order")
 
     PATTERN = re.compile(
         r"(?:\bstd::unordered_(?:multi)?(?:map|set)\b"
         r"|#\s*include\s*<unordered_(?:map|set)>)")
 
     def check(self, src, ctx):
-        if not src.in_dir("src/"):
+        if not src.in_tree():
             return
         yield from scan_lines(
             src, self.PATTERN, self.rule_id,
@@ -508,7 +1205,6 @@ class MetricNameRule(Rule):
 # ---- enum exhaustiveness --------------------------------------------
 
 
-ENUM_DECL_RE = re.compile(r"\benum\s+(?:class|struct)\s+(\w+)")
 SWITCH_RE = re.compile(r"\bswitch\s*\(")
 CASE_RE = re.compile(r"\bcase\s+((?:\w+\s*::\s*)+)\w+\s*:")
 DEFAULT_RE = re.compile(r"\bdefault\s*:")
@@ -640,6 +1336,222 @@ class NoRawIntrinsicsRule(Rule):
             "bit-identical dispatch table")
 
 
+# ---- cross-file: include-graph layering -----------------------------
+
+
+class LayeringRule(Rule):
+    rule_id = "layering"
+    description = (
+        "the src/ module include graph must match the DAG declared "
+        "in tools/lint/layering.toml: a back-edge (tensor -> sim, "
+        "lsh -> serve, ...) is an architecture violation, not a "
+        "style choice")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        layers = ctx.index.layering
+        if not layers:
+            return
+        parts = src.rel.split("/")
+        if len(parts) < 3:
+            return
+        module = parts[1]
+        if module not in layers:
+            return  # reported once globally against the toml
+        allowed = set(layers[module]) | {module}
+        for line, path in src.facts.includes:
+            if "/" not in path:
+                continue
+            seg = path.split("/", 1)[0]
+            if seg in allowed:
+                continue
+            if seg not in layers and seg not in ctx.index.src_modules:
+                continue  # not a project module path
+            yield finding(
+                src, line, 1, self.rule_id,
+                '#include "%s" is an undeclared edge %s -> %s; '
+                "tools/lint/layering.toml is the architecture -- "
+                "fix the dependency, or update the toml if the DAG "
+                "legitimately grew (it must stay acyclic)"
+                % (path, module, seg))
+
+
+# ---- cross-file: config validation coverage -------------------------
+
+
+class ConfigValidationCoverageRule(Rule):
+    rule_id = "config-validation-coverage"
+    description = (
+        "every *Config struct needs a validate() (or a same-file "
+        "parent whose validate() covers it); every non-bool, "
+        "non-enum field must be named in that validate() and have "
+        "negative-path coverage in tests/config_validation_test.cc")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        index = ctx.index
+        for info in src.facts.structs:
+            if not info.name.endswith("Config"):
+                continue
+            vb = index.validate_bodies.get(info.name)
+            if vb is None:
+                if info.name in index.exempt_substructs:
+                    continue
+                yield finding(
+                    src, info.line, 1, self.rule_id,
+                    "config struct %s has no validate(); every "
+                    "config type must reject invalid values at the "
+                    "boundary (or be folded into a same-file "
+                    "parent's validate())" % info.name)
+                continue
+            yield from self.check_fields(src, ctx, info, vb)
+
+    def check_fields(self, src, ctx, info, vb):
+        index = ctx.index
+        for f, kind in walk_config_fields(index, src.facts, info):
+            if kind in ("bool", "enum"):
+                continue  # domain is pinned by the type
+            if f.name not in vb.tokens:
+                yield finding(
+                    src, f.line, 1, self.rule_id,
+                    "config field '%s' is never named in "
+                    "%s::validate(); check it, or suppress with a "
+                    "reason if every representable value is legal"
+                    % (f.name, info.name))
+            if kind == "leaf" and index.test_tokens \
+                    and f.name not in index.test_tokens:
+                yield finding(
+                    src, f.line, 1, self.rule_id,
+                    "config field '%s' has no negative-path coverage "
+                    "in %s; add a corrupting case asserting the "
+                    "error names it" % (f.name, TEST_COVERAGE_REL))
+
+
+# ---- cross-file: artifact schema drift ------------------------------
+
+
+class ArtifactSchemaDriftRule(Rule):
+    rule_id = "artifact-schema-drift"
+    description = (
+        "every JSON key written from C++ (JsonWriter::kv/key, "
+        "RunManifest::set) must be known to scripts/check_metrics.py "
+        "or scripts/bench_compare.py and documented in docs/; the "
+        "reverse direction (keys the scripts consume but nothing "
+        "writes) is checked repo-globally")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        index = ctx.index
+        if not index.script_tokens:
+            return
+        for key, line in src.facts.json_keys:
+            if key not in index.script_tokens:
+                yield finding(
+                    src, line, 1, self.rule_id,
+                    "JSON key '%s' written here is unknown to "
+                    "scripts/check_metrics.py and "
+                    "scripts/bench_compare.py; artifact schemas are "
+                    "validated end to end, so teach the checker "
+                    "about it" % key)
+            if key not in index.doc_tokens:
+                yield finding(
+                    src, line, 1, self.rule_id,
+                    "JSON key '%s' written here is not documented "
+                    "anywhere under docs/; add it to the artifact "
+                    "schema tables" % key)
+
+
+# ---- cross-file: stall-cause exhaustiveness -------------------------
+
+
+def _taxonomy_known(token, vocabulary):
+    """The scripts build `<cause>_cycles` channel fields from cause
+    stems, so either the full segment or its stem must be known."""
+    if token in vocabulary:
+        return True
+    suffix = "_cycles"
+    return token.endswith(suffix) and token[: -len(suffix)] in \
+        vocabulary
+
+
+class StallCauseExhaustiveRule(Rule):
+    rule_id = "stall-cause-exhaustive"
+    description = (
+        "every StallCause / AttributedModule enumerator must map to "
+        "a metric segment in stallCauseMetricName / "
+        "attributedModuleMetricName, and every mapped segment must "
+        "be known to scripts/check_metrics.py (conservation and "
+        "attribution invariants) and documented in docs/")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        index = ctx.index
+        for p in src.facts.metric_pairs:
+            if index.script_tokens and not _taxonomy_known(
+                    p.literal, index.script_tokens):
+                yield finding(
+                    src, p.line, 1, self.rule_id,
+                    "metric segment '%s' (for %s in %s) is unknown "
+                    "to scripts/check_metrics.py; the conservation "
+                    "and attribution checks will not see it"
+                    % (p.literal, p.member, p.fn))
+            if index.doc_tokens and not _taxonomy_known(
+                    p.literal, index.doc_tokens):
+                yield finding(
+                    src, p.line, 1, self.rule_id,
+                    "metric segment '%s' (for %s in %s) is not "
+                    "documented anywhere under docs/; add it to the "
+                    "stall/attribution tables" % (p.literal, p.member,
+                                                  p.fn))
+        same_file = {name: set(members)
+                     for name, members, _line in src.facts.enums}
+        for fn, line, enum_name, mapped in src.facts.metric_fns:
+            members = same_file.get(enum_name)
+            if members is None:
+                members = index.enum_members.get(enum_name, set())
+            missing = {m for m in members
+                       if not m.startswith("kNum")} - mapped
+            for member in sorted(missing):
+                yield finding(
+                    src, line, 1, self.rule_id,
+                    "enumerator %s::%s has no mapping in %s(); "
+                    "every taxonomy member must be attributed"
+                    % (enum_name, member, fn))
+
+
+# ---- cross-file: error-message discipline ---------------------------
+
+
+class ErrorMessageDisciplineRule(Rule):
+    rule_id = "error-message-discipline"
+    description = (
+        "every ELSA_CHECK on a config validation path must name at "
+        "least one field of the config being validated: a "
+        "misconfigured run must die with an actionable one-liner, "
+        "not a riddle")
+
+    def check(self, src, ctx):
+        if not src.in_dir("src/"):
+            return
+        for vb in src.facts.validates:
+            fieldset = config_field_names(ctx.index, vb.struct_name)
+            if not fieldset:
+                continue
+            for chk in vb.checks:
+                if fieldset & chk.tokens:
+                    continue
+                yield finding(
+                    src, chk.line, 1, self.rule_id,
+                    "error message in %s::validate() names no field "
+                    "of %s; say which field is wrong so the error "
+                    "is actionable" % (vb.struct_name,
+                                       vb.struct_name))
+
+
 RULES = [
     NoWallclockRule(),
     NoUnorderedContainerRule(),
@@ -647,7 +1559,67 @@ RULES = [
     EnumSwitchDefaultRule(),
     FixedPointEscapeRule(),
     NoRawIntrinsicsRule(),
+    LayeringRule(),
+    ConfigValidationCoverageRule(),
+    ArtifactSchemaDriftRule(),
+    StallCauseExhaustiveRule(),
+    ErrorMessageDisciplineRule(),
 ]
+
+
+# --------------------------------------------------------------------
+# Repo-global findings (anchored in scripts / the layering toml).
+# --------------------------------------------------------------------
+
+
+def global_findings(index):
+    out = []
+    for err in index.layering_errors:
+        out.append(Finding(LAYERING_REL, 1, 1, "layering", err))
+    for rel, line, key in index.script_consumed:
+        # The scripts hold stall/fault taxonomies by stem and build
+        # the `<stem>_cycles` channel field names themselves, so a
+        # stem whose `_cycles` form a writer emits is accounted for.
+        if key in index.cpp_literal_tokens \
+                or key + "_cycles" in index.cpp_literal_tokens:
+            continue
+        out.append(Finding(
+            rel, line, 1, "artifact-schema-drift",
+            "schema key '%s' is consumed here but appears in no C++ "
+            "string literal under src/, bench/, or examples/; "
+            "either the writer is gone or the checker drifted" % key))
+    return out
+
+
+def apply_global_suppressions(root, findings):
+    by_rel = {}
+    for f in findings:
+        by_rel.setdefault(f.path, []).append(f)
+    kept = []
+    for rel in SCRIPT_RELS:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        sups, metas = parse_py_suppressions(rel, read_text(path))
+        for f in by_rel.pop(rel, []):
+            hits = [s for s in sups
+                    if f.line == s.target_line and f.rule in s.rules]
+            if hits:
+                for s in hits:
+                    s.used = True
+            else:
+                kept.append(f)
+        for s in sups:
+            if not s.used:
+                metas.append(Finding(
+                    rel, s.line, 1, "suppression-unused",
+                    "allow(%s) suppresses nothing on line %d; "
+                    "remove it so the allow-list mirrors reality"
+                    % (",".join(s.rules), s.target_line)))
+        kept.extend(metas)
+    for rest in by_rel.values():
+        kept.extend(rest)
+    return kept
 
 
 # --------------------------------------------------------------------
@@ -656,13 +1628,15 @@ RULES = [
 
 
 class Context:
-    def __init__(self, project_enums, doc_text):
-        self.project_enums = project_enums
-        self.doc_text = doc_text
+    def __init__(self, index):
+        self.index = index
+        self.project_enums = set(index.enum_members)
+        self.doc_text = index.obs_doc_text
         self.metric_sites = {}
 
 
 CXX_SUFFIXES = (".cc", ".h")
+DEFAULT_LINT_DIRS = ("src", "bench", "examples", "tests")
 
 
 def collect_files(root, paths):
@@ -675,19 +1649,14 @@ def collect_files(root, paths):
         for dirpath, dirnames, filenames in os.walk(absolute):
             dirnames.sort()
             for name in sorted(filenames):
-                if name.endswith(CXX_SUFFIXES):
-                    full = os.path.join(dirpath, name)
-                    rel = os.path.relpath(full, root)
-                    files.append((full, rel.replace(os.sep, "/")))
+                if not name.endswith(CXX_SUFFIXES):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                if rel.startswith("tests/lint/"):
+                    continue  # fixtures are intentionally bad
+                files.append((full, rel))
     return files
-
-
-def discover_enums(sources):
-    enums = set()
-    for src in sources:
-        for m in ENUM_DECL_RE.finditer(src.code):
-            enums.add(m.group(1))
-    return enums
 
 
 def lint_sources(sources, ctx):
@@ -719,20 +1688,6 @@ def lint_sources(sources, ctx):
     return all_findings
 
 
-def build_context(root, sources):
-    # Project enums are discovered from the real headers even when only
-    # a subset of files is linted, so fixtures see the true enum set.
-    headers = collect_files(root, ["src"])
-    header_sources = [
-        SourceFile(p, rel, read_text(p)) for p, rel in headers
-        if p.endswith(".h")
-    ]
-    enums = discover_enums(header_sources + list(sources))
-    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
-    doc_text = read_text(doc_path) if os.path.exists(doc_path) else None
-    return Context(enums, doc_text)
-
-
 def read_text(path):
     with open(path, "r", encoding="utf-8") as f:
         return f.read()
@@ -743,8 +1698,13 @@ def run_lint(root, paths):
         SourceFile(p, rel, read_text(p))
         for p, rel in collect_files(root, paths)
     ]
-    ctx = build_context(root, sources)
-    return lint_sources(sources, ctx)
+    index = build_index(root, preloaded=sources)
+    ctx = Context(index)
+    findings = lint_sources(sources, ctx)
+    findings.extend(
+        apply_global_suppressions(root, global_findings(index)))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
 
 
 # --------------------------------------------------------------------
@@ -760,13 +1720,14 @@ def self_test(root, fixture_dir):
     if not names:
         print("elsa-lint self-test: no fixtures in %s" % fixtures)
         return 2
+    base_index = build_index(root)
     failures = 0
     fired_rules = set()
     for name in names:
         path = os.path.join(fixtures, name)
         src = SourceFile(path, fixture_dir + "/fixtures/" + name,
                          read_text(path))
-        ctx = build_context(root, [src])
+        ctx = Context(base_index.copy_with(src))
         got = [
             "%d: %s" % (f.line, f.rule)
             for f in lint_sources([src], ctx)
@@ -813,30 +1774,41 @@ def main(argv):
         "--list-rules", action="store_true",
         help="print rule ids and descriptions")
     parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON (for CI annotation)")
+    parser.add_argument(
         "--self-test", metavar="DIR",
         help="run the fixture self-tests under DIR (tests/lint)")
     parser.add_argument(
         "paths", nargs="*", default=None,
         help="files or directories to lint, relative to --root "
-             "(default: src)")
+             "(default: src bench examples tests)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule in RULES:
-            print("%-24s %s" % (rule.rule_id, rule.description))
+            print("%-28s %s" % (rule.rule_id, rule.description))
         for rule in META_RULES:
-            print("%-24s (suppression bookkeeping)" % rule)
+            print("%-28s (suppression bookkeeping)" % rule)
         return 0
     if args.self_test:
         return self_test(args.root, args.self_test)
 
-    findings = run_lint(args.root, args.paths or ["src"])
-    for f in findings:
-        print(f.render())
-    if findings:
-        print("elsa-lint: %d finding(s)" % len(findings))
-        return 1
-    return 0
+    paths = args.paths or [
+        d for d in DEFAULT_LINT_DIRS
+        if os.path.isdir(os.path.join(args.root, d))]
+    findings = run_lint(args.root, paths)
+    if args.json:
+        print(json.dumps(
+            {"findings": [f.to_dict() for f in findings],
+             "count": len(findings)},
+            indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        if findings:
+            print("elsa-lint: %d finding(s)" % len(findings))
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":
